@@ -1,0 +1,35 @@
+//! End-to-end benchmark: how fast the full managed experiment simulates.
+//! One sample = 300 virtual seconds of the complete stack (clients → PLB →
+//! Tomcat → C-JDBC → MySQL, probes, control loops) at the Table-1 medium
+//! load.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade_rubis::WorkloadRamp;
+use jade_sim::SimDuration;
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("managed_300s_80_clients", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::paper_managed();
+            cfg.ramp = WorkloadRamp::constant(80);
+            let out = run_experiment(cfg, SimDuration::from_secs(300));
+            black_box(out.app.stats.total_completed())
+        })
+    });
+    group.bench_function("unmanaged_300s_80_clients", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::paper_unmanaged();
+            cfg.ramp = WorkloadRamp::constant(80);
+            let out = run_experiment(cfg, SimDuration::from_secs(300));
+            black_box(out.app.stats.total_completed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the discrete-event kernel: event-queue throughput,
+//! processor-sharing CPU updates, and end-to-end engine stepping. These
+//! bound the cost of every simulated experiment in the repository.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu};
+use jade_sim::{SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Reverse order: worst-case heap churn.
+                    q.push(SimTime::from_micros((n - i) as u64), i);
+                }
+                let mut out = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    out = out.wrapping_add(v);
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.bench_function("cancel_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let tokens: Vec<_> = (0..1_000)
+                .map(|i| q.push(SimTime::from_micros(i), i))
+                .collect();
+            // Cancel every other timer, like the CPU model re-arming.
+            for t in tokens.iter().step_by(2) {
+                q.cancel(*t);
+            }
+            let mut survivors = 0;
+            while q.pop().is_some() {
+                survivors += 1;
+            }
+            black_box(survivors)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ps_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_cpu");
+    for &jobs in &[2usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("submit_drain", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+                let mut t = SimTime::ZERO;
+                for i in 0..jobs {
+                    cpu.submit(t, JobId(i as u64), SimDuration::from_millis(5));
+                }
+                while let Some(next) = cpu.next_completion(t) {
+                    t = next;
+                    black_box(cpu.collect_completions(t).len());
+                }
+                black_box(cpu.load())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A ping-pong app measuring raw engine dispatch throughput.
+struct PingPong {
+    remaining: u64,
+}
+impl App for PingPong {
+    type Msg = ();
+    fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _dst: Addr, _msg: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_after(SimDuration::from_micros(1), Addr::ROOT, ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(PingPong { remaining: 100_000 }, 1);
+            eng.schedule(SimTime::ZERO, Addr::ROOT, ());
+            eng.run_until(SimTime::MAX);
+            black_box(eng.events_processed())
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_ps_cpu, bench_engine);
+criterion_main!(benches);

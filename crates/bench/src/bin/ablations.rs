@@ -1,0 +1,172 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs a compressed version of the paper's ramp (same
+//! shape, 3× faster, 1000 s) with one knob changed, and reports replica
+//! churn (number of reconfigurations), mean latency, and peak replicas:
+//!
+//! 1. **Moving-average window** (paper §5.2: 60 s app / 90 s db, "the
+//!    strength of this average is experimentally fixed") — without
+//!    smoothing the loops chase CPU artifacts.
+//! 2. **Inhibition window** (paper §5.2: one minute, "to prevent
+//!    oscillations").
+//! 3. **Load-balancing policy** (paper §2: Random vs Round-Robin).
+//! 4. **Adaptive thresholds** (paper §7 future work).
+//! 5. **Latency-driven provisioning** (paper §4.2's response-time sensor).
+
+use jade::config::SystemConfig;
+use jade::experiment::{run_experiment, ExperimentOutput};
+use jade::system::ManagedTier;
+use jade_rubis::WorkloadRamp;
+use jade_sim::SimDuration;
+use jade_tiers::BalancePolicy;
+
+fn fast_ramp() -> WorkloadRamp {
+    WorkloadRamp {
+        base_clients: 80,
+        peak_clients: 500,
+        step_clients: 42,
+        step_interval: SimDuration::from_secs(30),
+        warmup: SimDuration::from_secs(60),
+        plateau: SimDuration::from_secs(120),
+    }
+}
+
+fn base_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = fast_ramp();
+    cfg
+}
+
+struct Row {
+    label: String,
+    out: ExperimentOutput,
+}
+
+fn run(label: &str, cfg: SystemConfig) -> Row {
+    Row {
+        label: label.to_owned(),
+        out: run_experiment(cfg, SimDuration::from_secs(1000)),
+    }
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n--- {title} ---");
+    println!(
+        "{:<38} {:>8} {:>10} {:>9} {:>9} {:>8}",
+        "configuration", "reconfig", "latency_ms", "peak_db", "peak_app", "failed"
+    );
+    for r in rows {
+        println!(
+            "{:<38} {:>8} {:>10.0} {:>9} {:>9} {:>8}",
+            r.label,
+            r.out.metrics.counter("reconfigurations"),
+            r.out.mean_latency_ms(),
+            r.out.max_replicas(ManagedTier::Database),
+            r.out.max_replicas(ManagedTier::Application),
+            r.out.app.stats.total_failed(),
+        );
+    }
+}
+
+fn main() {
+    println!("=== Ablations (compressed ramp, 1000 s) ===");
+
+    // 1. Moving-average window.
+    let mut rows = Vec::new();
+    for window_s in [1u64, 15, 60, 180] {
+        let mut cfg = base_cfg();
+        cfg.jade.app_loop.window = SimDuration::from_secs(window_s);
+        cfg.jade.db_loop.window = SimDuration::from_secs((window_s * 3) / 2);
+        rows.push(run(&format!("smoothing window {window_s}s (db x1.5)"), cfg));
+    }
+    print_rows("ablation 1: moving-average strength", &rows);
+    println!("(expected: very short windows over-react to artifacts — more reconfigurations)");
+
+    // 2. Inhibition window.
+    let mut rows = Vec::new();
+    for inhibition_s in [0u64, 10, 60, 180] {
+        let mut cfg = base_cfg();
+        cfg.jade.inhibition = SimDuration::from_secs(inhibition_s);
+        rows.push(run(&format!("inhibition {inhibition_s}s"), cfg));
+    }
+    print_rows("ablation 2: inhibition window", &rows);
+    println!("(expected: no inhibition => oscillation-prone; too long => sluggish scaling)");
+
+    // 3. Load-balancing policy.
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("round-robin", BalancePolicy::RoundRobin),
+        ("random", BalancePolicy::Random),
+    ] {
+        let mut cfg = base_cfg();
+        cfg.description.application.balance_policy = policy;
+        rows.push(run(&format!("app-tier balancing: {name}"), cfg));
+    }
+    print_rows("ablation 3: load-balancing policy", &rows);
+
+    // 4. Adaptive thresholds (paper §7). A constant load is placed so
+    // that one database backend sits *above* the max threshold while two
+    // sit *below* the min threshold — a mis-calibrated band that makes
+    // the static reactor oscillate add/remove forever. The adaptive
+    // reactor detects the reversals and widens the band until it settles.
+    let mut rows = Vec::new();
+    for adaptive in [false, true] {
+        let mut cfg = base_cfg();
+        cfg.ramp = WorkloadRamp::constant(240);
+        cfg.jade.adaptive = adaptive;
+        cfg.jade.db_loop.min_threshold = 0.50;
+        cfg.jade.db_loop.max_threshold = 0.65;
+        rows.push(run(
+            &format!("oscillating db band 0.50..0.65, adaptive={adaptive}"),
+            cfg,
+        ));
+    }
+    print_rows("ablation 4: adaptive thresholds", &rows);
+    println!("(expected: the static band oscillates; adaptation widens it and settles)");
+
+    // 5. Sensor driver: CPU vs client response time.
+    let mut rows = Vec::new();
+    for latency_driver in [false, true] {
+        let mut cfg = base_cfg();
+        cfg.jade.latency_driver = latency_driver;
+        let label = if latency_driver {
+            "latency-driven provisioning"
+        } else {
+            "cpu-driven provisioning"
+        };
+        rows.push(run(label, cfg));
+    }
+    print_rows("ablation 5: sensor driver (paper §4.2)", &rows);
+
+    // 6. Client navigation model: i.i.d. weighted mix vs the RUBiS
+    // transition-table state machine (session correlation).
+    let mut rows = Vec::new();
+    for markov in [false, true] {
+        let mut cfg = base_cfg();
+        cfg.markov_navigation = markov;
+        let label = if markov {
+            "markov transition-table navigation"
+        } else {
+            "i.i.d. weighted mix"
+        };
+        rows.push(run(label, cfg));
+    }
+    print_rows("ablation 6: client navigation model", &rows);
+    println!("(expected: similar macroscopic behaviour — the chain's stationary mix matches)");
+
+    // 7. Policy arbitration (paper §7) under the oscillating band of
+    // ablation 4: serialization + conflict coalescing also damp churn.
+    let mut rows = Vec::new();
+    for arbitration in [false, true] {
+        let mut cfg = base_cfg();
+        cfg.ramp = WorkloadRamp::constant(240);
+        cfg.jade.arbitration = arbitration;
+        cfg.jade.db_loop.min_threshold = 0.50;
+        cfg.jade.db_loop.max_threshold = 0.65;
+        rows.push(run(
+            &format!("oscillating band, arbitration={arbitration}"),
+            cfg,
+        ));
+    }
+    print_rows("ablation 7: policy arbitration (paper §7)", &rows);
+}

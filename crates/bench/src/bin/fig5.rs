@@ -1,0 +1,46 @@
+//! Figure 5: "Dynamically adjusted number of replicas".
+//!
+//! Runs the paper's evaluation scenario — 80 → 500 → 80 emulated clients
+//! at ±21 clients/minute against the managed J2EE system — and prints the
+//! number of database backends and application servers over time.
+//!
+//! Expected shape (paper §5.2): the database tier scales 1→2→3 during the
+//! ramp-up, then the application tier scales 1→2 near the peak; on the way
+//! down the application server is released first, then database backends.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade::system::ManagedTier;
+use jade_bench::{ascii_chart, print_replica_transitions, print_run_summary, write_series};
+use jade_sim::SimDuration;
+
+fn main() {
+    println!("=== Figure 5: dynamically adjusted number of replicas ===");
+    let cfg = SystemConfig::paper_managed();
+    let horizon = SimDuration::from_secs(3000);
+    let out = run_experiment(cfg, horizon);
+
+    print_run_summary("managed run", &out);
+    print_replica_transitions(&out);
+
+    let db = out.series("replicas.db");
+    let app = out.series("replicas.app");
+    println!("{}", ascii_chart("# of database backends", &db, 8, 100));
+    println!("{}", ascii_chart("# of application servers", &app, 8, 100));
+    write_series("fig5_replicas_db", &db);
+    write_series("fig5_replicas_app", &app);
+    write_series("fig5_clients", &out.series("clients"));
+
+    let peak_db = out.max_replicas(ManagedTier::Database);
+    let peak_app = out.max_replicas(ManagedTier::Application);
+    println!("peak replicas: database={peak_db} (paper: 3), application={peak_app} (paper: 2)");
+    println!(
+        "final replicas: database={}, application={}",
+        out.app.running_replicas(ManagedTier::Database),
+        out.app.running_replicas(ManagedTier::Application)
+    );
+    println!("\nreconfiguration journal:");
+    for (t, line) in &out.app.reconfig_log {
+        println!("  [{t}] {line}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 8: "Response time without Jade".
+//!
+//! The unmanaged system under the 80 → 500 → 80 ramp: as the database
+//! saturates and thrashes, client latency climbs without bound (the paper
+//! reports a 10.42 s run-wide average with peaks in the hundreds of
+//! seconds), recovering only when the load drops.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade_bench::{ascii_chart, print_run_summary, write_series};
+use jade_sim::SimDuration;
+
+fn main() {
+    println!("=== Figure 8: response time without Jade ===");
+    let out = run_experiment(SystemConfig::paper_unmanaged(), SimDuration::from_secs(3000));
+    print_run_summary("unmanaged", &out);
+
+    let latency: Vec<(f64, f64)> = out
+        .app
+        .stats
+        .latency_series()
+        .into_iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect();
+    let workload = out.series("clients");
+    println!("{}", ascii_chart("Latency (ms)", &latency, 10, 100));
+    println!("{}", ascii_chart("Workload (# clients)", &workload, 5, 100));
+    write_series("fig8_latency_ms", &latency);
+    write_series("fig8_workload", &workload);
+
+    let mean = out.mean_latency_ms();
+    let peak = latency.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    println!(
+        "mean latency {:.2} s (paper: 10.42 s), peak {:.1} s (paper figure: up to ~300 s)",
+        mean / 1e3,
+        peak / 1e3
+    );
+}

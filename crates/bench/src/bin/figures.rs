@@ -1,0 +1,84 @@
+//! Regenerates every figure and table of the paper's evaluation in one
+//! go, writing TSV series to `results/` and a summary to stdout.
+//!
+//! The managed and unmanaged 3000 s runs execute once, in parallel, and
+//! feed Figures 5–9; Table 1 runs its two constant-load experiments
+//! afterwards.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_managed_and_unmanaged;
+use jade::system::ManagedTier;
+use jade_bench::{print_replica_transitions, print_run_summary, write_series};
+use jade_sim::SimDuration;
+
+fn main() {
+    println!("=== Regenerating all figures and tables (paper §5.2) ===\n");
+    let horizon = SimDuration::from_secs(3000);
+    let (managed, unmanaged) = run_managed_and_unmanaged(
+        SystemConfig::paper_managed(),
+        SystemConfig::paper_unmanaged(),
+        horizon,
+    );
+    print_run_summary("managed  ", &managed);
+    print_run_summary("unmanaged", &unmanaged);
+
+    println!("\n--- Figure 5 ---");
+    print_replica_transitions(&managed);
+    write_series("fig5_replicas_db", &managed.series("replicas.db"));
+    write_series("fig5_replicas_app", &managed.series("replicas.app"));
+    write_series("fig5_clients", &managed.series("clients"));
+    println!(
+        "peak replicas: db={} (paper 3), app={} (paper 2)",
+        managed.max_replicas(ManagedTier::Database),
+        managed.max_replicas(ManagedTier::Application)
+    );
+
+    println!("\n--- Figures 6 & 7 ---");
+    write_series("fig6_cpu_managed", &managed.series("cpu.db.smoothed"));
+    write_series("fig6_cpu_unmanaged", &unmanaged.series("cpu.db.smoothed"));
+    write_series("fig6_backends", &managed.series("replicas.db"));
+    write_series("fig7_cpu_managed", &managed.series("cpu.app.smoothed"));
+    write_series("fig7_cpu_unmanaged", &unmanaged.series("cpu.app.smoothed"));
+    write_series("fig7_servers", &managed.series("replicas.app"));
+    let peak = |out: &jade::experiment::ExperimentOutput, s: &str| {
+        out.series(s).iter().map(|&(_, v)| v).fold(0.0f64, f64::max)
+    };
+    println!(
+        "unmanaged peaks: db CPU {:.2} (saturates), app CPU {:.2} (stays moderate)",
+        peak(&unmanaged, "cpu.db.smoothed"),
+        peak(&unmanaged, "cpu.app.smoothed")
+    );
+
+    println!("\n--- Figures 8 & 9 ---");
+    let lat = |out: &jade::experiment::ExperimentOutput| -> Vec<(f64, f64)> {
+        out.app
+            .stats
+            .latency_series()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect()
+    };
+    write_series("fig8_latency_ms", &lat(&unmanaged));
+    write_series("fig8_workload", &unmanaged.series("clients"));
+    write_series("fig9_latency_ms", &lat(&managed));
+    write_series("fig9_workload", &managed.series("clients"));
+    println!(
+        "mean latency: without Jade {:.2} s (paper 10.42 s), with Jade {:.0} ms (paper ~590 ms)",
+        unmanaged.mean_latency_ms() / 1e3,
+        managed.mean_latency_ms()
+    );
+
+    println!("\n--- Table 1 ---");
+    let (m, u) = run_managed_and_unmanaged(
+        SystemConfig::intrusivity(true, 80),
+        SystemConfig::intrusivity(false, 80),
+        SimDuration::from_secs(1200),
+    );
+    let (tp_j, rt_j, cpu_j, mem_j) = m.intrusivity_row(120.0, 1200.0);
+    let (tp_n, rt_n, cpu_n, mem_n) = u.intrusivity_row(120.0, 1200.0);
+    println!("                      with Jade    without Jade");
+    println!("Throughput (req./s)   {tp_j:10.1}    {tp_n:10.1}   (paper: 12 / 12)");
+    println!("Resp.time (ms)        {rt_j:10.0}    {rt_n:10.0}   (paper: 89 / 87)");
+    println!("CPU usage (%)         {cpu_j:10.2}    {cpu_n:10.2}   (paper: 12.74 / 12.42)");
+    println!("Memory usage (%)      {mem_j:10.1}    {mem_n:10.1}   (paper: 20.1 / 17.5)");
+}

@@ -1,0 +1,47 @@
+//! The RUBiS benchmarking tool's report: per-interaction counts and
+//! response times ("this benchmarking tool gathers statistics about the
+//! generated workload and the web application behavior", paper §5.2),
+//! for a managed steady-state run.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade_rubis::WorkloadRamp;
+use jade_sim::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: u32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    println!("=== RUBiS report: {clients} clients, 600 s, managed ===");
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(clients);
+    let out = run_experiment(cfg, SimDuration::from_secs(600));
+
+    println!(
+        "{:<28} {:>9} {:>7} {:>10} {:>10} {:>7}",
+        "interaction", "completed", "failed", "mean_ms", "max_ms", "share"
+    );
+    let total = out.app.stats.total_completed().max(1) as f64;
+    let mut rows: Vec<_> = out.app.stats.per_interaction().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.completed));
+    for (name, st) in rows {
+        println!(
+            "{:<28} {:>9} {:>7} {:>10.1} {:>10.1} {:>6.1}%",
+            name,
+            st.completed,
+            st.failed,
+            st.mean_latency_ms(),
+            st.latency_max_ms,
+            100.0 * st.completed as f64 / total
+        );
+    }
+    println!(
+        "\noverall: {} completed, {} failed, mean {:.1} ms, throughput {:.1} req/s",
+        out.app.stats.total_completed(),
+        out.app.stats.total_failed(),
+        out.mean_latency_ms(),
+        out.throughput()
+    );
+}

@@ -1,0 +1,29 @@
+//! # jade-cluster — the simulated cluster substrate
+//!
+//! Replaces the paper's physical testbed (§5.2: up to 9 x86 machines on a
+//! 100 Mbps LAN) with a deterministic model:
+//!
+//! * [`node::Node`] — a machine with a processor-sharing CPU, memory and
+//!   installed software,
+//! * [`manager::ClusterManager`] — the paper's Cluster Manager component:
+//!   allocation/release of nodes from a pool (§3.3),
+//! * [`software::SoftwareInstallationService`] — the paper's Software
+//!   Installation Service: package repository + installation with
+//!   realistic latencies (§3.3),
+//! * [`network::Network`] — LAN delays.
+//!
+//! Failure injection (node crash/repair) lives on [`node::Node`] so the
+//! self-recovery manager has something to detect and repair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod network;
+pub mod node;
+pub mod software;
+
+pub use manager::{ClusterError, ClusterManager};
+pub use network::Network;
+pub use node::{Node, NodeId, NodeSpec, NodeState};
+pub use software::{PackageDef, SoftwareInstallationService, SoftwareRepository};

@@ -1,0 +1,200 @@
+//! The Cluster Manager: node-pool allocation (paper §3.3).
+//!
+//! "A Cluster Manager component is responsible for the allocation of nodes
+//! (from a pool of available nodes) which will host the replicated servers
+//! of each tier." Allocation is deterministic (lowest free node id first)
+//! so experiment runs are reproducible.
+
+use crate::node::{Node, NodeId, NodeSpec};
+use std::collections::BTreeSet;
+
+/// Errors from the cluster substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No free node remains in the pool.
+    PoolExhausted,
+    /// Unknown node id.
+    NoSuchNode(NodeId),
+    /// Operation requires the node to be allocated / free.
+    WrongAllocationState(NodeId),
+    /// Node is crashed.
+    NodeDown(NodeId),
+    /// Installation failure (memory exhausted, unknown package…).
+    Install(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::PoolExhausted => write!(f, "no free node in the pool"),
+            ClusterError::NoSuchNode(id) => write!(f, "no such node: {id:?}"),
+            ClusterError::WrongAllocationState(id) => {
+                write!(f, "node {id:?} is not in the required allocation state")
+            }
+            ClusterError::NodeDown(id) => write!(f, "node {id:?} is crashed"),
+            ClusterError::Install(msg) => write!(f, "installation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The node pool plus allocation bookkeeping.
+#[derive(Debug)]
+pub struct ClusterManager {
+    nodes: Vec<Node>,
+    free: BTreeSet<NodeId>,
+    allocated: BTreeSet<NodeId>,
+}
+
+impl ClusterManager {
+    /// Builds a pool of `count` identical nodes named `node1..nodeN`.
+    pub fn homogeneous(count: usize, spec: NodeSpec, base_mem_mb: u64) -> Self {
+        let nodes: Vec<Node> = (0..count)
+            .map(|i| {
+                Node::new(
+                    NodeId(i as u32),
+                    &format!("node{}", i + 1),
+                    spec,
+                    base_mem_mb,
+                )
+            })
+            .collect();
+        let free = nodes.iter().map(Node::id).collect();
+        ClusterManager {
+            nodes,
+            free,
+            allocated: BTreeSet::new(),
+        }
+    }
+
+    /// Allocates the lowest-id free, up node. Crashed free nodes are
+    /// skipped (they stay in the pool until repaired).
+    pub fn allocate(&mut self) -> Result<NodeId, ClusterError> {
+        let pick = self
+            .free
+            .iter()
+            .copied()
+            .find(|&id| self.nodes[id.0 as usize].is_up())
+            .ok_or(ClusterError::PoolExhausted)?;
+        self.free.remove(&pick);
+        self.allocated.insert(pick);
+        Ok(pick)
+    }
+
+    /// Returns a node to the free pool.
+    pub fn release(&mut self, id: NodeId) -> Result<(), ClusterError> {
+        if !self.allocated.remove(&id) {
+            return Err(ClusterError::WrongAllocationState(id));
+        }
+        self.free.insert(id);
+        Ok(())
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node, ClusterError> {
+        self.nodes
+            .get(id.0 as usize)
+            .ok_or(ClusterError::NoSuchNode(id))
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, ClusterError> {
+        self.nodes
+            .get_mut(id.0 as usize)
+            .ok_or(ClusterError::NoSuchNode(id))
+    }
+
+    /// All node ids (allocated and free).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(Node::id).collect()
+    }
+
+    /// Currently allocated nodes, in id order.
+    pub fn allocated(&self) -> Vec<NodeId> {
+        self.allocated.iter().copied().collect()
+    }
+
+    /// Currently free nodes, in id order.
+    pub fn free(&self) -> Vec<NodeId> {
+        self.free.iter().copied().collect()
+    }
+
+    /// Number of free, up nodes.
+    pub fn free_count(&self) -> usize {
+        self.free
+            .iter()
+            .filter(|&&id| self.nodes[id.0 as usize].is_up())
+            .count()
+    }
+
+    /// Total pool size.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the pool has no node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True when the node is currently allocated.
+    pub fn is_allocated(&self, id: NodeId) -> bool {
+        self.allocated.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_sim::SimTime;
+
+    fn pool(n: usize) -> ClusterManager {
+        ClusterManager::homogeneous(n, NodeSpec::default(), 128)
+    }
+
+    #[test]
+    fn allocation_is_deterministic_and_exclusive() {
+        let mut cm = pool(3);
+        let a = cm.allocate().unwrap();
+        let b = cm.allocate().unwrap();
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert!(cm.is_allocated(a));
+        assert_eq!(cm.free_count(), 1);
+        cm.allocate().unwrap();
+        assert_eq!(cm.allocate(), Err(ClusterError::PoolExhausted));
+    }
+
+    #[test]
+    fn release_returns_to_pool_lowest_first() {
+        let mut cm = pool(3);
+        let a = cm.allocate().unwrap();
+        let _b = cm.allocate().unwrap();
+        cm.release(a).unwrap();
+        // Released node is picked again (lowest id).
+        assert_eq!(cm.allocate().unwrap(), a);
+        // Double release rejected.
+        assert_eq!(
+            cm.release(NodeId(2)),
+            Err(ClusterError::WrongAllocationState(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn crashed_free_nodes_are_skipped() {
+        let mut cm = pool(2);
+        cm.node_mut(NodeId(0)).unwrap().crash(SimTime::ZERO);
+        assert_eq!(cm.allocate().unwrap(), NodeId(1));
+        assert_eq!(cm.allocate(), Err(ClusterError::PoolExhausted));
+        cm.node_mut(NodeId(0)).unwrap().repair();
+        assert_eq!(cm.allocate().unwrap(), NodeId(0));
+    }
+
+    #[test]
+    fn names_follow_the_paper_convention() {
+        let cm = pool(2);
+        assert_eq!(cm.node(NodeId(0)).unwrap().name(), "node1");
+        assert_eq!(cm.node(NodeId(1)).unwrap().name(), "node2");
+    }
+}

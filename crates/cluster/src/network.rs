@@ -1,0 +1,84 @@
+//! LAN model for the cluster.
+//!
+//! The testbed's "100Mbps Ethernet LAN" (paper §5.2) is modelled as a
+//! full-mesh switched network: per-hop latency plus a serialization delay
+//! proportional to message size. Contention is ignored — at the paper's
+//! request rates the LAN is never the bottleneck (CPU is, §4.2), and the
+//! model keeps message delays deterministic.
+
+use crate::node::NodeId;
+use jade_sim::SimDuration;
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Network {
+    /// One-way propagation + switching latency per message.
+    pub hop_latency: SimDuration,
+    /// Link bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::lan_100mbps()
+    }
+}
+
+impl Network {
+    /// The paper's 100 Mbps switched Ethernet.
+    pub fn lan_100mbps() -> Self {
+        Network {
+            hop_latency: SimDuration::from_micros(150),
+            bandwidth_mbps: 100.0,
+        }
+    }
+
+    /// One-way delay for a message of `bytes` between two nodes. A node
+    /// talking to itself (loopback) pays no network delay.
+    pub fn delay(&self, from: NodeId, to: NodeId, bytes: u64) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let serialization_us = (bytes as f64 * 8.0) / self.bandwidth_mbps; // Mbps = bits/us
+        self.hop_latency + SimDuration::from_micros(serialization_us.ceil() as u64)
+    }
+
+    /// Delay for clients outside the cluster (WAN access through the
+    /// front-end); a constant extra latency on top of a LAN hop.
+    pub fn client_delay(&self, bytes: u64) -> SimDuration {
+        // Clients are on the same LAN in the paper's testbed (one node runs
+        // the client emulator), so this is just a LAN hop.
+        self.hop_latency + SimDuration::from_micros(((bytes as f64 * 8.0) / self.bandwidth_mbps).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_is_free() {
+        let net = Network::lan_100mbps();
+        assert_eq!(net.delay(NodeId(1), NodeId(1), 10_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delay_scales_with_size() {
+        let net = Network::lan_100mbps();
+        let small = net.delay(NodeId(0), NodeId(1), 100);
+        let large = net.delay(NodeId(0), NodeId(1), 100_000);
+        assert!(large > small);
+        // 100 KB at 100 Mbps = 8 ms serialization.
+        assert!(large >= SimDuration::from_millis(8));
+        assert!(large < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn symmetric() {
+        let net = Network::lan_100mbps();
+        assert_eq!(
+            net.delay(NodeId(0), NodeId(1), 512),
+            net.delay(NodeId(1), NodeId(0), 512)
+        );
+    }
+}

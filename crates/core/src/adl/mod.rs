@@ -1,0 +1,283 @@
+//! The Architecture Description Language (paper §3.3): "The architecture
+//! of an application is described using an ADL … This description is an
+//! XML document which details the architectural structure of the
+//! application to deploy on the cluster, e.g. which software resources
+//! compose the multi-tier J2EE application, how many replicas are created
+//! for each tier, how are the tiers bound together."
+
+pub mod xml;
+
+use crate::adl::xml::{parse, XmlElement, XmlError};
+use jade_tiers::{BalancePolicy, ReadPolicy};
+use std::fmt;
+
+/// Errors turning XML into a deployable description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdlError {
+    /// Underlying XML syntax error.
+    Xml(XmlError),
+    /// Semantically invalid description.
+    Invalid(String),
+}
+
+impl fmt::Display for AdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdlError::Xml(e) => write!(f, "{e}"),
+            AdlError::Invalid(m) => write!(f, "invalid ADL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdlError {}
+
+impl From<XmlError> for AdlError {
+    fn from(e: XmlError) -> Self {
+        AdlError::Xml(e)
+    }
+}
+
+/// Which tier a spec configures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierKind {
+    /// Static web tier (Apache behind an L4 switch).
+    Web,
+    /// Servlet tier (Tomcat behind PLB).
+    Application,
+    /// Database tier (MySQL behind C-JDBC).
+    Database,
+}
+
+/// Per-tier deployment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierSpec {
+    /// Tier being configured.
+    pub kind: TierKind,
+    /// Initial replica count.
+    pub replicas: usize,
+    /// HTTP balancing policy (web/application tiers).
+    pub balance_policy: BalancePolicy,
+    /// Read policy (database tier).
+    pub read_policy: ReadPolicy,
+}
+
+impl TierSpec {
+    /// Default spec for a tier with `replicas` initial replicas.
+    pub fn new(kind: TierKind, replicas: usize) -> Self {
+        TierSpec {
+            kind,
+            replicas,
+            balance_policy: BalancePolicy::RoundRobin,
+            read_policy: ReadPolicy::LeastPending,
+        }
+    }
+}
+
+/// A deployable multi-tier architecture description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct J2eeDescription {
+    /// Application name.
+    pub name: String,
+    /// Optional static web tier.
+    pub web: Option<TierSpec>,
+    /// Servlet tier.
+    pub application: TierSpec,
+    /// Database tier.
+    pub database: TierSpec,
+}
+
+impl J2eeDescription {
+    /// The paper's initial deployment: "the J2EE system is deployed with
+    /// one application server (Tomcat) and one database server (MySQL)"
+    /// (§5.2). The web tier is omitted, as in the quantitative scenario.
+    pub fn paper_initial() -> Self {
+        J2eeDescription {
+            name: "rubis".into(),
+            web: None,
+            application: TierSpec::new(TierKind::Application, 1),
+            database: TierSpec::new(TierKind::Database, 1),
+        }
+    }
+
+    /// Parses an ADL document.
+    pub fn from_xml(doc: &str) -> Result<Self, AdlError> {
+        let root = parse(doc)?;
+        if root.name != "j2ee" {
+            return Err(AdlError::Invalid(format!(
+                "root element must be <j2ee>, found <{}>",
+                root.name
+            )));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| AdlError::Invalid("<j2ee> needs a name attribute".into()))?
+            .to_owned();
+        let mut web = None;
+        let mut application = None;
+        let mut database = None;
+        for tier in root.children_named("tier") {
+            let spec = parse_tier(tier)?;
+            let slot = match spec.kind {
+                TierKind::Web => &mut web,
+                TierKind::Application => &mut application,
+                TierKind::Database => &mut database,
+            };
+            if slot.is_some() {
+                return Err(AdlError::Invalid(format!(
+                    "tier '{:?}' declared twice",
+                    spec.kind
+                )));
+            }
+            *slot = Some(spec);
+        }
+        Ok(J2eeDescription {
+            name,
+            web,
+            application: application
+                .ok_or_else(|| AdlError::Invalid("missing application tier".into()))?,
+            database: database
+                .ok_or_else(|| AdlError::Invalid("missing database tier".into()))?,
+        })
+    }
+
+    /// Renders the description back to XML (round-trips through
+    /// [`J2eeDescription::from_xml`]).
+    pub fn to_xml(&self) -> String {
+        let mut out = format!("<j2ee name=\"{}\">\n", self.name);
+        let tier_xml = |spec: &TierSpec| {
+            let kind = match spec.kind {
+                TierKind::Web => "web",
+                TierKind::Application => "application",
+                TierKind::Database => "database",
+            };
+            let policy = match spec.balance_policy {
+                BalancePolicy::RoundRobin => "round-robin",
+                BalancePolicy::Random => "random",
+            };
+            let read = match spec.read_policy {
+                ReadPolicy::RoundRobin => "round-robin",
+                ReadPolicy::Random => "random",
+                ReadPolicy::LeastPending => "least-pending",
+            };
+            format!(
+                "  <tier kind=\"{kind}\" replicas=\"{}\" policy=\"{policy}\" read-policy=\"{read}\"/>\n",
+                spec.replicas
+            )
+        };
+        if let Some(w) = &self.web {
+            out.push_str(&tier_xml(w));
+        }
+        out.push_str(&tier_xml(&self.application));
+        out.push_str(&tier_xml(&self.database));
+        out.push_str("</j2ee>\n");
+        out
+    }
+
+    /// Total nodes the initial deployment needs (replicas + balancers).
+    pub fn initial_nodes(&self) -> usize {
+        let mut n = self.application.replicas + 1 // PLB
+            + self.database.replicas + 1; // C-JDBC
+        if let Some(w) = &self.web {
+            n += w.replicas + 1; // L4 switch
+        }
+        n
+    }
+}
+
+fn parse_tier(e: &XmlElement) -> Result<TierSpec, AdlError> {
+    let kind = match e.attr("kind") {
+        Some("web") => TierKind::Web,
+        Some("application") => TierKind::Application,
+        Some("database") => TierKind::Database,
+        other => {
+            return Err(AdlError::Invalid(format!(
+                "tier kind must be web|application|database, found {other:?}"
+            )))
+        }
+    };
+    let replicas: usize = e
+        .attr("replicas")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| AdlError::Invalid("replicas must be an integer".into()))?;
+    if replicas == 0 {
+        return Err(AdlError::Invalid("replicas must be >= 1".into()));
+    }
+    let balance_policy = match e.attr("policy") {
+        None | Some("round-robin") => BalancePolicy::RoundRobin,
+        Some("random") => BalancePolicy::Random,
+        Some(other) => {
+            return Err(AdlError::Invalid(format!("unknown policy '{other}'")));
+        }
+    };
+    let read_policy = match e.attr("read-policy") {
+        None | Some("least-pending") => ReadPolicy::LeastPending,
+        Some("round-robin") => ReadPolicy::RoundRobin,
+        Some("random") => ReadPolicy::Random,
+        Some(other) => {
+            return Err(AdlError::Invalid(format!("unknown read-policy '{other}'")));
+        }
+    };
+    Ok(TierSpec {
+        kind,
+        replicas,
+        balance_policy,
+        read_policy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+        <j2ee name="rubis">
+            <tier kind="application" replicas="2" policy="random"/>
+            <tier kind="database" replicas="3" read-policy="round-robin"/>
+        </j2ee>
+    "#;
+
+    #[test]
+    fn parses_a_description() {
+        let d = J2eeDescription::from_xml(DOC).unwrap();
+        assert_eq!(d.name, "rubis");
+        assert_eq!(d.application.replicas, 2);
+        assert_eq!(d.application.balance_policy, BalancePolicy::Random);
+        assert_eq!(d.database.replicas, 3);
+        assert_eq!(d.database.read_policy, ReadPolicy::RoundRobin);
+        assert!(d.web.is_none());
+        assert_eq!(d.initial_nodes(), 2 + 1 + 3 + 1);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let d = J2eeDescription::from_xml(DOC).unwrap();
+        let d2 = J2eeDescription::from_xml(&d.to_xml()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn paper_initial_matches_the_evaluation() {
+        let d = J2eeDescription::paper_initial();
+        assert_eq!(d.application.replicas, 1);
+        assert_eq!(d.database.replicas, 1);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(J2eeDescription::from_xml("<x/>").is_err());
+        assert!(J2eeDescription::from_xml("<j2ee name='a'/>").is_err());
+        assert!(J2eeDescription::from_xml(
+            "<j2ee name='a'><tier kind='application'/><tier kind='application'/><tier kind='database'/></j2ee>"
+        )
+        .is_err());
+        assert!(J2eeDescription::from_xml(
+            "<j2ee name='a'><tier kind='application' replicas='0'/><tier kind='database'/></j2ee>"
+        )
+        .is_err());
+        assert!(J2eeDescription::from_xml(
+            "<j2ee name='a'><tier kind='application' policy='weird'/><tier kind='database'/></j2ee>"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Experiment and manager configuration.
+//!
+//! Defaults reproduce the paper's §5.2 setup: thresholds "determined
+//! experimentally through specific benchmarks", a 60 s moving average for
+//! the application tier and 90 s for the database tier, a one-second
+//! control-loop period and a one-minute inhibition window.
+
+use crate::adl::J2eeDescription;
+use jade_cluster::NodeSpec;
+use jade_rubis::{DatasetSpec, WorkloadRamp, DEFAULT_THINK_TIME};
+use jade_sim::{EfficiencyCurve, SimDuration};
+
+/// Configuration of one tier's self-optimization loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TierLoopConfig {
+    /// Temporal smoothing window of the CPU sensor.
+    pub window: SimDuration,
+    /// Minimum CPU threshold (scale down below).
+    pub min_threshold: f64,
+    /// Maximum CPU threshold (scale up above).
+    pub max_threshold: f64,
+    /// Replica bounds.
+    pub min_replicas: usize,
+    /// Upper replica bound (limited by the node pool in any case).
+    pub max_replicas: usize,
+}
+
+/// Jade's own knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct JadeConfig {
+    /// Master switch: when false the system runs unmanaged (the paper's
+    /// "without Jade" baseline) — probes still record metrics but no
+    /// reactor fires and no management daemon consumes resources.
+    pub managed: bool,
+    /// Control-loop / probe period ("the control loop execution is
+    /// realized every second", §5.2).
+    pub probe_period: SimDuration,
+    /// CPU consumed by the management daemon on every managed node, per
+    /// probe period (intrusivity, Table 1).
+    pub daemon_demand: SimDuration,
+    /// Global inhibition window after any reconfiguration.
+    pub inhibition: SimDuration,
+    /// Application-tier loop.
+    pub app_loop: TierLoopConfig,
+    /// Database-tier loop.
+    pub db_loop: TierLoopConfig,
+    /// Enable the self-recovery manager.
+    pub self_repair: bool,
+    /// How long a node's heartbeat must be missing before its servers are
+    /// declared failed. Process-level failures on a live node are
+    /// reported by the local daemon within one probe period.
+    pub failure_timeout: SimDuration,
+    /// Use adaptive thresholds (paper §7 extension).
+    pub adaptive: bool,
+    /// Drive the control loops with the client response-time estimator
+    /// instead of CPU usage (paper §4.2's alternative sensor). The
+    /// smoothed input becomes `mean latency / latency_saturation_ms`,
+    /// compared against the same thresholds.
+    pub latency_driver: bool,
+    /// Latency considered saturation when `latency_driver` is on, ms.
+    pub latency_saturation_ms: f64,
+    /// Route manager decisions through the policy-arbitration manager
+    /// (paper §7 future work): serialized execution, repair-over-optimize
+    /// priority, conflict coalescing.
+    pub arbitration: bool,
+}
+
+impl Default for JadeConfig {
+    fn default() -> Self {
+        JadeConfig {
+            managed: true,
+            probe_period: SimDuration::from_secs(1),
+            daemon_demand: SimDuration::from_millis(2),
+            inhibition: SimDuration::from_secs(60),
+            app_loop: TierLoopConfig {
+                window: SimDuration::from_secs(60),
+                min_threshold: 0.33,
+                max_threshold: 0.70,
+                min_replicas: 1,
+                max_replicas: 4,
+            },
+            db_loop: TierLoopConfig {
+                window: SimDuration::from_secs(90),
+                min_threshold: 0.30,
+                max_threshold: 0.75,
+                min_replicas: 1,
+                max_replicas: 4,
+            },
+            self_repair: false,
+            failure_timeout: SimDuration::from_secs(3),
+            adaptive: false,
+            latency_driver: false,
+            latency_saturation_ms: 1000.0,
+            arbitration: false,
+        }
+    }
+}
+
+impl JadeConfig {
+    /// An unmanaged baseline configuration.
+    pub fn unmanaged() -> Self {
+        JadeConfig {
+            managed: false,
+            ..JadeConfig::default()
+        }
+    }
+}
+
+/// Whole-experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Node-pool size (the paper used up to 9 machines).
+    pub nodes: usize,
+    /// Node hardware.
+    pub node_spec: NodeSpec,
+    /// OS-resident memory per node, MB.
+    pub base_mem_mb: u64,
+    /// Initial dataset.
+    pub dataset: DatasetSpec,
+    /// Client ramp.
+    pub ramp: WorkloadRamp,
+    /// Mean client think time.
+    pub think_time: SimDuration,
+    /// Navigate clients through the RUBiS transition-table state machine
+    /// instead of the i.i.d. weighted mix. The stationary distribution is
+    /// close to the mix, but sessions show realistic page-to-page
+    /// correlation (bursts of searches, bid funnels). Takes precedence
+    /// over `browsing_mix`.
+    pub markov_navigation: bool,
+    /// Use RUBiS's read-only *browsing* mix instead of the default
+    /// bidding mix (no writes ⇒ the recovery log stays empty and new
+    /// database replicas synchronize instantly).
+    pub browsing_mix: bool,
+    /// Client patience: a request not answered within this span is
+    /// abandoned (counted as failed). `None` = infinitely patient clients
+    /// (the RUBiS emulator's behaviour, and the paper's).
+    pub client_patience: Option<SimDuration>,
+    /// Initial architecture.
+    pub description: J2eeDescription,
+    /// Jade configuration.
+    pub jade: JadeConfig,
+    /// Statistics window for latency/throughput series.
+    pub stats_window: SimDuration,
+    /// Grace period between unbinding a replica and stopping it.
+    pub drain_grace: SimDuration,
+    /// Period of the client-pool adjustment tick.
+    pub ramp_tick: SimDuration,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            seed: 42,
+            nodes: 9,
+            node_spec: NodeSpec {
+                cpu_speed: 1.0,
+                memory_mb: 1024,
+                // The knee/slope reproduce the unmanaged database's
+                // thrashing collapse of Figures 6 and 8.
+                curve: EfficiencyCurve::Thrashing {
+                    knee: 40,
+                    slope: 0.02,
+                },
+            },
+            base_mem_mb: 64,
+            dataset: DatasetSpec::small(),
+            ramp: WorkloadRamp::paper(),
+            think_time: DEFAULT_THINK_TIME,
+            markov_navigation: false,
+            browsing_mix: false,
+            client_patience: None,
+            description: J2eeDescription::paper_initial(),
+            jade: JadeConfig::default(),
+            stats_window: SimDuration::from_secs(10),
+            drain_grace: SimDuration::from_secs(5),
+            ramp_tick: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's managed run.
+    pub fn paper_managed() -> Self {
+        SystemConfig::default()
+    }
+
+    /// The paper's unmanaged baseline (same workload, no reconfiguration).
+    pub fn paper_unmanaged() -> Self {
+        SystemConfig {
+            jade: JadeConfig::unmanaged(),
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Table 1 intrusivity run at a constant medium workload.
+    pub fn intrusivity(managed: bool, clients: u32) -> Self {
+        SystemConfig {
+            ramp: WorkloadRamp::constant(clients),
+            jade: if managed {
+                JadeConfig::default()
+            } else {
+                JadeConfig::unmanaged()
+            },
+            ..SystemConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SystemConfig::default();
+        assert_eq!(c.nodes, 9);
+        assert_eq!(c.jade.probe_period, SimDuration::from_secs(1));
+        assert_eq!(c.jade.inhibition, SimDuration::from_secs(60));
+        assert_eq!(c.jade.app_loop.window, SimDuration::from_secs(60));
+        assert_eq!(c.jade.db_loop.window, SimDuration::from_secs(90));
+        assert!(c.jade.managed);
+        assert!(!SystemConfig::paper_unmanaged().jade.managed);
+    }
+
+    #[test]
+    fn thresholds_are_a_valid_band() {
+        let c = SystemConfig::default();
+        for l in [c.jade.app_loop, c.jade.db_loop] {
+            assert!(0.0 < l.min_threshold && l.min_threshold < l.max_threshold);
+            assert!(l.max_threshold < 1.0);
+            assert!(l.min_replicas >= 1);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Whole-experiment runner: builds a managed system, drives it for a span
+//! of virtual time, and extracts the measurements the paper's figures and
+//! tables report.
+
+use crate::config::SystemConfig;
+use crate::system::{J2eeApp, ManagedTier, Msg};
+use jade_sim::{Addr, Engine, MetricsHub, SimDuration, SimTime, Tracer};
+
+/// Result of one experiment run.
+pub struct ExperimentOutput {
+    /// Final application state (stats, architecture, legacy layer).
+    pub app: J2eeApp,
+    /// All recorded metric series/histograms/counters.
+    pub metrics: MetricsHub,
+    /// The run's tracer (disabled unless the setup hook installed one).
+    pub tracer: Tracer,
+    /// Virtual end time of the run.
+    pub horizon: SimTime,
+    /// Number of engine events processed (simulation cost diagnostics).
+    pub events: u64,
+}
+
+impl ExperimentOutput {
+    /// `(t, value)` pairs of a recorded series, in seconds.
+    pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
+        self.metrics
+            .series(name)
+            .map(|s| {
+                s.points()
+                    .iter()
+                    .map(|&(t, v)| (t.as_secs_f64(), v))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Time-weighted mean of a series over `[from, to]` seconds.
+    pub fn series_mean(&self, name: &str, from: f64, to: f64) -> f64 {
+        self.metrics
+            .series(name)
+            .and_then(|s| {
+                s.time_weighted_mean(
+                    SimTime::from_micros((from * 1e6) as u64),
+                    SimTime::from_micros((to * 1e6) as u64),
+                )
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Run-wide mean client latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.app.stats.overall_mean_latency_ms()
+    }
+
+    /// Run-wide throughput, req/s.
+    pub fn throughput(&self) -> f64 {
+        self.app.stats.overall_throughput(self.horizon)
+    }
+
+    /// Table 1 row: `(throughput req/s, response ms, cpu %, mem %)`
+    /// averaged over `[from, to]` seconds of the run.
+    pub fn intrusivity_row(&self, from: f64, to: f64) -> (f64, f64, f64, f64) {
+        let window = self.app.stats.window().as_secs_f64();
+        let mut completed = 0u64;
+        let mut latency_sum = 0.0;
+        for (i, w) in self.app.stats.windows().iter().enumerate() {
+            let t = i as f64 * window;
+            if t >= from && t < to {
+                completed += w.completed;
+                latency_sum += w.latency_sum_ms;
+            }
+        }
+        let span = (to - from).max(1e-9);
+        let throughput = completed as f64 / span;
+        let resp = if completed == 0 {
+            0.0
+        } else {
+            latency_sum / completed as f64
+        };
+        let cpu = self.series_mean("cpu.all", from, to) * 100.0;
+        let mem = self.series_mean("mem.avg", from, to) * 100.0;
+        (throughput, resp, cpu, mem)
+    }
+
+    /// Replica-count changes of a tier as `(t_seconds, count)` steps.
+    pub fn replica_steps(&self, tier: ManagedTier) -> Vec<(f64, f64)> {
+        let mut steps = Vec::new();
+        let mut last = f64::NAN;
+        for (t, v) in self.series(tier.replicas_series()) {
+            if v != last {
+                steps.push((t, v));
+                last = v;
+            }
+        }
+        steps
+    }
+
+    /// Maximum replica count a tier reached.
+    pub fn max_replicas(&self, tier: ManagedTier) -> usize {
+        self.series(tier.replicas_series())
+            .iter()
+            .map(|&(_, v)| v as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs one experiment for `duration` of virtual time.
+pub fn run_experiment(cfg: SystemConfig, duration: SimDuration) -> ExperimentOutput {
+    run_experiment_with(cfg, duration, |_| {})
+}
+
+/// Like [`run_experiment`], but lets the caller schedule extra events —
+/// e.g. failure injection (`Msg::CrashNode`) for self-recovery scenarios —
+/// before the run starts.
+pub fn run_experiment_with(
+    cfg: SystemConfig,
+    duration: SimDuration,
+    setup: impl FnOnce(&mut Engine<J2eeApp>),
+) -> ExperimentOutput {
+    let seed = cfg.seed;
+    let mut engine = Engine::new(J2eeApp::new(cfg), seed);
+    engine.schedule(SimTime::ZERO, Addr::ROOT, Msg::Bootstrap);
+    setup(&mut engine);
+    engine.run_until(SimTime::ZERO + duration);
+    let horizon = engine.now();
+    let events = engine.events_processed();
+    let (app, metrics, tracer) = engine.into_parts_with_trace();
+    ExperimentOutput {
+        app,
+        metrics,
+        tracer,
+        horizon,
+        events,
+    }
+}
+
+/// Runs the same scenario managed and unmanaged on two threads (the
+/// figures 6–9 comparisons), using scoped threads per the repository's
+/// parallelism guidelines.
+pub fn run_managed_and_unmanaged(
+    managed: SystemConfig,
+    unmanaged: SystemConfig,
+    duration: SimDuration,
+) -> (ExperimentOutput, ExperimentOutput) {
+    let mut managed_out = None;
+    let mut unmanaged_out = None;
+    crossbeam::scope(|s| {
+        s.spawn(|_| managed_out = Some(run_experiment(managed, duration)));
+        s.spawn(|_| unmanaged_out = Some(run_experiment(unmanaged, duration)));
+    })
+    .expect("experiment threads must not panic");
+    (
+        managed_out.expect("managed run finished"),
+        unmanaged_out.expect("unmanaged run finished"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_rubis::WorkloadRamp;
+
+    /// A short managed run at constant medium load: the system must stay
+    /// at the initial architecture and serve requests.
+    #[test]
+    fn steady_medium_load_run() {
+        let mut cfg = SystemConfig::paper_managed();
+        cfg.ramp = WorkloadRamp::constant(80);
+        cfg.seed = 7;
+        let out = run_experiment(cfg, SimDuration::from_secs(300));
+        assert!(out.app.stats.total_completed() > 1000, "clients must be served");
+        assert_eq!(out.app.running_replicas(ManagedTier::Application), 1);
+        assert_eq!(out.app.running_replicas(ManagedTier::Database), 1);
+        // ~12 req/s at 80 clients (Table 1).
+        let tp = out.throughput();
+        assert!((9.0..=15.0).contains(&tp), "throughput {tp}");
+        // Sub-second latencies at medium load.
+        assert!(out.mean_latency_ms() < 500.0, "latency {}", out.mean_latency_ms());
+    }
+
+    /// Under overload the managed system must add replicas.
+    #[test]
+    fn overload_triggers_scale_up() {
+        let mut cfg = SystemConfig::paper_managed();
+        cfg.ramp = WorkloadRamp::constant(260);
+        cfg.seed = 3;
+        let out = run_experiment(cfg, SimDuration::from_secs(420));
+        assert!(
+            out.app.running_replicas(ManagedTier::Database) >= 2,
+            "database tier must have scaled up; log: {:?}",
+            out.app.reconfig_log
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Analytic capacity model.
+//!
+//! The paper sets thresholds "experimentally with some benchmarks"
+//! (§4.2) and leaves dynamic parameter-setting as future work (§7). This
+//! module provides the closed-form counterpart: a closed-queueing-network
+//! estimate of per-tier utilization and the client counts at which the
+//! threshold reactor will add or remove replicas. The
+//! `capacity_planning` example compares its predictions against the
+//! simulated Figure 5 transitions; an integration test pins the
+//! agreement.
+//!
+//! Model: `N` clients cycle think (mean `Z`) → request → response. With
+//! the response time small relative to `Z` (the managed regime), the
+//! offered rate is `λ(N) ≈ N / (Z + R)`, and a tier with `k` replicas and
+//! mean per-request demand `d` runs at utilization `ρ = λ d / k`.
+//! Response time per tier is estimated by the processor-sharing M/M/1
+//! formula `d / (1 − ρ)`.
+
+/// Per-tier mean demands and client behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityModel {
+    /// Mean think time, seconds.
+    pub think_time_s: f64,
+    /// Mean application-tier CPU demand per interaction, seconds.
+    pub servlet_demand_s: f64,
+    /// Mean database-tier CPU demand per interaction, seconds.
+    pub db_demand_s: f64,
+}
+
+/// A predicted reconfiguration point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedTransition {
+    /// Emulated clients at which the transition triggers.
+    pub clients: f64,
+    /// `true` for the database tier, `false` for the application tier.
+    pub database: bool,
+    /// Replica count after the transition.
+    pub replicas: usize,
+}
+
+impl CapacityModel {
+    /// Builds the model from the RUBiS workload calibration
+    /// ([`jade_rubis::interactions::mean_demands`]) and a think time.
+    pub fn from_workload(think_time_s: f64) -> Self {
+        let (servlet_ms, db_ms) = jade_rubis::interactions::mean_demands();
+        CapacityModel {
+            think_time_s,
+            servlet_demand_s: servlet_ms / 1e3,
+            db_demand_s: db_ms / 1e3,
+        }
+    }
+
+    /// Estimated steady response time with the given replica counts,
+    /// seconds (PS approximation per tier, capped to avoid the
+    /// singularity at saturation).
+    pub fn response_time_s(&self, clients: f64, app_replicas: usize, db_replicas: usize) -> f64 {
+        // Fixed-point iteration: R depends on λ which depends on R.
+        let mut r = self.servlet_demand_s + self.db_demand_s;
+        for _ in 0..50 {
+            let lambda = clients / (self.think_time_s + r);
+            let rho_app = (lambda * self.servlet_demand_s / app_replicas as f64).min(0.999);
+            let rho_db = (lambda * self.db_demand_s / db_replicas as f64).min(0.999);
+            let r_new = self.servlet_demand_s / (1.0 - rho_app)
+                + self.db_demand_s / (1.0 - rho_db);
+            r = 0.5 * r + 0.5 * r_new;
+        }
+        r
+    }
+
+    /// Offered request rate with the given configuration, req/s.
+    pub fn request_rate(&self, clients: f64, app_replicas: usize, db_replicas: usize) -> f64 {
+        clients / (self.think_time_s + self.response_time_s(clients, app_replicas, db_replicas))
+    }
+
+    /// Utilization of a tier with `k` replicas at `clients`.
+    pub fn utilization(
+        &self,
+        clients: f64,
+        demand_s: f64,
+        k: usize,
+        app_replicas: usize,
+        db_replicas: usize,
+    ) -> f64 {
+        self.request_rate(clients, app_replicas, db_replicas) * demand_s / k as f64
+    }
+
+    /// Client count at which a tier with `k` replicas crosses a
+    /// utilization `threshold` (ignoring response-time inflation — the
+    /// regime just before a scale-up, where R ≪ Z).
+    pub fn clients_at_threshold(&self, demand_s: f64, k: usize, threshold: f64) -> f64 {
+        threshold * k as f64 * self.think_time_s / demand_s
+    }
+
+    /// Predicted scale-up sequence for a rising ramp from `base` to
+    /// `peak` clients, given each tier's max threshold and replica cap.
+    pub fn predict_ramp_up(
+        &self,
+        base: f64,
+        peak: f64,
+        db_max_threshold: f64,
+        app_max_threshold: f64,
+        max_replicas: usize,
+    ) -> Vec<PredictedTransition> {
+        let mut out = Vec::new();
+        for k in 1..max_replicas {
+            let at = self.clients_at_threshold(self.db_demand_s, k, db_max_threshold);
+            if at > base && at <= peak {
+                out.push(PredictedTransition {
+                    clients: at,
+                    database: true,
+                    replicas: k + 1,
+                });
+            }
+        }
+        for k in 1..max_replicas {
+            let at = self.clients_at_threshold(self.servlet_demand_s, k, app_max_threshold);
+            if at > base && at <= peak {
+                out.push(PredictedTransition {
+                    clients: at,
+                    database: false,
+                    replicas: k + 1,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.clients.total_cmp(&b.clients));
+        out
+    }
+
+    /// Replicas needed to keep a tier at or under `threshold` at
+    /// `clients` (the planner's sizing answer).
+    pub fn replicas_needed(&self, clients: f64, demand_s: f64, threshold: f64) -> usize {
+        let lambda = clients / self.think_time_s; // conservative (R ≈ 0)
+        ((lambda * demand_s / threshold).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapacityModel {
+        CapacityModel::from_workload(6.5)
+    }
+
+    #[test]
+    fn table1_operating_point() {
+        let m = model();
+        // 80 clients on 1+1 replicas: ~12 req/s, sub-100 ms responses.
+        let rate = m.request_rate(80.0, 1, 1);
+        assert!((11.0..13.0).contains(&rate), "rate {rate}");
+        let r = m.response_time_s(80.0, 1, 1);
+        assert!(r < 0.15, "response {r}");
+    }
+
+    #[test]
+    fn predicts_the_figure5_order() {
+        let m = model();
+        let transitions = m.predict_ramp_up(80.0, 500.0, 0.75, 0.70, 4);
+        // Database scales twice before the application tier scales once.
+        let kinds: Vec<(bool, usize)> =
+            transitions.iter().map(|t| (t.database, t.replicas)).collect();
+        assert_eq!(kinds, vec![(true, 2), (true, 3), (false, 2)], "{transitions:?}");
+        // First DB transition in the paper's neighbourhood (~180 clients).
+        assert!((140.0..260.0).contains(&transitions[0].clients), "{transitions:?}");
+        // App transition near 420 clients.
+        assert!((350.0..500.0).contains(&transitions[2].clients), "{transitions:?}");
+    }
+
+    #[test]
+    fn sizing_answers_are_monotone() {
+        let m = model();
+        let mut last = 0;
+        for clients in [50.0, 150.0, 300.0, 500.0, 800.0] {
+            let k = m.replicas_needed(clients, m.db_demand_s, 0.75);
+            assert!(k >= last);
+            last = k;
+        }
+        assert!(last >= 3, "500+ clients need several backends");
+    }
+
+    #[test]
+    fn saturation_inflates_response_time() {
+        let m = model();
+        let relaxed = m.response_time_s(100.0, 1, 1);
+        let saturated = m.response_time_s(400.0, 1, 1);
+        assert!(saturated > 5.0 * relaxed, "{relaxed} vs {saturated}");
+        // Adding backends deflates it again.
+        let provisioned = m.response_time_s(400.0, 2, 3);
+        assert!(provisioned < saturated / 3.0);
+    }
+}

@@ -1,0 +1,992 @@
+//! Jade's run-time management: probes, control loops, reconfiguration
+//! workflows (the actuators of paper §4.1) and failure handling.
+
+use super::msg::{DeployPhase, JobOwner, ManagedTier, Msg, PendingDeploy};
+use super::J2eeApp;
+use crate::control::Decision;
+use jade_cluster::NodeId;
+use jade_sim::{Addr, Ctx, SimDuration};
+use jade_tiers::{LegacyEvent, ServerId, Tier};
+
+/// Extra installation latency for restoring the database dump onto a new
+/// MySQL replica.
+const DB_DUMP_RESTORE: SimDuration = SimDuration::from_secs(5);
+
+impl J2eeApp {
+    fn tier_busy(&self, tier: ManagedTier) -> bool {
+        match tier {
+            ManagedTier::Application => self.app_busy,
+            ManagedTier::Database => self.db_busy,
+        }
+    }
+
+    fn set_tier_busy(&mut self, tier: ManagedTier, busy: bool) {
+        match tier {
+            ManagedTier::Application => self.app_busy = busy,
+            ManagedTier::Database => self.db_busy = busy,
+        }
+        // A finished reconfiguration frees the arbitration slot.
+        if !busy {
+            if let Some(arb) = self.arbitrator.as_mut() {
+                arb.complete();
+            }
+        }
+    }
+
+    /// Components of the Apache replicas (web-tier topologies).
+    pub(crate) fn apache_components(&self) -> Vec<jade_fractal::ComponentId> {
+        let l4_comp = self.l4.map(|(_, c)| c);
+        self.registry
+            .children(self.web_tier)
+            .into_iter()
+            .filter(|&c| Some(c) != l4_comp)
+            .collect()
+    }
+
+    pub(crate) fn log_reconfig(&mut self, ctx: &mut Ctx<'_, Msg>, text: String) {
+        ctx.trace(jade_sim::TraceLevel::Info, "manager", || text.clone());
+        self.reconfig_log.push((ctx.now(), text));
+        ctx.metrics().incr("reconfigurations", 1);
+    }
+
+    fn record_replica_series(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let app = self.running_replicas(ManagedTier::Application) as f64;
+        let db = self.running_replicas(ManagedTier::Database) as f64;
+        let now = ctx.now();
+        ctx.metrics().record_series("replicas.app", now, app);
+        ctx.metrics().record_series("replicas.db", now, db);
+    }
+
+    // ------------------------------------------------------------------
+    // Probes (MeasureTick): the harness-level measurement that both the
+    // figures and Jade's sensors read.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_measure_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        // Sample every node once; aggregate per managed tier.
+        let app_nodes = self.legacy.nodes_of_tier(Tier::Application);
+        let db_nodes = self.legacy.nodes_of_tier(Tier::Database);
+        let all_nodes = self.legacy.cluster.node_ids();
+        let mut samples: std::collections::BTreeMap<NodeId, f64> = Default::default();
+        for &node in &all_nodes {
+            if let Ok(n) = self.legacy.cluster.node_mut(node) {
+                samples.insert(node, n.sample_cpu(now));
+            }
+        }
+        let avg = |nodes: &[NodeId]| -> f64 {
+            if nodes.is_empty() {
+                0.0
+            } else {
+                nodes.iter().filter_map(|n| samples.get(n)).sum::<f64>() / nodes.len() as f64
+            }
+        };
+        self.latest_app_cpu = avg(&app_nodes);
+        self.latest_db_cpu = avg(&db_nodes);
+        ctx.metrics()
+            .record_series("cpu.app", now, self.latest_app_cpu);
+        ctx.metrics().record_series("cpu.db", now, self.latest_db_cpu);
+
+        // Memory and node-allocation series (Table 1, Figure 5 context).
+        let allocated = self.legacy.cluster.allocated();
+        let mem_avg = if allocated.is_empty() {
+            0.0
+        } else {
+            allocated
+                .iter()
+                .filter_map(|&n| self.legacy.cluster.node(n).ok())
+                .map(|n| n.memory_utilization())
+                .sum::<f64>()
+                / allocated.len() as f64
+        };
+        let cpu_all_avg = if allocated.is_empty() {
+            0.0
+        } else {
+            allocated
+                .iter()
+                .filter_map(|n| samples.get(n))
+                .sum::<f64>()
+                / allocated.len() as f64
+        };
+        ctx.metrics().record_series("mem.avg", now, mem_avg);
+        ctx.metrics().record_series("cpu.all", now, cpu_all_avg);
+        ctx.metrics()
+            .record_series("nodes.allocated", now, allocated.len() as f64);
+        self.record_replica_series(ctx);
+
+        // Intrusivity: the management daemon consumes a little CPU on
+        // every managed node, every probe period (Table 1) — and its
+        // report doubles as the node's heartbeat for failure detection.
+        if self.cfg.jade.managed {
+            let demand = self.cfg.jade.daemon_demand;
+            for node in allocated {
+                let up = self
+                    .legacy
+                    .cluster
+                    .node(node)
+                    .map(|n| n.is_up())
+                    .unwrap_or(false);
+                if up {
+                    self.last_heartbeat.insert(node, now);
+                    self.submit_job(ctx, node, JobOwner::Daemon, demand);
+                }
+            }
+        }
+        // Arbitration pump: execute at most one queued reconfiguration
+        // when the system is quiescent.
+        self.pump_arbitrator(ctx);
+        ctx.send_after(self.cfg.jade.probe_period, Addr::ROOT, Msg::MeasureTick);
+    }
+
+    /// Executes the next arbitrated reconfiguration when permitted.
+    fn pump_arbitrator(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if self.app_busy || self.db_busy || !self.inhibition.permits(now) {
+            return;
+        }
+        let Some(arb) = self.arbitrator.as_mut() else {
+            return;
+        };
+        let Some(req) = arb.next() else { return };
+        use crate::arbitration::Action;
+        match req.action {
+            Action::ScaleUp(tier) => {
+                self.note_adaptive(tier, Decision::ScaleUp, now);
+                self.scale_up(ctx, tier);
+            }
+            Action::ScaleDown(tier) => {
+                self.note_adaptive(tier, Decision::ScaleDown, now);
+                self.scale_down(ctx, tier);
+            }
+            Action::Repair(server) => self.repair_server(ctx, server),
+        }
+        // The action may have been a stale no-op (nothing became busy):
+        // free the slot immediately.
+        if !self.app_busy && !self.db_busy {
+            if let Some(arb) = self.arbitrator.as_mut() {
+                arb.complete();
+            }
+        }
+    }
+
+    fn note_adaptive(&mut self, tier: ManagedTier, d: Decision, now: jade_sim::SimTime) {
+        if let Some(mgr) = self.managers.iter_mut().find(|m| m.tier == tier) {
+            if let Some(a) = mgr.adaptive.as_mut() {
+                a.note_executed(d, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control loops (SensorTick)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_sensor_tick(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
+        let now = ctx.now();
+        let period = self.cfg.jade.probe_period;
+        let tier = self.managers[idx].tier;
+        let spatial = if self.cfg.jade.latency_driver {
+            // Paper §4.2: "a sensor specific to optimization may provide
+            // an estimator of the response-time to client requests."
+            // Normalized so the usual thresholds apply.
+            (self.stats.recent_mean_latency_ms(now) / self.cfg.jade.latency_saturation_ms)
+                .clamp(0.0, 1.0)
+        } else {
+            match tier {
+                ManagedTier::Application => self.latest_app_cpu,
+                ManagedTier::Database => self.latest_db_cpu,
+            }
+        };
+        let smoothed = {
+            use crate::control::Sensor as _;
+            self.managers[idx].sensor.observe(now, spatial)
+        };
+        if let Some(v) = smoothed {
+            ctx.metrics().record_series(tier.smoothed_series(), now, v);
+        }
+        if self.cfg.jade.managed {
+            if let Some(v) = smoothed {
+                let replicas = self.running_replicas(tier);
+                let decision = match self.managers[idx].adaptive.as_ref() {
+                    Some(a) => a.decide(v, replicas),
+                    None => self.managers[idx].reactor.decide(v, replicas),
+                };
+                if decision != Decision::Stay {
+                    if let Some(arb) = self.arbitrator.as_mut() {
+                        // Arbitration mode: submit; the pump executes
+                        // under the global serialization rules.
+                        let action = match decision {
+                            Decision::ScaleUp => crate::arbitration::Action::ScaleUp(tier),
+                            Decision::ScaleDown => crate::arbitration::Action::ScaleDown(tier),
+                            Decision::Stay => unreachable!(),
+                        };
+                        let _ = arb.submit(crate::arbitration::Request {
+                            source: crate::arbitration::Source::SelfOptimization,
+                            action,
+                            submitted: now,
+                        });
+                    } else if self.inhibition.permits(now) && !self.tier_busy(tier) {
+                        if let Some(a) = self.managers[idx].adaptive.as_mut() {
+                            a.note_executed(decision, now);
+                        }
+                        match decision {
+                            Decision::ScaleUp => self.scale_up(ctx, tier),
+                            Decision::ScaleDown => self.scale_down(ctx, tier),
+                            Decision::Stay => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+        ctx.send_after(period, Addr::ROOT, Msg::SensorTick(idx));
+    }
+
+    // ------------------------------------------------------------------
+    // Actuators: resize workflows (paper §4.1's "main operations
+    // performed by the reactor")
+    // ------------------------------------------------------------------
+
+    /// Starts deploying one more replica: allocate a free node, install
+    /// the required software, then (after the installation latency) start
+    /// the server and wire it into the load balancer.
+    pub(crate) fn scale_up(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
+        // Guard against stale (e.g. arbitrated) requests.
+        if let Some(mgr) = self.managers.iter().find(|m| m.tier == tier) {
+            if self.running_replicas(tier) >= mgr.reactor.max_replicas {
+                return;
+            }
+        }
+        let Ok(node) = self.legacy.cluster.allocate() else {
+            ctx.metrics().incr("scaleup.blocked", 1);
+            return;
+        };
+        let mut latency = SimDuration::ZERO;
+        let mut packages = vec![tier.package()];
+        if self.cfg.jade.managed {
+            packages.push("jade-daemon");
+        }
+        for pkg in packages {
+            match self.legacy.sis.install(&mut self.legacy.cluster, node, pkg) {
+                Ok(l) => latency += l,
+                Err(e) => {
+                    // Roll back the allocation; the reactor will retry.
+                    let _ = self.legacy.cluster.release(node);
+                    self.log_reconfig(ctx, format!("scale-up {tier:?} failed: {e}"));
+                    return;
+                }
+            }
+        }
+        if tier == ManagedTier::Database {
+            latency += DB_DUMP_RESTORE;
+        }
+        let (server, comp) = match tier {
+            ManagedTier::Application => self.create_tomcat_replica(node),
+            ManagedTier::Database => self.create_mysql_replica(node),
+        };
+        self.pending_deploys.insert(
+            server,
+            PendingDeploy {
+                tier,
+                phase: DeployPhase::Installing,
+                comp,
+            },
+        );
+        self.set_tier_busy(tier, true);
+        self.inhibition.note_reconfiguration(ctx.now());
+        let name = self.registry.name(comp).unwrap_or_default();
+        self.log_reconfig(
+            ctx,
+            format!("scale-up {tier:?}: deploying {name} on node {}", node.0 + 1),
+        );
+        ctx.send_after(latency, Addr::ROOT, Msg::DeployStep { server });
+    }
+
+    /// Installation finished: start the replica (boot latency follows).
+    pub(crate) fn on_deploy_step(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
+        let Some(pending) = self.pending_deploys.get_mut(&server) else {
+            return;
+        };
+        debug_assert_eq!(pending.phase, DeployPhase::Installing);
+        pending.phase = DeployPhase::Booting;
+        let comp = pending.comp;
+        if self.registry.start(&mut self.legacy, comp).is_err() {
+            // Node died during installation; abandon the deployment.
+            let tier = self.pending_deploys.remove(&server).expect("checked").tier;
+            self.set_tier_busy(tier, false);
+        }
+        self.flush_legacy_outbox(ctx);
+    }
+
+    /// Removes the most recently added replica of a tier: unbind it from
+    /// the load balancer, let in-flight work drain, then stop it and
+    /// release the node.
+    pub(crate) fn scale_down(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
+        let mut running = self.legacy.running_servers_of(tier.tier());
+        running.sort_unstable();
+        // Guard against stale (e.g. arbitrated) requests.
+        if let Some(mgr) = self.managers.iter().find(|m| m.tier == tier) {
+            if running.len() <= mgr.reactor.min_replicas {
+                return;
+            }
+        }
+        let Some(&victim) = running.last() else {
+            return;
+        };
+        let Some(&victim_comp) = self.comp_of_server.get(&victim) else {
+            return;
+        };
+        let lb_comp = match tier {
+            ManagedTier::Application => self.plb.map(|(_, c)| c),
+            ManagedTier::Database => self.cjdbc.map(|(_, c)| c),
+        };
+        let Some(lb_comp) = lb_comp else { return };
+        let itf = match tier {
+            ManagedTier::Application => "workers",
+            ManagedTier::Database => "backends",
+        };
+        if self
+            .registry
+            .unbind(&mut self.legacy, lb_comp, itf, Some(victim_comp))
+            .is_err()
+        {
+            return;
+        }
+        // Web topologies: retire the Tomcat from every Apache's rotation.
+        if tier == ManagedTier::Application {
+            for apache_comp in self.apache_components() {
+                let _ =
+                    self.registry
+                        .unbind(&mut self.legacy, apache_comp, "ajp-itf", Some(victim_comp));
+            }
+        }
+        self.pending_undeploys.insert(victim, tier);
+        self.set_tier_busy(tier, true);
+        self.inhibition.note_reconfiguration(ctx.now());
+        let name = self.registry.name(victim_comp).unwrap_or_default();
+        self.log_reconfig(ctx, format!("scale-down {tier:?}: retiring {name}"));
+        ctx.send_after(self.cfg.drain_grace, Addr::ROOT, Msg::UndeployStop { server: victim });
+        self.flush_legacy_outbox(ctx);
+    }
+
+    /// Drain grace elapsed: stop the retired replica, destroy its
+    /// component and release its node.
+    pub(crate) fn on_undeploy_stop(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
+        let Some(tier) = self.pending_undeploys.remove(&server) else {
+            return;
+        };
+        let Some(&comp) = self.comp_of_server.get(&server) else {
+            return;
+        };
+        let node = self
+            .legacy
+            .server(server)
+            .map(|s| s.process().node)
+            .expect("server still exists");
+        let _ = self.registry.stop(&mut self.legacy, comp);
+        self.flush_legacy_outbox(ctx);
+        // Abort whatever is still running on that node and fail the
+        // affected requests.
+        self.abort_node_jobs(ctx, node);
+        // Remove the component from the architecture.
+        let tier_comp = match tier {
+            ManagedTier::Application => self.app_tier,
+            ManagedTier::Database => self.db_tier,
+        };
+        // A Tomcat replica holds a client binding to C-JDBC; drop it.
+        if tier == ManagedTier::Application {
+            let _ = self
+                .registry
+                .unbind(&mut self.legacy, comp, "jdbc-itf", None);
+        }
+        let _ = self.registry.remove_child(tier_comp, comp);
+        let _ = self.registry.remove(comp);
+        self.comp_of_server.remove(&server);
+        // A destroyed database replica's trace is dropped for good (the
+        // unbind only disabled it, preserving the checkpoint for re-use).
+        if tier == ManagedTier::Database {
+            if let Some((cj_server, _)) = self.cjdbc {
+                let _ = self.legacy.cjdbc_unregister_backend(cj_server, server);
+            }
+        }
+        let _ = self.legacy.remove_server(server);
+        // Release the machine back to the pool ("release the nodes hosting
+        // these replicas if no longer used", §4.1).
+        let _ = self
+            .legacy
+            .sis
+            .uninstall(&mut self.legacy.cluster, node, tier.package());
+        let _ = self
+            .legacy
+            .sis
+            .uninstall(&mut self.legacy.cluster, node, "jade-daemon");
+        let _ = self.legacy.cluster.release(node);
+        self.set_tier_busy(tier, false);
+        self.record_replica_series(ctx);
+        self.log_reconfig(ctx, format!("released node {}", node.0 + 1));
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy events
+    // ------------------------------------------------------------------
+
+    /// Schedules the legacy layer's deferred events into the engine.
+    pub(crate) fn flush_legacy_outbox(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for (delay, e) in self.legacy.drain_outbox() {
+            ctx.send_after(delay, Addr::ROOT, Msg::Legacy(e));
+        }
+    }
+
+    pub(crate) fn on_legacy_event(&mut self, ctx: &mut Ctx<'_, Msg>, e: LegacyEvent) {
+        ctx.trace(jade_sim::TraceLevel::Debug, "legacy", || format!("{e:?}"));
+        match e {
+            LegacyEvent::ServerBooted(server) => {
+                let became_running = self.legacy.finish_boot(server).unwrap_or(false);
+                if !became_running {
+                    return;
+                }
+                // A replica bounced by a rolling restart re-enters here.
+                if self.rolling.as_ref().and_then(|r| r.current) == Some(server) {
+                    self.on_rolling_booted(ctx, server);
+                    return;
+                }
+                if let Some(pending) = self.pending_deploys.get_mut(&server) {
+                    let comp = pending.comp;
+                    match pending.tier {
+                        ManagedTier::Application => {
+                            self.pending_deploys.remove(&server);
+                            if let Some((_, plb_comp)) = self.plb {
+                                let _ = self.registry.bind(
+                                    &mut self.legacy,
+                                    plb_comp,
+                                    "workers",
+                                    comp,
+                                    "ajp",
+                                );
+                            }
+                            // Web topologies: the new Tomcat also joins
+                            // every Apache's mod_jk rotation.
+                            for apache_comp in self.apache_components() {
+                                let _ = self.registry.bind(
+                                    &mut self.legacy,
+                                    apache_comp,
+                                    "ajp-itf",
+                                    comp,
+                                    "ajp",
+                                );
+                            }
+                            self.set_tier_busy(ManagedTier::Application, false);
+                            self.record_replica_series(ctx);
+                            self.log_reconfig(ctx, format!("replica {server:?} joined the application tier"));
+                        }
+                        ManagedTier::Database => {
+                            pending.phase = DeployPhase::Syncing;
+                            if let Some((_, cj_comp)) = self.cjdbc {
+                                // Binding a running backend triggers
+                                // recovery-log replay (state
+                                // reconciliation, §4.1).
+                                let _ = self.registry.bind(
+                                    &mut self.legacy,
+                                    cj_comp,
+                                    "backends",
+                                    comp,
+                                    "mysql",
+                                );
+                            }
+                        }
+                    }
+                }
+                self.flush_legacy_outbox(ctx);
+            }
+            LegacyEvent::ReplayBatchDone { cjdbc, backend } => {
+                let _ = self.legacy.cjdbc_replay_batch_done(cjdbc, backend);
+                self.flush_legacy_outbox(ctx);
+            }
+            LegacyEvent::BackendActivated { backend, .. } => {
+                if self.rolling.as_ref().and_then(|r| r.current) == Some(backend) {
+                    self.finish_rolling_step(ctx, backend);
+                    return;
+                }
+                if let Some(p) = self.pending_deploys.remove(&backend) {
+                    debug_assert_eq!(p.tier, ManagedTier::Database);
+                    self.set_tier_busy(ManagedTier::Database, false);
+                    self.record_replica_series(ctx);
+                    self.log_reconfig(
+                        ctx,
+                        format!("backend {backend:?} synchronized and activated"),
+                    );
+                }
+            }
+            LegacyEvent::ServerStopped(server) => {
+                self.fail_requests_on_server(ctx, server);
+            }
+            LegacyEvent::ServerFailed(server) => {
+                // Keep the management layer's view consistent.
+                if let Some(&comp) = self.comp_of_server.get(&server) {
+                    let _ = self.registry.mark_failed(comp);
+                }
+                // A failed database backend drops out of the C-JDBC
+                // broadcast set with an untrusted checkpoint.
+                if let Some((cj_server, _)) = self.cjdbc {
+                    let _ = self
+                        .legacy
+                        .cjdbc_mut(cj_server)
+                        .and_then(|c| c.fail_backend(server).map_err(Into::into));
+                }
+                self.fail_requests_on_server(ctx, server);
+            }
+        }
+    }
+
+    /// Fails every in-flight request processed by `server` (queued,
+    /// executing, or mid-SQL).
+    pub(crate) fn fail_requests_on_server(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
+        let victims: Vec<_> = self
+            .inflight
+            .iter()
+            .filter(|(_, s)| s.tomcat == Some(server) || s.apache == Some(server))
+            .map(|(&r, _)| r)
+            .collect();
+        for req in victims {
+            self.fail_request(ctx, req);
+        }
+        self.accept_queues.remove(&server);
+    }
+
+    /// Aborts all CPU jobs on a node, failing the requests they belonged
+    /// to.
+    pub(crate) fn abort_node_jobs(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
+        let aborted = match self.legacy.cluster.node_mut(node) {
+            Ok(n) => n.cpu.abort_all(ctx.now()),
+            Err(_) => Vec::new(),
+        };
+        if let Some(tok) = self.cpu_timers.remove(&node) {
+            ctx.cancel(tok);
+        }
+        for job in aborted {
+            if let Some(owner) = self.job_owner.remove(&job) {
+                match owner {
+                    JobOwner::ApacheServe(req)
+                    | JobOwner::ServletPre(req)
+                    | JobOwner::ServletPost(req)
+                    | JobOwner::DbRead { req, .. }
+                    | JobOwner::DbWrite { req, .. } => self.fail_request(ctx, req),
+                    JobOwner::Daemon | JobOwner::Routing => {}
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection + self-recovery
+    // ------------------------------------------------------------------
+
+    /// Crashes a node: every hosted server fails, every job aborts.
+    pub(crate) fn on_crash_node(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
+        let aborted = self.legacy.crash_node(node, ctx.now());
+        if let Some(tok) = self.cpu_timers.remove(&node) {
+            ctx.cancel(tok);
+        }
+        for job in aborted {
+            if let Some(owner) = self.job_owner.remove(&job) {
+                match owner {
+                    JobOwner::ApacheServe(req)
+                    | JobOwner::ServletPre(req)
+                    | JobOwner::ServletPost(req)
+                    | JobOwner::DbRead { req, .. }
+                    | JobOwner::DbWrite { req, .. } => self.fail_request(ctx, req),
+                    JobOwner::Daemon | JobOwner::Routing => {}
+                }
+            }
+        }
+        self.log_reconfig(ctx, format!("node {} crashed", node.0 + 1));
+        self.flush_legacy_outbox(ctx);
+    }
+
+    /// The self-recovery manager's detector: spot failed replicas and
+    /// repair the architecture (paper §3.4's self-recovery loop; the
+    /// repair algorithm follows reference \[4\]: remove the failed element
+    /// and redeploy an equivalent one on a fresh node).
+    ///
+    /// Detection is heartbeat-based, not omniscient: a *process* failure
+    /// on a live node is reported by the node's local daemon within one
+    /// probe period, but a *node* failure is only suspected once the
+    /// node's heartbeat has been missing for `failure_timeout`.
+    pub(crate) fn on_detector_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let timeout = self.cfg.jade.failure_timeout;
+        let failed: Vec<ServerId> = self
+            .legacy
+            .server_ids()
+            .into_iter()
+            .filter(|&s| {
+                let Ok(sv) = self.legacy.server(s) else {
+                    return false;
+                };
+                if sv.process().state != jade_tiers::ServerState::Failed {
+                    return false;
+                }
+                let node = sv.process().node;
+                let node_up = self
+                    .legacy
+                    .cluster
+                    .node(node)
+                    .map(|n| n.is_up())
+                    .unwrap_or(false);
+                if node_up {
+                    true // local daemon saw the process die
+                } else {
+                    // Dead node: suspect only after the heartbeat gap.
+                    self.last_heartbeat
+                        .get(&node)
+                        .map(|&hb| now.since(hb) >= timeout)
+                        .unwrap_or(true)
+                }
+            })
+            .collect();
+        for server in failed {
+            if let Some(arb) = self.arbitrator.as_mut() {
+                // Submit to the arbitrator (repairs outrank optimization;
+                // re-submissions on later ticks collapse as duplicates).
+                let now = ctx.now();
+                let _ = arb.submit(crate::arbitration::Request {
+                    source: crate::arbitration::Source::SelfRecovery,
+                    action: crate::arbitration::Action::Repair(server),
+                    submitted: now,
+                });
+            } else {
+                self.repair_server(ctx, server);
+            }
+        }
+        ctx.send_after(self.cfg.jade.probe_period, Addr::ROOT, Msg::DetectorTick);
+    }
+
+    /// Repairs one failed replica: detach it from its balancer, destroy
+    /// it, release its (crashed) node and deploy a replacement.
+    fn repair_server(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
+        let Some(&comp) = self.comp_of_server.get(&server) else {
+            return; // not a managed replica (or already repaired)
+        };
+        let tier = match self.legacy.server(server).map(|s| s.process().tier) {
+            Ok(Tier::Application) => ManagedTier::Application,
+            Ok(Tier::Database) => ManagedTier::Database,
+            Ok(Tier::Balancer) => {
+                self.repair_balancer(ctx, server);
+                return;
+            }
+            _ => return, // web-tier failures are outside this manager
+        };
+        let node = self
+            .legacy
+            .server(server)
+            .map(|s| s.process().node)
+            .expect("failed server exists");
+        self.log_reconfig(
+            ctx,
+            format!(
+                "self-recovery: repairing {} (tier {tier:?})",
+                self.registry.name(comp).unwrap_or_default()
+            ),
+        );
+        // Detach from the balancer.
+        let lb = match tier {
+            ManagedTier::Application => self.plb.map(|(_, c)| ("workers", c)),
+            ManagedTier::Database => self.cjdbc.map(|(_, c)| ("backends", c)),
+        };
+        if let Some((itf, lb_comp)) = lb {
+            let _ = self
+                .registry
+                .unbind(&mut self.legacy, lb_comp, itf, Some(comp));
+        }
+        if tier == ManagedTier::Application {
+            let _ = self
+                .registry
+                .unbind(&mut self.legacy, comp, "jdbc-itf", None);
+            for apache_comp in self.apache_components() {
+                let _ = self
+                    .registry
+                    .unbind(&mut self.legacy, apache_comp, "ajp-itf", Some(comp));
+            }
+            self.accept_queues.remove(&server);
+        }
+        // Destroy the broken replica.
+        let _ = self.registry.stop(&mut self.legacy, comp);
+        let tier_comp = match tier {
+            ManagedTier::Application => self.app_tier,
+            ManagedTier::Database => self.db_tier,
+        };
+        let _ = self.registry.remove_child(tier_comp, comp);
+        let _ = self.registry.remove(comp);
+        self.comp_of_server.remove(&server);
+        if tier == ManagedTier::Database {
+            if let Some((cj_server, _)) = self.cjdbc {
+                let _ = self.legacy.cjdbc_unregister_backend(cj_server, server);
+            }
+        }
+        let _ = self.legacy.remove_server(server);
+        if self.legacy.cluster.is_allocated(node) {
+            let _ = self.legacy.cluster.release(node);
+        }
+        self.flush_legacy_outbox(ctx);
+        // Redeploy (repair has priority over the inhibition window).
+        if !self.tier_busy(tier) {
+            self.scale_up(ctx, tier);
+        }
+        self.record_replica_series(ctx);
+    }
+
+    /// Repairs a failed load balancer — the single points of failure of
+    /// the architecture (reference \[4\] repairs any managed element, not
+    /// only replicas).
+    ///
+    /// * **PLB / L4 switch**: a fresh instance is deployed on a new node
+    ///   and re-bound to every running worker.
+    /// * **C-JDBC**: a fresh controller is deployed and every running
+    ///   MySQL replica re-registers. The crashed controller's recovery
+    ///   log is lost, but all replicas were mutually consistent when it
+    ///   died (write broadcast is atomic w.r.t. membership), so the new
+    ///   empty log is a valid checkpoint of the current state; each
+    ///   replica activates after an (empty) replay.
+    fn repair_balancer(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
+        let Some(&comp) = self.comp_of_server.get(&server) else {
+            return;
+        };
+        let name = self.registry.name(comp).unwrap_or_default();
+        let old_node = self
+            .legacy
+            .server(server)
+            .map(|s| s.process().node)
+            .expect("failed balancer exists");
+        // Which front-end is it?
+        let is_plb = self.plb.map(|(s, _)| s) == Some(server);
+        let is_cjdbc = self.cjdbc.map(|(s, _)| s) == Some(server);
+        let is_l4 = self.l4.map(|(s, _)| s) == Some(server);
+        if !(is_plb || is_cjdbc || is_l4) {
+            return;
+        }
+        self.log_reconfig(ctx, format!("self-recovery: repairing balancer {name}"));
+
+        // Remember the worker/backend set before tearing the wreck down —
+        // and, for C-JDBC, which backends were *Active* (their state is
+        // current) versus Syncing/Disabled (stale: the log that would
+        // have caught them up died with the controller).
+        let itf = if is_cjdbc { "backends" } else { "workers" };
+        let bound: Vec<jade_fractal::ComponentId> = self
+            .registry
+            .bindings_of(comp, itf)
+            .into_iter()
+            .map(|ep| ep.component)
+            .collect();
+        let backend_server = |app: &Self, c: jade_fractal::ComponentId| -> Option<ServerId> {
+            app.registry
+                .get_attr(c, "server-id")
+                .ok()
+                .and_then(|v| v.as_int())
+                .map(|i| ServerId(i as u32))
+        };
+        let mut active_backends: Vec<(jade_fractal::ComponentId, ServerId)> = Vec::new();
+        let mut stale_backends: Vec<(jade_fractal::ComponentId, ServerId)> = Vec::new();
+        if is_cjdbc {
+            if let Ok(ctrl) = self.legacy.cjdbc(server) {
+                let statuses: Vec<(jade_fractal::ComponentId, Option<jade_tiers::BackendStatus>)> =
+                    bound
+                        .iter()
+                        .map(|&c| {
+                            let st = backend_server(self, c)
+                                .and_then(|sid| ctrl.status(sid).ok());
+                            (c, st)
+                        })
+                        .collect();
+                for (c, st) in statuses {
+                    if let Some(sid) = backend_server(self, c) {
+                        if st == Some(jade_tiers::BackendStatus::Active) {
+                            active_backends.push((c, sid));
+                        } else {
+                            stale_backends.push((c, sid));
+                        }
+                    }
+                }
+            }
+        }
+        for &target in &bound {
+            let _ = self.registry.unbind(&mut self.legacy, comp, itf, Some(target));
+        }
+        // In-flight requests through the dead front-end are already lost;
+        // clean the wreck out of the architecture.
+        let parent = if is_cjdbc { self.db_tier } else if is_plb { self.app_tier } else { self.web_tier };
+        let _ = self.registry.stop(&mut self.legacy, comp);
+        let _ = self.registry.remove_child(parent, comp);
+        // Tomcats keep a jdbc-itf binding toward a dead C-JDBC: drop them.
+        if is_cjdbc {
+            for (src, src_itf) in self.registry.incoming_bindings(comp) {
+                let _ = self
+                    .registry
+                    .unbind(&mut self.legacy, src, &src_itf, Some(comp));
+            }
+        }
+        let _ = self.registry.remove(comp);
+        self.comp_of_server.remove(&server);
+        let _ = self.legacy.remove_server(server);
+        if self.legacy.cluster.is_allocated(old_node) {
+            let _ = self.legacy.cluster.release(old_node);
+        }
+
+        // Deploy the replacement.
+        let Ok(node) = self.legacy.cluster.allocate() else {
+            ctx.metrics().incr("scaleup.blocked", 1);
+            self.log_reconfig(ctx, format!("balancer {name} repair blocked: pool exhausted"));
+            return;
+        };
+        let mut pkgs: Vec<&str> = vec![if is_cjdbc { "cjdbc" } else { "plb" }];
+        if self.cfg.jade.managed {
+            pkgs.push("jade-daemon");
+        }
+        for pkg in pkgs {
+            let _ = self.legacy.sis.install(&mut self.legacy.cluster, node, pkg);
+        }
+        if is_cjdbc {
+            let new_server = self.legacy.create_cjdbc(
+                "C-JDBC",
+                node,
+                self.cfg.description.database.read_policy,
+            );
+            let new_comp = self.registry.new_primitive(
+                "C-JDBC",
+                vec![
+                    jade_fractal::InterfaceDecl::server("jdbc", "jdbc"),
+                    jade_fractal::InterfaceDecl::collection_client("backends", "mysql"),
+                ],
+                Box::new(jade_tiers::CjdbcWrapper { server: new_server }),
+            );
+            let _ = self
+                .registry
+                .set_attr(&mut self.legacy, new_comp, "server-id", new_server.0 as i64);
+            let _ = self.registry.add_child(self.db_tier, new_comp);
+            self.comp_of_server.insert(new_server, new_comp);
+            self.cjdbc = Some((new_server, new_comp));
+            let _ = self.registry.start(&mut self.legacy, new_comp);
+            self.legacy.finish_boot(new_server).ok();
+            // Backends that were Active held the current state: they can
+            // simply re-register against the fresh (empty) log. Backends
+            // that were still synchronizing are *stale* — the log entries
+            // they were missing died with the controller — so their state
+            // is first restored from a dump of an Active survivor
+            // (C-JDBC's backup/restore path) before re-registering.
+            let running = |app: &Self, sid: ServerId| {
+                app.legacy
+                    .server(sid)
+                    .map(|s| s.process().state.is_running())
+                    .unwrap_or(false)
+            };
+            let restore_source = active_backends
+                .iter()
+                .map(|&(_, sid)| sid)
+                .find(|&sid| running(self, sid))
+                // No Active survivor: anoint the first live stale replica
+                // as the reference so the cluster at least restarts
+                // mutually consistent (writes beyond its state are lost —
+                // the price of losing the controller and every current
+                // replica at once).
+                .or_else(|| {
+                    stale_backends
+                        .iter()
+                        .map(|&(_, sid)| sid)
+                        .find(|&sid| running(self, sid))
+                });
+            // The fresh controller's log starts empty, so the base image
+            // future replicas restore must advance to the reference
+            // replica's current state (base + log = current).
+            if let Some(src) = restore_source {
+                let _ = self.legacy.set_mysql_base_from(src);
+            }
+            for &(c, sid) in &stale_backends {
+                let restorable = self
+                    .legacy
+                    .server(sid)
+                    .map(|s| s.process().state.is_running())
+                    .unwrap_or(false);
+                if !restorable {
+                    continue; // dead too; its own repair handles it
+                }
+                if let Some(src) = restore_source.filter(|&src| src != sid) {
+                    let _ = self.legacy.mysql_restore_from(src, sid);
+                    self.log_reconfig(
+                        ctx,
+                        format!("restored stale backend {sid:?} from a dump of {src:?}"),
+                    );
+                }
+                let _ = self
+                    .registry
+                    .bind(&mut self.legacy, new_comp, "backends", c, "mysql");
+            }
+            for &(c, _) in &active_backends {
+                let _ = self
+                    .registry
+                    .bind(&mut self.legacy, new_comp, "backends", c, "mysql");
+            }
+            // Restore the Tomcats' architectural JDBC bindings.
+            for (&s, &c) in self.comp_of_server.clone().iter() {
+                if self
+                    .legacy
+                    .server(s)
+                    .map(|sv| sv.process().tier == Tier::Application)
+                    .unwrap_or(false)
+                {
+                    let _ = self
+                        .registry
+                        .bind(&mut self.legacy, c, "jdbc-itf", new_comp, "jdbc");
+                }
+            }
+        } else {
+            let policy = if is_plb {
+                self.cfg.description.application.balance_policy
+            } else {
+                self.cfg
+                    .description
+                    .web
+                    .map(|w| w.balance_policy)
+                    .unwrap_or(self.cfg.description.application.balance_policy)
+            };
+            let (new_server, kind_name, sig) = if is_plb {
+                (self.legacy.create_plb("PLB", node, policy), "PLB", "ajp")
+            } else {
+                (
+                    self.legacy.create_l4switch("L4-switch", node, policy),
+                    "L4-switch",
+                    "http",
+                )
+            };
+            let new_comp = self.registry.new_primitive(
+                kind_name,
+                vec![
+                    jade_fractal::InterfaceDecl::server("http", "http"),
+                    jade_fractal::InterfaceDecl::collection_client("workers", sig),
+                ],
+                Box::new(jade_tiers::BalancerWrapper { server: new_server }),
+            );
+            let _ = self
+                .registry
+                .set_attr(&mut self.legacy, new_comp, "server-id", new_server.0 as i64);
+            let parent = if is_plb { self.app_tier } else { self.web_tier };
+            let _ = self.registry.add_child(parent, new_comp);
+            self.comp_of_server.insert(new_server, new_comp);
+            if is_plb {
+                self.plb = Some((new_server, new_comp));
+            } else {
+                self.l4 = Some((new_server, new_comp));
+            }
+            let _ = self.registry.start(&mut self.legacy, new_comp);
+            self.legacy.finish_boot(new_server).ok();
+            let server_itf = if is_plb { "ajp" } else { "http" };
+            for &target in &bound {
+                let _ = self
+                    .registry
+                    .bind(&mut self.legacy, new_comp, "workers", target, server_itf);
+            }
+        }
+        self.flush_legacy_outbox(ctx);
+        self.log_reconfig(
+            ctx,
+            format!("balancer {name} redeployed on node {}", node.0 + 1),
+        );
+    }
+}

@@ -1,0 +1,656 @@
+//! The managed system: the whole experiment as one discrete-event
+//! application.
+//!
+//! [`J2eeApp`] owns the legacy layer, the Fractal management layer, the
+//! emulated clients and Jade's autonomic managers, and routes every
+//! virtual-time event between them. It is the Rust counterpart of the
+//! paper's testbed: up to nine nodes running PLB → Tomcat* → C-JDBC →
+//! MySQL* under the RUBiS workload, managed (or not) by Jade.
+
+mod admin;
+mod manage;
+mod msg;
+mod workload;
+
+pub use msg::{
+    DeployPhase, JobOwner, ManagedTier, Msg, PendingDeploy, RequestPhase, RequestState,
+};
+
+use crate::config::SystemConfig;
+use crate::control::{AdaptiveThresholds, CpuAvgSensor, InhibitionWindow, ThresholdReactor};
+use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
+use jade_cluster::SoftwareRepository;
+use jade_fractal::{ComponentId, InterfaceDecl, Registry};
+use jade_rubis::{dataset_statements, EmulatedClient, KeySpace, StatsCollector};
+use jade_sim::{App, Ctx, EventToken, JobId, SimDuration, SimTime};
+use jade_tiers::wrappers::{BalancerWrapper, CjdbcWrapper, MysqlWrapper, TomcatWrapper};
+use jade_tiers::{LegacyEvent, LegacyLayer, RequestId, ServerId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One emulated client and its scheduling state.
+#[derive(Debug)]
+pub(crate) struct ClientSlot {
+    pub(crate) client: EmulatedClient,
+    /// Part of the current target population.
+    pub(crate) active: bool,
+    /// Has a request or think-timer in flight (prevents double-scheduling).
+    pub(crate) busy: bool,
+}
+
+/// One tier's self-optimization control loop (sensor + reactor; the
+/// actuator is the scale-up/down workflow implemented by the app).
+#[derive(Debug)]
+pub struct TierManager {
+    /// Managed tier.
+    pub tier: ManagedTier,
+    /// CPU sensor with the tier's smoothing window.
+    pub sensor: CpuAvgSensor,
+    /// Threshold decision logic.
+    pub reactor: ThresholdReactor,
+    /// Optional adaptive thresholds (paper §7 extension).
+    pub adaptive: Option<AdaptiveThresholds>,
+    /// The manager's own component in the management layer ("Jade
+    /// administrates itself", §3.4).
+    pub comp: ComponentId,
+}
+
+/// The simulated managed system.
+pub struct J2eeApp {
+    /// Experiment configuration.
+    pub cfg: SystemConfig,
+    /// The legacy layer (servers, cluster, configs).
+    pub legacy: LegacyLayer,
+    /// The management layer.
+    pub registry: Registry<LegacyLayer>,
+    /// Root composite of the managed architecture.
+    pub root: ComponentId,
+    /// Composite holding the (optional) static web tier.
+    pub web_tier: ComponentId,
+    /// Composite holding the application tier.
+    pub app_tier: ComponentId,
+    /// Composite holding the database tier.
+    pub db_tier: ComponentId,
+    /// L4 switch front-end (web-tier topologies).
+    pub l4: Option<(ServerId, ComponentId)>,
+    /// PLB front-end (server, component).
+    pub plb: Option<(ServerId, ComponentId)>,
+    /// C-JDBC controller (server, component).
+    pub cjdbc: Option<(ServerId, ComponentId)>,
+    /// Client-side statistics.
+    pub stats: StatsCollector,
+    /// The self-optimization managers (application and database loops).
+    pub managers: Vec<TierManager>,
+    /// Reconfiguration journal `(time, description)`.
+    pub reconfig_log: Vec<(SimTime, String)>,
+
+    pub(crate) comp_of_server: BTreeMap<ServerId, ComponentId>,
+    pub(crate) tomcat_seq: u32,
+    pub(crate) mysql_seq: u32,
+    pub(crate) apache_seq: u32,
+
+    pub(crate) clients: Vec<ClientSlot>,
+    pub(crate) ks: KeySpace,
+    pub(crate) transitions: jade_rubis::TransitionMatrix,
+    pub(crate) mix: jade_rubis::InteractionMix,
+    pub(crate) inflight: BTreeMap<RequestId, RequestState>,
+    pub(crate) accept_queues: BTreeMap<ServerId, VecDeque<RequestId>>,
+    pub(crate) next_request: u64,
+
+    pub(crate) next_job: u64,
+    pub(crate) job_owner: BTreeMap<JobId, JobOwner>,
+    pub(crate) cpu_timers: BTreeMap<NodeId, EventToken>,
+
+    pub(crate) inhibition: InhibitionWindow,
+    /// The policy-arbitration manager, when enabled (paper §7).
+    pub arbitrator: Option<crate::arbitration::Arbitrator>,
+    pub(crate) app_busy: bool,
+    pub(crate) db_busy: bool,
+    pub(crate) pending_deploys: BTreeMap<ServerId, PendingDeploy>,
+    pub(crate) pending_undeploys: BTreeMap<ServerId, ManagedTier>,
+    pub(crate) latest_app_cpu: f64,
+    pub(crate) latest_db_cpu: f64,
+    /// Last heartbeat received from each node's management daemon.
+    pub(crate) last_heartbeat: BTreeMap<NodeId, jade_sim::SimTime>,
+    /// A rolling restart in progress, if any.
+    pub(crate) rolling: Option<RollingRestart>,
+}
+
+/// State of a rolling-restart administration operation.
+#[derive(Debug)]
+pub struct RollingRestart {
+    /// Tier being restarted.
+    pub tier: ManagedTier,
+    /// Replicas still to bounce.
+    pub queue: VecDeque<ServerId>,
+    /// Replica currently out of rotation.
+    pub current: Option<ServerId>,
+    /// Replicas restarted so far.
+    pub done: usize,
+}
+
+impl J2eeApp {
+    /// Builds the (not yet deployed) system. Send [`Msg::Bootstrap`] at
+    /// t=0 to deploy the initial architecture and start the ticks.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cluster = ClusterManager::homogeneous(cfg.nodes, cfg.node_spec, cfg.base_mem_mb);
+        let sis = SoftwareInstallationService::new(SoftwareRepository::j2ee_catalogue());
+        let legacy = LegacyLayer::new(cluster, Network::lan_100mbps(), sis);
+        let mut registry: Registry<LegacyLayer> = Registry::new();
+        let root = registry.new_composite(&cfg.description.name, vec![]);
+        let web_tier = registry.new_composite("web-tier", vec![]);
+        let app_tier = registry.new_composite("application-tier", vec![]);
+        let db_tier = registry.new_composite("database-tier", vec![]);
+        if cfg.description.web.is_some() {
+            registry.add_child(root, web_tier).expect("fresh composites");
+        }
+        registry
+            .add_child(root, app_tier)
+            .expect("fresh composites");
+        registry.add_child(root, db_tier).expect("fresh composites");
+
+        // Jade's own architecture: the managers are components too.
+        let jade_root = registry.new_composite("jade", vec![]);
+        let mut managers = Vec::new();
+        for (name, tier, loop_cfg) in [
+            (
+                "self-optimization-app",
+                ManagedTier::Application,
+                cfg.jade.app_loop,
+            ),
+            (
+                "self-optimization-db",
+                ManagedTier::Database,
+                cfg.jade.db_loop,
+            ),
+        ] {
+            let mgr_comp = registry.new_composite(name, vec![]);
+            for part in ["sensor", "reactor", "actuator"] {
+                let c = registry.new_primitive(
+                    &format!("{name}.{part}"),
+                    vec![],
+                    Box::new(jade_fractal::NullWrapper),
+                );
+                registry.add_child(mgr_comp, c).expect("fresh manager part");
+            }
+            registry.add_child(jade_root, mgr_comp).expect("fresh");
+            let reactor = ThresholdReactor::new(
+                loop_cfg.min_threshold,
+                loop_cfg.max_threshold,
+                loop_cfg.min_replicas,
+                loop_cfg.max_replicas,
+            );
+            managers.push(TierManager {
+                tier,
+                sensor: CpuAvgSensor::new(loop_cfg.window),
+                reactor,
+                adaptive: cfg.jade.adaptive.then(|| AdaptiveThresholds::new(reactor)),
+                comp: mgr_comp,
+            });
+        }
+
+        let stats = StatsCollector::new(cfg.stats_window);
+        let inhibition = InhibitionWindow::new(cfg.jade.inhibition);
+        let cfg_arbitration = cfg.jade.arbitration;
+        let cfg_browsing = cfg.browsing_mix;
+        let ks: KeySpace = cfg.dataset.into();
+        J2eeApp {
+            cfg,
+            legacy,
+            registry,
+            root,
+            web_tier,
+            app_tier,
+            db_tier,
+            l4: None,
+            plb: None,
+            cjdbc: None,
+            stats,
+            managers,
+            reconfig_log: Vec::new(),
+            comp_of_server: BTreeMap::new(),
+            tomcat_seq: 0,
+            mysql_seq: 0,
+            apache_seq: 0,
+            clients: Vec::new(),
+            ks,
+            transitions: jade_rubis::TransitionMatrix::bidding_mix(),
+            mix: if cfg_browsing {
+                jade_rubis::InteractionMix::browsing()
+            } else {
+                jade_rubis::InteractionMix::bidding()
+            },
+            inflight: BTreeMap::new(),
+            accept_queues: BTreeMap::new(),
+            next_request: 0,
+            next_job: 0,
+            job_owner: BTreeMap::new(),
+            cpu_timers: BTreeMap::new(),
+            inhibition,
+            arbitrator: cfg_arbitration.then(crate::arbitration::Arbitrator::new),
+            app_busy: false,
+            db_busy: false,
+            pending_deploys: BTreeMap::new(),
+            pending_undeploys: BTreeMap::new(),
+            latest_app_cpu: 0.0,
+            latest_db_cpu: 0.0,
+            last_heartbeat: BTreeMap::new(),
+            rolling: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU job plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn submit_job(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        node: NodeId,
+        owner: JobOwner,
+        demand: SimDuration,
+    ) {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.job_owner.insert(id, owner);
+        if let Ok(n) = self.legacy.cluster.node_mut(node) {
+            n.cpu.submit(ctx.now(), id, demand);
+        }
+        self.rearm_cpu(ctx, node);
+    }
+
+    pub(crate) fn rearm_cpu(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
+        if let Some(tok) = self.cpu_timers.remove(&node) {
+            ctx.cancel(tok);
+        }
+        let next = self
+            .legacy
+            .cluster
+            .node_mut(node)
+            .ok()
+            .and_then(|n| n.cpu.next_completion(ctx.now()));
+        if let Some(t) = next {
+            let tok = ctx.send_at(t, jade_sim::Addr::ROOT, Msg::CpuComplete(node));
+            self.cpu_timers.insert(node, tok);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Initial deployment (paper §3.3: interpretation of the ADL)
+    // ------------------------------------------------------------------
+
+    /// Synchronously processes the legacy outbox until it is empty —
+    /// used during bootstrap, where boot and sync delays are folded into
+    /// time zero (the paper's runs start with the system already up).
+    fn bootstrap_drain(&mut self) {
+        for _ in 0..1000 {
+            let events = self.legacy.drain_outbox();
+            if events.is_empty() {
+                return;
+            }
+            for (_, e) in events {
+                match e {
+                    LegacyEvent::ServerBooted(id) => {
+                        let _ = self.legacy.finish_boot(id);
+                    }
+                    LegacyEvent::ReplayBatchDone { cjdbc, backend } => {
+                        let _ = self.legacy.cjdbc_replay_batch_done(cjdbc, backend);
+                    }
+                    LegacyEvent::BackendActivated { .. }
+                    | LegacyEvent::ServerStopped(_)
+                    | LegacyEvent::ServerFailed(_) => {}
+                }
+            }
+        }
+        panic!("bootstrap did not converge");
+    }
+
+    fn allocate_and_install(&mut self, packages: &[&str]) -> (NodeId, SimDuration) {
+        let node = self
+            .legacy
+            .cluster
+            .allocate()
+            .expect("initial deployment must fit the node pool");
+        let mut latency = SimDuration::ZERO;
+        for pkg in packages {
+            latency += self
+                .legacy
+                .sis
+                .install(&mut self.legacy.cluster, node, pkg)
+                .expect("installation on a fresh node");
+        }
+        (node, latency)
+    }
+
+    fn daemon_packages(&self) -> Vec<&'static str> {
+        if self.cfg.jade.managed {
+            vec!["jade-daemon"]
+        } else {
+            vec![]
+        }
+    }
+
+    /// Creates a Tomcat replica (legacy process + management component)
+    /// on `node`. The component is not started.
+    pub(crate) fn create_tomcat_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
+        self.tomcat_seq += 1;
+        let name = format!("Tomcat{}", self.tomcat_seq);
+        let server = self.legacy.create_tomcat(&name, node);
+        let comp = self.registry.new_primitive(
+            &name,
+            vec![
+                InterfaceDecl::server("ajp", "ajp"),
+                InterfaceDecl::optional_client("jdbc-itf", "jdbc"),
+            ],
+            Box::new(TomcatWrapper { server }),
+        );
+        self.registry
+            .set_attr(&mut self.legacy, comp, "server-id", server.0 as i64)
+            .expect("fresh component");
+        self.registry
+            .set_attr(&mut self.legacy, comp, "port", 8098i64)
+            .expect("fresh component");
+        self.registry
+            .add_child(self.app_tier, comp)
+            .expect("tier composite");
+        self.comp_of_server.insert(server, comp);
+        // Architectural record: this Tomcat talks JDBC to the C-JDBC
+        // front-end (Figure 2's tier bindings).
+        if let Some((_, cj_comp)) = self.cjdbc {
+            let _ = self
+                .registry
+                .bind(&mut self.legacy, comp, "jdbc-itf", cj_comp, "jdbc");
+        }
+        (server, comp)
+    }
+
+    /// Creates an Apache replica on `node` (web tier, not started). Its
+    /// mod_jk `ajp-itf` is a collection interface: one Apache may balance
+    /// over several Tomcats (paper Figure 2).
+    pub(crate) fn create_apache_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
+        self.apache_seq += 1;
+        let name = format!("Apache{}", self.apache_seq);
+        let server = self.legacy.create_apache(&name, node);
+        let comp = self.registry.new_primitive(
+            &name,
+            vec![
+                InterfaceDecl::server("http", "http"),
+                jade_fractal::InterfaceDecl::collection_client("ajp-itf", "ajp"),
+            ],
+            Box::new(jade_tiers::ApacheWrapper { server }),
+        );
+        self.registry
+            .set_attr(&mut self.legacy, comp, "server-id", server.0 as i64)
+            .expect("fresh component");
+        self.registry
+            .set_attr(&mut self.legacy, comp, "port", 80i64)
+            .expect("fresh component");
+        self.registry
+            .add_child(self.web_tier, comp)
+            .expect("tier composite");
+        self.comp_of_server.insert(server, comp);
+        (server, comp)
+    }
+
+    /// Creates a MySQL replica on `node` (dump restored, not started).
+    pub(crate) fn create_mysql_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
+        self.mysql_seq += 1;
+        let name = format!("MySQL{}", self.mysql_seq);
+        let server = self.legacy.create_mysql(&name, node);
+        let comp = self.registry.new_primitive(
+            &name,
+            vec![InterfaceDecl::server("mysql", "mysql")],
+            Box::new(MysqlWrapper { server }),
+        );
+        self.registry
+            .set_attr(&mut self.legacy, comp, "server-id", server.0 as i64)
+            .expect("fresh component");
+        self.registry
+            .set_attr(&mut self.legacy, comp, "port", 3306i64)
+            .expect("fresh component");
+        self.registry
+            .add_child(self.db_tier, comp)
+            .expect("tier composite");
+        self.comp_of_server.insert(server, comp);
+        (server, comp)
+    }
+
+    /// Deploys the initial architecture synchronously (bootstrap).
+    pub(crate) fn deploy_initial(&mut self) {
+        // The base dump every MySQL replica restores.
+        let mut dump_rng = jade_sim::SimRng::seed_from_u64(self.cfg.seed ^ 0xDA7A);
+        let dump = dataset_statements(self.cfg.dataset, &mut dump_rng);
+        self.legacy.set_mysql_dump(dump);
+
+        let daemon = self.daemon_packages();
+
+        // C-JDBC controller.
+        let mut cj_pkgs = vec!["cjdbc"];
+        cj_pkgs.extend(&daemon);
+        let (cj_node, _) = self.allocate_and_install(&cj_pkgs);
+        let cj_server =
+            self.legacy
+                .create_cjdbc("C-JDBC", cj_node, self.cfg.description.database.read_policy);
+        let cj_comp = self.registry.new_primitive(
+            "C-JDBC",
+            vec![
+                InterfaceDecl::server("jdbc", "jdbc"),
+                InterfaceDecl::collection_client("backends", "mysql"),
+            ],
+            Box::new(CjdbcWrapper { server: cj_server }),
+        );
+        self.registry
+            .set_attr(&mut self.legacy, cj_comp, "server-id", cj_server.0 as i64)
+            .expect("fresh component");
+        self.registry
+            .add_child(self.db_tier, cj_comp)
+            .expect("tier composite");
+        self.comp_of_server.insert(cj_server, cj_comp);
+        self.cjdbc = Some((cj_server, cj_comp));
+
+        // PLB front-end.
+        let mut plb_pkgs = vec!["plb"];
+        plb_pkgs.extend(&daemon);
+        let (plb_node, _) = self.allocate_and_install(&plb_pkgs);
+        let plb_server = self.legacy.create_plb(
+            "PLB",
+            plb_node,
+            self.cfg.description.application.balance_policy,
+        );
+        let plb_comp = self.registry.new_primitive(
+            "PLB",
+            vec![
+                InterfaceDecl::server("http", "http"),
+                InterfaceDecl::collection_client("workers", "ajp"),
+            ],
+            Box::new(BalancerWrapper { server: plb_server }),
+        );
+        self.registry
+            .set_attr(&mut self.legacy, plb_comp, "server-id", plb_server.0 as i64)
+            .expect("fresh component");
+        self.registry
+            .add_child(self.app_tier, plb_comp)
+            .expect("tier composite");
+        self.comp_of_server.insert(plb_server, plb_comp);
+        self.plb = Some((plb_server, plb_comp));
+
+        // Initial replicas.
+        let mut tomcats = Vec::new();
+        for _ in 0..self.cfg.description.application.replicas {
+            let mut pkgs = vec!["tomcat"];
+            pkgs.extend(&daemon);
+            let (node, _) = self.allocate_and_install(&pkgs);
+            tomcats.push(self.create_tomcat_replica(node));
+        }
+        let mut mysqls = Vec::new();
+        for _ in 0..self.cfg.description.database.replicas {
+            let mut pkgs = vec!["mysql"];
+            pkgs.extend(&daemon);
+            let (node, _) = self.allocate_and_install(&pkgs);
+            mysqls.push(self.create_mysql_replica(node));
+        }
+
+        // Optional static web tier: an L4 switch in front of replicated
+        // Apache servers (paper Figure 2).
+        let mut apaches = Vec::new();
+        if let Some(web) = self.cfg.description.web {
+            let mut l4_pkgs = vec!["plb"]; // same software class
+            l4_pkgs.extend(&daemon);
+            let (l4_node, _) = self.allocate_and_install(&l4_pkgs);
+            let l4_server = self
+                .legacy
+                .create_l4switch("L4-switch", l4_node, web.balance_policy);
+            let l4_comp = self.registry.new_primitive(
+                "L4-switch",
+                vec![
+                    InterfaceDecl::server("http", "http"),
+                    InterfaceDecl::collection_client("workers", "http"),
+                ],
+                Box::new(BalancerWrapper { server: l4_server }),
+            );
+            self.registry
+                .set_attr(&mut self.legacy, l4_comp, "server-id", l4_server.0 as i64)
+                .expect("fresh component");
+            self.registry
+                .add_child(self.web_tier, l4_comp)
+                .expect("tier composite");
+            self.comp_of_server.insert(l4_server, l4_comp);
+            self.l4 = Some((l4_server, l4_comp));
+            for _ in 0..web.replicas {
+                let mut pkgs = vec!["apache"];
+                pkgs.extend(&daemon);
+                let (node, _) = self.allocate_and_install(&pkgs);
+                apaches.push(self.create_apache_replica(node));
+            }
+        }
+
+        // Start everything (boot events folded into t=0)…
+        self.registry
+            .start(&mut self.legacy, cj_comp)
+            .expect("start C-JDBC");
+        self.registry
+            .start(&mut self.legacy, plb_comp)
+            .expect("start PLB");
+        if let Some((_, l4_comp)) = self.l4 {
+            self.registry
+                .start(&mut self.legacy, l4_comp)
+                .expect("start L4 switch");
+        }
+        for &(_, comp) in tomcats.iter().chain(mysqls.iter()).chain(apaches.iter()) {
+            self.registry
+                .start(&mut self.legacy, comp)
+                .expect("start replica");
+        }
+        self.bootstrap_drain();
+
+        // …then wire the tiers. Binding a running MySQL triggers its
+        // (empty) recovery-log replay; drain again to activate.
+        for &(_, comp) in &mysqls {
+            self.registry
+                .bind(&mut self.legacy, cj_comp, "backends", comp, "mysql")
+                .expect("bind backend");
+        }
+        self.bootstrap_drain();
+        for &(_, comp) in &tomcats {
+            self.registry
+                .bind(&mut self.legacy, plb_comp, "workers", comp, "ajp")
+                .expect("bind worker");
+        }
+        // Web tier wiring: L4 → Apaches, each Apache → every Tomcat
+        // (mod_jk balances across the servlet replicas).
+        if let Some((_, l4_comp)) = self.l4 {
+            for &(_, apache_comp) in &apaches {
+                self.registry
+                    .bind(&mut self.legacy, l4_comp, "workers", apache_comp, "http")
+                    .expect("bind apache worker");
+                for &(_, tomcat_comp) in &tomcats {
+                    self.registry
+                        .bind(&mut self.legacy, apache_comp, "ajp-itf", tomcat_comp, "ajp")
+                        .expect("bind mod_jk worker");
+                }
+            }
+        }
+        self.bootstrap_drain();
+        // Mark the composites started (children are already running, so
+        // the cascade is idempotent); the architecture then introspects
+        // as one started composite, as in the paper's Figure 2.
+        self.registry
+            .start(&mut self.legacy, self.root)
+            .expect("start root composite");
+        self.bootstrap_drain();
+    }
+
+    fn bootstrap(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.deploy_initial();
+        ctx.send_now(jade_sim::Addr::ROOT, Msg::RampTick);
+        ctx.send_after(
+            self.cfg.jade.probe_period,
+            jade_sim::Addr::ROOT,
+            Msg::MeasureTick,
+        );
+        for i in 0..self.managers.len() {
+            ctx.send_after(
+                self.cfg.jade.probe_period,
+                jade_sim::Addr::ROOT,
+                Msg::SensorTick(i),
+            );
+        }
+        if self.cfg.jade.managed && self.cfg.jade.self_repair {
+            ctx.send_after(
+                self.cfg.jade.probe_period,
+                jade_sim::Addr::ROOT,
+                Msg::DetectorTick,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection used by experiments and tests
+    // ------------------------------------------------------------------
+
+    /// Number of running replicas of a managed tier.
+    pub fn running_replicas(&self, tier: ManagedTier) -> usize {
+        self.legacy.running_servers_of(tier.tier()).len()
+    }
+
+    /// Total nodes currently allocated.
+    pub fn allocated_nodes(&self) -> usize {
+        self.legacy.cluster.allocated().len()
+    }
+
+    /// Renders the managed architecture (including Jade itself).
+    pub fn render_architecture(&self) -> String {
+        self.registry.render_tree(self.root)
+    }
+}
+
+impl App for J2eeApp {
+    type Msg = Msg;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, _dst: jade_sim::Addr, msg: Msg) {
+        match msg {
+            Msg::Bootstrap => self.bootstrap(ctx),
+            Msg::RampTick => self.on_ramp_tick(ctx),
+            Msg::MeasureTick => self.on_measure_tick(ctx),
+            Msg::ClientThink(c) => self.on_client_think(ctx, c),
+            Msg::ApacheAccept { req, apache } => self.on_apache_accept(ctx, req, apache),
+            Msg::TomcatAccept { req, tomcat } => self.on_tomcat_accept(ctx, req, tomcat),
+            Msg::DbDispatch { req } => self.on_db_dispatch(ctx, req),
+            Msg::CpuComplete(node) => self.on_cpu_complete(ctx, node),
+            Msg::ResponseDelivered { req } => self.on_response(ctx, req),
+            Msg::ClientAbandon { req } => self.on_client_abandon(ctx, req),
+            Msg::Legacy(e) => self.on_legacy_event(ctx, e),
+            Msg::SensorTick(i) => self.on_sensor_tick(ctx, i),
+            Msg::DetectorTick => self.on_detector_tick(ctx),
+            Msg::DeployStep { server } => self.on_deploy_step(ctx, server),
+            Msg::UndeployStop { server } => self.on_undeploy_stop(ctx, server),
+            Msg::RollingRestart(tier) => self.start_rolling_restart(ctx, tier),
+            Msg::RollingNext => self.on_rolling_next(ctx),
+            Msg::RollingStop { server } => self.on_rolling_stop(ctx, server),
+            Msg::CrashNode(node) => self.on_crash_node(ctx, node),
+            Msg::FailServer(server) => {
+                let _ = self.legacy.fail_server(server);
+                self.flush_legacy_outbox(ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! Client pool and request flow: the RUBiS client emulator driving the
+//! multi-tier request path of paper §2, Figure 1.
+
+use super::msg::{JobOwner, Msg, RequestPhase, RequestState};
+use super::{ClientSlot, J2eeApp};
+use jade_rubis::EmulatedClient;
+use jade_sim::{Addr, Ctx, SimDuration};
+use jade_tiers::{RequestId, ServerId};
+
+/// Approximate HTTP request size on the wire.
+const REQUEST_BYTES: u64 = 600;
+/// Bound on a Tomcat connector's accept queue; beyond it connections are
+/// refused (the client retries after thinking).
+const ACCEPT_QUEUE_LIMIT: usize = 512;
+
+impl J2eeApp {
+    // ------------------------------------------------------------------
+    // Client pool
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_ramp_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let target = self.cfg.ramp.clients_at(ctx.now()) as usize;
+        // Grow: reactivate parked clients, then create new ones.
+        let mut active: usize = self.clients.iter().filter(|c| c.active).count();
+        for i in 0..self.clients.len() {
+            if active >= target {
+                break;
+            }
+            if !self.clients[i].active {
+                self.clients[i].active = true;
+                active += 1;
+                if !self.clients[i].busy {
+                    self.clients[i].busy = true;
+                    let stagger = SimDuration::from_secs_f64(
+                        ctx.rng().f64() * self.cfg.think_time.as_secs_f64(),
+                    );
+                    ctx.send_after(stagger, Addr::ROOT, Msg::ClientThink(i as u32));
+                }
+            }
+        }
+        while active < target {
+            let id = self.clients.len() as u32;
+            let rng = ctx.rng().fork();
+            self.clients.push(ClientSlot {
+                client: EmulatedClient::new(id, rng, self.cfg.think_time),
+                active: true,
+                busy: true,
+            });
+            let stagger =
+                SimDuration::from_secs_f64(ctx.rng().f64() * self.cfg.think_time.as_secs_f64());
+            ctx.send_after(stagger, Addr::ROOT, Msg::ClientThink(id));
+            active += 1;
+        }
+        // Shrink: park the highest-numbered clients; they retire at the
+        // end of their current cycle.
+        if active > target {
+            let mut excess = active - target;
+            for slot in self.clients.iter_mut().rev() {
+                if excess == 0 {
+                    break;
+                }
+                if slot.active {
+                    slot.active = false;
+                    excess -= 1;
+                }
+            }
+        }
+        let now = ctx.now();
+        ctx.metrics().record_series("clients", now, target as f64);
+        ctx.send_after(self.cfg.ramp_tick, Addr::ROOT, Msg::RampTick);
+    }
+
+    /// Schedules the client's next think-cycle.
+    pub(crate) fn schedule_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
+        let slot = &mut self.clients[client as usize];
+        if !slot.active {
+            slot.busy = false;
+            return;
+        }
+        slot.busy = true;
+        let think = slot.client.think_time();
+        ctx.send_after(think, Addr::ROOT, Msg::ClientThink(client));
+    }
+
+    pub(crate) fn on_client_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
+        let slot = &mut self.clients[client as usize];
+        if !slot.active {
+            slot.busy = false;
+            return;
+        }
+        let plan = if self.cfg.markov_navigation {
+            slot.client
+                .next_interaction_markov(&self.transitions, &mut self.ks)
+        } else {
+            slot.client.next_interaction_in_mix(&self.mix, &mut self.ks)
+        };
+
+        // With a web tier deployed, every request enters through the L4
+        // switch and an Apache replica (paper Figure 2); otherwise it goes
+        // straight through the PLB front-end to a Tomcat.
+        if let Some((l4_server, _)) = self.l4 {
+            let apache = {
+                let rng = ctx.rng();
+                self.legacy.balancer_route_running(l4_server, rng)
+            };
+            let apache = match apache {
+                Ok(a) => a,
+                Err(_) => {
+                    self.stats.record_failure(ctx.now());
+                    self.schedule_think(ctx, client);
+                    return;
+                }
+            };
+            let req = self.new_request(ctx, client, plan);
+            if let Some(st) = self.inflight.get_mut(&req) {
+                st.apache = Some(apache);
+                st.phase = RequestPhase::WebServe;
+            }
+            let delay = self.legacy.net.client_delay(REQUEST_BYTES);
+            ctx.send_after(delay, Addr::ROOT, Msg::ApacheAccept { req, apache });
+            return;
+        }
+
+        let Some((plb_server, _)) = self.plb else {
+            self.stats.record_failure(ctx.now());
+            self.schedule_think(ctx, client);
+            return;
+        };
+        let tomcat = {
+            let rng = ctx.rng();
+            self.legacy.balancer_route_running(plb_server, rng)
+        };
+        let tomcat = match tomcat {
+            Ok(t) => t,
+            Err(_) => {
+                self.stats.record_failure(ctx.now());
+                self.schedule_think(ctx, client);
+                return;
+            }
+        };
+        let req = self.new_request(ctx, client, plan);
+        // Client → front-end → replica network path.
+        let plb_node = self
+            .legacy
+            .server(plb_server)
+            .map(|s| s.process().node)
+            .expect("PLB exists");
+        let tomcat_node = self
+            .legacy
+            .server(tomcat)
+            .map(|s| s.process().node)
+            .expect("routed worker exists");
+        let delay = self.legacy.net.client_delay(REQUEST_BYTES)
+            + self.legacy.net.delay(plb_node, tomcat_node, REQUEST_BYTES);
+        // The front-end spends a little CPU forwarding the connection
+        // (concurrently with the request's own path).
+        self.submit_job(
+            ctx,
+            plb_node,
+            JobOwner::Routing,
+            SimDuration::from_micros(100),
+        );
+        ctx.send_after(delay, Addr::ROOT, Msg::TomcatAccept { req, tomcat });
+    }
+
+    fn new_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: u32,
+        plan: jade_tiers::InteractionPlan,
+    ) -> RequestId {
+        let req = RequestId(self.next_request);
+        self.next_request += 1;
+        self.inflight.insert(
+            req,
+            RequestState {
+                client,
+                started: ctx.now(),
+                plan,
+                apache: None,
+                tomcat: None,
+                phase: RequestPhase::Queued,
+                sql_idx: 0,
+                pending_db: 0,
+            },
+        );
+        // Impatient clients abandon requests that take too long.
+        if let Some(patience) = self.cfg.client_patience {
+            ctx.send_after(patience, Addr::ROOT, Msg::ClientAbandon { req });
+        }
+        req
+    }
+
+    /// The client's patience ran out: abandon the request if it is still
+    /// in flight.
+    pub(crate) fn on_client_abandon(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        if self.inflight.contains_key(&req) {
+            ctx.metrics().incr("requests.abandoned", 1);
+            self.fail_request(ctx, req);
+        }
+    }
+
+    /// An HTTP request reached an Apache: charge the (small) web-tier CPU
+    /// cost; static documents are answered directly, dynamic requests are
+    /// forwarded to a Tomcat via mod_jk when the job completes.
+    pub(crate) fn on_apache_accept(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: RequestId,
+        apache: ServerId,
+    ) {
+        if !self.inflight.contains_key(&req) {
+            return;
+        }
+        let (running, node, demand) = match self.legacy.server(apache) {
+            Ok(jade_tiers::LegacyServer::Apache(a)) => {
+                (a.process.state.is_running(), a.process.node, a.static_demand)
+            }
+            _ => (false, jade_cluster::NodeId(0), SimDuration::ZERO),
+        };
+        if !running {
+            self.fail_request(ctx, req);
+            return;
+        }
+        self.submit_job(ctx, node, JobOwner::ApacheServe(req), demand);
+    }
+
+    /// The Apache job finished: respond (static) or forward (dynamic).
+    pub(crate) fn on_apache_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let Some(state) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        // Static documents never leave the web tier (paper §2: "the web
+        // server directly returns that document to the client").
+        if state.plan.sql.is_empty() {
+            state.phase = RequestPhase::Responding;
+            let bytes = state.plan.response_bytes;
+            let delay = self.legacy.net.client_delay(bytes);
+            ctx.send_after(delay, Addr::ROOT, Msg::ResponseDelivered { req });
+            return;
+        }
+        let apache = state.apache.expect("web-served request has an apache");
+        let tomcat = match self.legacy.server_mut(apache) {
+            Ok(jade_tiers::LegacyServer::Apache(a)) => a.next_worker(),
+            _ => None,
+        };
+        let tomcat = match tomcat {
+            Some(t)
+                if self
+                    .legacy
+                    .server(t)
+                    .map(|s| s.process().state.is_running())
+                    .unwrap_or(false) =>
+            {
+                t
+            }
+            _ => {
+                self.fail_request(ctx, req);
+                return;
+            }
+        };
+        let hop = self.legacy.net.hop_latency;
+        ctx.send_after(hop, Addr::ROOT, Msg::TomcatAccept { req, tomcat });
+    }
+
+    // ------------------------------------------------------------------
+    // Application tier
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_tomcat_accept(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: RequestId,
+        tomcat: ServerId,
+    ) {
+        let Some(state) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        state.tomcat = Some(tomcat);
+        let running = self
+            .legacy
+            .server(tomcat)
+            .map(|s| s.process().state.is_running())
+            .unwrap_or(false);
+        if !running {
+            self.fail_request(ctx, req);
+            return;
+        }
+        let (has_capacity, queue_len) = {
+            let t = self.legacy.tomcat_mut(tomcat).expect("tomcat exists");
+            (
+                t.has_capacity(),
+                self.accept_queues.get(&tomcat).map_or(0, |q| q.len()),
+            )
+        };
+        if has_capacity {
+            self.start_servlet(ctx, req);
+        } else if queue_len < ACCEPT_QUEUE_LIMIT {
+            self.accept_queues.entry(tomcat).or_default().push_back(req);
+        } else {
+            self.fail_request(ctx, req); // connection refused
+        }
+    }
+
+    /// Allocates a worker thread and starts the pre-query servlet work.
+    fn start_servlet(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let (tomcat, demand) = {
+            let state = self.inflight.get_mut(&req).expect("checked in caller");
+            state.phase = RequestPhase::ServletPre;
+            (
+                state.tomcat.expect("accepted request has a tomcat"),
+                state.plan.pre_demand,
+            )
+        };
+        let node = {
+            let t = self.legacy.tomcat_mut(tomcat).expect("tomcat exists");
+            t.active += 1;
+            t.process.node
+        };
+        self.submit_job(ctx, node, JobOwner::ServletPre(req), demand);
+    }
+
+    /// When a worker thread frees up, admit the next queued request.
+    pub(crate) fn serve_accept_queue(&mut self, ctx: &mut Ctx<'_, Msg>, tomcat: ServerId) {
+        loop {
+            let next = match self.accept_queues.get_mut(&tomcat) {
+                Some(q) => q.pop_front(),
+                None => return,
+            };
+            let Some(req) = next else { return };
+            if self.inflight.contains_key(&req) {
+                self.start_servlet(ctx, req);
+                return;
+            }
+            // Request vanished (failed) while queued; try the next one.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Database tier
+    // ------------------------------------------------------------------
+
+    /// Dispatches the request's next SQL op to C-JDBC — or, when the plan
+    /// is exhausted, starts the post-query page generation.
+    pub(crate) fn on_db_dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let Some(state) = self.inflight.get(&req) else {
+            return;
+        };
+        let tomcat = state.tomcat.expect("SQL phase implies a tomcat");
+        if state.sql_idx >= state.plan.sql.len() {
+            let demand = state.plan.post_demand;
+            let node = match self.legacy.server(tomcat) {
+                Ok(s) if s.process().state.is_running() => s.process().node,
+                _ => {
+                    self.fail_request(ctx, req);
+                    return;
+                }
+            };
+            if let Some(st) = self.inflight.get_mut(&req) {
+                st.phase = RequestPhase::ServletPost;
+            }
+            self.submit_job(ctx, node, JobOwner::ServletPost(req), demand);
+            return;
+        }
+        let Some((cjdbc, _)) = self.cjdbc else {
+            self.fail_request(ctx, req);
+            return;
+        };
+        let op = state.plan.sql[state.sql_idx].clone();
+        // C-JDBC burns CPU on its own node routing every query (the paper
+        // gave the database load balancer a dedicated machine).
+        if let Ok(jade_tiers::LegacyServer::Cjdbc {
+            process,
+            routing_demand,
+            ..
+        }) = self.legacy.server(cjdbc)
+        {
+            let (cj_node, demand) = (process.node, *routing_demand);
+            self.submit_job(ctx, cj_node, JobOwner::Routing, demand);
+        }
+        if op.is_write() {
+            match self.legacy.cjdbc_execute_write(cjdbc, &op) {
+                Ok(targets) => {
+                    if let Some(st) = self.inflight.get_mut(&req) {
+                        st.pending_db = targets.len();
+                    }
+                    for (backend, demand) in targets {
+                        let node = self
+                            .legacy
+                            .server(backend)
+                            .map(|s| s.process().node)
+                            .expect("active backend exists");
+                        self.submit_job(
+                            ctx,
+                            node,
+                            JobOwner::DbWrite { req, cjdbc, backend },
+                            demand,
+                        );
+                    }
+                }
+                Err(_) => self.fail_request(ctx, req),
+            }
+        } else {
+            let routed = {
+                let rng = ctx.rng();
+                self.legacy.cjdbc_execute_read(cjdbc, &op, rng)
+            };
+            match routed {
+                Ok((backend, demand)) => {
+                    if let Some(st) = self.inflight.get_mut(&req) {
+                        st.pending_db = 1;
+                    }
+                    let node = self
+                        .legacy
+                        .server(backend)
+                        .map(|s| s.process().node)
+                        .expect("active backend exists");
+                    self.submit_job(ctx, node, JobOwner::DbRead { req, cjdbc, backend }, demand);
+                }
+                Err(_) => self.fail_request(ctx, req),
+            }
+        }
+    }
+
+    /// A database job finished; advance the request when all replicas of
+    /// the current op are done.
+    pub(crate) fn on_db_job_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: RequestId,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) {
+        self.legacy.cjdbc_note_complete(cjdbc, backend);
+        let Some(state) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        state.pending_db = state.pending_db.saturating_sub(1);
+        if state.pending_db > 0 {
+            return;
+        }
+        state.sql_idx += 1;
+        state.phase = RequestPhase::Sql;
+        // LAN hop back to the servlet and on to the next query.
+        let hop = self.legacy.net.hop_latency;
+        ctx.send_after(hop, Addr::ROOT, Msg::DbDispatch { req });
+    }
+
+    // ------------------------------------------------------------------
+    // Completion / failure
+    // ------------------------------------------------------------------
+
+    /// The post-query servlet work finished: free the worker thread and
+    /// ship the response.
+    pub(crate) fn on_servlet_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let Some(state) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        state.phase = RequestPhase::Responding;
+        let tomcat = state.tomcat.expect("servlet phase implies a tomcat");
+        let via_web = state.apache.is_some();
+        let bytes = state.plan.response_bytes;
+        if let Ok(t) = self.legacy.tomcat_mut(tomcat) {
+            t.active = t.active.saturating_sub(1);
+        }
+        self.serve_accept_queue(ctx, tomcat);
+        // The response travels back through the web tier when present.
+        let mut delay = self.legacy.net.client_delay(bytes);
+        if via_web {
+            delay += self.legacy.net.hop_latency;
+        }
+        ctx.send_after(delay, Addr::ROOT, Msg::ResponseDelivered { req });
+    }
+
+    pub(crate) fn on_response(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let Some(state) = self.inflight.remove(&req) else {
+            return;
+        };
+        let latency = ctx.now() - state.started;
+        self.stats
+            .record_completion_of(ctx.now(), latency, state.plan.name);
+        ctx.metrics().record_latency("latency", latency);
+        ctx.metrics().incr("requests.completed", 1);
+        let client = state.client;
+        self.clients[client as usize].client.note_completed();
+        self.schedule_think(ctx, client);
+    }
+
+    /// Fails a request: aborts its CPU jobs, releases its worker thread,
+    /// notifies statistics and sends the client back to thinking.
+    pub(crate) fn fail_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
+        let Some(state) = self.inflight.remove(&req) else {
+            return;
+        };
+        // Abort any CPU jobs owned by this request.
+        let owned: Vec<(jade_sim::JobId, JobOwner)> = self
+            .job_owner
+            .iter()
+            .filter(|(_, o)| match o {
+                JobOwner::ApacheServe(r)
+                | JobOwner::ServletPre(r)
+                | JobOwner::ServletPost(r) => *r == req,
+                JobOwner::DbRead { req: r, .. } | JobOwner::DbWrite { req: r, .. } => *r == req,
+                JobOwner::Daemon | JobOwner::Routing => false,
+            })
+            .map(|(&j, &o)| (j, o))
+            .collect();
+        for (job, owner) in owned {
+            self.job_owner.remove(&job);
+            let node = match owner {
+                JobOwner::ApacheServe(_) => state
+                    .apache
+                    .and_then(|a| self.legacy.server(a).ok())
+                    .map(|s| s.process().node),
+                JobOwner::ServletPre(_) | JobOwner::ServletPost(_) => state
+                    .tomcat
+                    .and_then(|t| self.legacy.server(t).ok())
+                    .map(|s| s.process().node),
+                JobOwner::DbRead { backend, cjdbc, .. }
+                | JobOwner::DbWrite { backend, cjdbc, .. } => {
+                    self.legacy.cjdbc_note_complete(cjdbc, backend);
+                    self.legacy.server(backend).ok().map(|s| s.process().node)
+                }
+                JobOwner::Daemon | JobOwner::Routing => None,
+            };
+            if let Some(node) = node {
+                if let Ok(n) = self.legacy.cluster.node_mut(node) {
+                    n.cpu.abort(ctx.now(), job);
+                }
+                self.rearm_cpu(ctx, node);
+            }
+        }
+        // Release the worker thread if the request held one.
+        if matches!(
+            state.phase,
+            RequestPhase::ServletPre | RequestPhase::Sql | RequestPhase::ServletPost
+        ) {
+            if let Some(tomcat) = state.tomcat {
+                if let Ok(t) = self.legacy.tomcat_mut(tomcat) {
+                    t.active = t.active.saturating_sub(1);
+                }
+                self.serve_accept_queue(ctx, tomcat);
+            }
+        }
+        self.stats.record_failure_of(ctx.now(), state.plan.name);
+        ctx.metrics().incr("requests.failed", 1);
+        ctx.trace(jade_sim::TraceLevel::Warn, "request", || {
+            format!(
+                "request {req:?} ({}) failed in phase {:?}",
+                state.plan.name, state.phase
+            )
+        });
+        self.schedule_think(ctx, state.client);
+    }
+
+    /// Routes CPU-job completions to their owners.
+    pub(crate) fn on_cpu_complete(&mut self, ctx: &mut Ctx<'_, Msg>, node: jade_cluster::NodeId) {
+        let done = match self.legacy.cluster.node_mut(node) {
+            Ok(n) => n.cpu.collect_completions(ctx.now()),
+            Err(_) => Vec::new(),
+        };
+        for job in done {
+            let Some(owner) = self.job_owner.remove(&job) else {
+                continue;
+            };
+            match owner {
+                JobOwner::ServletPre(req) => {
+                    if let Some(state) = self.inflight.get_mut(&req) {
+                        state.phase = RequestPhase::Sql;
+                        state.sql_idx = 0;
+                    }
+                    let hop = self.legacy.net.hop_latency;
+                    ctx.send_after(hop, Addr::ROOT, Msg::DbDispatch { req });
+                }
+                JobOwner::ServletPost(req) => self.on_servlet_done(ctx, req),
+                JobOwner::ApacheServe(req) => self.on_apache_done(ctx, req),
+                JobOwner::DbRead { req, cjdbc, backend }
+                | JobOwner::DbWrite { req, cjdbc, backend } => {
+                    self.on_db_job_done(ctx, req, cjdbc, backend)
+                }
+                JobOwner::Daemon | JobOwner::Routing => {}
+            }
+        }
+        self.rearm_cpu(ctx, node);
+    }
+}

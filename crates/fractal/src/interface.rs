@@ -1,0 +1,117 @@
+//! Component interfaces (paper §3.1).
+//!
+//! "An interface is an access point to a component … server interfaces
+//! correspond to access points accepting incoming method calls, client
+//! interfaces to access points supporting outgoing calls. The signatures of
+//! both kinds can be described by a standard Java interface declaration,
+//! with an additional role indication."
+//!
+//! We keep the *signature* as an opaque name (e.g. `"ajp"`, `"jdbc"`):
+//! two interfaces are bindable when one is a client and the other a server
+//! of the same signature.
+
+/// Whether the interface accepts or emits calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Accepts incoming method calls.
+    Server,
+    /// Emits outgoing method calls; bound to a server interface.
+    Client,
+}
+
+/// Whether a client interface must be bound before the component starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Contingency {
+    /// Must be bound at start time (Fractal "mandatory").
+    Mandatory,
+    /// May remain unbound.
+    Optional,
+}
+
+/// Whether the interface supports one or many simultaneous bindings.
+///
+/// Collection interfaces are how a load balancer points at a dynamic set
+/// of replicas: `plb.bind("workers", tomcat_i)` for each replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Exactly zero or one binding.
+    Single,
+    /// Any number of bindings.
+    Collection,
+}
+
+/// Declaration of one interface on a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDecl {
+    /// Interface name, unique per component (e.g. `"ajp-itf"`).
+    pub name: String,
+    /// Server or client role.
+    pub role: Role,
+    /// Signature both endpoints must share (e.g. `"ajp"`).
+    pub signature: String,
+    /// Start-time binding requirement (clients only; ignored for servers).
+    pub contingency: Contingency,
+    /// Single or collection binding.
+    pub cardinality: Cardinality,
+}
+
+impl InterfaceDecl {
+    /// Declares a server interface.
+    pub fn server(name: &str, signature: &str) -> Self {
+        InterfaceDecl {
+            name: name.to_owned(),
+            role: Role::Server,
+            signature: signature.to_owned(),
+            contingency: Contingency::Optional,
+            cardinality: Cardinality::Single,
+        }
+    }
+
+    /// Declares a mandatory, single-binding client interface.
+    pub fn client(name: &str, signature: &str) -> Self {
+        InterfaceDecl {
+            name: name.to_owned(),
+            role: Role::Client,
+            signature: signature.to_owned(),
+            contingency: Contingency::Mandatory,
+            cardinality: Cardinality::Single,
+        }
+    }
+
+    /// Declares an optional client interface.
+    pub fn optional_client(name: &str, signature: &str) -> Self {
+        InterfaceDecl {
+            contingency: Contingency::Optional,
+            ..InterfaceDecl::client(name, signature)
+        }
+    }
+
+    /// Declares a collection client interface (load-balancer worker set).
+    pub fn collection_client(name: &str, signature: &str) -> Self {
+        InterfaceDecl {
+            cardinality: Cardinality::Collection,
+            contingency: Contingency::Optional,
+            ..InterfaceDecl::client(name, signature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_roles() {
+        let s = InterfaceDecl::server("http", "http");
+        assert_eq!(s.role, Role::Server);
+        let c = InterfaceDecl::client("ajp-itf", "ajp");
+        assert_eq!(c.role, Role::Client);
+        assert_eq!(c.contingency, Contingency::Mandatory);
+        assert_eq!(c.cardinality, Cardinality::Single);
+        let oc = InterfaceDecl::optional_client("jmx", "jmx");
+        assert_eq!(oc.contingency, Contingency::Optional);
+        let cc = InterfaceDecl::collection_client("workers", "ajp");
+        assert_eq!(cc.cardinality, Cardinality::Collection);
+        assert_eq!(cc.contingency, Contingency::Optional);
+    }
+}

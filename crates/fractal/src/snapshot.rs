@@ -1,0 +1,342 @@
+//! Architecture snapshots and diffs.
+//!
+//! The introspection interface (paper §3.2) lets an administration
+//! program observe the managed architecture. A [`Snapshot`] captures the
+//! whole registry at one instant; [`Snapshot::diff`] reports what changed
+//! between two instants — precisely the reconfiguration that happened,
+//! expressed in management-layer terms (the qualitative §5.1 scenario
+//! diffs as one unbind, one bind and a stop/start pair).
+
+use crate::attr::AttrValue;
+use crate::component::{ComponentId, LifecycleState};
+use crate::registry::Registry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Captured state of one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSnapshot {
+    /// Component name.
+    pub name: String,
+    /// Life-cycle state at capture time.
+    pub state: LifecycleState,
+    /// Attributes at capture time.
+    pub attributes: BTreeMap<String, AttrValue>,
+    /// Bindings: client interface -> target component names (stable
+    /// names, not ids, so snapshots survive component replacement).
+    pub bindings: BTreeMap<String, Vec<String>>,
+    /// Children names (composites).
+    pub children: Vec<String>,
+}
+
+/// Captured state of a whole registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Components by name.
+    pub components: BTreeMap<String, ComponentSnapshot>,
+}
+
+/// One observed difference between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// Component present only in the newer snapshot.
+    Added(String),
+    /// Component present only in the older snapshot.
+    Removed(String),
+    /// Life-cycle state changed.
+    StateChanged {
+        /// Component name.
+        name: String,
+        /// State in the older snapshot.
+        from: LifecycleState,
+        /// State in the newer snapshot.
+        to: LifecycleState,
+    },
+    /// An attribute changed (or appeared/disappeared).
+    AttributeChanged {
+        /// Component name.
+        name: String,
+        /// Attribute key.
+        attribute: String,
+        /// Old value, if any.
+        from: Option<AttrValue>,
+        /// New value, if any.
+        to: Option<AttrValue>,
+    },
+    /// A binding was established.
+    Bound {
+        /// Component name.
+        name: String,
+        /// Client interface.
+        interface: String,
+        /// Target component name.
+        target: String,
+    },
+    /// A binding was removed.
+    Unbound {
+        /// Component name.
+        name: String,
+        /// Client interface.
+        interface: String,
+        /// Target component name.
+        target: String,
+    },
+}
+
+impl fmt::Display for Change {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Change::Added(n) => write!(f, "+ component {n}"),
+            Change::Removed(n) => write!(f, "- component {n}"),
+            Change::StateChanged { name, from, to } => {
+                write!(f, "~ {name}: {from:?} -> {to:?}")
+            }
+            Change::AttributeChanged {
+                name,
+                attribute,
+                from,
+                to,
+            } => write!(f, "~ {name}.{attribute}: {from:?} -> {to:?}"),
+            Change::Bound {
+                name,
+                interface,
+                target,
+            } => write!(f, "+ {name}.{interface} -> {target}"),
+            Change::Unbound {
+                name,
+                interface,
+                target,
+            } => write!(f, "- {name}.{interface} -> {target}"),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Captures the current architecture of a registry.
+    pub fn capture<E>(reg: &Registry<E>) -> Self {
+        let mut components = BTreeMap::new();
+        for id in reg.ids() {
+            let Ok(info) = reg.info(id) else { continue };
+            let name_of = |cid: ComponentId| -> String {
+                reg.name(cid).unwrap_or_else(|_| format!("{cid:?}"))
+            };
+            let bindings = info
+                .bindings
+                .iter()
+                .map(|(itf, eps)| {
+                    let mut targets: Vec<String> =
+                        eps.iter().map(|e| name_of(e.component)).collect();
+                    targets.sort_unstable();
+                    (itf.clone(), targets)
+                })
+                .collect();
+            components.insert(
+                info.name.clone(),
+                ComponentSnapshot {
+                    name: info.name.clone(),
+                    state: info.state,
+                    attributes: info.attributes.iter().cloned().collect(),
+                    bindings,
+                    children: info.children.iter().map(|&c| name_of(c)).collect(),
+                },
+            );
+        }
+        Snapshot { components }
+    }
+
+    /// Differences from `self` (older) to `newer`, in a stable order.
+    pub fn diff(&self, newer: &Snapshot) -> Vec<Change> {
+        let mut changes = Vec::new();
+        for name in self.components.keys() {
+            if !newer.components.contains_key(name) {
+                changes.push(Change::Removed(name.clone()));
+            }
+        }
+        for (name, new_c) in &newer.components {
+            let Some(old_c) = self.components.get(name) else {
+                changes.push(Change::Added(name.clone()));
+                continue;
+            };
+            if old_c.state != new_c.state {
+                changes.push(Change::StateChanged {
+                    name: name.clone(),
+                    from: old_c.state,
+                    to: new_c.state,
+                });
+            }
+            // Attributes.
+            for (k, old_v) in &old_c.attributes {
+                match new_c.attributes.get(k) {
+                    Some(v) if v == old_v => {}
+                    other => changes.push(Change::AttributeChanged {
+                        name: name.clone(),
+                        attribute: k.clone(),
+                        from: Some(old_v.clone()),
+                        to: other.cloned(),
+                    }),
+                }
+            }
+            for (k, new_v) in &new_c.attributes {
+                if !old_c.attributes.contains_key(k) {
+                    changes.push(Change::AttributeChanged {
+                        name: name.clone(),
+                        attribute: k.clone(),
+                        from: None,
+                        to: Some(new_v.clone()),
+                    });
+                }
+            }
+            // Bindings (set difference per interface).
+            let empty: Vec<String> = Vec::new();
+            let interfaces: std::collections::BTreeSet<&String> = old_c
+                .bindings
+                .keys()
+                .chain(new_c.bindings.keys())
+                .collect();
+            for itf in interfaces {
+                let old_t = old_c.bindings.get(itf).unwrap_or(&empty);
+                let new_t = new_c.bindings.get(itf).unwrap_or(&empty);
+                for t in old_t {
+                    if !new_t.contains(t) {
+                        changes.push(Change::Unbound {
+                            name: name.clone(),
+                            interface: itf.clone(),
+                            target: t.clone(),
+                        });
+                    }
+                }
+                for t in new_t {
+                    if !old_t.contains(t) {
+                        changes.push(Change::Bound {
+                            name: name.clone(),
+                            interface: itf.clone(),
+                            target: t.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        changes
+    }
+
+    /// Number of captured components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::InterfaceDecl;
+    use crate::wrapper::NullWrapper;
+
+    fn build() -> (Registry<()>, ComponentId, ComponentId, ComponentId) {
+        let mut reg: Registry<()> = Registry::new();
+        let apache = reg.new_primitive(
+            "Apache1",
+            vec![
+                InterfaceDecl::server("http", "http"),
+                InterfaceDecl::optional_client("ajp-itf", "ajp"),
+            ],
+            Box::new(NullWrapper),
+        );
+        let t1 = reg.new_primitive(
+            "Tomcat1",
+            vec![InterfaceDecl::server("ajp", "ajp")],
+            Box::new(NullWrapper),
+        );
+        let t2 = reg.new_primitive(
+            "Tomcat2",
+            vec![InterfaceDecl::server("ajp", "ajp")],
+            Box::new(NullWrapper),
+        );
+        (reg, apache, t1, t2)
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let (reg, ..) = build();
+        let a = Snapshot::capture(&reg);
+        let b = Snapshot::capture(&reg);
+        assert_eq!(a.diff(&b), vec![]);
+        assert_eq!(a.len(), 3);
+    }
+
+    /// The §5.1 reconfiguration reads as exactly its four effects.
+    #[test]
+    fn qualitative_scenario_diffs_as_the_four_operations() {
+        let (mut reg, apache, t1, t2) = build();
+        let mut env = ();
+        reg.bind(&mut env, apache, "ajp-itf", t1, "ajp").unwrap();
+        reg.start(&mut env, apache).unwrap();
+        let before = Snapshot::capture(&reg);
+
+        reg.stop(&mut env, apache).unwrap();
+        reg.unbind(&mut env, apache, "ajp-itf", None).unwrap();
+        reg.bind(&mut env, apache, "ajp-itf", t2, "ajp").unwrap();
+        reg.start(&mut env, apache).unwrap();
+        let after = Snapshot::capture(&reg);
+
+        let changes = before.diff(&after);
+        // Net effect: the rebind (stop+start cancel out in the end state).
+        assert_eq!(
+            changes,
+            vec![
+                Change::Unbound {
+                    name: "Apache1".into(),
+                    interface: "ajp-itf".into(),
+                    target: "Tomcat1".into()
+                },
+                Change::Bound {
+                    name: "Apache1".into(),
+                    interface: "ajp-itf".into(),
+                    target: "Tomcat2".into()
+                },
+            ]
+        );
+        // Mid-operation snapshot also sees the state change.
+        reg.stop(&mut env, apache).unwrap();
+        let stopped = Snapshot::capture(&reg);
+        let changes = after.diff(&stopped);
+        assert!(changes.iter().any(|c| matches!(
+            c,
+            Change::StateChanged { name, to: LifecycleState::Stopped, .. } if name == "Apache1"
+        )));
+    }
+
+    #[test]
+    fn additions_removals_and_attributes() {
+        let (mut reg, apache, ..) = build();
+        let mut env = ();
+        let before = Snapshot::capture(&reg);
+        reg.set_attr(&mut env, apache, "port", 8081i64).unwrap();
+        let extra = reg.new_primitive("MySQL1", vec![], Box::new(NullWrapper));
+        let mid = Snapshot::capture(&reg);
+        let changes = before.diff(&mid);
+        assert!(changes.contains(&Change::Added("MySQL1".into())));
+        assert!(changes.iter().any(|c| matches!(
+            c,
+            Change::AttributeChanged { name, attribute, from: None, .. }
+                if name == "Apache1" && attribute == "port"
+        )));
+        reg.remove(extra).unwrap();
+        let after = Snapshot::capture(&reg);
+        assert!(mid.diff(&after).contains(&Change::Removed("MySQL1".into())));
+    }
+
+    #[test]
+    fn changes_render_readably() {
+        let c = Change::Bound {
+            name: "Apache1".into(),
+            interface: "ajp-itf".into(),
+            target: "Tomcat2".into(),
+        };
+        assert_eq!(c.to_string(), "+ Apache1.ajp-itf -> Tomcat2");
+    }
+}

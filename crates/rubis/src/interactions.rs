@@ -1,0 +1,483 @@
+//! The 26 RUBiS web interactions (paper §5.2: "It defines 26 web
+//! interactions, such as registering new users, browsing, buying or
+//! selling items").
+//!
+//! Each interaction carries a weight (its share of the default bidding
+//! mix, ~15% read-write), servlet CPU demands, and a generator that emits
+//! concrete SQL against the RUBiS schema. CPU demands are calibrated so
+//! the tier saturation points land where the paper's Figure 5 puts them
+//! (first database replica added around 180 clients, the second around
+//! 320, the application tier scaling at around 420 clients).
+
+use crate::schema::KeySpace;
+use jade_sim::{SimDuration, SimRng};
+use jade_tiers::request::{InteractionPlan, SqlOp};
+use jade_tiers::sql::{row, Statement, Value};
+
+/// How an interaction touches the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionKind {
+    /// No database access (static or form page).
+    Static,
+    /// Read-only queries.
+    ReadOnly,
+    /// At least one write.
+    ReadWrite,
+}
+
+/// Descriptor of one interaction type.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionType {
+    /// Interaction name (RUBiS servlet name).
+    pub name: &'static str,
+    /// Relative frequency in the workload mix.
+    pub weight: f64,
+    /// Servlet CPU before the first query, ms.
+    pub pre_ms: f64,
+    /// Servlet CPU after the last query (page generation), ms.
+    pub post_ms: f64,
+    /// Database access class.
+    pub kind: InteractionKind,
+    /// Response document size, bytes.
+    pub response_bytes: u64,
+}
+
+macro_rules! itx {
+    ($name:literal, $w:expr, $pre:expr, $post:expr, $kind:ident, $bytes:expr) => {
+        InteractionType {
+            name: $name,
+            weight: $w,
+            pre_ms: $pre,
+            post_ms: $post,
+            kind: InteractionKind::$kind,
+            response_bytes: $bytes,
+        }
+    };
+}
+
+/// The full RUBiS interaction table (26 entries).
+pub const INTERACTIONS: &[InteractionType] = &[
+    itx!("Home", 4.0, 1.0, 1.0, Static, 3_000),
+    itx!("Register", 1.0, 0.5, 0.5, Static, 2_500),
+    itx!("RegisterUser", 1.0, 3.0, 3.0, ReadWrite, 2_000),
+    itx!("Browse", 6.0, 1.0, 1.0, Static, 2_800),
+    itx!("BrowseCategories", 8.0, 2.0, 2.0, ReadOnly, 4_000),
+    itx!("SearchItemsInCategory", 18.0, 10.0, 14.0, ReadOnly, 12_000),
+    itx!("BrowseRegions", 4.0, 2.0, 2.0, ReadOnly, 3_500),
+    itx!("BrowseCategoriesInRegion", 4.0, 2.0, 2.0, ReadOnly, 4_000),
+    itx!("SearchItemsInRegion", 10.0, 9.0, 13.0, ReadOnly, 11_000),
+    itx!("ViewItem", 14.0, 6.0, 8.0, ReadOnly, 7_500),
+    itx!("ViewUserInfo", 4.0, 4.0, 4.0, ReadOnly, 5_000),
+    itx!("ViewBidHistory", 4.0, 5.0, 5.0, ReadOnly, 6_000),
+    itx!("BuyNowAuth", 1.0, 1.0, 1.0, Static, 2_200),
+    itx!("BuyNow", 1.5, 4.0, 4.0, ReadOnly, 4_500),
+    itx!("StoreBuyNow", 1.0, 4.0, 4.0, ReadWrite, 2_400),
+    itx!("PutBidAuth", 2.0, 1.0, 1.0, Static, 2_200),
+    itx!("PutBid", 3.0, 5.0, 5.0, ReadOnly, 5_500),
+    itx!("StoreBid", 3.0, 4.0, 4.0, ReadWrite, 2_600),
+    itx!("PutCommentAuth", 1.0, 1.0, 1.0, Static, 2_200),
+    itx!("PutComment", 1.0, 3.0, 3.0, ReadOnly, 4_000),
+    itx!("StoreComment", 1.0, 4.0, 4.0, ReadWrite, 2_400),
+    itx!("Sell", 1.0, 1.0, 1.0, Static, 2_300),
+    itx!("SelectCategoryToSellItem", 1.0, 2.0, 2.0, ReadOnly, 3_200),
+    itx!("SellItemForm", 1.0, 1.0, 1.0, Static, 2_600),
+    itx!("RegisterItem", 1.5, 5.0, 5.0, ReadWrite, 2_800),
+    itx!("AboutMe", 3.0, 7.0, 7.0, ReadOnly, 9_000),
+];
+
+fn ms(x: f64) -> SimDuration {
+    SimDuration::from_secs_f64(x / 1e3)
+}
+
+fn read_key(table: &str, key: u64, demand_ms: f64) -> SqlOp {
+    SqlOp::new(
+        Statement::SelectByKey {
+            table: table.into(),
+            key,
+        },
+        ms(demand_ms),
+    )
+}
+
+fn scan(table: &str, column: &str, value: Value, limit: usize, demand_ms: f64) -> SqlOp {
+    SqlOp::new(
+        Statement::SelectWhere {
+            table: table.into(),
+            column: column.into(),
+            value,
+            limit,
+        },
+        ms(demand_ms),
+    )
+}
+
+fn count(table: &str, demand_ms: f64) -> SqlOp {
+    SqlOp::new(Statement::Count { table: table.into() }, ms(demand_ms))
+}
+
+fn insert(table: &str, cols: &[(&str, Value)], demand_ms: f64) -> SqlOp {
+    SqlOp::new(
+        Statement::Insert {
+            table: table.into(),
+            row: row(cols),
+        },
+        ms(demand_ms),
+    )
+}
+
+fn update(table: &str, key: u64, cols: &[(&str, Value)], demand_ms: f64) -> SqlOp {
+    SqlOp::new(
+        Statement::Update {
+            table: table.into(),
+            key,
+            set: row(cols),
+        },
+        ms(demand_ms),
+    )
+}
+
+/// Instantiates the SQL work of an interaction against the current key
+/// space. Mutates the key space when the interaction inserts rows.
+fn sql_for(
+    t: &InteractionType,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+) -> Vec<SqlOp> {
+    match t.name {
+        "RegisterUser" => {
+            let region = ks.region(rng);
+            ks.users += 1;
+            vec![insert(
+                "users",
+                &[
+                    ("nickname", Value::Text(format!("newuser{}", ks.users))),
+                    ("region", Value::Int(region as i64)),
+                    ("rating", Value::Int(0)),
+                ],
+                8.0,
+            )]
+        }
+        "BrowseCategories" => vec![count("categories", 8.0)],
+        "SearchItemsInCategory" => {
+            let cat = ks.category(rng);
+            vec![scan("items", "category", Value::Int(cat as i64), 25, 58.0)]
+        }
+        "BrowseRegions" => vec![count("regions", 6.0)],
+        "BrowseCategoriesInRegion" => vec![count("categories", 8.0)],
+        "SearchItemsInRegion" => {
+            let region = ks.region(rng);
+            vec![scan("users", "region", Value::Int(region as i64), 25, 52.0)]
+        }
+        "ViewItem" => {
+            let item = ks.item(rng);
+            vec![
+                read_key("items", item, 10.0),
+                scan("bids", "item", Value::Int(item as i64), 20, 22.0),
+            ]
+        }
+        "ViewUserInfo" => {
+            let user = ks.user(rng);
+            vec![
+                read_key("users", user, 8.0),
+                scan("comments", "author", Value::Int(user as i64), 20, 14.0),
+            ]
+        }
+        "ViewBidHistory" => {
+            let item = ks.item(rng);
+            vec![
+                read_key("items", item, 8.0),
+                scan("bids", "item", Value::Int(item as i64), 30, 20.0),
+            ]
+        }
+        "BuyNow" => vec![read_key("items", ks.item(rng), 10.0)],
+        "StoreBuyNow" => {
+            let item = ks.item(rng);
+            let buyer = ks.user(rng);
+            vec![
+                insert(
+                    "buy_now",
+                    &[
+                        ("item", Value::Int(item as i64)),
+                        ("buyer", Value::Int(buyer as i64)),
+                    ],
+                    10.0,
+                ),
+                update("items", item, &[("quantity", Value::Int(0))], 8.0),
+            ]
+        }
+        "PutBid" => {
+            let item = ks.item(rng);
+            vec![
+                read_key("items", item, 10.0),
+                scan("bids", "item", Value::Int(item as i64), 10, 14.0),
+            ]
+        }
+        "StoreBid" => {
+            let item = ks.item(rng);
+            let bidder = ks.user(rng);
+            ks.bids += 1;
+            vec![
+                insert(
+                    "bids",
+                    &[
+                        ("item", Value::Int(item as i64)),
+                        ("bidder", Value::Int(bidder as i64)),
+                        ("amount", Value::Int(rng.range_u64(1, 2000) as i64)),
+                    ],
+                    10.0,
+                ),
+                read_key("items", item, 6.0),
+            ]
+        }
+        "PutComment" => vec![
+            read_key("users", ks.user(rng), 6.0),
+            read_key("items", ks.item(rng), 6.0),
+        ],
+        "StoreComment" => {
+            let author = ks.user(rng);
+            ks.comments += 1;
+            vec![
+                insert(
+                    "comments",
+                    &[
+                        ("item", Value::Int(ks.item(rng) as i64)),
+                        ("author", Value::Int(author as i64)),
+                        ("text", Value::Text("great seller".into())),
+                    ],
+                    10.0,
+                ),
+                update("users", author, &[("rating", Value::Int(1))], 6.0),
+            ]
+        }
+        "SelectCategoryToSellItem" => vec![count("categories", 8.0)],
+        "RegisterItem" => {
+            let seller = ks.user(rng);
+            let cat = ks.category(rng);
+            ks.items += 1;
+            vec![insert(
+                "items",
+                &[
+                    ("name", Value::Text(format!("newitem{}", ks.items))),
+                    ("seller", Value::Int(seller as i64)),
+                    ("category", Value::Int(cat as i64)),
+                    ("price", Value::Int(rng.range_u64(1, 1000) as i64)),
+                    ("quantity", Value::Int(1)),
+                ],
+                12.0,
+            )]
+        }
+        "AboutMe" => {
+            let user = ks.user(rng);
+            vec![
+                read_key("users", user, 8.0),
+                scan("bids", "bidder", Value::Int(user as i64), 20, 16.0),
+                scan("items", "seller", Value::Int(user as i64), 20, 16.0),
+                scan("comments", "author", Value::Int(user as i64), 10, 10.0),
+            ]
+        }
+        // Static / form pages.
+        _ => Vec::new(),
+    }
+}
+
+/// Samples an interaction type from the default bidding mix.
+pub fn sample_interaction<'a>(rng: &mut SimRng) -> &'a InteractionType {
+    let weights: Vec<f64> = INTERACTIONS.iter().map(|t| t.weight).collect();
+    &INTERACTIONS[rng.weighted(&weights)]
+}
+
+/// A weighted interaction mix. RUBiS ships two: the *bidding* mix
+/// (default, ~15 % read-write) and the *browsing* mix (read-only).
+#[derive(Debug, Clone)]
+pub struct InteractionMix {
+    name: &'static str,
+    weights: Vec<f64>,
+}
+
+impl InteractionMix {
+    /// The default bidding mix (the table's weights).
+    pub fn bidding() -> Self {
+        InteractionMix {
+            name: "bidding",
+            weights: INTERACTIONS.iter().map(|t| t.weight).collect(),
+        }
+    }
+
+    /// The browsing mix: read-write interactions excluded, remaining
+    /// weights unchanged (RUBiS's browsing-only workload).
+    pub fn browsing() -> Self {
+        InteractionMix {
+            name: "browsing",
+            weights: INTERACTIONS
+                .iter()
+                .map(|t| {
+                    if t.kind == InteractionKind::ReadWrite {
+                        0.0
+                    } else {
+                        t.weight
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Mix name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Samples an interaction type.
+    pub fn sample(&self, rng: &mut SimRng) -> &'static InteractionType {
+        &INTERACTIONS[rng.weighted(&self.weights)]
+    }
+}
+
+/// Builds the concrete work plan of one client request.
+pub fn generate_plan(
+    t: &InteractionType,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+) -> InteractionPlan {
+    // CPU demands jitter ±20% around the calibrated mean, modelling data-
+    // dependent servlet work.
+    let jitter = |mean_ms: f64, rng: &mut SimRng| {
+        ms(mean_ms * (0.8 + 0.4 * rng.f64()))
+    };
+    let sql = sql_for(t, ks, rng)
+        .into_iter()
+        .map(|op| {
+            let d = op.demand.as_secs_f64() * 1e3;
+            SqlOp::new(op.statement, jitter(d, rng))
+        })
+        .collect();
+    InteractionPlan {
+        name: t.name,
+        pre_demand: jitter(t.pre_ms, rng),
+        sql,
+        post_demand: jitter(t.post_ms, rng),
+        response_bytes: t.response_bytes,
+    }
+}
+
+/// Mix-weighted mean demands `(servlet_ms, db_ms)` — the numbers the
+/// capacity model and threshold calibration rest on.
+pub fn mean_demands() -> (f64, f64) {
+    let mut rng = SimRng::seed_from_u64(0xCA11B);
+    let mut ks: KeySpace = crate::schema::DatasetSpec::small().into();
+    let total_w: f64 = INTERACTIONS.iter().map(|t| t.weight).sum();
+    let mut servlet = 0.0;
+    let mut db = 0.0;
+    // SQL demands are deterministic per interaction type (jitter is applied
+    // later), so one instantiation per type suffices.
+    for t in INTERACTIONS {
+        let ops = sql_for(t, &mut ks, &mut rng);
+        let db_ms: f64 = ops.iter().map(|o| o.demand.as_secs_f64() * 1e3).sum();
+        servlet += t.weight * (t.pre_ms + t.post_ms);
+        db += t.weight * db_ms;
+    }
+    (servlet / total_w, db / total_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatasetSpec;
+
+    #[test]
+    fn there_are_26_interactions() {
+        assert_eq!(INTERACTIONS.len(), 26);
+        let mut names: Vec<&str> = INTERACTIONS.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26, "names must be unique");
+    }
+
+    #[test]
+    fn calibrated_means_match_the_capacity_model() {
+        let (servlet, db) = mean_demands();
+        // The Figure-5 reproduction's threshold calibration assumes these.
+        assert!(
+            (10.0..=12.5).contains(&servlet),
+            "servlet mean {servlet:.2} ms out of calibrated band"
+        );
+        assert!(
+            (24.5..=28.5).contains(&db),
+            "db mean {db:.2} ms out of calibrated band"
+        );
+    }
+
+    #[test]
+    fn mix_is_mostly_reads() {
+        let total: f64 = INTERACTIONS.iter().map(|t| t.weight).sum();
+        let writes: f64 = INTERACTIONS
+            .iter()
+            .filter(|t| t.kind == InteractionKind::ReadWrite)
+            .map(|t| t.weight)
+            .sum();
+        let frac = writes / total;
+        assert!(
+            (0.05..=0.20).contains(&frac),
+            "read-write share {frac:.2} should match RUBiS's default mix"
+        );
+    }
+
+    #[test]
+    fn generated_plans_have_concrete_sql() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut ks: KeySpace = DatasetSpec::tiny().into();
+        let mut saw_sql = false;
+        for _ in 0..200 {
+            let t = sample_interaction(&mut rng);
+            let plan = generate_plan(t, &mut ks, &mut rng);
+            assert_eq!(plan.name, t.name);
+            if !plan.sql.is_empty() {
+                saw_sql = true;
+            }
+            match t.kind {
+                InteractionKind::Static => assert!(plan.sql.is_empty()),
+                InteractionKind::ReadOnly => assert!(!plan.has_write()),
+                InteractionKind::ReadWrite => assert!(plan.has_write()),
+            }
+        }
+        assert!(saw_sql);
+    }
+
+    #[test]
+    fn inserting_interactions_grow_the_keyspace() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut ks: KeySpace = DatasetSpec::tiny().into();
+        let items_before = ks.items;
+        let t = INTERACTIONS
+            .iter()
+            .find(|t| t.name == "RegisterItem")
+            .unwrap();
+        generate_plan(t, &mut ks, &mut rng);
+        assert_eq!(ks.items, items_before + 1);
+    }
+
+    #[test]
+    fn browsing_mix_never_writes() {
+        let mix = InteractionMix::browsing();
+        let mut rng = SimRng::seed_from_u64(8);
+        for _ in 0..5_000 {
+            let t = mix.sample(&mut rng);
+            assert_ne!(t.kind, InteractionKind::ReadWrite, "{} writes", t.name);
+        }
+        assert_eq!(mix.name(), "browsing");
+        assert_eq!(InteractionMix::bidding().name(), "bidding");
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut search = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if sample_interaction(&mut rng).name == "SearchItemsInCategory" {
+                search += 1;
+            }
+        }
+        let frac = search as f64 / n as f64;
+        assert!((0.15..=0.21).contains(&frac), "frac {frac}");
+    }
+}

@@ -1,0 +1,246 @@
+//! The RUBiS database schema and initial dataset.
+//!
+//! RUBiS "implements an auction site modeled over eBay" (paper §5.2,
+//! reference \[1\]): users place bids on items organized in categories and
+//! regions, leave comments, and buy items outright. The schema here is the
+//! subset the workload exercises.
+
+use jade_sim::SimRng;
+use jade_tiers::sql::{row, Statement, Value};
+
+/// Table names of the RUBiS schema.
+pub const TABLES: &[&str] = &[
+    "users",
+    "items",
+    "categories",
+    "regions",
+    "bids",
+    "comments",
+    "buy_now",
+];
+
+/// Sizing of the initial dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Registered users.
+    pub users: u64,
+    /// Items up for auction.
+    pub items: u64,
+    /// Item categories (RUBiS ships 20).
+    pub categories: u64,
+    /// Geographic regions (RUBiS ships 62).
+    pub regions: u64,
+    /// Pre-existing bids.
+    pub bids: u64,
+    /// Pre-existing comments.
+    pub comments: u64,
+}
+
+impl DatasetSpec {
+    /// A small but structurally complete dataset for experiments; large
+    /// enough that reads hit real rows, small enough to keep runs fast.
+    pub fn small() -> Self {
+        DatasetSpec {
+            users: 300,
+            items: 1000,
+            categories: 20,
+            regions: 62,
+            bids: 2000,
+            comments: 500,
+        }
+    }
+
+    /// A tiny dataset for unit tests.
+    pub fn tiny() -> Self {
+        DatasetSpec {
+            users: 10,
+            items: 30,
+            categories: 3,
+            regions: 4,
+            bids: 50,
+            comments: 10,
+        }
+    }
+}
+
+/// Key-space bookkeeping the interaction generator draws random keys from.
+/// Grows as write interactions insert rows.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySpace {
+    /// Current number of user rows.
+    pub users: u64,
+    /// Current number of item rows.
+    pub items: u64,
+    /// Number of categories (static).
+    pub categories: u64,
+    /// Number of regions (static).
+    pub regions: u64,
+    /// Current number of bid rows.
+    pub bids: u64,
+    /// Current number of comment rows.
+    pub comments: u64,
+}
+
+impl From<DatasetSpec> for KeySpace {
+    fn from(s: DatasetSpec) -> Self {
+        KeySpace {
+            users: s.users,
+            items: s.items,
+            categories: s.categories,
+            regions: s.regions,
+            bids: s.bids,
+            comments: s.comments,
+        }
+    }
+}
+
+impl KeySpace {
+    /// Random existing key of a table sized `n` (0 when empty — selects
+    /// will simply miss, like a stale bookmark).
+    fn pick(rng: &mut SimRng, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            rng.range_u64(0, n - 1)
+        }
+    }
+
+    /// Random user key.
+    pub fn user(&self, rng: &mut SimRng) -> u64 {
+        Self::pick(rng, self.users)
+    }
+    /// Random item key.
+    pub fn item(&self, rng: &mut SimRng) -> u64 {
+        Self::pick(rng, self.items)
+    }
+    /// Random category key.
+    pub fn category(&self, rng: &mut SimRng) -> u64 {
+        Self::pick(rng, self.categories)
+    }
+    /// Random region key.
+    pub fn region(&self, rng: &mut SimRng) -> u64 {
+        Self::pick(rng, self.regions)
+    }
+}
+
+/// Statements that create the schema.
+pub fn schema_statements() -> Vec<Statement> {
+    TABLES
+        .iter()
+        .map(|t| Statement::CreateTable {
+            table: (*t).to_owned(),
+        })
+        .collect()
+}
+
+/// Statements that populate the initial dataset. Deterministic given the
+/// RNG seed, so every database replica and every run sees the same data.
+pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement> {
+    let mut out = schema_statements();
+    for i in 0..spec.regions {
+        out.push(Statement::Insert {
+            table: "regions".into(),
+            row: row(&[("name", Value::Text(format!("region-{i}")))]),
+        });
+    }
+    for i in 0..spec.categories {
+        out.push(Statement::Insert {
+            table: "categories".into(),
+            row: row(&[("name", Value::Text(format!("category-{i}")))]),
+        });
+    }
+    for i in 0..spec.users {
+        out.push(Statement::Insert {
+            table: "users".into(),
+            row: row(&[
+                ("nickname", Value::Text(format!("user{i}"))),
+                ("region", Value::Int(rng.range_u64(0, spec.regions - 1) as i64)),
+                ("rating", Value::Int(rng.range_u64(0, 100) as i64)),
+            ]),
+        });
+    }
+    for i in 0..spec.items {
+        out.push(Statement::Insert {
+            table: "items".into(),
+            row: row(&[
+                ("name", Value::Text(format!("item{i}"))),
+                ("seller", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                (
+                    "category",
+                    Value::Int(rng.range_u64(0, spec.categories - 1) as i64),
+                ),
+                ("price", Value::Int(rng.range_u64(1, 1000) as i64)),
+                ("quantity", Value::Int(rng.range_u64(1, 10) as i64)),
+            ]),
+        });
+    }
+    for _ in 0..spec.bids {
+        out.push(Statement::Insert {
+            table: "bids".into(),
+            row: row(&[
+                ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
+                ("bidder", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                ("amount", Value::Int(rng.range_u64(1, 2000) as i64)),
+            ]),
+        });
+    }
+    for _ in 0..spec.comments {
+        out.push(Statement::Insert {
+            table: "comments".into(),
+            row: row(&[
+                ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
+                ("author", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                ("text", Value::Text("nice doing business".into())),
+            ]),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_tiers::storage::Database;
+
+    #[test]
+    fn dataset_loads_and_matches_spec() {
+        let spec = DatasetSpec::tiny();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut db = Database::new();
+        for s in dataset_statements(spec, &mut rng) {
+            db.execute(&s).unwrap();
+        }
+        assert_eq!(db.get_table("users").unwrap().len() as u64, spec.users);
+        assert_eq!(db.get_table("items").unwrap().len() as u64, spec.items);
+        assert_eq!(db.get_table("bids").unwrap().len() as u64, spec.bids);
+        assert_eq!(db.table_names().len(), TABLES.len());
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let spec = DatasetSpec::tiny();
+        let mut db1 = Database::new();
+        let mut db2 = Database::new();
+        let mut r1 = SimRng::seed_from_u64(9);
+        let mut r2 = SimRng::seed_from_u64(9);
+        for s in dataset_statements(spec, &mut r1) {
+            db1.execute(&s).unwrap();
+        }
+        for s in dataset_statements(spec, &mut r2) {
+            db2.execute(&s).unwrap();
+        }
+        assert_eq!(db1.digest(), db2.digest());
+    }
+
+    #[test]
+    fn keyspace_picks_in_range() {
+        let ks: KeySpace = DatasetSpec::tiny().into();
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(ks.user(&mut rng) < ks.users);
+            assert!(ks.item(&mut rng) < ks.items);
+            assert!(ks.category(&mut rng) < ks.categories);
+            assert!(ks.region(&mut rng) < ks.regions);
+        }
+    }
+}

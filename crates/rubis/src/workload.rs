@@ -1,0 +1,154 @@
+//! The evaluation workload profile (paper §5.2): "(i) at the beginning of
+//! the experiment, the managed system is submitted to a medium workload:
+//! 80 emulated clients; then (ii) the load increases progressively up to
+//! 500 emulated clients: 21 new emulated clients every minute; finally
+//! (iii) the load decreases symmetrically down to the initial load".
+
+use jade_sim::{SimDuration, SimTime};
+
+/// A piecewise-linear emulated-client ramp.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRamp {
+    /// Clients at the start (and end) of the run.
+    pub base_clients: u32,
+    /// Clients at the peak.
+    pub peak_clients: u32,
+    /// Clients added (removed) per step.
+    pub step_clients: u32,
+    /// Interval between steps.
+    pub step_interval: SimDuration,
+    /// Warm-up period at the base load before ramping.
+    pub warmup: SimDuration,
+    /// Hold period at the peak.
+    pub plateau: SimDuration,
+}
+
+impl WorkloadRamp {
+    /// The paper's scenario: 80 → 500 → 80 clients, 21 clients/minute.
+    pub fn paper() -> Self {
+        WorkloadRamp {
+            base_clients: 80,
+            peak_clients: 500,
+            step_clients: 21,
+            step_interval: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(120),
+            plateau: SimDuration::from_secs(360),
+        }
+    }
+
+    /// A constant workload (Table 1's "medium workload" intrusivity runs).
+    pub fn constant(clients: u32) -> Self {
+        WorkloadRamp {
+            base_clients: clients,
+            peak_clients: clients,
+            step_clients: 1,
+            step_interval: SimDuration::from_secs(60),
+            warmup: SimDuration::ZERO,
+            plateau: SimDuration::ZERO,
+        }
+    }
+
+    /// Duration of the rising (or falling) ramp.
+    fn ramp_span(&self) -> SimDuration {
+        let delta = self.peak_clients.saturating_sub(self.base_clients);
+        if delta == 0 || self.step_clients == 0 {
+            return SimDuration::ZERO;
+        }
+        let steps = delta.div_ceil(self.step_clients) as u64;
+        SimDuration::from_micros(steps * self.step_interval.as_micros())
+    }
+
+    /// Number of emulated clients that should be active at time `t`.
+    pub fn clients_at(&self, t: SimTime) -> u32 {
+        let up_start = self.warmup;
+        let up_end = up_start + self.ramp_span();
+        let down_start = up_end + self.plateau;
+        let down_end = down_start + self.ramp_span();
+        let t_us = t.as_micros();
+        if t_us < up_start.as_micros() {
+            self.base_clients
+        } else if t_us < up_end.as_micros() {
+            let steps = (t_us - up_start.as_micros()) / self.step_interval.as_micros().max(1);
+            (self.base_clients + self.step_clients * steps as u32).min(self.peak_clients)
+        } else if t_us < down_start.as_micros() {
+            self.peak_clients
+        } else if t_us < down_end.as_micros() {
+            let steps =
+                (t_us - down_start.as_micros()) / self.step_interval.as_micros().max(1);
+            self.peak_clients
+                .saturating_sub(self.step_clients * steps as u32)
+                .max(self.base_clients)
+        } else {
+            self.base_clients
+        }
+    }
+
+    /// Total time until the ramp returns to the base load.
+    pub fn total_span(&self) -> SimDuration {
+        self.warmup + self.ramp_span() + self.plateau + self.ramp_span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn paper_ramp_shape() {
+        let r = WorkloadRamp::paper();
+        assert_eq!(r.clients_at(SimTime::ZERO), 80);
+        assert_eq!(r.clients_at(t(119)), 80);
+        // First step fires at the warmup boundary.
+        assert_eq!(r.clients_at(t(120)), 80);
+        assert_eq!(r.clients_at(t(180)), 101);
+        // Peak reached after ceil(420/21)=20 steps => t = 120 + 1200.
+        assert_eq!(r.clients_at(t(1320)), 500);
+        // Plateau.
+        assert_eq!(r.clients_at(t(1600)), 500);
+        // Symmetric descent.
+        assert_eq!(r.clients_at(t(1740)), 479);
+        // Back at base.
+        assert_eq!(r.clients_at(t(2880)), 80);
+        assert_eq!(r.clients_at(t(5000)), 80);
+        assert_eq!(r.total_span(), SimDuration::from_secs(120 + 1200 + 360 + 1200));
+    }
+
+    #[test]
+    fn ramp_is_monotone_up_then_down() {
+        let r = WorkloadRamp::paper();
+        let mut last = 0;
+        for s in (0..1320).step_by(10) {
+            let c = r.clients_at(t(s));
+            assert!(c >= last, "rising phase must be monotone");
+            last = c;
+        }
+        let mut last = u32::MAX;
+        for s in (1680..2900).step_by(10) {
+            let c = r.clients_at(t(s));
+            assert!(c <= last, "falling phase must be monotone");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn constant_ramp_never_moves() {
+        let r = WorkloadRamp::constant(80);
+        for s in [0u64, 100, 1000, 10_000] {
+            assert_eq!(r.clients_at(t(s)), 80);
+        }
+        assert_eq!(r.total_span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ramp_bounded_by_base_and_peak() {
+        let r = WorkloadRamp::paper();
+        for s in (0..3600).step_by(7) {
+            let c = r.clients_at(t(s));
+            assert!((80..=500).contains(&c));
+        }
+    }
+}

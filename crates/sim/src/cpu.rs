@@ -1,0 +1,323 @@
+//! Processor-sharing CPU model.
+//!
+//! Each simulated node has one CPU that serves all resident jobs in
+//! processor-sharing fashion: with `n` active jobs each job progresses at
+//! `speed * efficiency(n) / n` demand-seconds per second. The *efficiency*
+//! hook models thrashing: the paper's unmanaged database "saturates … this
+//! results in a thrashing of the database" (§5.2, Fig. 6); a sub-unit
+//! efficiency at high multiprogramming levels collapses throughput and
+//! produces exactly the runaway latencies of Figure 8.
+//!
+//! The owner (a server actor) drives the model: it calls [`PsCpu::submit`]
+//! on arrival, asks for [`PsCpu::next_completion`], arms one timer with the
+//! engine, and on the timer calls [`PsCpu::collect_completions`]. Re-arming
+//! uses the event queue's lazy cancellation.
+
+use crate::metrics::UtilizationTracker;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier the owner attaches to a job (e.g. a request id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Degradation law: maps the number of resident jobs to an efficiency in
+/// `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EfficiencyCurve {
+    /// Ideal processor sharing: no degradation.
+    Ideal,
+    /// Thrashing: full speed up to `knee` jobs, then efficiency decays as
+    /// `1 / (1 + slope * (n - knee))`. Models memory pressure / context
+    /// switch storms on an overloaded server.
+    Thrashing {
+        /// Multiprogramming level up to which the CPU runs at full speed.
+        knee: usize,
+        /// Decay rate of efficiency beyond the knee.
+        slope: f64,
+    },
+}
+
+impl EfficiencyCurve {
+    /// Efficiency for `n` resident jobs.
+    pub fn efficiency(&self, n: usize) -> f64 {
+        match *self {
+            EfficiencyCurve::Ideal => 1.0,
+            EfficiencyCurve::Thrashing { knee, slope } => {
+                if n <= knee {
+                    1.0
+                } else {
+                    1.0 / (1.0 + slope * (n - knee) as f64)
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PsJob {
+    id: JobId,
+    /// Remaining service demand, in seconds of dedicated CPU.
+    remaining: f64,
+}
+
+/// Remaining demand below this is considered complete (guards float error).
+const EPSILON_SECS: f64 = 1e-9;
+
+/// A processor-sharing CPU with utilization accounting.
+#[derive(Debug, Clone)]
+pub struct PsCpu {
+    speed: f64,
+    curve: EfficiencyCurve,
+    jobs: Vec<PsJob>,
+    last_update: SimTime,
+    util: UtilizationTracker,
+    completed: Vec<JobId>,
+}
+
+impl PsCpu {
+    /// Creates a CPU with `speed` demand-seconds/second capacity (1.0 = one
+    /// reference core) and the given degradation curve.
+    pub fn new(speed: f64, curve: EfficiencyCurve) -> Self {
+        assert!(speed > 0.0);
+        PsCpu {
+            speed,
+            curve,
+            jobs: Vec::new(),
+            last_update: SimTime::ZERO,
+            util: UtilizationTracker::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Number of resident (incomplete) jobs.
+    pub fn load(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Per-job progress rate right now, in demand-seconds per second.
+    fn rate(&self) -> f64 {
+        let n = self.jobs.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.speed * self.curve.efficiency(n) / n as f64
+        }
+    }
+
+    /// Advances all jobs to `now`, moving finished jobs to the completed
+    /// buffer.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update);
+        let elapsed = (now - self.last_update).as_secs_f64();
+        if elapsed > 0.0 && !self.jobs.is_empty() {
+            let progress = elapsed * self.rate();
+            for job in &mut self.jobs {
+                job.remaining -= progress;
+            }
+        }
+        self.last_update = now;
+        let completed = &mut self.completed;
+        self.jobs.retain(|j| {
+            if j.remaining <= EPSILON_SECS {
+                completed.push(j.id);
+                false
+            } else {
+                true
+            }
+        });
+        if self.jobs.is_empty() {
+            self.util.set_idle(now);
+        }
+    }
+
+    /// Submits a job with the given total demand.
+    pub fn submit(&mut self, now: SimTime, id: JobId, demand: SimDuration) {
+        self.advance(now);
+        self.util.set_busy(now);
+        self.jobs.push(PsJob {
+            id,
+            remaining: demand.as_secs_f64().max(EPSILON_SECS),
+        });
+    }
+
+    /// Forcibly removes a job (e.g. its server was stopped). Returns true
+    /// if the job was resident.
+    pub fn abort(&mut self, now: SimTime, id: JobId) -> bool {
+        self.advance(now);
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.id != id);
+        if self.jobs.is_empty() {
+            self.util.set_idle(now);
+        }
+        self.jobs.len() != before
+    }
+
+    /// Removes all jobs, returning their ids (server crash/stop).
+    pub fn abort_all(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance(now);
+        let ids = self.jobs.drain(..).map(|j| j.id).collect();
+        self.util.set_idle(now);
+        ids
+    }
+
+    /// Time of the next job completion given the current population, or
+    /// `None` when idle. The owner should arm a timer at this instant.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let min_remaining = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return None;
+        }
+        // Round *up* to the next microsecond so the timer never fires
+        // before the job is actually done.
+        let micros = (min_remaining / rate * 1e6).ceil() as u64;
+        Some(now + SimDuration::from_micros(micros.max(1)))
+    }
+
+    /// Advances to `now` and drains the jobs that have completed.
+    pub fn collect_completions(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance(now);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// CPU utilization since the previous call (see
+    /// [`UtilizationTracker::sample`]).
+    pub fn sample_utilization(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        self.util.sample(now)
+    }
+
+    /// Total busy time up to `now`.
+    pub fn busy_time(&mut self, now: SimTime) -> SimDuration {
+        self.advance(now);
+        self.util.busy_time(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(100));
+        let done_at = cpu.next_completion(t(0)).unwrap();
+        assert_eq!(done_at, t(100));
+        let done = cpu.collect_completions(done_at);
+        assert_eq!(done, vec![JobId(1)]);
+        assert_eq!(cpu.load(), 0);
+    }
+
+    #[test]
+    fn two_jobs_share_the_processor() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(100));
+        cpu.submit(t(0), JobId(2), d(100));
+        // Each runs at half speed: both finish at 200ms.
+        let done_at = cpu.next_completion(t(0)).unwrap();
+        assert_eq!(done_at, t(200));
+        let done = cpu.collect_completions(done_at);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn late_arrival_slows_the_first_job() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(100));
+        // At t=50 half the demand is done; a second job arrives.
+        cpu.submit(t(50), JobId(2), d(100));
+        // Job 1 has 50ms left at half speed -> completes at t=150.
+        let next = cpu.next_completion(t(50)).unwrap();
+        assert_eq!(next, t(150));
+        assert_eq!(cpu.collect_completions(t(150)), vec![JobId(1)]);
+        // Job 2 then has 50ms left at full speed -> completes at t=200.
+        let next = cpu.next_completion(t(150)).unwrap();
+        assert_eq!(next, t(200));
+        assert_eq!(cpu.collect_completions(t(200)), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn faster_cpu_finishes_sooner() {
+        let mut cpu = PsCpu::new(2.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(100));
+        assert_eq!(cpu.next_completion(t(0)).unwrap(), t(50));
+    }
+
+    #[test]
+    fn thrashing_curve_degrades_throughput() {
+        let curve = EfficiencyCurve::Thrashing {
+            knee: 2,
+            slope: 0.5,
+        };
+        assert_eq!(curve.efficiency(1), 1.0);
+        assert_eq!(curve.efficiency(2), 1.0);
+        assert!((curve.efficiency(4) - 0.5).abs() < 1e-12);
+        let mut cpu = PsCpu::new(1.0, curve);
+        for i in 0..4 {
+            cpu.submit(t(0), JobId(i), d(100));
+        }
+        // 4 jobs, efficiency 0.5: per-job rate 0.125 -> 100ms demand takes 800ms.
+        assert_eq!(cpu.next_completion(t(0)).unwrap(), t(800));
+    }
+
+    #[test]
+    fn abort_removes_jobs_and_frees_capacity() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(100));
+        cpu.submit(t(0), JobId(2), d(100));
+        assert!(cpu.abort(t(0), JobId(2)));
+        assert!(!cpu.abort(t(0), JobId(2)));
+        assert_eq!(cpu.next_completion(t(0)).unwrap(), t(100));
+    }
+
+    #[test]
+    fn abort_all_drains_everything() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(10));
+        cpu.submit(t(0), JobId(2), d(20));
+        let mut ids = cpu.abort_all(t(5));
+        ids.sort();
+        assert_eq!(ids, vec![JobId(1), JobId(2)]);
+        assert!(cpu.next_completion(t(5)).is_none());
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), d(250));
+        cpu.collect_completions(t(250));
+        // Busy 250ms out of a 1000ms window.
+        let u = cpu.sample_utilization(t(1000));
+        assert!((u - 0.25).abs() < 1e-6, "utilization was {u}");
+    }
+
+    #[test]
+    fn completion_timer_never_fires_early() {
+        // Adversarial demands that don't divide evenly.
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        cpu.submit(t(0), JobId(1), SimDuration::from_micros(3333));
+        cpu.submit(t(0), JobId(2), SimDuration::from_micros(7777));
+        let t1 = cpu.next_completion(SimTime::ZERO).unwrap();
+        let done = cpu.collect_completions(t1);
+        assert_eq!(done, vec![JobId(1)]);
+        let t2 = cpu.next_completion(t1).unwrap();
+        assert!(t2 > t1);
+        assert_eq!(cpu.collect_completions(t2), vec![JobId(2)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # jade-sim — deterministic discrete-event kernel
+//!
+//! The substrate that replaces the paper's physical cluster: a
+//! single-threaded, deterministic discrete-event simulator with
+//!
+//! * a virtual clock with microsecond resolution ([`SimTime`],
+//!   [`SimDuration`]),
+//! * a pending-event set with FIFO tie-breaking and lazy cancellation
+//!   ([`queue::EventQueue`]),
+//! * an application-routing engine ([`Engine`], [`App`], [`Ctx`]),
+//! * a processor-sharing CPU model with a thrashing law ([`cpu::PsCpu`]),
+//! * measurement infrastructure ([`metrics`]) including the time-windowed
+//!   moving averages used by Jade's CPU sensors,
+//! * seeded, forkable randomness ([`rng::SimRng`]).
+//!
+//! Determinism is a feature, not a limitation: it is what lets the
+//! reproduction property-test *entire experiments* (e.g. "the managed
+//! system never exceeds the node pool" for arbitrary workload ramps) and
+//! run parameter sweeps with common random numbers. Parallelism lives at
+//! the experiment-harness level (one engine per thread).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use cpu::{EfficiencyCurve, JobId, PsCpu};
+pub use engine::{Addr, App, Ctx, Engine, RunOutcome};
+pub use metrics::{Histogram, MetricsHub, MovingAverage, TimeSeries, UtilizationTracker};
+pub use queue::{EventQueue, EventToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLevel, Tracer};

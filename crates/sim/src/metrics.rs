@@ -1,0 +1,517 @@
+//! Measurement infrastructure: time series, histograms, utilization
+//! trackers and the time-windowed moving averages that the Jade
+//! self-optimization sensors rely on (paper §4.1 and §5.2).
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// A recorded `(time, value)` series, e.g. "number of database backends".
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Samples must be recorded in non-decreasing time
+    /// order (the simulator clock guarantees this).
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(pt, _)| pt <= t),
+            "time series samples must be time-ordered"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Arithmetic mean of the sample values (unweighted).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Largest sample value, or 0 for an empty series.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Value of the last sample at or before `t` (step interpolation),
+    /// or `default` when no such sample exists.
+    pub fn value_at(&self, t: SimTime, default: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => default,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Time-weighted average over `[from, to]`, treating the series as a
+    /// step function. Returns `None` if the series has no sample at or
+    /// before `from` and no sample inside the window.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut covered = 0.0;
+        let mut cursor = from;
+        let mut current = match self.points.partition_point(|&(pt, _)| pt <= from) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        };
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt >= to {
+                break;
+            }
+            if let Some(cv) = current {
+                let span = (pt - cursor).as_secs_f64();
+                acc += cv * span;
+                covered += span;
+            }
+            cursor = pt;
+            current = Some(v);
+        }
+        if let Some(cv) = current {
+            let span = (to - cursor).as_secs_f64();
+            acc += cv * span;
+            covered += span;
+        }
+        if covered > 0.0 {
+            Some(acc / covered)
+        } else {
+            None
+        }
+    }
+}
+
+/// Moving average over a sliding window of virtual time.
+///
+/// This is the paper's temporal smoothing of CPU usage: "the CPU usage is
+/// smoothed by a temporal average (moving average)" computed "over the last
+/// 60 seconds for the application servers and over the last 90 seconds for
+/// the database servers" (§5.2).
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average with the given time window.
+    pub fn new(window: SimDuration) -> Self {
+        MovingAverage {
+            window,
+            samples: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records a sample at time `t` and evicts samples older than the
+    /// window.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        self.samples.push_back((t, v));
+        self.sum += v;
+        let horizon = if t.as_micros() >= self.window.as_micros() {
+            SimTime::from_micros(t.as_micros() - self.window.as_micros())
+        } else {
+            SimTime::ZERO
+        };
+        while let Some(&(st, sv)) = self.samples.front() {
+            if st < horizon {
+                self.samples.pop_front();
+                self.sum -= sv;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current smoothed value (mean of in-window samples), or `None` when
+    /// no sample is in the window.
+    pub fn value(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Number of samples currently inside the window.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Tracks the busy/idle state of a resource and integrates busy time, for
+/// CPU-utilization measurements.
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    busy_since: Option<SimTime>,
+    busy_accum: SimDuration,
+    // Rolling snapshot support: utilization since the last `sample()` call.
+    last_sample_at: SimTime,
+    busy_at_last_sample: SimDuration,
+}
+
+impl Default for UtilizationTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UtilizationTracker {
+    /// Creates an idle tracker at t = 0.
+    pub fn new() -> Self {
+        UtilizationTracker {
+            busy_since: None,
+            busy_accum: SimDuration::ZERO,
+            last_sample_at: SimTime::ZERO,
+            busy_at_last_sample: SimDuration::ZERO,
+        }
+    }
+
+    /// Marks the resource busy starting at `t`. Idempotent.
+    pub fn set_busy(&mut self, t: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(t);
+        }
+    }
+
+    /// Marks the resource idle at `t`. Idempotent.
+    pub fn set_idle(&mut self, t: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            self.busy_accum += t - since;
+        }
+    }
+
+    /// Total busy time accumulated up to `t`.
+    pub fn busy_time(&self, t: SimTime) -> SimDuration {
+        match self.busy_since {
+            Some(since) => self.busy_accum + (t - since),
+            None => self.busy_accum,
+        }
+    }
+
+    /// Utilization (0..=1) over the window since the previous `sample` call,
+    /// then resets the window. This is what a periodic CPU probe reads.
+    pub fn sample(&mut self, t: SimTime) -> f64 {
+        let busy_now = self.busy_time(t);
+        let window = t - self.last_sample_at;
+        let busy_delta = busy_now.saturating_sub(self.busy_at_last_sample);
+        self.last_sample_at = t;
+        self.busy_at_last_sample = busy_now;
+        if window.is_zero() {
+            0.0
+        } else {
+            (busy_delta.as_secs_f64() / window.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+/// Fixed-bucket latency histogram with quantile queries.
+///
+/// Buckets are exponential (1 ms base, ×2) so both the ~90 ms steady-state
+/// responses of Table 1 and the 300-second thrashing latencies of Figure 8
+/// land in meaningful buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// bucket i counts samples in [2^i, 2^(i+1)) milliseconds; bucket 0 is [0, 1ms).
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+const HIST_BUCKETS: usize = 32;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, d: SimDuration) {
+        let ms = d.as_millis_f64();
+        let idx = if ms < 1.0 {
+            0
+        } else {
+            ((ms.log2().floor() as usize) + 1).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Largest observation in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Approximate quantile (0..=1) in milliseconds, using the upper edge
+    /// of the bucket containing the quantile.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+            }
+        }
+        self.max_ms
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+}
+
+/// Central sink for named measurements produced during a run.
+///
+/// The hub is owned by the engine so that all simulation actors can record
+/// without sharing ownership; after the run it is taken apart by the
+/// experiment harness.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    series: HashMap<String, TimeSeries>,
+    histograms: HashMap<String, Histogram>,
+    counters: HashMap<String, u64>,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends to the named time series.
+    pub fn record_series(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .record(t, v);
+    }
+
+    /// Records a latency in the named histogram.
+    pub fn record_latency(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(d);
+    }
+
+    /// Increments the named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Names of all recorded series, sorted (deterministic output).
+    pub fn series_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.series.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Names of all recorded histograms, sorted.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.histograms.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn series_value_at_steps() {
+        let mut ts = TimeSeries::new();
+        ts.record(t(1), 1.0);
+        ts.record(t(5), 2.0);
+        assert_eq!(ts.value_at(t(0), 9.0), 9.0);
+        assert_eq!(ts.value_at(t(1), 9.0), 1.0);
+        assert_eq!(ts.value_at(t(4), 9.0), 1.0);
+        assert_eq!(ts.value_at(t(10), 9.0), 2.0);
+    }
+
+    #[test]
+    fn series_time_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        ts.record(t(0), 0.0);
+        ts.record(t(10), 1.0);
+        // 0 for 10s then 1 for 10s -> mean 0.5
+        let m = ts.time_weighted_mean(t(0), t(20)).unwrap();
+        assert!((m - 0.5).abs() < 1e-9);
+        // Window entirely before first sample -> None
+        let mut ts2 = TimeSeries::new();
+        ts2.record(t(50), 1.0);
+        assert!(ts2.time_weighted_mean(t(0), t(10)).is_none());
+    }
+
+    #[test]
+    fn moving_average_evicts_old_samples() {
+        let mut ma = MovingAverage::new(SimDuration::from_secs(10));
+        ma.record(t(0), 100.0);
+        ma.record(t(5), 0.0);
+        assert_eq!(ma.value(), Some(50.0));
+        ma.record(t(20), 0.0); // the t=0 and t=5 samples fall out
+        assert_eq!(ma.sample_count(), 1);
+        assert_eq!(ma.value(), Some(0.0));
+    }
+
+    #[test]
+    fn moving_average_keeps_window_inclusive() {
+        let mut ma = MovingAverage::new(SimDuration::from_secs(10));
+        ma.record(t(0), 4.0);
+        ma.record(t(10), 2.0); // t=0 is exactly at the horizon: kept
+        assert_eq!(ma.sample_count(), 2);
+        assert_eq!(ma.value(), Some(3.0));
+    }
+
+    #[test]
+    fn utilization_tracker_windows() {
+        let mut u = UtilizationTracker::new();
+        u.set_busy(t(0));
+        u.set_idle(t(5));
+        assert!((u.sample(t(10)) - 0.5).abs() < 1e-9);
+        // Second window: idle the whole time.
+        assert_eq!(u.sample(t(20)), 0.0);
+        // Busy across a sample boundary.
+        u.set_busy(t(20));
+        assert!((u.sample(t(30)) - 1.0).abs() < 1e-9);
+        u.set_idle(t(35));
+        assert!((u.sample(t(40)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_idempotent_transitions() {
+        let mut u = UtilizationTracker::new();
+        u.set_busy(t(0));
+        u.set_busy(t(2)); // ignored, still busy since t=0
+        u.set_idle(t(4));
+        u.set_idle(t(6)); // ignored
+        assert_eq!(u.busy_time(t(10)), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(SimDuration::from_millis(10));
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_millis(1000));
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean_ms() - 109.0).abs() < 1e-9);
+        assert!(h.quantile_ms(0.5) <= 16.0);
+        assert!(h.quantile_ms(0.99) >= 512.0);
+        assert_eq!(h.max_ms(), 1000.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_millis(5));
+        b.record(SimDuration::from_millis(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ms(), 50.0);
+    }
+
+    #[test]
+    fn hub_roundtrip() {
+        let mut hub = MetricsHub::new();
+        hub.record_series("cpu", t(1), 0.5);
+        hub.record_latency("latency", SimDuration::from_millis(100));
+        hub.incr("requests", 3);
+        assert_eq!(hub.series("cpu").unwrap().len(), 1);
+        assert_eq!(hub.histogram("latency").unwrap().count(), 1);
+        assert_eq!(hub.counter("requests"), 3);
+        assert_eq!(hub.counter("missing"), 0);
+        assert_eq!(hub.series_names(), vec!["cpu"]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The pending-event set of the discrete-event kernel.
+//!
+//! Events are ordered by `(time, sequence)`: ties in virtual time are broken
+//! by insertion order, which makes every simulation run fully deterministic
+//! for a given seed and schedule of calls.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] marks a token and the event
+//! is dropped when it reaches the head of the heap. This is the standard DES
+//! technique for timers that are frequently re-armed (e.g. the
+//! processor-sharing CPU model re-arms its next-completion timer on every
+//! arrival and departure).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Token identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic pending-event set with lazy cancellation.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`, returning a cancellation token.
+    pub fn push(&mut self, time: SimTime, payload: T) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pops the earliest non-cancelled event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest non-cancelled event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.seq) {
+                let seq = head.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(head.time);
+        }
+    }
+
+    /// Number of events still in the heap (cancelled-but-unswept events
+    /// included; use only as a capacity heuristic).
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no live event remains.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_drops_events() {
+        let mut q = EventQueue::new();
+        let tok = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.push(SimTime::from_secs(1), 1u8);
+        assert!(q.pop().is_some());
+        q.cancel(tok); // must not affect future events
+        q.push(SimTime::from_secs(2), 2u8);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2u8)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let t1 = q.push(SimTime::from_secs(1), 1u8);
+        let t2 = q.push(SimTime::from_secs(2), 2u8);
+        q.push(SimTime::from_secs(3), 3u8);
+        q.cancel(t1);
+        q.cancel(t2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3u8)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! The Apache web server (static content tier).
+
+use crate::server::{ServerId, ServerProcess, Tier};
+use jade_cluster::NodeId;
+use jade_sim::SimDuration;
+
+/// An Apache httpd process.
+#[derive(Debug, Clone)]
+pub struct ApacheServer {
+    /// Common process state.
+    pub process: ServerProcess,
+    /// HTTP listen port (`port` attribute, reflected in `httpd.conf`).
+    pub port: u16,
+    /// CPU demand to serve one static document — static pages are "one or
+    /// two orders of magnitude" cheaper than dynamic ones (paper §2).
+    pub static_demand: SimDuration,
+    /// mod_jk worker set: the Tomcat instances dynamic requests are
+    /// forwarded to (mirrors the `worker.properties` bindings).
+    pub workers: Vec<ServerId>,
+    /// Round-robin cursor over the workers (mod_jk's `lb` balancing).
+    pub rr_cursor: usize,
+}
+
+impl ApacheServer {
+    /// Creates a stopped Apache on `node`.
+    pub fn new(id: ServerId, name: &str, node: NodeId) -> Self {
+        ApacheServer {
+            process: ServerProcess::new(id, name, node, Tier::Web),
+            port: 80,
+            static_demand: SimDuration::from_micros(300),
+            workers: Vec::new(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Next Tomcat in the mod_jk rotation, or `None` when unbound.
+    pub fn next_worker(&mut self) -> Option<ServerId> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        let w = self.workers[self.rr_cursor % self.workers.len()];
+        self.rr_cursor = (self.rr_cursor + 1) % self.workers.len();
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerState;
+
+    #[test]
+    fn defaults() {
+        let a = ApacheServer::new(ServerId(0), "Apache1", NodeId(0));
+        assert_eq!(a.port, 80);
+        assert_eq!(a.process.state, ServerState::Stopped);
+        assert_eq!(a.process.tier, Tier::Web);
+    }
+
+    #[test]
+    fn mod_jk_rotation() {
+        let mut a = ApacheServer::new(ServerId(0), "Apache1", NodeId(0));
+        assert_eq!(a.next_worker(), None);
+        a.workers = vec![ServerId(1), ServerId(2)];
+        assert_eq!(a.next_worker(), Some(ServerId(1)));
+        assert_eq!(a.next_worker(), Some(ServerId(2)));
+        assert_eq!(a.next_worker(), Some(ServerId(1)));
+    }
+}

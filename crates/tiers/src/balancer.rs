@@ -1,0 +1,187 @@
+//! Generic HTTP load balancer state, shared by PLB (in front of the
+//! replicated Tomcat servers) and the L4 switch (in front of the
+//! replicated Apache servers) — paper §2: "a particular (hardware or
+//! software) component in front of the cluster of replicated servers …
+//! different load balancing algorithms may be used, e.g. Random,
+//! Round-Robin".
+
+use crate::server::ServerId;
+use jade_sim::SimRng;
+
+/// Worker-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Cycle deterministically through workers.
+    RoundRobin,
+    /// Uniform random worker.
+    Random,
+}
+
+/// Errors from the balancer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalancerError {
+    /// No worker is registered / enabled.
+    NoWorker,
+    /// Worker already present.
+    DuplicateWorker(ServerId),
+    /// Worker not present.
+    UnknownWorker(ServerId),
+}
+
+impl std::fmt::Display for BalancerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalancerError::NoWorker => write!(f, "no worker available"),
+            BalancerError::DuplicateWorker(id) => write!(f, "worker {id:?} already registered"),
+            BalancerError::UnknownWorker(id) => write!(f, "worker {id:?} not registered"),
+        }
+    }
+}
+
+impl std::error::Error for BalancerError {}
+
+/// Distributes requests over a dynamic set of worker servers.
+#[derive(Debug, Clone)]
+pub struct HttpBalancer {
+    workers: Vec<ServerId>,
+    policy: BalancePolicy,
+    cursor: usize,
+}
+
+impl HttpBalancer {
+    /// Creates an empty balancer.
+    pub fn new(policy: BalancePolicy) -> Self {
+        HttpBalancer {
+            workers: Vec::new(),
+            policy,
+            cursor: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BalancePolicy {
+        self.policy
+    }
+
+    /// Swaps the policy at run time (ablation experiments).
+    pub fn set_policy(&mut self, policy: BalancePolicy) {
+        self.policy = policy;
+    }
+
+    /// Adds a worker to the rotation.
+    pub fn add_worker(&mut self, id: ServerId) -> Result<(), BalancerError> {
+        if self.workers.contains(&id) {
+            return Err(BalancerError::DuplicateWorker(id));
+        }
+        self.workers.push(id);
+        Ok(())
+    }
+
+    /// Removes a worker from the rotation.
+    pub fn remove_worker(&mut self, id: ServerId) -> Result<(), BalancerError> {
+        let before = self.workers.len();
+        self.workers.retain(|&w| w != id);
+        if self.workers.len() == before {
+            return Err(BalancerError::UnknownWorker(id));
+        }
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Current workers, in registration order.
+    pub fn workers(&self) -> &[ServerId] {
+        &self.workers
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no worker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Picks a worker for the next request.
+    pub fn route(&mut self, rng: &mut SimRng) -> Result<ServerId, BalancerError> {
+        if self.workers.is_empty() {
+            return Err(BalancerError::NoWorker);
+        }
+        Ok(match self.policy {
+            BalancePolicy::RoundRobin => {
+                let id = self.workers[self.cursor % self.workers.len()];
+                self.cursor = (self.cursor + 1) % self.workers.len();
+                id
+            }
+            BalancePolicy::Random => self.workers[rng.below(self.workers.len())],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut b = HttpBalancer::new(BalancePolicy::RoundRobin);
+        b.add_worker(ServerId(1)).unwrap();
+        b.add_worker(ServerId(2)).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let picks: Vec<_> = (0..4).map(|_| b.route(&mut rng).unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![ServerId(1), ServerId(2), ServerId(1), ServerId(2)]
+        );
+    }
+
+    #[test]
+    fn random_covers_all_workers() {
+        let mut b = HttpBalancer::new(BalancePolicy::Random);
+        for i in 0..3 {
+            b.add_worker(ServerId(i)).unwrap();
+        }
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(b.route(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn membership_errors() {
+        let mut b = HttpBalancer::new(BalancePolicy::RoundRobin);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(b.route(&mut rng), Err(BalancerError::NoWorker));
+        b.add_worker(ServerId(1)).unwrap();
+        assert_eq!(
+            b.add_worker(ServerId(1)),
+            Err(BalancerError::DuplicateWorker(ServerId(1)))
+        );
+        assert_eq!(
+            b.remove_worker(ServerId(2)),
+            Err(BalancerError::UnknownWorker(ServerId(2)))
+        );
+        b.remove_worker(ServerId(1)).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn removal_mid_rotation_stays_valid() {
+        let mut b = HttpBalancer::new(BalancePolicy::RoundRobin);
+        for i in 0..3 {
+            b.add_worker(ServerId(i)).unwrap();
+        }
+        let mut rng = SimRng::seed_from_u64(0);
+        b.route(&mut rng).unwrap();
+        b.route(&mut rng).unwrap();
+        b.remove_worker(ServerId(0)).unwrap();
+        // Cursor reset: routing still works and only live workers appear.
+        for _ in 0..10 {
+            let w = b.route(&mut rng).unwrap();
+            assert_ne!(w, ServerId(0));
+        }
+    }
+}

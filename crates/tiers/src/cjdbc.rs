@@ -1,0 +1,531 @@
+//! C-JDBC: the database clustering middleware (paper §2, §4.1).
+//!
+//! C-JDBC "plays the role of load balancer and replication consistency
+//! manager, each server containing a full copy of the whole database (full
+//! mirroring)" — RAIDb-1. This module implements:
+//!
+//! * backend membership with the Active / Syncing / Disabled life-cycle,
+//! * read distribution over active backends (Round-Robin, Random or
+//!   Least-Pending scheduling),
+//! * write broadcast to all active backends, every write appended to the
+//!   [`crate::recovery::RecoveryLog`],
+//! * state reconciliation: a joining backend replays the exact log suffix
+//!   it is missing (possibly in several batches if writes keep arriving),
+//!   and a leaving backend records its checkpoint index.
+
+use crate::recovery::{LogEntry, RecoveryLog};
+use crate::server::ServerId;
+use crate::sql::Statement;
+use jade_sim::SimRng;
+use std::collections::BTreeMap;
+
+/// Read-scheduling policy across active backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Cycle through active backends.
+    RoundRobin,
+    /// Uniform random choice.
+    Random,
+    /// Backend with the fewest in-flight queries (C-JDBC's default
+    /// `LeastPendingRequestsFirst`).
+    LeastPending,
+}
+
+/// Membership state of one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendStatus {
+    /// Receiving reads and writes.
+    Active,
+    /// Replaying the recovery log to catch up; receives no traffic.
+    Syncing,
+    /// Out of the cluster; its checkpoint index is retained.
+    Disabled,
+}
+
+#[derive(Debug, Clone)]
+struct Backend {
+    status: BackendStatus,
+    /// Index of the next log entry this backend has NOT applied.
+    checkpoint: u64,
+    /// Highest log index known to be *applied* on the backend (trails
+    /// `checkpoint` during a sync; equal to it otherwise). An aborted
+    /// sync falls back to this.
+    applied: u64,
+    pending: usize,
+}
+
+/// Errors from cluster membership operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CjdbcError {
+    /// The server is not a registered backend.
+    UnknownBackend(ServerId),
+    /// Operation invalid for the backend's current status.
+    WrongStatus(ServerId, BackendStatus),
+    /// No active backend can serve the request.
+    NoActiveBackend,
+}
+
+impl std::fmt::Display for CjdbcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CjdbcError::UnknownBackend(id) => write!(f, "unknown backend {id:?}"),
+            CjdbcError::WrongStatus(id, s) => {
+                write!(f, "backend {id:?} is in status {s:?}")
+            }
+            CjdbcError::NoActiveBackend => write!(f, "no active database backend"),
+        }
+    }
+}
+
+impl std::error::Error for CjdbcError {}
+
+/// The C-JDBC controller state.
+#[derive(Debug)]
+pub struct CjdbcController {
+    backends: BTreeMap<ServerId, Backend>,
+    log: RecoveryLog,
+    policy: ReadPolicy,
+    rr_cursor: usize,
+}
+
+impl CjdbcController {
+    /// Creates a controller with the given read policy.
+    pub fn new(policy: ReadPolicy) -> Self {
+        CjdbcController {
+            backends: BTreeMap::new(),
+            log: RecoveryLog::new(),
+            policy,
+            rr_cursor: 0,
+        }
+    }
+
+    /// The configured read policy.
+    pub fn policy(&self) -> ReadPolicy {
+        self.policy
+    }
+
+    /// Changes the read policy at run time.
+    pub fn set_policy(&mut self, policy: ReadPolicy) {
+        self.policy = policy;
+    }
+
+    /// Read access to the recovery log.
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.log
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Registers a backend in `Disabled` state with checkpoint 0 (a fresh
+    /// replica knows nothing).
+    pub fn register_backend(&mut self, server: ServerId) {
+        self.backends.entry(server).or_insert(Backend {
+            status: BackendStatus::Disabled,
+            checkpoint: 0,
+            applied: 0,
+            pending: 0,
+        });
+    }
+
+    /// Removes a backend entirely (node released).
+    pub fn unregister_backend(&mut self, server: ServerId) {
+        self.backends.remove(&server);
+    }
+
+    /// Starts enabling a disabled backend: moves it to `Syncing` and
+    /// returns the log suffix it must replay. An empty suffix means it can
+    /// be activated immediately (the caller should still call
+    /// [`CjdbcController::finish_replay`]).
+    pub fn begin_enable(&mut self, server: ServerId) -> Result<Vec<LogEntry>, CjdbcError> {
+        let head = self.log.head();
+        let b = self
+            .backends
+            .get_mut(&server)
+            .ok_or(CjdbcError::UnknownBackend(server))?;
+        if b.status != BackendStatus::Disabled {
+            return Err(CjdbcError::WrongStatus(server, b.status));
+        }
+        b.status = BackendStatus::Syncing;
+        let from = b.checkpoint;
+        b.applied = from;
+        b.checkpoint = head; // will have applied up to head once replay ends
+        Ok(self.log.entries_from(from).to_vec())
+    }
+
+    /// Aborts an in-progress enable: the backend returns to `Disabled`
+    /// at its last *applied* index. Batches handed out but not yet
+    /// acknowledged through [`CjdbcController::finish_replay`] do not
+    /// count — the caller must discard them.
+    pub fn abort_enable(&mut self, server: ServerId) -> Result<(), CjdbcError> {
+        let b = self
+            .backends
+            .get_mut(&server)
+            .ok_or(CjdbcError::UnknownBackend(server))?;
+        if b.status != BackendStatus::Syncing {
+            return Err(CjdbcError::WrongStatus(server, b.status));
+        }
+        b.status = BackendStatus::Disabled;
+        b.checkpoint = b.applied;
+        b.pending = 0;
+        Ok(())
+    }
+
+    /// Completes one replay batch. If more writes arrived since the batch
+    /// was taken, returns the next batch; otherwise the backend becomes
+    /// `Active` and `None` is returned.
+    pub fn finish_replay(
+        &mut self,
+        server: ServerId,
+    ) -> Result<Option<Vec<LogEntry>>, CjdbcError> {
+        let head = self.log.head();
+        let b = self
+            .backends
+            .get_mut(&server)
+            .ok_or(CjdbcError::UnknownBackend(server))?;
+        if b.status != BackendStatus::Syncing {
+            return Err(CjdbcError::WrongStatus(server, b.status));
+        }
+        // Everything up to the current checkpoint has now been applied.
+        b.applied = b.checkpoint;
+        if b.checkpoint < head {
+            let from = b.checkpoint;
+            b.checkpoint = head;
+            Ok(Some(self.log.entries_from(from).to_vec()))
+        } else {
+            b.status = BackendStatus::Active;
+            Ok(None)
+        }
+    }
+
+    /// Disables an active backend, recording its checkpoint ("the index
+    /// value in the recovery log corresponding to the last write request
+    /// that it has executed before being disabled", §4.1).
+    pub fn disable_backend(&mut self, server: ServerId) -> Result<(), CjdbcError> {
+        let head = self.log.head();
+        let b = self
+            .backends
+            .get_mut(&server)
+            .ok_or(CjdbcError::UnknownBackend(server))?;
+        if b.status != BackendStatus::Active {
+            return Err(CjdbcError::WrongStatus(server, b.status));
+        }
+        b.status = BackendStatus::Disabled;
+        b.checkpoint = head;
+        b.applied = head;
+        b.pending = 0;
+        Ok(())
+    }
+
+    /// Marks a backend failed: drops it to `Disabled` with its checkpoint
+    /// *reset to zero* — a crashed replica's disk state is not trusted, it
+    /// must perform a full resync (conservative model).
+    pub fn fail_backend(&mut self, server: ServerId) -> Result<(), CjdbcError> {
+        let b = self
+            .backends
+            .get_mut(&server)
+            .ok_or(CjdbcError::UnknownBackend(server))?;
+        b.status = BackendStatus::Disabled;
+        b.checkpoint = 0;
+        b.applied = 0;
+        b.pending = 0;
+        Ok(())
+    }
+
+    /// Status of one backend.
+    pub fn status(&self, server: ServerId) -> Result<BackendStatus, CjdbcError> {
+        self.backends
+            .get(&server)
+            .map(|b| b.status)
+            .ok_or(CjdbcError::UnknownBackend(server))
+    }
+
+    /// Checkpoint (next-unapplied log index) of one backend.
+    pub fn checkpoint(&self, server: ServerId) -> Result<u64, CjdbcError> {
+        self.backends
+            .get(&server)
+            .map(|b| b.checkpoint)
+            .ok_or(CjdbcError::UnknownBackend(server))
+    }
+
+    /// Active backends in id order.
+    pub fn active_backends(&self) -> Vec<ServerId> {
+        self.backends
+            .iter()
+            .filter(|(_, b)| b.status == BackendStatus::Active)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All registered backends in id order.
+    pub fn backends(&self) -> Vec<ServerId> {
+        self.backends.keys().copied().collect()
+    }
+
+    /// Number of active backends.
+    pub fn active_count(&self) -> usize {
+        self.backends
+            .values()
+            .filter(|b| b.status == BackendStatus::Active)
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Request routing
+    // ------------------------------------------------------------------
+
+    /// Routes a read to one active backend according to the policy.
+    pub fn route_read(&mut self, rng: &mut SimRng) -> Result<ServerId, CjdbcError> {
+        let active = self.active_backends();
+        if active.is_empty() {
+            return Err(CjdbcError::NoActiveBackend);
+        }
+        let chosen = match self.policy {
+            ReadPolicy::RoundRobin => {
+                let id = active[self.rr_cursor % active.len()];
+                self.rr_cursor = (self.rr_cursor + 1) % active.len().max(1);
+                id
+            }
+            ReadPolicy::Random => active[rng.below(active.len())],
+            ReadPolicy::LeastPending => active
+                .iter()
+                .copied()
+                .min_by_key(|id| self.backends[id].pending)
+                .expect("active is non-empty"),
+        };
+        self.backends.get_mut(&chosen).expect("chosen is known").pending += 1;
+        Ok(chosen)
+    }
+
+    /// Routes a write: appends it to the recovery log and returns the set
+    /// of active backends that must execute it (write broadcast). All
+    /// active backends' checkpoints advance — in this deterministic model
+    /// the broadcast is applied atomically with respect to membership
+    /// changes.
+    pub fn route_write(&mut self, stmt: Statement) -> Result<(u64, Vec<ServerId>), CjdbcError> {
+        let active = self.active_backends();
+        if active.is_empty() {
+            return Err(CjdbcError::NoActiveBackend);
+        }
+        let index = self.log.append(stmt);
+        for id in &active {
+            let b = self.backends.get_mut(id).expect("active is known");
+            b.checkpoint = index + 1;
+            b.applied = index + 1;
+            b.pending += 1;
+        }
+        Ok((index, active))
+    }
+
+    /// Records completion of a query on a backend (pending accounting for
+    /// the Least-Pending policy).
+    pub fn note_complete(&mut self, server: ServerId) {
+        if let Some(b) = self.backends.get_mut(&server) {
+            b.pending = b.pending.saturating_sub(1);
+        }
+    }
+
+    /// In-flight queries on a backend.
+    pub fn pending(&self, server: ServerId) -> usize {
+        self.backends.get(&server).map(|b| b.pending).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{row, Value};
+
+    fn write(i: i64) -> Statement {
+        Statement::Insert {
+            table: "t".into(),
+            row: row(&[("a", Value::Int(i))]),
+        }
+    }
+
+    fn controller_with_active(n: u32) -> CjdbcController {
+        let mut c = CjdbcController::new(ReadPolicy::RoundRobin);
+        for i in 0..n {
+            let id = ServerId(i);
+            c.register_backend(id);
+            let replay = c.begin_enable(id).unwrap();
+            assert!(replay.is_empty());
+            assert!(c.finish_replay(id).unwrap().is_none());
+        }
+        c
+    }
+
+    #[test]
+    fn fresh_backends_activate_without_replay() {
+        let c = controller_with_active(2);
+        assert_eq!(c.active_count(), 2);
+    }
+
+    #[test]
+    fn writes_broadcast_to_all_active() {
+        let mut c = controller_with_active(3);
+        let (idx, targets) = c.route_write(write(1)).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(targets.len(), 3);
+        assert_eq!(c.recovery_log().head(), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut c = controller_with_active(3);
+        let mut rng = SimRng::seed_from_u64(1);
+        let picks: Vec<ServerId> = (0..6).map(|_| c.route_read(&mut rng).unwrap()).collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn least_pending_prefers_idle_backend() {
+        let mut c = controller_with_active(2);
+        c.set_policy(ReadPolicy::LeastPending);
+        let mut rng = SimRng::seed_from_u64(1);
+        let first = c.route_read(&mut rng).unwrap();
+        // Backend `first` now has 1 pending; next read goes elsewhere.
+        let second = c.route_read(&mut rng).unwrap();
+        assert_ne!(first, second);
+        c.note_complete(first);
+        c.note_complete(second);
+        assert_eq!(c.pending(first), 0);
+    }
+
+    #[test]
+    fn read_with_no_active_backend_fails() {
+        let mut c = CjdbcController::new(ReadPolicy::Random);
+        c.register_backend(ServerId(0));
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(c.route_read(&mut rng), Err(CjdbcError::NoActiveBackend));
+    }
+
+    #[test]
+    fn late_joiner_gets_exact_backlog() {
+        let mut c = controller_with_active(1);
+        for i in 0..5 {
+            c.route_write(write(i)).unwrap();
+        }
+        let id = ServerId(9);
+        c.register_backend(id);
+        let replay = c.begin_enable(id).unwrap();
+        assert_eq!(replay.len(), 5);
+        assert_eq!(replay[0].index, 0);
+        assert_eq!(replay[4].index, 4);
+        assert!(c.finish_replay(id).unwrap().is_none());
+        assert_eq!(c.status(id).unwrap(), BackendStatus::Active);
+    }
+
+    #[test]
+    fn writes_during_sync_produce_second_batch() {
+        let mut c = controller_with_active(1);
+        c.route_write(write(0)).unwrap();
+        let id = ServerId(9);
+        c.register_backend(id);
+        let batch1 = c.begin_enable(id).unwrap();
+        assert_eq!(batch1.len(), 1);
+        // A write lands while the new backend replays batch 1. It goes to
+        // the active backend only (the syncing one is not in the broadcast
+        // set).
+        let (_, targets) = c.route_write(write(1)).unwrap();
+        assert!(!targets.contains(&id));
+        let batch2 = c.finish_replay(id).unwrap().expect("second batch");
+        assert_eq!(batch2.len(), 1);
+        assert_eq!(batch2[0].index, 1);
+        assert!(c.finish_replay(id).unwrap().is_none());
+        assert_eq!(c.status(id).unwrap(), BackendStatus::Active);
+    }
+
+    #[test]
+    fn disable_records_checkpoint_and_reenable_replays_only_missing() {
+        let mut c = controller_with_active(2);
+        c.route_write(write(0)).unwrap();
+        c.disable_backend(ServerId(1)).unwrap();
+        assert_eq!(c.checkpoint(ServerId(1)).unwrap(), 1);
+        // Two writes happen while disabled.
+        c.route_write(write(1)).unwrap();
+        c.route_write(write(2)).unwrap();
+        let replay = c.begin_enable(ServerId(1)).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[0].index, 1);
+    }
+
+    #[test]
+    fn failed_backend_resyncs_from_scratch() {
+        let mut c = controller_with_active(2);
+        c.route_write(write(0)).unwrap();
+        c.fail_backend(ServerId(1)).unwrap();
+        assert_eq!(c.checkpoint(ServerId(1)).unwrap(), 0);
+        let replay = c.begin_enable(ServerId(1)).unwrap();
+        assert_eq!(replay.len(), 1, "full log replayed after failure");
+    }
+
+    #[test]
+    fn abort_enable_restores_the_applied_checkpoint() {
+        let mut c = controller_with_active(1);
+        for i in 0..4 {
+            c.route_write(write(i)).unwrap();
+        }
+        let id = ServerId(9);
+        c.register_backend(id);
+        // Begin: batch covers entries 0..4; abort before acknowledging.
+        let batch = c.begin_enable(id).unwrap();
+        assert_eq!(batch.len(), 4);
+        c.abort_enable(id).unwrap();
+        assert_eq!(c.status(id).unwrap(), BackendStatus::Disabled);
+        assert_eq!(c.checkpoint(id).unwrap(), 0, "nothing acknowledged");
+        // Re-enable replays the same suffix — no entry lost or doubled.
+        let batch = c.begin_enable(id).unwrap();
+        assert_eq!(batch.len(), 4);
+        // Acknowledge the first batch, then writes arrive, then abort:
+        // the checkpoint keeps the acknowledged prefix.
+        let (_, _) = c.route_write(write(100)).unwrap();
+        let next = c.finish_replay(id).unwrap().expect("second batch");
+        assert_eq!(next.len(), 1);
+        c.abort_enable(id).unwrap();
+        assert_eq!(c.checkpoint(id).unwrap(), 4, "first batch acknowledged");
+        // Final enable replays only the unacknowledged suffix.
+        let batch = c.begin_enable(id).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].index, 4);
+    }
+
+    #[test]
+    fn disable_then_reenable_replays_only_the_gap() {
+        // The paper's §4.1 symmetric removal: disable keeps the trace.
+        let mut c = controller_with_active(2);
+        c.route_write(write(0)).unwrap();
+        c.disable_backend(ServerId(1)).unwrap();
+        for i in 1..4 {
+            c.route_write(write(i)).unwrap();
+        }
+        let replay = c.begin_enable(ServerId(1)).unwrap();
+        let indices: Vec<u64> = replay.iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![1, 2, 3], "exactly the missed suffix");
+    }
+
+    #[test]
+    fn membership_errors() {
+        let mut c = controller_with_active(1);
+        assert!(matches!(
+            c.begin_enable(ServerId(42)),
+            Err(CjdbcError::UnknownBackend(_))
+        ));
+        assert!(matches!(
+            c.begin_enable(ServerId(0)),
+            Err(CjdbcError::WrongStatus(_, BackendStatus::Active))
+        ));
+        assert!(matches!(
+            c.finish_replay(ServerId(0)),
+            Err(CjdbcError::WrongStatus(_, BackendStatus::Active))
+        ));
+        c.disable_backend(ServerId(0)).unwrap();
+        assert!(matches!(
+            c.disable_backend(ServerId(0)),
+            Err(CjdbcError::WrongStatus(_, BackendStatus::Disabled))
+        ));
+    }
+}

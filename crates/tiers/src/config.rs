@@ -1,0 +1,186 @@
+//! Simulated legacy configuration artifacts.
+//!
+//! The whole point of Jade's wrappers is that they hide "software-specific,
+//! hand-managed configuration files" (paper §3.2) — so the reproduction
+//! keeps those files around: wrappers render real `httpd.conf`,
+//! `worker.properties`, `my.cnf`… content into a per-node configuration
+//! store, and the qualitative evaluation (§5.1) can diff the manual
+//! procedure against Jade's four component operations.
+
+use jade_cluster::NodeId;
+use std::collections::BTreeMap;
+
+/// Per-node file store: `(node, path) -> contents`.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigStore {
+    files: BTreeMap<(NodeId, String), String>,
+    /// Number of writes ever performed (a cost proxy for manual edits).
+    writes: u64,
+}
+
+impl ConfigStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (replaces) a file.
+    pub fn write(&mut self, node: NodeId, path: &str, contents: String) {
+        self.files.insert((node, path.to_owned()), contents);
+        self.writes += 1;
+    }
+
+    /// Reads a file.
+    pub fn read(&self, node: NodeId, path: &str) -> Option<&str> {
+        self.files.get(&(node, path.to_owned())).map(String::as_str)
+    }
+
+    /// Removes a file.
+    pub fn remove(&mut self, node: NodeId, path: &str) {
+        self.files.remove(&(node, path.to_owned()));
+    }
+
+    /// Paths present on a node.
+    pub fn paths_on(&self, node: NodeId) -> Vec<&str> {
+        self.files
+            .keys()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, p)| p.as_str())
+            .collect()
+    }
+
+    /// Total number of file writes performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// A worker entry for `worker.properties` (Apache→Tomcat via mod_jk) or
+/// the PLB worker list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerEntry {
+    /// Worker symbolic name.
+    pub name: String,
+    /// Target host.
+    pub host: String,
+    /// Target port.
+    pub port: u16,
+}
+
+/// Renders `worker.properties` the way the paper shows it (§5.1):
+///
+/// ```text
+/// worker.worker.port=8098
+/// worker.worker.host=node3
+/// worker.worker.type=ajp13
+/// ...
+/// ```
+pub fn render_worker_properties(entries: &[WorkerEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!("worker.{}.port={}\n", e.name, e.port));
+        out.push_str(&format!("worker.{}.host={}\n", e.name, e.host));
+        out.push_str(&format!("worker.{}.type=ajp13\n", e.name));
+        out.push_str(&format!("worker.{}.lbfactor=100\n", e.name));
+    }
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    out.push_str(&format!("worker.list={}, loadbalancer\n", names.join(", ")));
+    out.push_str("worker.loadbalancer.type=lb\n");
+    out.push_str(&format!(
+        "worker.loadbalancer.balanced_workers={}\n",
+        names.join(", ")
+    ));
+    out
+}
+
+/// Renders a minimal `httpd.conf`.
+pub fn render_httpd_conf(server_name: &str, port: u16, doc_root: &str) -> String {
+    format!(
+        "ServerName {server_name}\nListen {port}\nDocumentRoot \"{doc_root}\"\nKeepAlive On\n"
+    )
+}
+
+/// Renders a minimal `my.cnf`.
+pub fn render_my_cnf(port: u16, datadir: &str) -> String {
+    format!("[mysqld]\nport={port}\ndatadir={datadir}\nmax_connections=500\n")
+}
+
+/// Renders a PLB configuration listing backend workers.
+pub fn render_plb_conf(listen_port: u16, workers: &[WorkerEntry]) -> String {
+    let mut out = format!("listen 0.0.0.0:{listen_port}\n");
+    for w in workers {
+        out.push_str(&format!("server {}:{}\n", w.host, w.port));
+    }
+    out
+}
+
+/// Renders a C-JDBC virtual-database descriptor naming its backends.
+pub fn render_cjdbc_xml(vdb: &str, backends: &[WorkerEntry]) -> String {
+    let mut out = format!("<C-JDBC>\n  <VirtualDatabase name=\"{vdb}\">\n");
+    out.push_str("    <RAIDb-1>\n");
+    for b in backends {
+        out.push_str(&format!(
+            "      <DatabaseBackend name=\"{}\" url=\"jdbc:mysql://{}:{}/{vdb}\"/>\n",
+            b.name, b.host, b.port
+        ));
+    }
+    out.push_str("    </RAIDb-1>\n  </VirtualDatabase>\n</C-JDBC>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_properties_matches_paper_syntax() {
+        let rendered = render_worker_properties(&[WorkerEntry {
+            name: "worker".into(),
+            host: "node3".into(),
+            port: 8098,
+        }]);
+        // Exactly the §5.1 lines.
+        assert!(rendered.contains("worker.worker.port=8098"));
+        assert!(rendered.contains("worker.worker.host=node3"));
+        assert!(rendered.contains("worker.worker.type=ajp13"));
+        assert!(rendered.contains("worker.worker.lbfactor=100"));
+        assert!(rendered.contains("worker.list=worker, loadbalancer"));
+        assert!(rendered.contains("worker.loadbalancer.type=lb"));
+        assert!(rendered.contains("worker.loadbalancer.balanced_workers=worker"));
+    }
+
+    #[test]
+    fn store_roundtrip_and_write_count() {
+        let mut store = ConfigStore::new();
+        store.write(NodeId(1), "conf/httpd.conf", render_httpd_conf("node1", 80, "/www"));
+        assert!(store.read(NodeId(1), "conf/httpd.conf").unwrap().contains("Listen 80"));
+        assert!(store.read(NodeId(2), "conf/httpd.conf").is_none());
+        store.write(NodeId(1), "conf/httpd.conf", render_httpd_conf("node1", 8080, "/www"));
+        assert_eq!(store.write_count(), 2);
+        assert_eq!(store.paths_on(NodeId(1)), vec!["conf/httpd.conf"]);
+        store.remove(NodeId(1), "conf/httpd.conf");
+        assert!(store.paths_on(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn cjdbc_descriptor_lists_backends() {
+        let xml = render_cjdbc_xml(
+            "rubis",
+            &[
+                WorkerEntry {
+                    name: "backend1".into(),
+                    host: "node5".into(),
+                    port: 3306,
+                },
+                WorkerEntry {
+                    name: "backend2".into(),
+                    host: "node6".into(),
+                    port: 3306,
+                },
+            ],
+        );
+        assert!(xml.contains("jdbc:mysql://node5:3306/rubis"));
+        assert!(xml.contains("jdbc:mysql://node6:3306/rubis"));
+        assert!(xml.contains("RAIDb-1"));
+    }
+}

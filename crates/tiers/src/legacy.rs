@@ -1,0 +1,1024 @@
+//! The legacy layer: every server process of the J2EE architecture plus
+//! the cluster substrate, aggregated behind one value.
+//!
+//! This is the environment type `E` that the Fractal wrappers
+//! ([`crate::wrappers`]) reflect control operations onto — the Rust
+//! counterpart of the JVM processes, shell scripts and configuration files
+//! Jade manipulated. The simulation application (jade-core) owns a
+//! [`LegacyLayer`] and routes virtual-time events through it.
+//!
+//! Operations that take real time (server boot, recovery-log replay) do
+//! not block: they push a delayed [`LegacyEvent`] into an outbox that the
+//! enclosing simulation drains into its event queue.
+
+use crate::apache::ApacheServer;
+use crate::balancer::{BalancePolicy, HttpBalancer};
+use crate::cjdbc::{BackendStatus, CjdbcController, CjdbcError, ReadPolicy};
+use crate::mysql::MysqlServer;
+use crate::recovery::LogEntry;
+use crate::server::{ServerId, ServerProcess, ServerState, Tier};
+use crate::tomcat::TomcatServer;
+use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
+use jade_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// One legacy server process of any tier.
+#[derive(Debug)]
+pub enum LegacyServer {
+    /// Apache httpd.
+    Apache(ApacheServer),
+    /// Tomcat servlet container.
+    Tomcat(TomcatServer),
+    /// MySQL replica.
+    Mysql(MysqlServer),
+    /// C-JDBC database load balancer + consistency manager.
+    Cjdbc {
+        /// Common process state.
+        process: ServerProcess,
+        /// JDBC listen port.
+        port: u16,
+        /// Controller state (membership, recovery log, scheduling).
+        ctrl: CjdbcController,
+        /// CPU demand on the C-JDBC node to route one query.
+        routing_demand: SimDuration,
+    },
+    /// PLB HTTP load balancer.
+    Plb {
+        /// Common process state.
+        process: ServerProcess,
+        /// HTTP listen port.
+        port: u16,
+        /// Worker rotation.
+        balancer: HttpBalancer,
+    },
+    /// L4 switch in front of replicated Apache servers.
+    L4Switch {
+        /// Common process state.
+        process: ServerProcess,
+        /// Worker rotation.
+        balancer: HttpBalancer,
+    },
+}
+
+impl LegacyServer {
+    /// Common process record.
+    pub fn process(&self) -> &ServerProcess {
+        match self {
+            LegacyServer::Apache(s) => &s.process,
+            LegacyServer::Tomcat(s) => &s.process,
+            LegacyServer::Mysql(s) => &s.process,
+            LegacyServer::Cjdbc { process, .. } => process,
+            LegacyServer::Plb { process, .. } => process,
+            LegacyServer::L4Switch { process, .. } => process,
+        }
+    }
+
+    /// Mutable process record.
+    pub fn process_mut(&mut self) -> &mut ServerProcess {
+        match self {
+            LegacyServer::Apache(s) => &mut s.process,
+            LegacyServer::Tomcat(s) => &mut s.process,
+            LegacyServer::Mysql(s) => &mut s.process,
+            LegacyServer::Cjdbc { process, .. } => process,
+            LegacyServer::Plb { process, .. } => process,
+            LegacyServer::L4Switch { process, .. } => process,
+        }
+    }
+
+    /// Software package implementing this server.
+    pub fn package(&self) -> &'static str {
+        match self {
+            LegacyServer::Apache(_) => "apache",
+            LegacyServer::Tomcat(_) => "tomcat",
+            LegacyServer::Mysql(_) => "mysql",
+            LegacyServer::Cjdbc { .. } => "cjdbc",
+            LegacyServer::Plb { .. } => "plb",
+            LegacyServer::L4Switch { .. } => "plb", // same class of software
+        }
+    }
+
+    /// Listen port, where meaningful.
+    pub fn port(&self) -> u16 {
+        match self {
+            LegacyServer::Apache(s) => s.port,
+            LegacyServer::Tomcat(s) => s.port,
+            LegacyServer::Mysql(s) => s.port,
+            LegacyServer::Cjdbc { port, .. } => *port,
+            LegacyServer::Plb { port, .. } => *port,
+            LegacyServer::L4Switch { .. } => 80,
+        }
+    }
+}
+
+/// Deferred consequences of legacy operations, delivered by the enclosing
+/// simulation after the given delay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegacyEvent {
+    /// A starting server finished booting (caller must invoke
+    /// [`LegacyLayer::finish_boot`]).
+    ServerBooted(ServerId),
+    /// A server stopped; in-flight requests on it are lost.
+    ServerStopped(ServerId),
+    /// A server failed (crash).
+    ServerFailed(ServerId),
+    /// A recovery-log replay batch finished transferring/executing; the
+    /// caller must invoke [`LegacyLayer::cjdbc_replay_batch_done`].
+    ReplayBatchDone {
+        /// The C-JDBC controller server.
+        cjdbc: ServerId,
+        /// The backend being synchronized.
+        backend: ServerId,
+    },
+    /// A backend finished state reconciliation and is now active.
+    BackendActivated {
+        /// The C-JDBC controller server.
+        cjdbc: ServerId,
+        /// The newly active backend.
+        backend: ServerId,
+    },
+}
+
+/// Errors from legacy-layer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegacyError {
+    /// Unknown server id.
+    NoSuchServer(ServerId),
+    /// The server is the wrong kind for the operation.
+    WrongKind(ServerId),
+    /// Life-cycle violation.
+    BadState(ServerId, ServerState),
+    /// Required software not installed on the node.
+    NotInstalled(ServerId, &'static str),
+    /// Node is down.
+    NodeDown(NodeId),
+    /// Forwarded C-JDBC error.
+    Cjdbc(CjdbcError),
+    /// Forwarded balancer error.
+    Balancer(crate::balancer::BalancerError),
+    /// Forwarded cluster error.
+    Cluster(jade_cluster::ClusterError),
+}
+
+impl std::fmt::Display for LegacyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegacyError::NoSuchServer(id) => write!(f, "no such server {id:?}"),
+            LegacyError::WrongKind(id) => write!(f, "server {id:?} has the wrong kind"),
+            LegacyError::BadState(id, s) => write!(f, "server {id:?} is in state {s:?}"),
+            LegacyError::NotInstalled(id, pkg) => {
+                write!(f, "server {id:?}: package '{pkg}' is not installed")
+            }
+            LegacyError::NodeDown(n) => write!(f, "node {n:?} is down"),
+            LegacyError::Cjdbc(e) => write!(f, "c-jdbc: {e}"),
+            LegacyError::Balancer(e) => write!(f, "balancer: {e}"),
+            LegacyError::Cluster(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LegacyError {}
+
+impl From<CjdbcError> for LegacyError {
+    fn from(e: CjdbcError) -> Self {
+        LegacyError::Cjdbc(e)
+    }
+}
+impl From<crate::balancer::BalancerError> for LegacyError {
+    fn from(e: crate::balancer::BalancerError) -> Self {
+        LegacyError::Balancer(e)
+    }
+}
+impl From<jade_cluster::ClusterError> for LegacyError {
+    fn from(e: jade_cluster::ClusterError) -> Self {
+        LegacyError::Cluster(e)
+    }
+}
+
+/// The whole legacy world.
+#[derive(Debug)]
+pub struct LegacyLayer {
+    /// Node pool (Cluster Manager substrate).
+    pub cluster: ClusterManager,
+    /// LAN model.
+    pub net: Network,
+    /// Software Installation Service.
+    pub sis: SoftwareInstallationService,
+    /// Per-node configuration artifacts.
+    pub configs: crate::config::ConfigStore,
+    servers: BTreeMap<ServerId, LegacyServer>,
+    next_server: u32,
+    outbox: Vec<(SimDuration, LegacyEvent)>,
+    pending_replays: BTreeMap<(ServerId, ServerId), Vec<LogEntry>>,
+    /// Base database image restored into every new MySQL replica before
+    /// it joins the cluster. The cluster-wide invariant is
+    /// `base image + recovery log = current state`: writes issued after
+    /// the image was taken are covered by the log. Rebuilding the C-JDBC
+    /// controller re-snapshots this image from a current replica (the
+    /// lost log can no longer bridge from the original dataset dump).
+    mysql_base: crate::storage::Database,
+    /// Time to transfer + execute one recovery-log entry during resync.
+    pub replay_cost_per_entry: SimDuration,
+    /// Fixed cost to set up a resync session.
+    pub replay_setup_cost: SimDuration,
+}
+
+impl LegacyLayer {
+    /// Creates a legacy layer over a cluster.
+    pub fn new(cluster: ClusterManager, net: Network, sis: SoftwareInstallationService) -> Self {
+        LegacyLayer {
+            cluster,
+            net,
+            sis,
+            configs: crate::config::ConfigStore::new(),
+            servers: BTreeMap::new(),
+            next_server: 0,
+            outbox: Vec::new(),
+            pending_replays: BTreeMap::new(),
+            mysql_base: crate::storage::Database::new(),
+            replay_cost_per_entry: SimDuration::from_micros(500),
+            replay_setup_cost: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Sets the base image restored into new MySQL replicas by executing
+    /// a statement dump into a fresh database.
+    pub fn set_mysql_dump(&mut self, dump: Vec<crate::sql::Statement>) {
+        let mut db = crate::storage::Database::new();
+        for stmt in &dump {
+            let _ = db.execute(stmt);
+        }
+        self.mysql_base = db;
+    }
+
+    /// Re-snapshots the base image from a live replica's current state
+    /// (used when the recovery log was lost with its controller).
+    pub fn set_mysql_base_from(&mut self, source: ServerId) -> Result<(), LegacyError> {
+        self.mysql_base = self.mysql(source)?.db.clone();
+        Ok(())
+    }
+
+    fn fresh_id(&mut self) -> ServerId {
+        let id = ServerId(self.next_server);
+        self.next_server += 1;
+        id
+    }
+
+    /// Drains deferred events; the simulation schedules them.
+    pub fn drain_outbox(&mut self) -> Vec<(SimDuration, LegacyEvent)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------------------
+    // Server creation / removal
+    // ------------------------------------------------------------------
+
+    /// Creates a stopped Apache process on `node`.
+    pub fn create_apache(&mut self, name: &str, node: NodeId) -> ServerId {
+        let id = self.fresh_id();
+        self.servers
+            .insert(id, LegacyServer::Apache(ApacheServer::new(id, name, node)));
+        id
+    }
+
+    /// Creates a stopped Tomcat process on `node`.
+    pub fn create_tomcat(&mut self, name: &str, node: NodeId) -> ServerId {
+        let id = self.fresh_id();
+        self.servers
+            .insert(id, LegacyServer::Tomcat(TomcatServer::new(id, name, node)));
+        id
+    }
+
+    /// Creates a stopped MySQL process on `node`, restoring the base
+    /// image into its storage.
+    pub fn create_mysql(&mut self, name: &str, node: NodeId) -> ServerId {
+        let id = self.fresh_id();
+        let mut server = MysqlServer::new(id, name, node);
+        server.db = self.mysql_base.clone();
+        self.servers.insert(id, LegacyServer::Mysql(server));
+        id
+    }
+
+    /// Creates a stopped C-JDBC controller on `node`.
+    pub fn create_cjdbc(&mut self, name: &str, node: NodeId, policy: ReadPolicy) -> ServerId {
+        let id = self.fresh_id();
+        self.servers.insert(
+            id,
+            LegacyServer::Cjdbc {
+                process: ServerProcess::new(id, name, node, Tier::Balancer),
+                port: 25322,
+                ctrl: CjdbcController::new(policy),
+                routing_demand: SimDuration::from_micros(200),
+            },
+        );
+        id
+    }
+
+    /// Creates a stopped PLB load balancer on `node`.
+    pub fn create_plb(&mut self, name: &str, node: NodeId, policy: BalancePolicy) -> ServerId {
+        let id = self.fresh_id();
+        self.servers.insert(
+            id,
+            LegacyServer::Plb {
+                process: ServerProcess::new(id, name, node, Tier::Balancer),
+                port: 8080,
+                balancer: HttpBalancer::new(policy),
+            },
+        );
+        id
+    }
+
+    /// Creates a stopped L4 switch on `node`.
+    pub fn create_l4switch(&mut self, name: &str, node: NodeId, policy: BalancePolicy) -> ServerId {
+        let id = self.fresh_id();
+        self.servers.insert(
+            id,
+            LegacyServer::L4Switch {
+                process: ServerProcess::new(id, name, node, Tier::Balancer),
+                balancer: HttpBalancer::new(policy),
+            },
+        );
+        id
+    }
+
+    /// Destroys a stopped server process.
+    pub fn remove_server(&mut self, id: ServerId) -> Result<(), LegacyError> {
+        let s = self.server(id)?;
+        let state = s.process().state;
+        if state != ServerState::Stopped && state != ServerState::Failed {
+            return Err(LegacyError::BadState(id, state));
+        }
+        self.servers.remove(&id);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Shared access to a server.
+    pub fn server(&self, id: ServerId) -> Result<&LegacyServer, LegacyError> {
+        self.servers.get(&id).ok_or(LegacyError::NoSuchServer(id))
+    }
+
+    /// Mutable access to a server.
+    pub fn server_mut(&mut self, id: ServerId) -> Result<&mut LegacyServer, LegacyError> {
+        self.servers
+            .get_mut(&id)
+            .ok_or(LegacyError::NoSuchServer(id))
+    }
+
+    /// All server ids, in creation order.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.servers.keys().copied().collect()
+    }
+
+    /// Running servers of a tier.
+    pub fn running_servers_of(&self, tier: Tier) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.process().tier == tier && s.process().state.is_running())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Nodes hosting running servers of a tier (the node set a CPU sensor
+    /// aggregates over).
+    pub fn nodes_of_tier(&self, tier: Tier) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .servers
+            .values()
+            .filter(|s| s.process().tier == tier && s.process().state.is_running())
+            .map(|s| s.process().node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Typed accessor: Tomcat.
+    pub fn tomcat_mut(&mut self, id: ServerId) -> Result<&mut TomcatServer, LegacyError> {
+        match self.server_mut(id)? {
+            LegacyServer::Tomcat(t) => Ok(t),
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Typed accessor: MySQL.
+    pub fn mysql_mut(&mut self, id: ServerId) -> Result<&mut MysqlServer, LegacyError> {
+        match self.server_mut(id)? {
+            LegacyServer::Mysql(m) => Ok(m),
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Typed accessor: MySQL (shared).
+    pub fn mysql(&self, id: ServerId) -> Result<&MysqlServer, LegacyError> {
+        match self.server(id)? {
+            LegacyServer::Mysql(m) => Ok(m),
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Typed accessor: the C-JDBC controller.
+    pub fn cjdbc_mut(&mut self, id: ServerId) -> Result<&mut CjdbcController, LegacyError> {
+        match self.server_mut(id)? {
+            LegacyServer::Cjdbc { ctrl, .. } => Ok(ctrl),
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Typed accessor: the C-JDBC controller (shared).
+    pub fn cjdbc(&self, id: ServerId) -> Result<&CjdbcController, LegacyError> {
+        match self.server(id)? {
+            LegacyServer::Cjdbc { ctrl, .. } => Ok(ctrl),
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Typed accessor: a balancer (PLB or L4 switch).
+    pub fn balancer_mut(&mut self, id: ServerId) -> Result<&mut HttpBalancer, LegacyError> {
+        match self.server_mut(id)? {
+            LegacyServer::Plb { balancer, .. } | LegacyServer::L4Switch { balancer, .. } => {
+                Ok(balancer)
+            }
+            _ => Err(LegacyError::WrongKind(id)),
+        }
+    }
+
+    /// Host name of the node a server runs on.
+    pub fn host_of(&self, id: ServerId) -> Result<String, LegacyError> {
+        let node = self.server(id)?.process().node;
+        Ok(self
+            .cluster
+            .node(node)
+            .map(|n| n.name().to_owned())
+            .unwrap_or_else(|_| format!("{node:?}")))
+    }
+
+    // ------------------------------------------------------------------
+    // Life-cycle
+    // ------------------------------------------------------------------
+
+    /// Starts a server: requires its package installed and the node up.
+    /// The server enters `Starting` and a [`LegacyEvent::ServerBooted`]
+    /// fires after the package's boot latency.
+    pub fn start_server(&mut self, id: ServerId) -> Result<(), LegacyError> {
+        let (node, pkg, state) = {
+            let s = self.server(id)?;
+            (s.process().node, s.package(), s.process().state)
+        };
+        if state != ServerState::Stopped {
+            return Err(LegacyError::BadState(id, state));
+        }
+        let n = self.cluster.node(node)?;
+        if !n.is_up() {
+            return Err(LegacyError::NodeDown(node));
+        }
+        if !n.has_package(pkg) {
+            return Err(LegacyError::NotInstalled(id, pkg));
+        }
+        let boot = self.sis.startup_latency(pkg);
+        self.server_mut(id)?.process_mut().state = ServerState::Starting;
+        self.outbox.push((boot, LegacyEvent::ServerBooted(id)));
+        Ok(())
+    }
+
+    /// Completes a boot (`Starting` → `Running`). Called when the
+    /// `ServerBooted` event is delivered; a server stopped mid-boot stays
+    /// stopped.
+    pub fn finish_boot(&mut self, id: ServerId) -> Result<bool, LegacyError> {
+        let p = self.server_mut(id)?.process_mut();
+        if p.state == ServerState::Starting {
+            p.state = ServerState::Running;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Stops a server (graceful shutdown script). Emits `ServerStopped`
+    /// immediately; the simulation fails whatever was in flight.
+    pub fn stop_server(&mut self, id: ServerId) -> Result<(), LegacyError> {
+        let state = self.server(id)?.process().state;
+        match state {
+            ServerState::Stopped => Ok(()), // idempotent
+            ServerState::Failed => {
+                self.server_mut(id)?.process_mut().state = ServerState::Stopped;
+                Ok(())
+            }
+            ServerState::Running | ServerState::Starting => {
+                self.server_mut(id)?.process_mut().state = ServerState::Stopped;
+                if let LegacyServer::Tomcat(t) = self.server_mut(id)? {
+                    t.active = 0;
+                }
+                self.outbox
+                    .push((SimDuration::ZERO, LegacyEvent::ServerStopped(id)));
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks a server failed (process crash), emitting `ServerFailed`.
+    pub fn fail_server(&mut self, id: ServerId) -> Result<(), LegacyError> {
+        self.server_mut(id)?.process_mut().state = ServerState::Failed;
+        self.outbox
+            .push((SimDuration::ZERO, LegacyEvent::ServerFailed(id)));
+        Ok(())
+    }
+
+    /// Crashes a node: fails every server hosted on it and aborts all its
+    /// CPU jobs, returning the aborted job ids.
+    pub fn crash_node(&mut self, node: NodeId, now: SimTime) -> Vec<jade_sim::JobId> {
+        let victims: Vec<ServerId> = self
+            .servers
+            .iter()
+            .filter(|(_, s)| s.process().node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            let _ = self.fail_server(id);
+        }
+        match self.cluster.node_mut(node) {
+            Ok(n) => n.crash(now),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C-JDBC operations (membership + routing + state reconciliation)
+    // ------------------------------------------------------------------
+
+    /// Registers a MySQL replica as a (disabled) backend.
+    pub fn cjdbc_register_backend(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        self.mysql_mut(backend)?; // type check
+        self.cjdbc_mut(cjdbc)?.register_backend(backend);
+        Ok(())
+    }
+
+    /// Unregisters a backend.
+    pub fn cjdbc_unregister_backend(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        self.cjdbc_mut(cjdbc)?.unregister_backend(backend);
+        Ok(())
+    }
+
+    /// Begins enabling a backend: computes the recovery-log backlog and
+    /// schedules the first replay batch. The backend must be `Running`.
+    pub fn cjdbc_enable_backend(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        let state = self.server(backend)?.process().state;
+        if !state.is_running() {
+            return Err(LegacyError::BadState(backend, state));
+        }
+        let batch = self.cjdbc_mut(cjdbc)?.begin_enable(backend)?;
+        let delay = self.replay_setup_cost + self.replay_cost_per_entry.mul_f64(batch.len() as f64);
+        self.pending_replays.insert((cjdbc, backend), batch);
+        self.outbox
+            .push((delay, LegacyEvent::ReplayBatchDone { cjdbc, backend }));
+        Ok(())
+    }
+
+    /// Completes one replay batch: applies the buffered statements to the
+    /// backend's storage, then either schedules the next batch (writes
+    /// arrived during replay) or activates the backend.
+    pub fn cjdbc_replay_batch_done(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        // The sync session is only valid while this controller still
+        // exists and still considers the backend Syncing. A batch from a
+        // dead controller (repaired mid-sync) must be dropped, not
+        // applied — the replacement controller restarted reconciliation
+        // from a restored state.
+        let still_syncing = self
+            .cjdbc(cjdbc)
+            .ok()
+            .and_then(|c| c.status(backend).ok())
+            == Some(BackendStatus::Syncing);
+        if !still_syncing {
+            self.pending_replays.remove(&(cjdbc, backend));
+            return Ok(());
+        }
+        let batch = self
+            .pending_replays
+            .remove(&(cjdbc, backend))
+            .unwrap_or_default();
+        {
+            let m = self.mysql_mut(backend)?;
+            for entry in &batch {
+                // Replay tolerates individual statement errors the same way
+                // C-JDBC does (the write already succeeded cluster-wide).
+                let _ = m.execute(&entry.statement);
+            }
+        }
+        match self.cjdbc_mut(cjdbc)?.finish_replay(backend)? {
+            Some(next) => {
+                let delay = self.replay_cost_per_entry.mul_f64(next.len() as f64);
+                self.pending_replays.insert((cjdbc, backend), next);
+                self.outbox
+                    .push((delay, LegacyEvent::ReplayBatchDone { cjdbc, backend }));
+            }
+            None => {
+                self.outbox.push((
+                    SimDuration::ZERO,
+                    LegacyEvent::BackendActivated { cjdbc, backend },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts an in-progress backend synchronization, discarding the
+    /// pending replay batch (the backend returns to `Disabled` at its
+    /// last applied index).
+    pub fn cjdbc_abort_enable(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        self.cjdbc_mut(cjdbc)?.abort_enable(backend)?;
+        self.pending_replays.remove(&(cjdbc, backend));
+        Ok(())
+    }
+
+    /// Disables an active backend (checkpointing its log position).
+    pub fn cjdbc_disable_backend(
+        &mut self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<(), LegacyError> {
+        self.cjdbc_mut(cjdbc)?.disable_backend(backend)?;
+        Ok(())
+    }
+
+    /// Routes a read to one active backend and executes it there,
+    /// returning the backend and the CPU demand to charge.
+    pub fn cjdbc_execute_read(
+        &mut self,
+        cjdbc: ServerId,
+        op: &crate::request::SqlOp,
+        rng: &mut SimRng,
+    ) -> Result<(ServerId, SimDuration), LegacyError> {
+        debug_assert!(!op.is_write());
+        let state = self.server(cjdbc)?.process().state;
+        if !state.is_running() {
+            return Err(LegacyError::BadState(cjdbc, state));
+        }
+        let backend = self.cjdbc_mut(cjdbc)?.route_read(rng)?;
+        let m = self.mysql_mut(backend)?;
+        let _ = m.execute(&op.statement);
+        Ok((backend, op.demand))
+    }
+
+    /// Broadcasts a write to all active backends, appending it to the
+    /// recovery log; returns the per-backend CPU demands to charge.
+    pub fn cjdbc_execute_write(
+        &mut self,
+        cjdbc: ServerId,
+        op: &crate::request::SqlOp,
+    ) -> Result<Vec<(ServerId, SimDuration)>, LegacyError> {
+        debug_assert!(op.is_write());
+        let state = self.server(cjdbc)?.process().state;
+        if !state.is_running() {
+            return Err(LegacyError::BadState(cjdbc, state));
+        }
+        let (_, targets) = self
+            .cjdbc_mut(cjdbc)?
+            .route_write(op.statement.clone())?;
+        for &b in &targets {
+            let m = self.mysql_mut(b)?;
+            let _ = m.execute(&op.statement);
+        }
+        Ok(targets.into_iter().map(|b| (b, op.demand)).collect())
+    }
+
+    /// Restores `target`'s database from a dump of `source` (C-JDBC's
+    /// backup/restore path, used when the recovery log cannot cover the
+    /// gap — e.g. after losing the controller while `target` was
+    /// synchronizing).
+    pub fn mysql_restore_from(
+        &mut self,
+        source: ServerId,
+        target: ServerId,
+    ) -> Result<(), LegacyError> {
+        let snapshot = self.mysql(source)?.db.clone();
+        self.mysql_mut(target)?.db = snapshot;
+        Ok(())
+    }
+
+    /// Marks a query complete on a backend (pending accounting).
+    pub fn cjdbc_note_complete(&mut self, cjdbc: ServerId, backend: ServerId) {
+        if let Ok(ctrl) = self.cjdbc_mut(cjdbc) {
+            ctrl.note_complete(backend);
+        }
+    }
+
+    /// Status of a backend as seen by the controller.
+    pub fn cjdbc_backend_status(
+        &self,
+        cjdbc: ServerId,
+        backend: ServerId,
+    ) -> Result<BackendStatus, LegacyError> {
+        Ok(self.cjdbc(cjdbc)?.status(backend)?)
+    }
+
+    // ------------------------------------------------------------------
+    // HTTP balancer routing
+    // ------------------------------------------------------------------
+
+    /// Routes an HTTP request through a balancer to a *running* worker,
+    /// skipping workers that are down (PLB health checking). Fails when
+    /// the balancer process itself is not running.
+    pub fn balancer_route_running(
+        &mut self,
+        balancer_id: ServerId,
+        rng: &mut SimRng,
+    ) -> Result<ServerId, LegacyError> {
+        let state = self.server(balancer_id)?.process().state;
+        if !state.is_running() {
+            return Err(LegacyError::BadState(balancer_id, state));
+        }
+        let attempts = self.balancer_mut(balancer_id)?.len().max(1);
+        for _ in 0..attempts {
+            let worker = self.balancer_mut(balancer_id)?.route(rng)?;
+            if self.server(worker)?.process().state.is_running() {
+                return Ok(worker);
+            }
+        }
+        Err(LegacyError::Balancer(
+            crate::balancer::BalancerError::NoWorker,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SqlOp;
+    use crate::sql::{row, Statement, Value};
+    use jade_cluster::{NodeSpec, SoftwareRepository};
+
+    fn layer(nodes: usize) -> LegacyLayer {
+        let cluster = ClusterManager::homogeneous(nodes, NodeSpec::default(), 128);
+        let sis = SoftwareInstallationService::new(SoftwareRepository::j2ee_catalogue());
+        LegacyLayer::new(cluster, Network::lan_100mbps(), sis)
+    }
+
+    fn install(l: &mut LegacyLayer, node: NodeId, pkg: &str) {
+        l.sis
+            .install(&mut l.cluster, node, pkg)
+            .map(|_| ())
+            .unwrap_or_else(|e| panic!("install {pkg}: {e}"));
+    }
+
+    #[test]
+    fn start_requires_installed_package() {
+        let mut l = layer(2);
+        let t = l.create_tomcat("Tomcat1", NodeId(0));
+        assert!(matches!(
+            l.start_server(t),
+            Err(LegacyError::NotInstalled(_, "tomcat"))
+        ));
+        install(&mut l, NodeId(0), "tomcat");
+        l.start_server(t).unwrap();
+        assert_eq!(l.server(t).unwrap().process().state, ServerState::Starting);
+        let events = l.drain_outbox();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].1, LegacyEvent::ServerBooted(t));
+        assert!(l.finish_boot(t).unwrap());
+        assert!(l.server(t).unwrap().process().state.is_running());
+    }
+
+    #[test]
+    fn stop_mid_boot_cancels_running_transition() {
+        let mut l = layer(1);
+        let t = l.create_tomcat("Tomcat1", NodeId(0));
+        install(&mut l, NodeId(0), "tomcat");
+        l.start_server(t).unwrap();
+        l.stop_server(t).unwrap();
+        // The booted event fires later but must not resurrect the server.
+        assert!(!l.finish_boot(t).unwrap());
+        assert_eq!(l.server(t).unwrap().process().state, ServerState::Stopped);
+    }
+
+    #[test]
+    fn tier_queries_see_only_running_servers() {
+        let mut l = layer(3);
+        let t1 = l.create_tomcat("Tomcat1", NodeId(0));
+        let _t2 = l.create_tomcat("Tomcat2", NodeId(1));
+        install(&mut l, NodeId(0), "tomcat");
+        l.start_server(t1).unwrap();
+        l.finish_boot(t1).unwrap();
+        assert_eq!(l.running_servers_of(Tier::Application), vec![t1]);
+        assert_eq!(l.nodes_of_tier(Tier::Application), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn crash_node_fails_hosted_servers() {
+        let mut l = layer(1);
+        let t = l.create_tomcat("Tomcat1", NodeId(0));
+        install(&mut l, NodeId(0), "tomcat");
+        l.start_server(t).unwrap();
+        l.finish_boot(t).unwrap();
+        l.drain_outbox();
+        l.crash_node(NodeId(0), SimTime::from_secs(1));
+        assert_eq!(l.server(t).unwrap().process().state, ServerState::Failed);
+        let events = l.drain_outbox();
+        assert!(events.iter().any(|(_, e)| *e == LegacyEvent::ServerFailed(t)));
+    }
+
+    fn write_op(i: i64) -> SqlOp {
+        SqlOp::new(
+            Statement::Insert {
+                table: "t".into(),
+                row: row(&[("a", Value::Int(i))]),
+            },
+            SimDuration::from_millis(5),
+        )
+    }
+
+    fn read_op() -> SqlOp {
+        SqlOp::new(
+            Statement::Count { table: "t".into() },
+            SimDuration::from_millis(2),
+        )
+    }
+
+    /// Deploys a C-JDBC with `n` active MySQL backends (synchronously
+    /// draining boot/replay events).
+    fn db_cluster(l: &mut LegacyLayer, n: usize) -> (ServerId, Vec<ServerId>) {
+        let cj_node = l.cluster.allocate().unwrap();
+        install(l, cj_node, "cjdbc");
+        let cj = l.create_cjdbc("C-JDBC", cj_node, ReadPolicy::LeastPending);
+        l.start_server(cj).unwrap();
+        l.finish_boot(cj).unwrap();
+        let mut backends = Vec::new();
+        for i in 0..n {
+            let node = l.cluster.allocate().unwrap();
+            install(l, node, "mysql");
+            let m = l.create_mysql(&format!("MySQL{}", i + 1), node);
+            l.start_server(m).unwrap();
+            l.finish_boot(m).unwrap();
+            l.cjdbc_register_backend(cj, m).unwrap();
+            l.cjdbc_enable_backend(cj, m).unwrap();
+            // Synchronously process replay events.
+            loop {
+                let events = l.drain_outbox();
+                if events.is_empty() {
+                    break;
+                }
+                let mut done = false;
+                for (_, e) in events {
+                    match e {
+                        LegacyEvent::ReplayBatchDone { cjdbc, backend } => {
+                            l.cjdbc_replay_batch_done(cjdbc, backend).unwrap();
+                        }
+                        LegacyEvent::BackendActivated { .. } => done = true,
+                        _ => {}
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            backends.push(m);
+        }
+        // Create the schema cluster-wide.
+        l.cjdbc_execute_write(
+            cj,
+            &SqlOp::new(Statement::CreateTable { table: "t".into() }, SimDuration::ZERO),
+        )
+        .unwrap();
+        (cj, backends)
+    }
+
+    #[test]
+    fn writes_keep_replicas_identical() {
+        let mut l = layer(6);
+        let (cj, backends) = db_cluster(&mut l, 3);
+        for i in 0..10 {
+            l.cjdbc_execute_write(cj, &write_op(i)).unwrap();
+        }
+        let digests: Vec<u64> = backends
+            .iter()
+            .map(|&b| l.mysql(b).unwrap().digest())
+            .collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn late_backend_converges_via_recovery_log() {
+        let mut l = layer(6);
+        let (cj, backends) = db_cluster(&mut l, 1);
+        for i in 0..20 {
+            l.cjdbc_execute_write(cj, &write_op(i)).unwrap();
+        }
+        // New replica joins late.
+        let node = l.cluster.allocate().unwrap();
+        install(&mut l, node, "mysql");
+        let m2 = l.create_mysql("MySQL2", node);
+        l.start_server(m2).unwrap();
+        l.finish_boot(m2).unwrap();
+        l.drain_outbox();
+        l.cjdbc_register_backend(cj, m2).unwrap();
+        l.cjdbc_enable_backend(cj, m2).unwrap();
+        // More writes land during the replay window.
+        for i in 100..105 {
+            l.cjdbc_execute_write(cj, &write_op(i)).unwrap();
+        }
+        // Process replay batches until activation.
+        let mut activated = false;
+        for _ in 0..10 {
+            let events = l.drain_outbox();
+            if events.is_empty() {
+                break;
+            }
+            for (_, e) in events {
+                match e {
+                    LegacyEvent::ReplayBatchDone { cjdbc, backend } => {
+                        l.cjdbc_replay_batch_done(cjdbc, backend).unwrap();
+                    }
+                    LegacyEvent::BackendActivated { backend, .. } => {
+                        assert_eq!(backend, m2);
+                        activated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if activated {
+                break;
+            }
+        }
+        assert!(activated, "backend must activate");
+        assert_eq!(
+            l.mysql(backends[0]).unwrap().digest(),
+            l.mysql(m2).unwrap().digest(),
+            "late joiner must converge to the cluster state"
+        );
+    }
+
+    #[test]
+    fn reads_are_distributed_and_execute() {
+        let mut l = layer(6);
+        let (cj, _) = db_cluster(&mut l, 2);
+        l.cjdbc_execute_write(cj, &write_op(1)).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let (b1, d) = l.cjdbc_execute_read(cj, &read_op(), &mut rng).unwrap();
+        assert_eq!(d, SimDuration::from_millis(2));
+        let (b2, _) = l.cjdbc_execute_read(cj, &read_op(), &mut rng).unwrap();
+        // Least-pending: two successive reads go to different backends.
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn balancer_routing_skips_stopped_workers() {
+        let mut l = layer(4);
+        let plb_node = l.cluster.allocate().unwrap();
+        install(&mut l, plb_node, "plb");
+        let plb = l.create_plb("PLB", plb_node, BalancePolicy::RoundRobin);
+        l.start_server(plb).unwrap();
+        l.finish_boot(plb).unwrap();
+        let mut tomcats = Vec::new();
+        for i in 0..2 {
+            let n = l.cluster.allocate().unwrap();
+            install(&mut l, n, "tomcat");
+            let t = l.create_tomcat(&format!("Tomcat{}", i + 1), n);
+            l.start_server(t).unwrap();
+            l.finish_boot(t).unwrap();
+            l.balancer_mut(plb).unwrap().add_worker(t).unwrap();
+            tomcats.push(t);
+        }
+        l.stop_server(tomcats[0]).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..5 {
+            assert_eq!(
+                l.balancer_route_running(plb, &mut rng).unwrap(),
+                tomcats[1]
+            );
+        }
+    }
+
+    #[test]
+    fn remove_server_requires_stopped() {
+        let mut l = layer(1);
+        let t = l.create_tomcat("Tomcat1", NodeId(0));
+        install(&mut l, NodeId(0), "tomcat");
+        l.start_server(t).unwrap();
+        l.finish_boot(t).unwrap();
+        assert!(matches!(l.remove_server(t), Err(LegacyError::BadState(..))));
+        l.stop_server(t).unwrap();
+        l.remove_server(t).unwrap();
+        assert!(l.server(t).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # jade-tiers — the J2EE legacy layer
+//!
+//! Everything below Jade's management plane, rebuilt from scratch:
+//!
+//! * [`apache`], [`tomcat`], [`mysql`] — the tier server processes; MySQL
+//!   carries an actual storage engine ([`storage`]) executing a mini-SQL
+//!   dialect ([`sql`]),
+//! * [`cjdbc`] — the C-JDBC database clustering middleware (RAIDb-1 full
+//!   mirroring) with its [`recovery`] log and state reconciliation
+//!   (paper §4.1),
+//! * [`balancer`] — PLB / L4-switch HTTP load balancing (Random,
+//!   Round-Robin),
+//! * [`config`] — the legacy configuration artifacts (`httpd.conf`,
+//!   `worker.properties`, …) that wrappers rewrite,
+//! * [`legacy`] — the aggregate [`legacy::LegacyLayer`]: the environment
+//!   that Fractal wrappers reflect onto,
+//! * [`wrappers`] — the Fractal wrappers themselves (paper §3.2),
+//! * [`request`] — interaction plans flowing client → servlet → database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apache;
+pub mod balancer;
+pub mod cjdbc;
+pub mod config;
+pub mod legacy;
+pub mod mysql;
+pub mod recovery;
+pub mod request;
+pub mod server;
+pub mod sql;
+pub mod storage;
+pub mod tomcat;
+pub mod wrappers;
+
+pub use apache::ApacheServer;
+pub use balancer::{BalancePolicy, BalancerError, HttpBalancer};
+pub use cjdbc::{BackendStatus, CjdbcController, CjdbcError, ReadPolicy};
+pub use legacy::{LegacyError, LegacyEvent, LegacyLayer, LegacyServer};
+pub use mysql::MysqlServer;
+pub use recovery::{LogEntry, RecoveryLog};
+pub use request::{InteractionPlan, RequestId, SqlOp};
+pub use server::{ServerId, ServerProcess, ServerState, Tier};
+pub use sql::{QueryResult, Row, SqlError, Statement, Value};
+pub use storage::{Database, Table};
+pub use tomcat::TomcatServer;
+pub use wrappers::{ApacheWrapper, BalancerWrapper, CjdbcWrapper, MysqlWrapper, TomcatWrapper};

@@ -1,0 +1,61 @@
+//! The MySQL database server (database tier).
+
+use crate::server::{ServerId, ServerProcess, Tier};
+use crate::sql::{QueryResult, SqlError, Statement};
+use crate::storage::Database;
+use jade_cluster::NodeId;
+
+/// A MySQL process: process state plus an actual storage engine holding a
+/// full copy of the database (full mirroring, paper §4.1).
+#[derive(Debug)]
+pub struct MysqlServer {
+    /// Common process state.
+    pub process: ServerProcess,
+    /// SQL listen port (`port` attribute, reflected in `my.cnf`).
+    pub port: u16,
+    /// The replica's database contents.
+    pub db: Database,
+}
+
+impl MysqlServer {
+    /// Creates a stopped MySQL replica with an empty database on `node`.
+    pub fn new(id: ServerId, name: &str, node: NodeId) -> Self {
+        MysqlServer {
+            process: ServerProcess::new(id, name, node, Tier::Database),
+            port: 3306,
+            db: Database::new(),
+        }
+    }
+
+    /// Executes one statement against this replica.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult, SqlError> {
+        self.db.execute(stmt)
+    }
+
+    /// Content digest (replica-convergence checks).
+    pub fn digest(&self) -> u64 {
+        self.db.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{row, Value};
+
+    #[test]
+    fn executes_against_local_storage() {
+        let mut m = MysqlServer::new(ServerId(2), "MySQL1", NodeId(3));
+        m.execute(&Statement::CreateTable {
+            table: "users".into(),
+        })
+        .unwrap();
+        m.execute(&Statement::Insert {
+            table: "users".into(),
+            row: row(&[("name", Value::from("eve"))]),
+        })
+        .unwrap();
+        assert_eq!(m.db.total_rows(), 1);
+        assert_eq!(m.process.tier, Tier::Database);
+    }
+}

@@ -1,0 +1,123 @@
+//! Request-level types flowing through the multi-tier architecture
+//! (paper §2, Figure 1: client → web/app server → database).
+
+use crate::sql::Statement;
+use jade_sim::SimDuration;
+
+/// Unique id of one client HTTP interaction end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// One database query a servlet issues, with its execution cost on a
+/// database node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlOp {
+    /// The statement to execute.
+    pub statement: Statement,
+    /// CPU demand on the executing MySQL node.
+    pub demand: SimDuration,
+}
+
+impl SqlOp {
+    /// Builds a query op.
+    pub fn new(statement: Statement, demand: SimDuration) -> Self {
+        SqlOp { statement, demand }
+    }
+
+    /// True when the op modifies the database.
+    pub fn is_write(&self) -> bool {
+        self.statement.is_write()
+    }
+}
+
+/// The fully resolved work plan of one dynamic web interaction: servlet
+/// CPU, then a sequence of SQL queries, then response generation CPU.
+///
+/// The workload generator (jade-rubis) instantiates one of these per
+/// emulated client request, with concrete keys and randomized demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionPlan {
+    /// Interaction name (one of RUBiS's 26, e.g. `"SearchItemsByCategory"`).
+    pub name: &'static str,
+    /// Servlet CPU demand before the first query.
+    pub pre_demand: SimDuration,
+    /// Database queries, executed sequentially.
+    pub sql: Vec<SqlOp>,
+    /// Servlet CPU demand after the last query (page generation).
+    pub post_demand: SimDuration,
+    /// Response size (network serialization).
+    pub response_bytes: u64,
+}
+
+impl InteractionPlan {
+    /// A static-document interaction (served by the web tier alone).
+    pub fn static_page(name: &'static str, demand: SimDuration, bytes: u64) -> Self {
+        InteractionPlan {
+            name,
+            pre_demand: demand,
+            sql: Vec::new(),
+            post_demand: SimDuration::ZERO,
+            response_bytes: bytes,
+        }
+    }
+
+    /// Total application-tier CPU demand.
+    pub fn servlet_demand(&self) -> SimDuration {
+        self.pre_demand + self.post_demand
+    }
+
+    /// Total database-tier CPU demand (one replica's worth).
+    pub fn db_demand(&self) -> SimDuration {
+        self.sql
+            .iter()
+            .fold(SimDuration::ZERO, |acc, op| acc + op.demand)
+    }
+
+    /// True when at least one query writes.
+    pub fn has_write(&self) -> bool {
+        self.sql.iter().any(SqlOp::is_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{row, Value};
+
+    #[test]
+    fn demand_accounting() {
+        let plan = InteractionPlan {
+            name: "ViewItem",
+            pre_demand: SimDuration::from_millis(3),
+            sql: vec![
+                SqlOp::new(
+                    Statement::SelectByKey {
+                        table: "items".into(),
+                        key: 1,
+                    },
+                    SimDuration::from_millis(10),
+                ),
+                SqlOp::new(
+                    Statement::Insert {
+                        table: "bids".into(),
+                        row: row(&[("bid", Value::Int(5))]),
+                    },
+                    SimDuration::from_millis(8),
+                ),
+            ],
+            post_demand: SimDuration::from_millis(4),
+            response_bytes: 4000,
+        };
+        assert_eq!(plan.servlet_demand(), SimDuration::from_millis(7));
+        assert_eq!(plan.db_demand(), SimDuration::from_millis(18));
+        assert!(plan.has_write());
+    }
+
+    #[test]
+    fn static_pages_have_no_sql() {
+        let p = InteractionPlan::static_page("index.html", SimDuration::from_micros(500), 2000);
+        assert!(p.sql.is_empty());
+        assert!(!p.has_write());
+        assert_eq!(p.db_demand(), SimDuration::ZERO);
+    }
+}

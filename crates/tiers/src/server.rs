@@ -1,0 +1,92 @@
+//! Common state shared by all legacy server processes.
+
+use jade_cluster::NodeId;
+
+/// Identifier of a legacy server process, unique across all tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+/// Process state of a legacy server.
+///
+/// `Starting` models boot latency (a freshly deployed Tomcat or MySQL is
+/// not immediately able to serve); the self-optimization reactor must wait
+/// for it before wiring the replica into the load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Installed but not running.
+    Stopped,
+    /// Boot in progress.
+    Starting,
+    /// Serving requests.
+    Running,
+    /// Crashed (process or node failure).
+    Failed,
+}
+
+impl ServerState {
+    /// True when the server can accept work.
+    pub fn is_running(self) -> bool {
+        self == ServerState::Running
+    }
+}
+
+/// The software tier a server belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Static web tier (Apache).
+    Web,
+    /// Servlet/business tier (Tomcat).
+    Application,
+    /// Database tier (MySQL).
+    Database,
+    /// A load balancer (L4 switch, PLB or C-JDBC).
+    Balancer,
+}
+
+/// Base bookkeeping embedded in every concrete server struct.
+#[derive(Debug, Clone)]
+pub struct ServerProcess {
+    /// Unique id.
+    pub id: ServerId,
+    /// Process name, e.g. `"Tomcat1"` (paper Figure 4 naming).
+    pub name: String,
+    /// Node hosting the process.
+    pub node: NodeId,
+    /// Life-cycle state.
+    pub state: ServerState,
+    /// Tier of the process.
+    pub tier: Tier,
+}
+
+impl ServerProcess {
+    /// Creates a stopped process.
+    pub fn new(id: ServerId, name: &str, node: NodeId, tier: Tier) -> Self {
+        ServerProcess {
+            id,
+            name: name.to_owned(),
+            node,
+            state: ServerState::Stopped,
+            tier,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_predicate() {
+        assert!(ServerState::Running.is_running());
+        assert!(!ServerState::Starting.is_running());
+        assert!(!ServerState::Stopped.is_running());
+        assert!(!ServerState::Failed.is_running());
+    }
+
+    #[test]
+    fn process_construction() {
+        let p = ServerProcess::new(ServerId(3), "Tomcat1", NodeId(2), Tier::Application);
+        assert_eq!(p.state, ServerState::Stopped);
+        assert_eq!(p.name, "Tomcat1");
+    }
+}

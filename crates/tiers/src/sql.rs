@@ -1,0 +1,250 @@
+//! A miniature SQL dialect — the statements the RUBiS servlets issue.
+//!
+//! The database tier needs *actual state* so that C-JDBC's recovery log
+//! and state reconciliation (paper §4.1) are real mechanisms rather than
+//! mocks: a replica that joins late must converge to the same contents by
+//! replaying logged writes, and the property-based tests verify exactly
+//! that.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer column.
+    Int(i64),
+    /// Text column.
+    Text(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+/// A row: named columns. The primary key `id` is managed by the table.
+pub type Row = BTreeMap<String, Value>;
+
+/// Builds a row from `(column, value)` pairs.
+pub fn row(cols: &[(&str, Value)]) -> Row {
+    cols.iter()
+        .map(|(k, v)| ((*k).to_owned(), v.clone()))
+        .collect()
+}
+
+/// The statements the engine executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Creates an empty table (idempotent).
+    CreateTable {
+        /// Table name.
+        table: String,
+    },
+    /// Inserts a row; the engine assigns the primary key.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Column values.
+        row: Row,
+    },
+    /// Updates columns of the row with primary key `key`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: u64,
+        /// Columns to overwrite.
+        set: Row,
+    },
+    /// Deletes the row with primary key `key`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: u64,
+    },
+    /// Reads one row by primary key.
+    SelectByKey {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: u64,
+    },
+    /// Reads all rows whose `column` equals `value` (full scan).
+    SelectWhere {
+        /// Target table.
+        table: String,
+        /// Filter column.
+        column: String,
+        /// Filter value.
+        value: Value,
+        /// Max rows returned.
+        limit: usize,
+    },
+    /// Counts rows in a table.
+    Count {
+        /// Target table.
+        table: String,
+    },
+}
+
+impl Statement {
+    /// True for statements that modify state — exactly the set the C-JDBC
+    /// recovery log must record ("all write requests are logged and
+    /// indexed as strings in this recovery log", §4.1).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Statement::CreateTable { .. }
+                | Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+        )
+    }
+
+    /// The table the statement touches.
+    pub fn table(&self) -> &str {
+        match self {
+            Statement::CreateTable { table }
+            | Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::SelectByKey { table, .. }
+            | Statement::SelectWhere { table, .. }
+            | Statement::Count { table } => table,
+        }
+    }
+
+    /// Renders the statement roughly as SQL text (the recovery log's
+    /// "indexed as strings" representation, and handy in traces).
+    pub fn render(&self) -> String {
+        match self {
+            Statement::CreateTable { table } => format!("CREATE TABLE {table}"),
+            Statement::Insert { table, row } => {
+                let cols: Vec<String> = row.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("INSERT INTO {table} SET {}", cols.join(", "))
+            }
+            Statement::Update { table, key, set } => {
+                let cols: Vec<String> = set.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("UPDATE {table} SET {} WHERE id={key}", cols.join(", "))
+            }
+            Statement::Delete { table, key } => format!("DELETE FROM {table} WHERE id={key}"),
+            Statement::SelectByKey { table, key } => {
+                format!("SELECT * FROM {table} WHERE id={key}")
+            }
+            Statement::SelectWhere {
+                table,
+                column,
+                value,
+                limit,
+            } => format!("SELECT * FROM {table} WHERE {column}={value} LIMIT {limit}"),
+            Statement::Count { table } => format!("SELECT COUNT(*) FROM {table}"),
+        }
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// DDL / write acknowledgement; for inserts carries the assigned key.
+    Ack {
+        /// Primary key assigned by an insert, when applicable.
+        inserted_key: Option<u64>,
+        /// Number of rows affected.
+        affected: u64,
+    },
+    /// Rows returned by a select, as `(key, row)` pairs.
+    Rows(Vec<(u64, Row)>),
+    /// Count result.
+    Count(u64),
+}
+
+impl QueryResult {
+    /// Number of rows carried (selects) or affected (writes).
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            QueryResult::Ack { affected, .. } => *affected,
+            QueryResult::Rows(rows) => rows.len() as u64,
+            QueryResult::Count(n) => *n,
+        }
+    }
+}
+
+/// Errors from the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Statement referenced a missing table.
+    NoSuchTable(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classification() {
+        assert!(Statement::CreateTable { table: "t".into() }.is_write());
+        assert!(Statement::Insert {
+            table: "t".into(),
+            row: Row::new()
+        }
+        .is_write());
+        assert!(!Statement::Count { table: "t".into() }.is_write());
+        assert!(!Statement::SelectByKey {
+            table: "t".into(),
+            key: 1
+        }
+        .is_write());
+    }
+
+    #[test]
+    fn render_is_sql_like() {
+        let s = Statement::Update {
+            table: "items".into(),
+            key: 9,
+            set: row(&[("price", Value::Int(42))]),
+        };
+        assert_eq!(s.render(), "UPDATE items SET price=42 WHERE id=9");
+        let q = Statement::SelectWhere {
+            table: "items".into(),
+            column: "seller".into(),
+            value: "bob".into(),
+            limit: 10,
+        };
+        assert_eq!(
+            q.render(),
+            "SELECT * FROM items WHERE seller='bob' LIMIT 10"
+        );
+    }
+}

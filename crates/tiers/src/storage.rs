@@ -1,0 +1,333 @@
+//! The MySQL storage engine: tables of keyed rows, executing the mini-SQL
+//! dialect of [`crate::sql`].
+//!
+//! Each database replica holds "a full copy of the whole database (full
+//! mirroring)" (paper §4.1), so the engine exposes a content digest used
+//! by the consistency tests to prove that a late-joining replica converges
+//! to the same state after recovery-log replay.
+
+use crate::sql::{QueryResult, Row, SqlError, Statement};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// One table: rows keyed by a monotonically assigned primary key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    rows: BTreeMap<u64, Row>,
+    next_key: u64,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(key, row)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Row)> {
+        self.rows.iter()
+    }
+}
+
+/// An in-memory relational database.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes a statement.
+    ///
+    /// Key assignment is deterministic (per-table counter), so executing
+    /// the same statement sequence on two replicas yields identical
+    /// databases — the invariant C-JDBC's full-mirroring replication
+    /// depends on.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult, SqlError> {
+        match stmt {
+            Statement::CreateTable { table } => {
+                self.tables.entry(table.clone()).or_default();
+                Ok(QueryResult::Ack {
+                    inserted_key: None,
+                    affected: 0,
+                })
+            }
+            Statement::Insert { table, row } => {
+                let t = self.table_mut(table)?;
+                let key = t.next_key;
+                t.next_key += 1;
+                t.rows.insert(key, row.clone());
+                Ok(QueryResult::Ack {
+                    inserted_key: Some(key),
+                    affected: 1,
+                })
+            }
+            Statement::Update { table, key, set } => {
+                let t = self.table_mut(table)?;
+                let affected = match t.rows.get_mut(key) {
+                    Some(r) => {
+                        for (col, v) in set {
+                            r.insert(col.clone(), v.clone());
+                        }
+                        1
+                    }
+                    None => 0,
+                };
+                Ok(QueryResult::Ack {
+                    inserted_key: None,
+                    affected,
+                })
+            }
+            Statement::Delete { table, key } => {
+                let t = self.table_mut(table)?;
+                let affected = u64::from(t.rows.remove(key).is_some());
+                Ok(QueryResult::Ack {
+                    inserted_key: None,
+                    affected,
+                })
+            }
+            Statement::SelectByKey { table, key } => {
+                let t = self.table(table)?;
+                Ok(QueryResult::Rows(
+                    t.rows
+                        .get(key)
+                        .map(|r| vec![(*key, r.clone())])
+                        .unwrap_or_default(),
+                ))
+            }
+            Statement::SelectWhere {
+                table,
+                column,
+                value,
+                limit,
+            } => {
+                let t = self.table(table)?;
+                let rows: Vec<(u64, Row)> = t
+                    .rows
+                    .iter()
+                    .filter(|(_, r)| r.get(column) == Some(value))
+                    .take(*limit)
+                    .map(|(k, r)| (*k, r.clone()))
+                    .collect();
+                Ok(QueryResult::Rows(rows))
+            }
+            Statement::Count { table } => {
+                Ok(QueryResult::Count(self.table(table)?.rows.len() as u64))
+            }
+        }
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Looks up a table by name.
+    pub fn get_table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Content digest: equal digests ⇔ equal contents (up to hash
+    /// collisions). Used to check replica convergence.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for (name, table) in &self.tables {
+            name.hash(&mut h);
+            table.next_key.hash(&mut h);
+            for (key, row) in &table.rows {
+                key.hash(&mut h);
+                for (col, v) in row {
+                    col.hash(&mut h);
+                    match v {
+                        crate::sql::Value::Int(i) => i.hash(&mut h),
+                        crate::sql::Value::Text(s) => s.hash(&mut h),
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{row, Value};
+
+    fn insert(table: &str, cols: &[(&str, Value)]) -> Statement {
+        Statement::Insert {
+            table: table.into(),
+            row: row(cols),
+        }
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut db = Database::new();
+        db.execute(&Statement::CreateTable {
+            table: "users".into(),
+        })
+        .unwrap();
+        let r = db
+            .execute(&insert("users", &[("name", "alice".into())]))
+            .unwrap();
+        let key = match r {
+            QueryResult::Ack {
+                inserted_key: Some(k),
+                ..
+            } => k,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Read it back.
+        let rows = db
+            .execute(&Statement::SelectByKey {
+                table: "users".into(),
+                key,
+            })
+            .unwrap();
+        assert_eq!(rows.cardinality(), 1);
+        // Update and verify.
+        db.execute(&Statement::Update {
+            table: "users".into(),
+            key,
+            set: row(&[("name", "bob".into())]),
+        })
+        .unwrap();
+        if let QueryResult::Rows(rows) = db
+            .execute(&Statement::SelectWhere {
+                table: "users".into(),
+                column: "name".into(),
+                value: "bob".into(),
+                limit: 10,
+            })
+            .unwrap()
+        {
+            assert_eq!(rows.len(), 1);
+        } else {
+            panic!("expected rows");
+        }
+        // Delete.
+        db.execute(&Statement::Delete {
+            table: "users".into(),
+            key,
+        })
+        .unwrap();
+        assert_eq!(
+            db.execute(&Statement::Count {
+                table: "users".into()
+            })
+            .unwrap(),
+            QueryResult::Count(0)
+        );
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let mut db = Database::new();
+        assert_eq!(
+            db.execute(&Statement::Count { table: "x".into() }),
+            Err(SqlError::NoSuchTable("x".into()))
+        );
+    }
+
+    #[test]
+    fn create_table_is_idempotent() {
+        let mut db = Database::new();
+        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&insert("t", &[("a", Value::Int(1))])).unwrap();
+        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        assert_eq!(db.total_rows(), 1, "re-create must not wipe the table");
+    }
+
+    #[test]
+    fn update_missing_row_affects_zero() {
+        let mut db = Database::new();
+        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        let r = db
+            .execute(&Statement::Update {
+                table: "t".into(),
+                key: 99,
+                set: row(&[("a", Value::Int(1))]),
+            })
+            .unwrap();
+        assert_eq!(
+            r,
+            QueryResult::Ack {
+                inserted_key: None,
+                affected: 0
+            }
+        );
+    }
+
+    #[test]
+    fn identical_statement_sequences_yield_identical_digests() {
+        let stmts = vec![
+            Statement::CreateTable { table: "t".into() },
+            insert("t", &[("a", Value::Int(1))]),
+            insert("t", &[("a", Value::Int(2))]),
+            Statement::Delete {
+                table: "t".into(),
+                key: 0,
+            },
+            insert("t", &[("a", Value::Int(3))]),
+        ];
+        let mut a = Database::new();
+        let mut b = Database::new();
+        for s in &stmts {
+            a.execute(s).unwrap();
+            b.execute(s).unwrap();
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+        // Divergence is detected.
+        b.execute(&insert("t", &[("a", Value::Int(9))])).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn keys_are_not_reused_after_delete() {
+        let mut db = Database::new();
+        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&insert("t", &[("a", Value::Int(1))])).unwrap();
+        db.execute(&Statement::Delete {
+            table: "t".into(),
+            key: 0,
+        })
+        .unwrap();
+        let r = db.execute(&insert("t", &[("a", Value::Int(2))])).unwrap();
+        assert_eq!(
+            r,
+            QueryResult::Ack {
+                inserted_key: Some(1),
+                affected: 1
+            }
+        );
+    }
+}

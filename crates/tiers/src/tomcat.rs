@@ -1,0 +1,48 @@
+//! The Tomcat servlet container (application/business tier).
+
+use crate::server::{ServerId, ServerProcess, Tier};
+use jade_cluster::NodeId;
+
+/// A Tomcat process.
+#[derive(Debug, Clone)]
+pub struct TomcatServer {
+    /// Common process state.
+    pub process: ServerProcess,
+    /// AJP connector port (`port` attribute, reflected in `server.xml`).
+    pub port: u16,
+    /// Maximum concurrently processed requests; beyond this, requests wait
+    /// in the connector accept queue.
+    pub max_threads: usize,
+    /// Requests currently being processed (holding a worker thread).
+    pub active: usize,
+}
+
+impl TomcatServer {
+    /// Creates a stopped Tomcat on `node`.
+    pub fn new(id: ServerId, name: &str, node: NodeId) -> Self {
+        TomcatServer {
+            process: ServerProcess::new(id, name, node, Tier::Application),
+            port: 8098,
+            max_threads: 150,
+            active: 0,
+        }
+    }
+
+    /// True when a worker thread is available.
+    pub fn has_capacity(&self) -> bool {
+        self.active < self.max_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_check() {
+        let mut t = TomcatServer::new(ServerId(1), "Tomcat1", NodeId(1));
+        assert!(t.has_capacity());
+        t.active = t.max_threads;
+        assert!(!t.has_capacity());
+    }
+}

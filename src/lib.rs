@@ -1,0 +1,14 @@
+//! # jade-repro — umbrella crate
+//!
+//! Re-exports the reproduction's crates so the workspace-level examples
+//! and integration tests have a single dependency root. See the `jade`
+//! crate for the system itself.
+
+#![forbid(unsafe_code)]
+
+pub use jade;
+pub use jade_cluster;
+pub use jade_fractal;
+pub use jade_rubis;
+pub use jade_sim;
+pub use jade_tiers;

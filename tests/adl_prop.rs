@@ -1,0 +1,75 @@
+//! Property-based tests of the ADL: arbitrary valid descriptions
+//! round-trip through XML, and the parser never panics on arbitrary
+//! input.
+
+use jade::adl::{J2eeDescription, TierKind, TierSpec};
+use jade_tiers::{BalancePolicy, ReadPolicy};
+use proptest::prelude::*;
+
+fn tier_strategy(kind: TierKind) -> impl Strategy<Value = TierSpec> {
+    (
+        1usize..6,
+        prop_oneof![Just(BalancePolicy::RoundRobin), Just(BalancePolicy::Random)],
+        prop_oneof![
+            Just(ReadPolicy::LeastPending),
+            Just(ReadPolicy::RoundRobin),
+            Just(ReadPolicy::Random)
+        ],
+    )
+        .prop_map(move |(replicas, balance_policy, read_policy)| TierSpec {
+            kind,
+            replicas,
+            balance_policy,
+            read_policy,
+        })
+}
+
+fn description_strategy() -> impl Strategy<Value = J2eeDescription> {
+    (
+        "[a-z][a-z0-9-]{0,15}",
+        proptest::option::of(tier_strategy(TierKind::Web)),
+        tier_strategy(TierKind::Application),
+        tier_strategy(TierKind::Database),
+    )
+        .prop_map(|(name, web, application, database)| J2eeDescription {
+            name,
+            web,
+            application,
+            database,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// to_xml ∘ from_xml = identity for every valid description.
+    #[test]
+    fn xml_roundtrip(desc in description_strategy()) {
+        let xml = desc.to_xml();
+        let parsed = J2eeDescription::from_xml(&xml).expect("own output parses");
+        prop_assert_eq!(parsed, desc);
+    }
+
+    /// The parser returns structured errors (never panics) on arbitrary
+    /// input, including near-XML garbage.
+    #[test]
+    fn parser_never_panics(input in ".{0,256}") {
+        let _ = J2eeDescription::from_xml(&input);
+    }
+
+    /// Same, biased toward angle-bracket-rich inputs.
+    #[test]
+    fn parser_never_panics_on_tag_soup(input in r#"[<>/="'a-z ]{0,200}"#) {
+        let _ = J2eeDescription::from_xml(&input);
+    }
+
+    /// Node accounting matches the tiers: replicas + one balancer each.
+    #[test]
+    fn initial_nodes_counts_balancers(desc in description_strategy()) {
+        let mut expected = desc.application.replicas + 1 + desc.database.replicas + 1;
+        if let Some(w) = &desc.web {
+            expected += w.replicas + 1;
+        }
+        prop_assert_eq!(desc.initial_nodes(), expected);
+    }
+}

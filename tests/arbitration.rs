@@ -1,0 +1,73 @@
+//! Integration of the policy-arbitration manager (paper §7) with the full
+//! system: conflicting managers are serialized and repairs outrank
+//! optimization.
+
+use jade::config::SystemConfig;
+use jade::experiment::{run_experiment, run_experiment_with};
+use jade::system::{ManagedTier, Msg};
+use jade_cluster::NodeId;
+use jade_rubis::WorkloadRamp;
+use jade_sim::{Addr, SimDuration, SimTime};
+
+fn arb_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.jade.arbitration = true;
+    cfg
+}
+
+#[test]
+fn arbitrated_system_still_scales() {
+    let mut cfg = arb_cfg();
+    cfg.ramp = WorkloadRamp::constant(260);
+    let out = run_experiment(cfg, SimDuration::from_secs(420));
+    assert!(
+        out.app.running_replicas(ManagedTier::Database) >= 2,
+        "arbitrated scale-up must still happen: {:?}",
+        out.app.reconfig_log
+    );
+    let arb = out.app.arbitrator.as_ref().expect("arbitrator enabled");
+    let (submitted, _, executed) = arb.counters();
+    assert!(submitted >= executed);
+    assert!(executed >= 1);
+    assert!(!arb.is_executing(), "slot released after completion");
+}
+
+#[test]
+fn repair_outranks_optimization_under_load() {
+    let mut cfg = arb_cfg();
+    cfg.ramp = WorkloadRamp::constant(200);
+    cfg.jade.self_repair = true;
+    cfg.description.application.replicas = 2;
+    cfg.jade.app_loop.min_replicas = 2;
+    // Crash Tomcat2's node (layout: 0=C-JDBC, 1=PLB, 2,3=Tomcats, 4=MySQL)
+    // right as the database load builds toward a scale-up.
+    let out = run_experiment_with(cfg, SimDuration::from_secs(500), |eng| {
+        eng.schedule(SimTime::from_secs(100), Addr::ROOT, Msg::CrashNode(NodeId(3)));
+    });
+    // Both things eventually happened, through one serialized channel.
+    assert_eq!(out.app.running_replicas(ManagedTier::Application), 2);
+    let log = format!("{:?}", out.app.reconfig_log);
+    assert!(log.contains("self-recovery"), "{log}");
+    let arb = out.app.arbitrator.as_ref().expect("arbitrator");
+    let (submitted, dropped, executed) = arb.counters();
+    assert!(executed >= 1);
+    // The repeated detector re-submissions collapsed as duplicates.
+    assert!(dropped > 0 || submitted == executed);
+}
+
+#[test]
+fn oscillating_band_is_damped_by_serialization() {
+    // Same mis-calibrated band as the ablation: arbitration also caps the
+    // churn because opposing requests cancel in the queue.
+    let mut with_arb = arb_cfg();
+    with_arb.ramp = WorkloadRamp::constant(240);
+    with_arb.jade.db_loop.min_threshold = 0.50;
+    with_arb.jade.db_loop.max_threshold = 0.65;
+    let out = run_experiment(with_arb, SimDuration::from_secs(600));
+    let arb = out.app.arbitrator.as_ref().expect("arbitrator");
+    let (submitted, dropped, executed) = arb.counters();
+    assert!(
+        dropped > 0,
+        "conflicting requests must have been coalesced (submitted={submitted}, executed={executed})"
+    );
+}

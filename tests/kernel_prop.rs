@@ -1,0 +1,133 @@
+//! Property-based tests of the simulation kernel: event ordering under
+//! random schedules and cancellations, processor-sharing conservation
+//! laws, and workload-ramp bounds.
+
+use jade_rubis::WorkloadRamp;
+use jade_sim::{EfficiencyCurve, EventQueue, JobId, MovingAverage, PsCpu};
+use jade_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in non-decreasing time order with FIFO
+    /// tie-breaks, regardless of push order and cancellations.
+    #[test]
+    fn event_queue_total_order(
+        entries in proptest::collection::vec((0u64..1_000, any::<bool>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        let mut live = Vec::new();
+        for (i, &(t, cancel)) in entries.iter().enumerate() {
+            let tok = q.push(SimTime::from_micros(t), i);
+            tokens.push((tok, cancel));
+            if !cancel {
+                live.push((t, i));
+            }
+        }
+        for (tok, cancel) in &tokens {
+            if *cancel {
+                q.cancel(*tok);
+            }
+        }
+        // Expected order: by (time, insertion sequence).
+        live.sort_by_key(|&(t, i)| (t, i));
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_micros(), i));
+        }
+        prop_assert_eq!(popped, live);
+    }
+
+    /// Processor sharing conserves work: with no aborts, total busy time
+    /// equals the sum of job demands (whatever the arrival pattern), and
+    /// every job completes.
+    #[test]
+    fn ps_cpu_conserves_work(
+        jobs in proptest::collection::vec((1u64..50_000, 0u64..100_000), 1..40)
+    ) {
+        let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
+        let mut total_demand = 0u64;
+        let mut completed = 0usize;
+        // Submit at given arrival offsets (sorted).
+        let mut arrivals: Vec<(u64, u64)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, a))| (a, d + i as u64))
+            .collect();
+        arrivals.sort_unstable();
+        let mut now = SimTime::ZERO;
+        for (i, &(a, d)) in arrivals.iter().enumerate() {
+            let at = SimTime::from_micros(a);
+            // Process completions occurring before this arrival.
+            while let Some(next) = cpu.next_completion(now) {
+                if next > at {
+                    break;
+                }
+                now = next;
+                completed += cpu.collect_completions(now).len();
+            }
+            now = now.max(at);
+            cpu.submit(now, JobId(i as u64), SimDuration::from_micros(d));
+            total_demand += d;
+        }
+        while let Some(next) = cpu.next_completion(now) {
+            now = next;
+            completed += cpu.collect_completions(now).len();
+        }
+        prop_assert_eq!(completed, arrivals.len(), "all jobs complete");
+        let busy = cpu.busy_time(now).as_micros();
+        // Timer rounding adds at most 1 µs per completion.
+        let slack = arrivals.len() as u64 + 1;
+        prop_assert!(
+            busy >= total_demand && busy <= total_demand + slack,
+            "busy {busy} vs demand {total_demand}"
+        );
+    }
+
+    /// The moving average is always within the min/max of in-window
+    /// samples (hence safe to compare against thresholds).
+    #[test]
+    fn moving_average_bounded_by_samples(
+        samples in proptest::collection::vec((0u64..10_000, 0.0f64..1.0), 1..100)
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut ma = MovingAverage::new(SimDuration::from_secs(1));
+        for &(t, v) in &sorted {
+            ma.record(SimTime::from_micros(t), v);
+            let val = ma.value().unwrap();
+            prop_assert!((0.0..=1.0).contains(&val));
+        }
+    }
+
+    /// The workload ramp is bounded and returns to base.
+    #[test]
+    fn ramp_bounds(base in 1u32..100, delta in 0u32..500, step in 1u32..50, t in 0u64..10_000) {
+        let ramp = WorkloadRamp {
+            base_clients: base,
+            peak_clients: base + delta,
+            step_clients: step,
+            step_interval: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(60),
+            plateau: SimDuration::from_secs(60),
+        };
+        let c = ramp.clients_at(SimTime::from_secs(t));
+        prop_assert!(c >= base && c <= base + delta);
+        // Far beyond the ramp: back at base.
+        let end = SimTime::from_secs(1_000_000);
+        prop_assert_eq!(ramp.clients_at(end), base);
+    }
+
+    /// Thrashing efficiency is monotone non-increasing in population and
+    /// never exceeds 1 (the degradation law can only hurt).
+    #[test]
+    fn thrashing_monotone(knee in 1usize..100, slope in 0.001f64..1.0, n in 0usize..500) {
+        let curve = EfficiencyCurve::Thrashing { knee, slope };
+        let e_n = curve.efficiency(n);
+        let e_n1 = curve.efficiency(n + 1);
+        prop_assert!(e_n <= 1.0 && e_n > 0.0);
+        prop_assert!(e_n1 <= e_n);
+    }
+}
