@@ -3,7 +3,7 @@
 //! reconciliation cost that dominates how long a new database backend
 //! takes to join — paper §4.1).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jade_bench::microbench::{black_box, Runner};
 use jade_sim::SimRng;
 use jade_tiers::cjdbc::{CjdbcController, ReadPolicy};
 use jade_tiers::sql::{row, Statement, Value};
@@ -28,85 +28,72 @@ fn write_stmt(i: i64) -> Statement {
     }
 }
 
-fn bench_read_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cjdbc_read_routing");
+fn bench_read_policies(r: &mut Runner) {
     for policy in [
         ReadPolicy::RoundRobin,
         ReadPolicy::Random,
         ReadPolicy::LeastPending,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("route_1k", format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                let mut ctrl = controller(3, policy);
-                let mut rng = SimRng::seed_from_u64(7);
-                b.iter(|| {
-                    let mut last = ServerId(0);
-                    for _ in 0..1_000 {
-                        let picked = ctrl.route_read(&mut rng).unwrap();
-                        ctrl.note_complete(picked);
-                        last = picked;
-                    }
-                    black_box(last)
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_write_broadcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cjdbc_write_broadcast");
-    for &backends in &[1u32, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("broadcast_100", backends),
-            &backends,
-            |b, &backends| {
-                b.iter(|| {
-                    let mut ctrl = controller(backends, ReadPolicy::RoundRobin);
-                    for i in 0..100 {
-                        let (_, targets) = ctrl.route_write(write_stmt(i)).unwrap();
-                        for t in targets {
-                            ctrl.note_complete(t);
-                        }
-                    }
-                    black_box(ctrl.recovery_log().head())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_recovery_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery_log_replay");
-    for &backlog in &[100usize, 1_000, 10_000] {
-        group.bench_with_input(BenchmarkId::new("join_after", backlog), &backlog, |b, &backlog| {
-            b.iter_with_setup(
-                || {
-                    let mut ctrl = controller(1, ReadPolicy::RoundRobin);
-                    ctrl.route_write(Statement::CreateTable { table: "t".into() })
-                        .unwrap();
-                    for i in 0..backlog {
-                        ctrl.route_write(write_stmt(i as i64)).unwrap();
-                    }
-                    ctrl.register_backend(ServerId(9));
-                    (ctrl, Database::new())
-                },
-                |(mut ctrl, mut db)| {
-                    let batch = ctrl.begin_enable(ServerId(9)).unwrap();
-                    for entry in &batch {
-                        let _ = db.execute(&entry.statement);
-                    }
-                    assert!(ctrl.finish_replay(ServerId(9)).unwrap().is_none());
-                    black_box(db.total_rows())
-                },
-            )
+        let mut ctrl = controller(3, policy);
+        let mut rng = SimRng::seed_from_u64(7);
+        r.bench(&format!("cjdbc_read_routing/route_1k_{policy:?}"), || {
+            let mut last = ServerId(0);
+            for _ in 0..1_000 {
+                let picked = ctrl.route_read(&mut rng).unwrap();
+                ctrl.note_complete(picked);
+                last = picked;
+            }
+            last
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_read_policies, bench_write_broadcast, bench_recovery_replay);
-criterion_main!(benches);
+fn bench_write_broadcast(r: &mut Runner) {
+    for backends in [1u32, 3] {
+        r.bench(
+            &format!("cjdbc_write_broadcast/broadcast_100_{backends}"),
+            || {
+                let mut ctrl = controller(backends, ReadPolicy::RoundRobin);
+                for i in 0..100 {
+                    let (_, targets) = ctrl.route_write(write_stmt(i)).unwrap();
+                    for t in targets {
+                        ctrl.note_complete(t);
+                    }
+                }
+                black_box(ctrl.recovery_log().head());
+            },
+        );
+    }
+}
+
+fn bench_recovery_replay(r: &mut Runner) {
+    // Each iteration builds the backlog and replays it into a joining
+    // backend; the build is part of the measured time (the replay path —
+    // batch extraction plus statement re-execution — dominates).
+    for backlog in [100usize, 1_000, 10_000] {
+        r.bench(&format!("recovery_log_replay/join_after_{backlog}"), || {
+            let mut ctrl = controller(1, ReadPolicy::RoundRobin);
+            ctrl.route_write(Statement::CreateTable { table: "t".into() })
+                .unwrap();
+            for i in 0..backlog {
+                ctrl.route_write(write_stmt(i as i64)).unwrap();
+            }
+            ctrl.register_backend(ServerId(9));
+            let mut db = Database::new();
+            let batch = ctrl.begin_enable(ServerId(9)).unwrap();
+            for entry in &batch {
+                let _ = db.execute(&entry.statement);
+            }
+            assert!(ctrl.finish_replay(ServerId(9)).unwrap().is_none());
+            db.total_rows()
+        });
+    }
+}
+
+fn main() {
+    let mut r = Runner::new();
+    bench_read_policies(&mut r);
+    bench_write_broadcast(&mut r);
+    bench_recovery_replay(&mut r);
+    r.write_json("cjdbc", "results/BENCH_cjdbc.json");
+}

@@ -3,7 +3,7 @@
 //! *cheap and scriptable*, unlike manual procedures), including wrapper
 //! reflection onto legacy configuration files.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jade_bench::microbench::{black_box, Runner};
 use jade_cluster::{ClusterManager, Network, NodeId, NodeSpec};
 use jade_cluster::{SoftwareInstallationService, SoftwareRepository};
 use jade_fractal::{InterfaceDecl, NullWrapper, Registry};
@@ -16,99 +16,97 @@ fn fresh_legacy(nodes: usize) -> LegacyLayer {
     LegacyLayer::new(cluster, Network::lan_100mbps(), sis)
 }
 
-fn bench_registry_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("registry");
-    group.bench_function("create_bind_start_stop", |b| {
-        b.iter(|| {
-            let mut reg: Registry<()> = Registry::new();
-            let mut env = ();
-            let front = reg.new_primitive(
-                "front",
-                vec![
-                    InterfaceDecl::server("http", "http"),
-                    InterfaceDecl::client("backend", "http"),
-                ],
-                Box::new(NullWrapper),
-            );
-            let back = reg.new_primitive(
-                "back",
-                vec![InterfaceDecl::server("http", "http")],
-                Box::new(NullWrapper),
-            );
-            reg.bind(&mut env, front, "backend", back, "http").unwrap();
-            reg.start(&mut env, front).unwrap();
-            reg.stop(&mut env, front).unwrap();
-            black_box(reg.journal_len())
-        })
+fn bench_registry_ops(r: &mut Runner) {
+    r.bench("registry/create_bind_start_stop", || {
+        let mut reg: Registry<()> = Registry::new();
+        let mut env = ();
+        let front = reg.new_primitive(
+            "front",
+            vec![
+                InterfaceDecl::server("http", "http"),
+                InterfaceDecl::client("backend", "http"),
+            ],
+            Box::new(NullWrapper),
+        );
+        let back = reg.new_primitive(
+            "back",
+            vec![InterfaceDecl::server("http", "http")],
+            Box::new(NullWrapper),
+        );
+        reg.bind(&mut env, front, "backend", back, "http").unwrap();
+        reg.start(&mut env, front).unwrap();
+        reg.stop(&mut env, front).unwrap();
+        reg.journal_len()
     });
-    for &n in &[10usize, 100] {
-        group.bench_with_input(BenchmarkId::new("introspect_tree", n), &n, |b, &n| {
-            let mut reg: Registry<()> = Registry::new();
-            let root = reg.new_composite("root", vec![]);
-            for i in 0..n {
-                let c = reg.new_primitive(&format!("c{i}"), vec![], Box::new(NullWrapper));
-                reg.add_child(root, c).unwrap();
-            }
-            b.iter(|| black_box(reg.render_tree(root).len()))
+    for n in [10usize, 100] {
+        let mut reg: Registry<()> = Registry::new();
+        let root = reg.new_composite("root", vec![]);
+        for i in 0..n {
+            let c = reg.new_primitive(&format!("c{i}"), vec![], Box::new(NullWrapper));
+            reg.add_child(root, c).unwrap();
+        }
+        r.bench(&format!("registry/introspect_tree_{n}"), || {
+            black_box(reg.render_tree(root).len())
         });
     }
-    group.finish();
 }
 
 /// The §5.1 reconfiguration as a benchmark: the four Jade operations
 /// including the wrapper's `worker.properties` regeneration.
-fn bench_qualitative_reconfig(c: &mut Criterion) {
-    c.bench_function("reconfig/jade_rebind_apache", |b| {
-        let mut legacy = fresh_legacy(3);
-        for (n, pkg) in [(0u32, "apache"), (1, "tomcat"), (2, "tomcat")] {
-            legacy
-                .sis
-                .install(&mut legacy.cluster, NodeId(n), pkg)
-                .unwrap();
-        }
-        let apache_s = legacy.create_apache("Apache1", NodeId(0));
-        let t1_s = legacy.create_tomcat("Tomcat1", NodeId(1));
-        let t2_s = legacy.create_tomcat("Tomcat2", NodeId(2));
-        let mut reg: Registry<LegacyLayer> = Registry::new();
-        let apache = reg.new_primitive(
-            "Apache1",
-            vec![
-                InterfaceDecl::server("http", "http"),
-                InterfaceDecl::optional_client("ajp-itf", "ajp"),
-            ],
-            Box::new(ApacheWrapper { server: apache_s }),
-        );
-        let t1 = reg.new_primitive(
-            "Tomcat1",
-            vec![InterfaceDecl::server("ajp", "ajp")],
-            Box::new(TomcatWrapper { server: t1_s }),
-        );
-        let t2 = reg.new_primitive(
-            "Tomcat2",
-            vec![InterfaceDecl::server("ajp", "ajp")],
-            Box::new(TomcatWrapper { server: t2_s }),
-        );
-        for (comp, sid) in [(apache, apache_s), (t1, t1_s), (t2, t2_s)] {
-            reg.set_attr(&mut legacy, comp, "server-id", sid.0 as i64)
-                .unwrap();
-        }
-        reg.bind(&mut legacy, apache, "ajp-itf", t1, "ajp").unwrap();
+fn bench_qualitative_reconfig(r: &mut Runner) {
+    let mut legacy = fresh_legacy(3);
+    for (n, pkg) in [(0u32, "apache"), (1, "tomcat"), (2, "tomcat")] {
+        legacy
+            .sis
+            .install(&mut legacy.cluster, NodeId(n), pkg)
+            .unwrap();
+    }
+    let apache_s = legacy.create_apache("Apache1", NodeId(0));
+    let t1_s = legacy.create_tomcat("Tomcat1", NodeId(1));
+    let t2_s = legacy.create_tomcat("Tomcat2", NodeId(2));
+    let mut reg: Registry<LegacyLayer> = Registry::new();
+    let apache = reg.new_primitive(
+        "Apache1",
+        vec![
+            InterfaceDecl::server("http", "http"),
+            InterfaceDecl::optional_client("ajp-itf", "ajp"),
+        ],
+        Box::new(ApacheWrapper { server: apache_s }),
+    );
+    let t1 = reg.new_primitive(
+        "Tomcat1",
+        vec![InterfaceDecl::server("ajp", "ajp")],
+        Box::new(TomcatWrapper { server: t1_s }),
+    );
+    let t2 = reg.new_primitive(
+        "Tomcat2",
+        vec![InterfaceDecl::server("ajp", "ajp")],
+        Box::new(TomcatWrapper { server: t2_s }),
+    );
+    for (comp, sid) in [(apache, apache_s), (t1, t1_s), (t2, t2_s)] {
+        reg.set_attr(&mut legacy, comp, "server-id", sid.0 as i64)
+            .unwrap();
+    }
+    reg.bind(&mut legacy, apache, "ajp-itf", t1, "ajp").unwrap();
+    reg.start(&mut legacy, apache).unwrap();
+    let mut target = t2;
+    let mut other = t1;
+    r.bench("reconfig/jade_rebind_apache", || {
+        // stop / unbind / bind / start — then swap back for the next
+        // iteration.
+        reg.stop(&mut legacy, apache).unwrap();
+        reg.unbind(&mut legacy, apache, "ajp-itf", None).unwrap();
+        reg.bind(&mut legacy, apache, "ajp-itf", target, "ajp")
+            .unwrap();
         reg.start(&mut legacy, apache).unwrap();
-        let mut target = t2;
-        let mut other = t1;
-        b.iter(|| {
-            // stop / unbind / bind / start — then swap back for the next
-            // iteration.
-            reg.stop(&mut legacy, apache).unwrap();
-            reg.unbind(&mut legacy, apache, "ajp-itf", None).unwrap();
-            reg.bind(&mut legacy, apache, "ajp-itf", target, "ajp")
-                .unwrap();
-            reg.start(&mut legacy, apache).unwrap();
-            std::mem::swap(&mut target, &mut other);
-            black_box(legacy.configs.write_count())
-        })
+        std::mem::swap(&mut target, &mut other);
+        legacy.configs.write_count()
     });
 }
 
-criterion_group!(benches, bench_registry_ops, bench_qualitative_reconfig);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new();
+    bench_registry_ops(&mut r);
+    bench_qualitative_reconfig(&mut r);
+    r.write_json("component_ops", "results/BENCH_component_ops.json");
+}

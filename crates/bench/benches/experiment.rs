@@ -3,33 +3,25 @@
 //! Tomcat → C-JDBC → MySQL, probes, control loops) at the Table-1 medium
 //! load.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jade::config::SystemConfig;
 use jade::experiment::run_experiment;
+use jade_bench::microbench::Runner;
 use jade_rubis::WorkloadRamp;
 use jade_sim::SimDuration;
 
-fn bench_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment");
-    group.sample_size(10);
-    group.bench_function("managed_300s_80_clients", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::paper_managed();
-            cfg.ramp = WorkloadRamp::constant(80);
-            let out = run_experiment(cfg, SimDuration::from_secs(300));
-            black_box(out.app.stats.total_completed())
-        })
+fn main() {
+    let mut r = Runner::new();
+    r.bench("experiment/managed_300s_80_clients", || {
+        let mut cfg = SystemConfig::paper_managed();
+        cfg.ramp = WorkloadRamp::constant(80);
+        let out = run_experiment(cfg, SimDuration::from_secs(300));
+        out.app.stats.total_completed()
     });
-    group.bench_function("unmanaged_300s_80_clients", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::paper_unmanaged();
-            cfg.ramp = WorkloadRamp::constant(80);
-            let out = run_experiment(cfg, SimDuration::from_secs(300));
-            black_box(out.app.stats.total_completed())
-        })
+    r.bench("experiment/unmanaged_300s_80_clients", || {
+        let mut cfg = SystemConfig::paper_unmanaged();
+        cfg.ramp = WorkloadRamp::constant(80);
+        let out = run_experiment(cfg, SimDuration::from_secs(300));
+        out.app.stats.total_completed()
     });
-    group.finish();
+    r.write_json("experiment", "results/BENCH_experiment.json");
 }
-
-criterion_group!(benches, bench_experiment);
-criterion_main!(benches);

@@ -12,13 +12,18 @@
 //! 3. **Load-balancing policy** (paper §2: Random vs Round-Robin).
 //! 4. **Adaptive thresholds** (paper §7 future work).
 //! 5. **Latency-driven provisioning** (paper §4.2's response-time sensor).
+//!
+//! All configurations go through the shared harness in one batch, so the
+//! whole study parallelises across `--jobs` workers.
 
 use jade::config::SystemConfig;
-use jade::experiment::{run_experiment, ExperimentOutput};
 use jade::system::ManagedTier;
+use jade_bench::{Harness, RunResult, RunSpec};
 use jade_rubis::WorkloadRamp;
 use jade_sim::SimDuration;
 use jade_tiers::BalancePolicy;
+
+const HORIZON_SECS: u64 = 1000;
 
 fn fast_ramp() -> WorkloadRamp {
     WorkloadRamp {
@@ -37,95 +42,89 @@ fn base_cfg() -> SystemConfig {
     cfg
 }
 
-struct Row {
-    label: String,
-    out: ExperimentOutput,
+struct Section {
+    title: &'static str,
+    note: Option<&'static str>,
+    specs: Vec<RunSpec>,
 }
 
-fn run(label: &str, cfg: SystemConfig) -> Row {
-    Row {
-        label: label.to_owned(),
-        out: run_experiment(cfg, SimDuration::from_secs(1000)),
-    }
+fn spec(label: String, cfg: SystemConfig) -> RunSpec {
+    RunSpec::new(label, cfg, SimDuration::from_secs(HORIZON_SECS))
 }
 
-fn print_rows(title: &str, rows: &[Row]) {
-    println!("\n--- {title} ---");
-    println!(
-        "{:<38} {:>8} {:>10} {:>9} {:>9} {:>8}",
-        "configuration", "reconfig", "latency_ms", "peak_db", "peak_app", "failed"
-    );
-    for r in rows {
-        println!(
-            "{:<38} {:>8} {:>10.0} {:>9} {:>9} {:>8}",
-            r.label,
-            r.out.metrics.counter("reconfigurations"),
-            r.out.mean_latency_ms(),
-            r.out.max_replicas(ManagedTier::Database),
-            r.out.max_replicas(ManagedTier::Application),
-            r.out.app.stats.total_failed(),
-        );
-    }
-}
-
-fn main() {
-    println!("=== Ablations (compressed ramp, 1000 s) ===");
+fn sections() -> Vec<Section> {
+    let mut sections = Vec::new();
 
     // 1. Moving-average window.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for window_s in [1u64, 15, 60, 180] {
         let mut cfg = base_cfg();
         cfg.jade.app_loop.window = SimDuration::from_secs(window_s);
         cfg.jade.db_loop.window = SimDuration::from_secs((window_s * 3) / 2);
-        rows.push(run(&format!("smoothing window {window_s}s (db x1.5)"), cfg));
+        specs.push(spec(format!("smoothing window {window_s}s (db x1.5)"), cfg));
     }
-    print_rows("ablation 1: moving-average strength", &rows);
-    println!("(expected: very short windows over-react to artifacts — more reconfigurations)");
+    sections.push(Section {
+        title: "ablation 1: moving-average strength",
+        note: Some(
+            "(expected: very short windows over-react to artifacts — more reconfigurations)",
+        ),
+        specs,
+    });
 
     // 2. Inhibition window.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for inhibition_s in [0u64, 10, 60, 180] {
         let mut cfg = base_cfg();
         cfg.jade.inhibition = SimDuration::from_secs(inhibition_s);
-        rows.push(run(&format!("inhibition {inhibition_s}s"), cfg));
+        specs.push(spec(format!("inhibition {inhibition_s}s"), cfg));
     }
-    print_rows("ablation 2: inhibition window", &rows);
-    println!("(expected: no inhibition => oscillation-prone; too long => sluggish scaling)");
+    sections.push(Section {
+        title: "ablation 2: inhibition window",
+        note: Some("(expected: no inhibition => oscillation-prone; too long => sluggish scaling)"),
+        specs,
+    });
 
     // 3. Load-balancing policy.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (name, policy) in [
         ("round-robin", BalancePolicy::RoundRobin),
         ("random", BalancePolicy::Random),
     ] {
         let mut cfg = base_cfg();
         cfg.description.application.balance_policy = policy;
-        rows.push(run(&format!("app-tier balancing: {name}"), cfg));
+        specs.push(spec(format!("app-tier balancing: {name}"), cfg));
     }
-    print_rows("ablation 3: load-balancing policy", &rows);
+    sections.push(Section {
+        title: "ablation 3: load-balancing policy",
+        note: None,
+        specs,
+    });
 
     // 4. Adaptive thresholds (paper §7). A constant load is placed so
     // that one database backend sits *above* the max threshold while two
     // sit *below* the min threshold — a mis-calibrated band that makes
     // the static reactor oscillate add/remove forever. The adaptive
     // reactor detects the reversals and widens the band until it settles.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for adaptive in [false, true] {
         let mut cfg = base_cfg();
         cfg.ramp = WorkloadRamp::constant(240);
         cfg.jade.adaptive = adaptive;
         cfg.jade.db_loop.min_threshold = 0.50;
         cfg.jade.db_loop.max_threshold = 0.65;
-        rows.push(run(
-            &format!("oscillating db band 0.50..0.65, adaptive={adaptive}"),
+        specs.push(spec(
+            format!("oscillating db band 0.50..0.65, adaptive={adaptive}"),
             cfg,
         ));
     }
-    print_rows("ablation 4: adaptive thresholds", &rows);
-    println!("(expected: the static band oscillates; adaptation widens it and settles)");
+    sections.push(Section {
+        title: "ablation 4: adaptive thresholds",
+        note: Some("(expected: the static band oscillates; adaptation widens it and settles)"),
+        specs,
+    });
 
     // 5. Sensor driver: CPU vs client response time.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for latency_driver in [false, true] {
         let mut cfg = base_cfg();
         cfg.jade.latency_driver = latency_driver;
@@ -134,13 +133,17 @@ fn main() {
         } else {
             "cpu-driven provisioning"
         };
-        rows.push(run(label, cfg));
+        specs.push(spec(label.to_owned(), cfg));
     }
-    print_rows("ablation 5: sensor driver (paper §4.2)", &rows);
+    sections.push(Section {
+        title: "ablation 5: sensor driver (paper §4.2)",
+        note: None,
+        specs,
+    });
 
     // 6. Client navigation model: i.i.d. weighted mix vs the RUBiS
     // transition-table state machine (session correlation).
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for markov in [false, true] {
         let mut cfg = base_cfg();
         cfg.markov_navigation = markov;
@@ -149,24 +152,74 @@ fn main() {
         } else {
             "i.i.d. weighted mix"
         };
-        rows.push(run(label, cfg));
+        specs.push(spec(label.to_owned(), cfg));
     }
-    print_rows("ablation 6: client navigation model", &rows);
-    println!("(expected: similar macroscopic behaviour — the chain's stationary mix matches)");
+    sections.push(Section {
+        title: "ablation 6: client navigation model",
+        note: Some(
+            "(expected: similar macroscopic behaviour — the chain's stationary mix matches)",
+        ),
+        specs,
+    });
 
     // 7. Policy arbitration (paper §7) under the oscillating band of
     // ablation 4: serialization + conflict coalescing also damp churn.
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for arbitration in [false, true] {
         let mut cfg = base_cfg();
         cfg.ramp = WorkloadRamp::constant(240);
         cfg.jade.arbitration = arbitration;
         cfg.jade.db_loop.min_threshold = 0.50;
         cfg.jade.db_loop.max_threshold = 0.65;
-        rows.push(run(
-            &format!("oscillating band, arbitration={arbitration}"),
+        specs.push(spec(
+            format!("oscillating band, arbitration={arbitration}"),
             cfg,
         ));
     }
-    print_rows("ablation 7: policy arbitration (paper §7)", &rows);
+    sections.push(Section {
+        title: "ablation 7: policy arbitration (paper §7)",
+        note: None,
+        specs,
+    });
+
+    sections
+}
+
+fn print_rows(title: &str, rows: &[RunResult]) {
+    println!("\n--- {title} ---");
+    println!(
+        "{:<38} {:>8} {:>10} {:>9} {:>9} {:>8}",
+        "configuration", "reconfig", "latency_ms", "peak_db", "peak_app", "failed"
+    );
+    for r in rows {
+        println!(
+            "{:<38} {:>8} {:>10.0} {:>9} {:>9} {:>8}",
+            r.record.label,
+            r.out.metrics.counter("reconfigurations"),
+            r.record.mean_latency_ms,
+            r.out.max_replicas(ManagedTier::Database),
+            r.out.max_replicas(ManagedTier::Application),
+            r.record.failed,
+        );
+    }
+}
+
+fn main() {
+    println!("=== Ablations (compressed ramp, {HORIZON_SECS} s) ===");
+    let harness = Harness::from_env();
+    let sections = sections();
+
+    // One flat batch keeps all workers busy across section boundaries.
+    let all_specs: Vec<RunSpec> = sections.iter().flat_map(|s| s.specs.clone()).collect();
+    let mut results = harness.run(all_specs);
+    harness.write_manifest("ablations", &results);
+
+    let mut rest = results.drain(..);
+    for section in &sections {
+        let rows: Vec<RunResult> = rest.by_ref().take(section.specs.len()).collect();
+        print_rows(section.title, &rows);
+        if let Some(note) = section.note {
+            println!("{note}");
+        }
+    }
 }

@@ -6,39 +6,40 @@
 //! This harness reproduces those benchmarks: it holds the *unmanaged*
 //! system at a grid of constant client loads and reports the steady-state
 //! CPU of each tier and the mean response time, from which the saturation
-//! points — and hence sensible thresholds — can be read off. Runs execute
-//! in parallel (one engine per thread).
+//! points — and hence sensible thresholds — can be read off. Levels run
+//! in parallel through the shared harness (one engine per worker).
 
 use jade::config::SystemConfig;
-use jade::experiment::{run_experiment, ExperimentOutput};
+use jade_bench::{Harness, RunSpec};
 use jade_rubis::WorkloadRamp;
 use jade_sim::SimDuration;
 
-fn run_level(clients: u32) -> (u32, ExperimentOutput) {
-    let mut cfg = SystemConfig::paper_unmanaged();
-    cfg.ramp = WorkloadRamp::constant(clients);
-    cfg.seed = 1000 + clients as u64;
-    (clients, run_experiment(cfg, SimDuration::from_secs(420)))
-}
-
 fn main() {
     println!("=== Threshold calibration benchmarks (unmanaged, 1 Tomcat + 1 MySQL) ===");
+    let harness = Harness::from_env();
     let levels: Vec<u32> = vec![40, 80, 120, 160, 200, 240, 280, 320];
-    let mut rows: Vec<(u32, ExperimentOutput)> = Vec::new();
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = levels
-            .iter()
-            .map(|&c| s.spawn(move |_| run_level(c)))
-            .collect();
-        for h in handles {
-            rows.push(h.join().expect("calibration run"));
-        }
-    })
-    .expect("calibration threads");
-    rows.sort_by_key(|&(c, _)| c);
+    let specs = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &clients)| {
+            let mut cfg = SystemConfig::paper_unmanaged();
+            cfg.ramp = WorkloadRamp::constant(clients);
+            cfg.seed = 1000 + clients as u64;
+            // Each load level is its own comparison group.
+            RunSpec::new(
+                format!("{clients} clients"),
+                cfg,
+                SimDuration::from_secs(420),
+            )
+            .on_stream(i as u64)
+        })
+        .collect();
+    let results = harness.run(specs);
+    harness.write_manifest("calibrate", &results);
 
     println!("clients  cpu.app  cpu.db   resp_ms  throughput");
-    for (clients, out) in &rows {
+    for (clients, result) in levels.iter().zip(&results) {
+        let out = &result.out;
         let cpu_app = out.series_mean("cpu.app", 120.0, 420.0);
         let cpu_db = out.series_mean("cpu.db", 120.0, 420.0);
         let (tp, rt, _, _) = out.intrusivity_row(120.0, 420.0);
@@ -46,10 +47,11 @@ fn main() {
     }
 
     // Read off the saturation points the way the paper's admins did.
-    let db_sat = rows
+    let db_sat = levels
         .iter()
-        .find(|(_, out)| out.series_mean("cpu.db", 120.0, 420.0) > 0.9)
-        .map(|&(c, _)| c);
+        .zip(&results)
+        .find(|(_, r)| r.out.series_mean("cpu.db", 120.0, 420.0) > 0.9)
+        .map(|(&c, _)| c);
     println!(
         "\ndatabase tier saturates around {} clients; with the default max threshold (0.75) the \
          manager reconfigures *before* saturation, keeping response times acceptable (paper: \

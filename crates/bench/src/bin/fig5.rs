@@ -9,19 +9,22 @@
 //! down the application server is released first, then database backends.
 
 use jade::config::SystemConfig;
-use jade::experiment::run_experiment;
 use jade::system::ManagedTier;
-use jade_bench::{ascii_chart, print_replica_transitions, print_run_summary, write_series};
+use jade_bench::{ascii_chart, print_replica_transitions, write_series, Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Figure 5: dynamically adjusted number of replicas ===");
-    let cfg = SystemConfig::paper_managed();
-    let horizon = SimDuration::from_secs(3000);
-    let out = run_experiment(cfg, horizon);
-
-    print_run_summary("managed run", &out);
-    print_replica_transitions(&out);
+    let harness = Harness::from_env();
+    let results = harness.run(vec![RunSpec::new(
+        "managed run",
+        SystemConfig::paper_managed(),
+        SimDuration::from_secs(3000),
+    )]);
+    harness.write_manifest("fig5", &results);
+    Harness::print_record(&results[0].record);
+    let out = &results[0].out;
+    print_replica_transitions(out);
 
     let db = out.series("replicas.db");
     let app = out.series("replicas.app");

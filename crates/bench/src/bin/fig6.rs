@@ -5,20 +5,26 @@
 //! single MySQL saturates and thrashes), with the min/max thresholds.
 
 use jade::config::SystemConfig;
-use jade::experiment::run_managed_and_unmanaged;
-use jade_bench::{ascii_chart, print_run_summary, write_series};
+use jade_bench::{ascii_chart, write_series, Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Figure 6: behavior of the database tier ===");
+    let harness = Harness::from_env();
     let managed_cfg = SystemConfig::paper_managed();
     let db_loop = managed_cfg.jade.db_loop;
     let horizon = SimDuration::from_secs(3000);
-    let (managed, unmanaged) =
-        run_managed_and_unmanaged(managed_cfg, SystemConfig::paper_unmanaged(), horizon);
-
-    print_run_summary("managed", &managed);
-    print_run_summary("unmanaged", &unmanaged);
+    // Both runs share stream 0: under `--seed` they keep a common seed,
+    // so managed vs unmanaged stays a common-random-numbers comparison.
+    let results = harness.run(vec![
+        RunSpec::new("managed", managed_cfg, horizon),
+        RunSpec::new("unmanaged", SystemConfig::paper_unmanaged(), horizon),
+    ]);
+    harness.write_manifest("fig6", &results);
+    for r in &results {
+        Harness::print_record(&r.record);
+    }
+    let (managed, unmanaged) = (&results[0].out, &results[1].out);
 
     let cpu_smoothed = managed.series("cpu.db.smoothed");
     let cpu_unmanaged = unmanaged.series("cpu.db.smoothed");
@@ -32,7 +38,10 @@ fn main() {
         "{}",
         ascii_chart("CPU without Jade (moving average)", &cpu_unmanaged, 8, 100)
     );
-    println!("{}", ascii_chart("# of database backends", &backends, 6, 100));
+    println!(
+        "{}",
+        ascii_chart("# of database backends", &backends, 6, 100)
+    );
     println!(
         "thresholds: max={} min={}",
         db_loop.max_threshold, db_loop.min_threshold
@@ -43,10 +52,7 @@ fn main() {
     write_series("fig6_backends", &backends);
 
     // Shape checks mirrored from the paper's discussion.
-    let peak_unmanaged = cpu_unmanaged
-        .iter()
-        .map(|&(_, v)| v)
-        .fold(0.0f64, f64::max);
+    let peak_unmanaged = cpu_unmanaged.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
     let peak_managed_sustained = {
         // Managed CPU should mostly stay under the max threshold after a
         // short excursion that triggers each reconfiguration.

@@ -7,20 +7,24 @@
 //! for the database".
 
 use jade::config::SystemConfig;
-use jade::experiment::run_managed_and_unmanaged;
-use jade_bench::{ascii_chart, print_run_summary, write_series};
+use jade_bench::{ascii_chart, write_series, Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Figure 7: behavior of the application tier ===");
+    let harness = Harness::from_env();
     let managed_cfg = SystemConfig::paper_managed();
     let app_loop = managed_cfg.jade.app_loop;
     let horizon = SimDuration::from_secs(3000);
-    let (managed, unmanaged) =
-        run_managed_and_unmanaged(managed_cfg, SystemConfig::paper_unmanaged(), horizon);
-
-    print_run_summary("managed", &managed);
-    print_run_summary("unmanaged", &unmanaged);
+    let results = harness.run(vec![
+        RunSpec::new("managed", managed_cfg, horizon),
+        RunSpec::new("unmanaged", SystemConfig::paper_unmanaged(), horizon),
+    ]);
+    harness.write_manifest("fig7", &results);
+    for r in &results {
+        Harness::print_record(&r.record);
+    }
+    let (managed, unmanaged) = (&results[0].out, &results[1].out);
 
     let cpu_managed = managed.series("cpu.app.smoothed");
     let cpu_unmanaged = unmanaged.series("cpu.app.smoothed");
@@ -34,7 +38,10 @@ fn main() {
         "{}",
         ascii_chart("CPU without Jade (moving average)", &cpu_unmanaged, 8, 100)
     );
-    println!("{}", ascii_chart("# of enterprise servers", &servers, 6, 100));
+    println!(
+        "{}",
+        ascii_chart("# of enterprise servers", &servers, 6, 100)
+    );
     println!(
         "thresholds: max={} min={}",
         app_loop.max_threshold, app_loop.min_threshold

@@ -6,14 +6,20 @@
 //! seconds), recovering only when the load drops.
 
 use jade::config::SystemConfig;
-use jade::experiment::run_experiment;
-use jade_bench::{ascii_chart, print_run_summary, write_series};
+use jade_bench::{ascii_chart, write_series, Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Figure 8: response time without Jade ===");
-    let out = run_experiment(SystemConfig::paper_unmanaged(), SimDuration::from_secs(3000));
-    print_run_summary("unmanaged", &out);
+    let harness = Harness::from_env();
+    let results = harness.run(vec![RunSpec::new(
+        "unmanaged",
+        SystemConfig::paper_unmanaged(),
+        SimDuration::from_secs(3000),
+    )]);
+    harness.write_manifest("fig8", &results);
+    Harness::print_record(&results[0].record);
+    let out = &results[0].out;
 
     let latency: Vec<(f64, f64)> = out
         .app

@@ -5,14 +5,20 @@
 //! ~590 ms run-wide average vs 10.42 s unmanaged).
 
 use jade::config::SystemConfig;
-use jade::experiment::run_experiment;
-use jade_bench::{ascii_chart, print_run_summary, write_series};
+use jade_bench::{ascii_chart, write_series, Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Figure 9: response time with Jade ===");
-    let out = run_experiment(SystemConfig::paper_managed(), SimDuration::from_secs(3000));
-    print_run_summary("managed", &out);
+    let harness = Harness::from_env();
+    let results = harness.run(vec![RunSpec::new(
+        "managed",
+        SystemConfig::paper_managed(),
+        SimDuration::from_secs(3000),
+    )]);
+    harness.write_manifest("fig9", &results);
+    Harness::print_record(&results[0].record);
+    let out = &results[0].out;
 
     let latency: Vec<(f64, f64)> = out
         .app

@@ -10,10 +10,7 @@ use jade_sim::SimDuration;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let clients: u32 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(80);
+    let clients: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(80);
     println!("=== RUBiS report: {clients} clients, 600 s, managed ===");
     let mut cfg = SystemConfig::paper_managed();
     cfg.ramp = WorkloadRamp::constant(clients);

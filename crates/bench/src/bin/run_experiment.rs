@@ -40,10 +40,7 @@ fn main() -> ExitCode {
     );
     let out = run_experiment_with(cfg, duration, |engine| {
         if trace {
-            engine.set_tracer(jade_sim::Tracer::enabled(
-                500,
-                jade_sim::TraceLevel::Info,
-            ));
+            engine.set_tracer(jade_sim::Tracer::enabled(500, jade_sim::TraceLevel::Info));
         }
     });
     print_run_summary("result", &out);
@@ -79,7 +76,10 @@ fn main() -> ExitCode {
         }
     }
     if trace {
-        println!("management-plane trace (last {} events):", out.tracer.events().count());
+        println!(
+            "management-plane trace (last {} events):",
+            out.tracer.events().count()
+        );
         print!("{}", out.tracer.render());
     }
     ExitCode::SUCCESS

@@ -10,17 +10,23 @@
 //! components deployed on every node.
 
 use jade::config::SystemConfig;
-use jade::experiment::run_managed_and_unmanaged;
+use jade_bench::{Harness, RunSpec};
 use jade_sim::SimDuration;
 
 fn main() {
     println!("=== Table 1: performance overhead (intrusivity) ===");
+    let harness = Harness::from_env();
     let horizon = SimDuration::from_secs(1200);
-    let (managed, unmanaged) = run_managed_and_unmanaged(
-        SystemConfig::intrusivity(true, 80),
-        SystemConfig::intrusivity(false, 80),
-        horizon,
-    );
+    let results = harness.run(vec![
+        RunSpec::new("with Jade", SystemConfig::intrusivity(true, 80), horizon),
+        RunSpec::new(
+            "without Jade",
+            SystemConfig::intrusivity(false, 80),
+            horizon,
+        ),
+    ]);
+    harness.write_manifest("table1", &results);
+    let (managed, unmanaged) = (&results[0].out, &results[1].out);
     // Skip the first 120 s (warm-up) like the paper's steady-state runs.
     let (tp_j, rt_j, cpu_j, mem_j) = managed.intrusivity_row(120.0, 1200.0);
     let (tp_n, rt_n, cpu_n, mem_n) = unmanaged.intrusivity_row(120.0, 1200.0);

@@ -53,10 +53,7 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn value<'a, I: Iterator<Item = &'a str>>(
-    flag: &str,
-    args: &mut I,
-) -> Result<&'a str, CliError> {
+fn value<'a, I: Iterator<Item = &'a str>>(flag: &str, args: &mut I) -> Result<&'a str, CliError> {
     args.next()
         .ok_or_else(|| CliError(format!("{flag} needs a value")))
 }
@@ -157,10 +154,24 @@ mod tests {
     fn flags_map_onto_config() {
         let run = parse_args(
             [
-                "--clients", "120", "--duration", "600", "--seed", "7", "--unmanaged",
-                "--markov", "--arbitration", "--self-repair", "--adaptive",
-                "--latency-driver", "--out", "results/run1", "--trace",
-                "--browsing", "--patience", "15",
+                "--clients",
+                "120",
+                "--duration",
+                "600",
+                "--seed",
+                "7",
+                "--unmanaged",
+                "--markov",
+                "--arbitration",
+                "--self-repair",
+                "--adaptive",
+                "--latency-driver",
+                "--out",
+                "results/run1",
+                "--trace",
+                "--browsing",
+                "--patience",
+                "15",
             ],
             no_fs,
         )
@@ -200,14 +211,26 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse_args(["--clients"], no_fs).unwrap_err().0.contains("needs a value"));
+        assert!(parse_args(["--clients"], no_fs)
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
         assert!(parse_args(["--clients", "zero"], no_fs)
             .unwrap_err()
             .0
             .contains("not a valid number"));
-        assert!(parse_args(["--wat"], no_fs).unwrap_err().0.contains("unknown flag"));
-        assert!(parse_args(["--clients", "0"], no_fs).unwrap_err().0.contains(">= 1"));
-        assert!(parse_args(["--help"], no_fs).unwrap_err().0.contains("usage"));
+        assert!(parse_args(["--wat"], no_fs)
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(parse_args(["--clients", "0"], no_fs)
+            .unwrap_err()
+            .0
+            .contains(">= 1"));
+        assert!(parse_args(["--help"], no_fs)
+            .unwrap_err()
+            .0
+            .contains("usage"));
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! and ablations of the design knobs called out in DESIGN.md.
 
 pub mod cli;
+pub mod harness;
+pub mod microbench;
+
+pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
 
 use jade::experiment::ExperimentOutput;
 use jade::system::ManagedTier;
@@ -57,7 +61,11 @@ pub fn ascii_chart(title: &str, series: &[(f64, f64)], height: usize, width: usi
         return out;
     }
     let t_max = series.last().map(|&(t, _)| t).unwrap_or(1.0).max(1e-9);
-    let v_max = series.iter().map(|&(_, v)| v).fold(0.0f64, f64::max).max(1e-9);
+    let v_max = series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     // Downsample into `width` columns (column max, so spikes stay visible).
     let mut cols = vec![0.0f64; width];
     for &(t, v) in series {

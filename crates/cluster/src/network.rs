@@ -48,7 +48,8 @@ impl Network {
     pub fn client_delay(&self, bytes: u64) -> SimDuration {
         // Clients are on the same LAN in the paper's testbed (one node runs
         // the client emulator), so this is just a LAN hop.
-        self.hop_latency + SimDuration::from_micros(((bytes as f64 * 8.0) / self.bandwidth_mbps).ceil() as u64)
+        self.hop_latency
+            + SimDuration::from_micros(((bytes as f64 * 8.0) / self.bandwidth_mbps).ceil() as u64)
     }
 }
 

@@ -135,8 +135,7 @@ impl J2eeDescription {
             web,
             application: application
                 .ok_or_else(|| AdlError::Invalid("missing application tier".into()))?,
-            database: database
-                .ok_or_else(|| AdlError::Invalid("missing database tier".into()))?,
+            database: database.ok_or_else(|| AdlError::Invalid("missing database tier".into()))?,
         })
     }
 

@@ -89,10 +89,7 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<!--") {
-                match self.src[self.pos..]
-                    .windows(3)
-                    .position(|w| w == b"-->")
-                {
+                match self.src[self.pos..].windows(3).position(|w| w == b"-->") {
                     Some(rel) => self.pos += rel + 3,
                     None => return self.err("unterminated comment"),
                 }
@@ -271,7 +268,10 @@ mod tests {
             .children_named("tier")
             .find(|t| t.attr("kind") == Some("database"))
             .unwrap();
-        assert_eq!(db.child("param").unwrap().attr("value"), Some("least-pending"));
+        assert_eq!(
+            db.child("param").unwrap().attr("value"),
+            Some("least-pending")
+        );
     }
 
     #[test]

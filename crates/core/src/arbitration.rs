@@ -119,15 +119,16 @@ impl Arbitrator {
         }
         // Pending repair on the same tier supersedes optimization.
         if req.source == Source::SelfOptimization
-            && self
-                .queue
-                .iter()
-                .any(|r| r.source == Source::SelfRecovery)
+            && self.queue.iter().any(|r| r.source == Source::SelfRecovery)
         {
             self.dropped += 1;
             return SubmitOutcome::Superseded;
         }
-        if let Some(pos) = self.queue.iter().position(|r| r.action.opposes(&req.action)) {
+        if let Some(pos) = self
+            .queue
+            .iter()
+            .position(|r| r.action.opposes(&req.action))
+        {
             // Opposing intents cancel: the system is already where both
             // managers jointly want it.
             self.queue.remove(pos);

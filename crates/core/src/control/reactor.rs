@@ -36,7 +36,12 @@ pub struct ThresholdReactor {
 
 impl ThresholdReactor {
     /// Creates a reactor; panics on inconsistent thresholds.
-    pub fn new(min_threshold: f64, max_threshold: f64, min_replicas: usize, max_replicas: usize) -> Self {
+    pub fn new(
+        min_threshold: f64,
+        max_threshold: f64,
+        min_replicas: usize,
+        max_replicas: usize,
+    ) -> Self {
         assert!(
             0.0 <= min_threshold && min_threshold < max_threshold && max_threshold <= 1.0,
             "need 0 <= min < max <= 1"

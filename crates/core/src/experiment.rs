@@ -4,7 +4,7 @@
 
 use crate::config::SystemConfig;
 use crate::system::{J2eeApp, ManagedTier, Msg};
-use jade_sim::{Addr, Engine, MetricsHub, SimDuration, SimTime, Tracer};
+use jade_sim::{Addr, Digest, Engine, MetricsHub, SimDuration, SimTime, Tracer};
 
 /// Result of one experiment run.
 pub struct ExperimentOutput {
@@ -103,6 +103,50 @@ impl ExperimentOutput {
             .max()
             .unwrap_or(0)
     }
+
+    /// Stable digest of the run's observable trajectory: event count,
+    /// client statistics, the management journal, and the replica /
+    /// client / latency series.
+    ///
+    /// Two runs of the same configuration must produce the same digest
+    /// regardless of wall-clock conditions, how many sibling runs execute
+    /// on other threads, or whether a [`Tracer`] was installed (tracing is
+    /// observation, not behaviour — so the trace is deliberately *not*
+    /// part of the digest).
+    pub fn outcome_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_u64(self.events);
+        d.write_u64(self.horizon.as_micros());
+        d.write_u64(self.app.stats.total_completed());
+        d.write_u64(self.app.stats.total_failed());
+        for (t, line) in &self.app.reconfig_log {
+            d.write_u64(t.as_micros());
+            d.write_str(line);
+        }
+        for name in ["replicas.app", "replicas.db", "clients"] {
+            d.write_str(name);
+            if let Some(s) = self.metrics.series(name) {
+                for &(t, v) in s.points() {
+                    d.write_u64(t.as_micros());
+                    d.write_f64(v);
+                }
+            }
+        }
+        d.write_str("latency");
+        for (t, v) in self.app.stats.latency_series() {
+            d.write_u64(t.as_micros());
+            d.write_f64(v);
+        }
+        d.finish()
+    }
+}
+
+/// Stable digest of a configuration (seed included): manifest entries use
+/// it to prove which scenario produced which outcome.
+pub fn config_digest(cfg: &SystemConfig) -> u64 {
+    // `SystemConfig` is plain data with a complete `Debug` rendering; the
+    // digest of that rendering changes iff a field changes.
+    jade_sim::digest_str(&format!("{cfg:?}"))
 }
 
 /// Runs one experiment for `duration` of virtual time.
@@ -145,11 +189,10 @@ pub fn run_managed_and_unmanaged(
 ) -> (ExperimentOutput, ExperimentOutput) {
     let mut managed_out = None;
     let mut unmanaged_out = None;
-    crossbeam::scope(|s| {
-        s.spawn(|_| managed_out = Some(run_experiment(managed, duration)));
-        s.spawn(|_| unmanaged_out = Some(run_experiment(unmanaged, duration)));
-    })
-    .expect("experiment threads must not panic");
+    std::thread::scope(|s| {
+        s.spawn(|| managed_out = Some(run_experiment(managed, duration)));
+        s.spawn(|| unmanaged_out = Some(run_experiment(unmanaged, duration)));
+    });
     (
         managed_out.expect("managed run finished"),
         unmanaged_out.expect("unmanaged run finished"),
@@ -169,14 +212,21 @@ mod tests {
         cfg.ramp = WorkloadRamp::constant(80);
         cfg.seed = 7;
         let out = run_experiment(cfg, SimDuration::from_secs(300));
-        assert!(out.app.stats.total_completed() > 1000, "clients must be served");
+        assert!(
+            out.app.stats.total_completed() > 1000,
+            "clients must be served"
+        );
         assert_eq!(out.app.running_replicas(ManagedTier::Application), 1);
         assert_eq!(out.app.running_replicas(ManagedTier::Database), 1);
         // ~12 req/s at 80 clients (Table 1).
         let tp = out.throughput();
         assert!((9.0..=15.0).contains(&tp), "throughput {tp}");
         // Sub-second latencies at medium load.
-        assert!(out.mean_latency_ms() < 500.0, "latency {}", out.mean_latency_ms());
+        assert!(
+            out.mean_latency_ms() < 500.0,
+            "latency {}",
+            out.mean_latency_ms()
+        );
     }
 
     /// Under overload the managed system must add replicas.

@@ -47,6 +47,8 @@ pub mod system;
 
 pub use adl::{AdlError, J2eeDescription, TierKind, TierSpec};
 pub use config::{JadeConfig, SystemConfig, TierLoopConfig};
-pub use control::{CpuAvgSensor, Decision, InhibitionWindow, LatencySensor, Sensor, ThresholdReactor};
+pub use control::{
+    CpuAvgSensor, Decision, InhibitionWindow, LatencySensor, Sensor, ThresholdReactor,
+};
 pub use experiment::{run_experiment, run_managed_and_unmanaged, ExperimentOutput};
 pub use system::{J2eeApp, ManagedTier, Msg, TierManager};

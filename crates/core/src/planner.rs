@@ -60,8 +60,7 @@ impl CapacityModel {
             let lambda = clients / (self.think_time_s + r);
             let rho_app = (lambda * self.servlet_demand_s / app_replicas as f64).min(0.999);
             let rho_db = (lambda * self.db_demand_s / db_replicas as f64).min(0.999);
-            let r_new = self.servlet_demand_s / (1.0 - rho_app)
-                + self.db_demand_s / (1.0 - rho_db);
+            let r_new = self.servlet_demand_s / (1.0 - rho_app) + self.db_demand_s / (1.0 - rho_db);
             r = 0.5 * r + 0.5 * r_new;
         }
         r
@@ -157,13 +156,25 @@ mod tests {
         let m = model();
         let transitions = m.predict_ramp_up(80.0, 500.0, 0.75, 0.70, 4);
         // Database scales twice before the application tier scales once.
-        let kinds: Vec<(bool, usize)> =
-            transitions.iter().map(|t| (t.database, t.replicas)).collect();
-        assert_eq!(kinds, vec![(true, 2), (true, 3), (false, 2)], "{transitions:?}");
+        let kinds: Vec<(bool, usize)> = transitions
+            .iter()
+            .map(|t| (t.database, t.replicas))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(true, 2), (true, 3), (false, 2)],
+            "{transitions:?}"
+        );
         // First DB transition in the paper's neighbourhood (~180 clients).
-        assert!((140.0..260.0).contains(&transitions[0].clients), "{transitions:?}");
+        assert!(
+            (140.0..260.0).contains(&transitions[0].clients),
+            "{transitions:?}"
+        );
         // App transition near 420 clients.
-        assert!((350.0..500.0).contains(&transitions[2].clients), "{transitions:?}");
+        assert!(
+            (350.0..500.0).contains(&transitions[2].clients),
+            "{transitions:?}"
+        );
     }
 
     #[test]

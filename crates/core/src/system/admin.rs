@@ -20,7 +20,10 @@ impl J2eeApp {
     /// progress or the tier has a reconfiguration running.
     pub(crate) fn start_rolling_restart(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
         if self.rolling.is_some() {
-            self.log_reconfig(ctx, "rolling restart refused: one is already running".into());
+            self.log_reconfig(
+                ctx,
+                "rolling restart refused: one is already running".into(),
+            );
             return;
         }
         let mut replicas = self.legacy.running_servers_of(tier.tier());
@@ -88,7 +91,11 @@ impl J2eeApp {
         self.flush_legacy_outbox(ctx);
         let name = self.registry.name(comp).unwrap_or_default();
         self.log_reconfig(ctx, format!("rolling restart: draining {name}"));
-        ctx.send_after(self.cfg.drain_grace, Addr::ROOT, Msg::RollingStop { server });
+        ctx.send_after(
+            self.cfg.drain_grace,
+            Addr::ROOT,
+            Msg::RollingStop { server },
+        );
     }
 
     /// Drain grace elapsed: bounce the replica (stop + start).
@@ -133,9 +140,9 @@ impl J2eeApp {
                         .bind(&mut self.legacy, plb_comp, "workers", comp, "ajp");
                 }
                 for apache_comp in self.apache_components() {
-                    let _ = self
-                        .registry
-                        .bind(&mut self.legacy, apache_comp, "ajp-itf", comp, "ajp");
+                    let _ =
+                        self.registry
+                            .bind(&mut self.legacy, apache_comp, "ajp-itf", comp, "ajp");
                 }
                 self.finish_rolling_step(ctx, server);
             }
@@ -143,9 +150,9 @@ impl J2eeApp {
                 // Rebinding triggers recovery-log resynchronization; the
                 // step completes on BackendActivated.
                 if let Some((_, cj_comp)) = self.cjdbc {
-                    let _ = self
-                        .registry
-                        .bind(&mut self.legacy, cj_comp, "backends", comp, "mysql");
+                    let _ =
+                        self.registry
+                            .bind(&mut self.legacy, cj_comp, "backends", comp, "mysql");
                 }
                 self.flush_legacy_outbox(ctx);
             }

@@ -50,11 +50,12 @@ impl J2eeApp {
     }
 
     fn record_replica_series(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let ids = self.hot_ids(ctx);
         let app = self.running_replicas(ManagedTier::Application) as f64;
         let db = self.running_replicas(ManagedTier::Database) as f64;
         let now = ctx.now();
-        ctx.metrics().record_series("replicas.app", now, app);
-        ctx.metrics().record_series("replicas.db", now, db);
+        ctx.metrics()
+            .record_series_batch(now, &[(ids.replicas_app, app), (ids.replicas_db, db)]);
     }
 
     // ------------------------------------------------------------------
@@ -83,9 +84,6 @@ impl J2eeApp {
         };
         self.latest_app_cpu = avg(&app_nodes);
         self.latest_db_cpu = avg(&db_nodes);
-        ctx.metrics()
-            .record_series("cpu.app", now, self.latest_app_cpu);
-        ctx.metrics().record_series("cpu.db", now, self.latest_db_cpu);
 
         // Memory and node-allocation series (Table 1, Figure 5 context).
         let allocated = self.legacy.cluster.allocated();
@@ -102,16 +100,20 @@ impl J2eeApp {
         let cpu_all_avg = if allocated.is_empty() {
             0.0
         } else {
-            allocated
-                .iter()
-                .filter_map(|n| samples.get(n))
-                .sum::<f64>()
-                / allocated.len() as f64
+            allocated.iter().filter_map(|n| samples.get(n)).sum::<f64>() / allocated.len() as f64
         };
-        ctx.metrics().record_series("mem.avg", now, mem_avg);
-        ctx.metrics().record_series("cpu.all", now, cpu_all_avg);
-        ctx.metrics()
-            .record_series("nodes.allocated", now, allocated.len() as f64);
+        // One batched append per probe tick: every sample shares `now`.
+        let ids = self.hot_ids(ctx);
+        ctx.metrics().record_series_batch(
+            now,
+            &[
+                (ids.cpu_app, self.latest_app_cpu),
+                (ids.cpu_db, self.latest_db_cpu),
+                (ids.mem_avg, mem_avg),
+                (ids.cpu_all, cpu_all_avg),
+                (ids.nodes_allocated, allocated.len() as f64),
+            ],
+        );
         self.record_replica_series(ctx);
 
         // Intrusivity: the management daemon consumes a little CPU on
@@ -354,9 +356,12 @@ impl J2eeApp {
         // Web topologies: retire the Tomcat from every Apache's rotation.
         if tier == ManagedTier::Application {
             for apache_comp in self.apache_components() {
-                let _ =
-                    self.registry
-                        .unbind(&mut self.legacy, apache_comp, "ajp-itf", Some(victim_comp));
+                let _ = self.registry.unbind(
+                    &mut self.legacy,
+                    apache_comp,
+                    "ajp-itf",
+                    Some(victim_comp),
+                );
             }
         }
         self.pending_undeploys.insert(victim, tier);
@@ -364,7 +369,11 @@ impl J2eeApp {
         self.inhibition.note_reconfiguration(ctx.now());
         let name = self.registry.name(victim_comp).unwrap_or_default();
         self.log_reconfig(ctx, format!("scale-down {tier:?}: retiring {name}"));
-        ctx.send_after(self.cfg.drain_grace, Addr::ROOT, Msg::UndeployStop { server: victim });
+        ctx.send_after(
+            self.cfg.drain_grace,
+            Addr::ROOT,
+            Msg::UndeployStop { server: victim },
+        );
         self.flush_legacy_outbox(ctx);
     }
 
@@ -476,7 +485,10 @@ impl J2eeApp {
                             }
                             self.set_tier_busy(ManagedTier::Application, false);
                             self.record_replica_series(ctx);
-                            self.log_reconfig(ctx, format!("replica {server:?} joined the application tier"));
+                            self.log_reconfig(
+                                ctx,
+                                format!("replica {server:?} joined the application tier"),
+                            );
                         }
                         ManagedTier::Database => {
                             pending.phase = DeployPhase::Syncing;
@@ -791,8 +803,7 @@ impl J2eeApp {
                     bound
                         .iter()
                         .map(|&c| {
-                            let st = backend_server(self, c)
-                                .and_then(|sid| ctrl.status(sid).ok());
+                            let st = backend_server(self, c).and_then(|sid| ctrl.status(sid).ok());
                             (c, st)
                         })
                         .collect();
@@ -808,11 +819,19 @@ impl J2eeApp {
             }
         }
         for &target in &bound {
-            let _ = self.registry.unbind(&mut self.legacy, comp, itf, Some(target));
+            let _ = self
+                .registry
+                .unbind(&mut self.legacy, comp, itf, Some(target));
         }
         // In-flight requests through the dead front-end are already lost;
         // clean the wreck out of the architecture.
-        let parent = if is_cjdbc { self.db_tier } else if is_plb { self.app_tier } else { self.web_tier };
+        let parent = if is_cjdbc {
+            self.db_tier
+        } else if is_plb {
+            self.app_tier
+        } else {
+            self.web_tier
+        };
         let _ = self.registry.stop(&mut self.legacy, comp);
         let _ = self.registry.remove_child(parent, comp);
         // Tomcats keep a jdbc-itf binding toward a dead C-JDBC: drop them.
@@ -833,7 +852,10 @@ impl J2eeApp {
         // Deploy the replacement.
         let Ok(node) = self.legacy.cluster.allocate() else {
             ctx.metrics().incr("scaleup.blocked", 1);
-            self.log_reconfig(ctx, format!("balancer {name} repair blocked: pool exhausted"));
+            self.log_reconfig(
+                ctx,
+                format!("balancer {name} repair blocked: pool exhausted"),
+            );
             return;
         };
         let mut pkgs: Vec<&str> = vec![if is_cjdbc { "cjdbc" } else { "plb" }];
@@ -844,11 +866,9 @@ impl J2eeApp {
             let _ = self.legacy.sis.install(&mut self.legacy.cluster, node, pkg);
         }
         if is_cjdbc {
-            let new_server = self.legacy.create_cjdbc(
-                "C-JDBC",
-                node,
-                self.cfg.description.database.read_policy,
-            );
+            let new_server =
+                self.legacy
+                    .create_cjdbc("C-JDBC", node, self.cfg.description.database.read_policy);
             let new_comp = self.registry.new_primitive(
                 "C-JDBC",
                 vec![
@@ -857,9 +877,12 @@ impl J2eeApp {
                 ],
                 Box::new(jade_tiers::CjdbcWrapper { server: new_server }),
             );
-            let _ = self
-                .registry
-                .set_attr(&mut self.legacy, new_comp, "server-id", new_server.0 as i64);
+            let _ = self.registry.set_attr(
+                &mut self.legacy,
+                new_comp,
+                "server-id",
+                new_server.0 as i64,
+            );
             let _ = self.registry.add_child(self.db_tier, new_comp);
             self.comp_of_server.insert(new_server, new_comp);
             self.cjdbc = Some((new_server, new_comp));
@@ -963,9 +986,12 @@ impl J2eeApp {
                 ],
                 Box::new(jade_tiers::BalancerWrapper { server: new_server }),
             );
-            let _ = self
-                .registry
-                .set_attr(&mut self.legacy, new_comp, "server-id", new_server.0 as i64);
+            let _ = self.registry.set_attr(
+                &mut self.legacy,
+                new_comp,
+                "server-id",
+                new_server.0 as i64,
+            );
             let parent = if is_plb { self.app_tier } else { self.web_tier };
             let _ = self.registry.add_child(parent, new_comp);
             self.comp_of_server.insert(new_server, new_comp);
@@ -978,9 +1004,9 @@ impl J2eeApp {
             self.legacy.finish_boot(new_server).ok();
             let server_itf = if is_plb { "ajp" } else { "http" };
             for &target in &bound {
-                let _ = self
-                    .registry
-                    .bind(&mut self.legacy, new_comp, "workers", target, server_itf);
+                let _ =
+                    self.registry
+                        .bind(&mut self.legacy, new_comp, "workers", target, server_itf);
             }
         }
         self.flush_legacy_outbox(ctx);

@@ -12,14 +12,12 @@ mod manage;
 mod msg;
 mod workload;
 
-pub use msg::{
-    DeployPhase, JobOwner, ManagedTier, Msg, PendingDeploy, RequestPhase, RequestState,
-};
+pub use msg::{DeployPhase, JobOwner, ManagedTier, Msg, PendingDeploy, RequestPhase, RequestState};
 
 use crate::config::SystemConfig;
 use crate::control::{AdaptiveThresholds, CpuAvgSensor, InhibitionWindow, ThresholdReactor};
-use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
 use jade_cluster::SoftwareRepository;
+use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
 use jade_fractal::{ComponentId, InterfaceDecl, Registry};
 use jade_rubis::{dataset_statements, EmulatedClient, KeySpace, StatsCollector};
 use jade_sim::{App, Ctx, EventToken, JobId, SimDuration, SimTime};
@@ -113,6 +111,45 @@ pub struct J2eeApp {
     pub(crate) last_heartbeat: BTreeMap<NodeId, jade_sim::SimTime>,
     /// A rolling restart in progress, if any.
     pub(crate) rolling: Option<RollingRestart>,
+    /// Interned metric handles for the hot recording paths (lazy).
+    pub(crate) hot_ids: Option<HotMetricIds>,
+}
+
+/// Interned metric handles: the per-request and per-probe recording paths
+/// use these instead of string names, skipping allocation and hashing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotMetricIds {
+    pub cpu_app: jade_sim::SeriesId,
+    pub cpu_db: jade_sim::SeriesId,
+    pub mem_avg: jade_sim::SeriesId,
+    pub cpu_all: jade_sim::SeriesId,
+    pub nodes_allocated: jade_sim::SeriesId,
+    pub replicas_app: jade_sim::SeriesId,
+    pub replicas_db: jade_sim::SeriesId,
+    pub clients: jade_sim::SeriesId,
+    pub latency: jade_sim::HistogramId,
+    pub completed: jade_sim::CounterId,
+    pub failed: jade_sim::CounterId,
+    pub abandoned: jade_sim::CounterId,
+}
+
+impl HotMetricIds {
+    fn intern(hub: &mut jade_sim::MetricsHub) -> Self {
+        HotMetricIds {
+            cpu_app: hub.series_id("cpu.app"),
+            cpu_db: hub.series_id("cpu.db"),
+            mem_avg: hub.series_id("mem.avg"),
+            cpu_all: hub.series_id("cpu.all"),
+            nodes_allocated: hub.series_id("nodes.allocated"),
+            replicas_app: hub.series_id("replicas.app"),
+            replicas_db: hub.series_id("replicas.db"),
+            clients: hub.series_id("clients"),
+            latency: hub.histogram_id("latency"),
+            completed: hub.counter_id("requests.completed"),
+            failed: hub.counter_id("requests.failed"),
+            abandoned: hub.counter_id("requests.abandoned"),
+        }
+    }
 }
 
 /// State of a rolling-restart administration operation.
@@ -141,7 +178,9 @@ impl J2eeApp {
         let app_tier = registry.new_composite("application-tier", vec![]);
         let db_tier = registry.new_composite("database-tier", vec![]);
         if cfg.description.web.is_some() {
-            registry.add_child(root, web_tier).expect("fresh composites");
+            registry
+                .add_child(root, web_tier)
+                .expect("fresh composites");
         }
         registry
             .add_child(root, app_tier)
@@ -235,6 +274,19 @@ impl J2eeApp {
             latest_db_cpu: 0.0,
             last_heartbeat: BTreeMap::new(),
             rolling: None,
+            hot_ids: None,
+        }
+    }
+
+    /// Interned metric handles, created on first use.
+    pub(crate) fn hot_ids(&mut self, ctx: &mut Ctx<'_, Msg>) -> HotMetricIds {
+        match self.hot_ids {
+            Some(ids) => ids,
+            None => {
+                let ids = HotMetricIds::intern(ctx.metrics());
+                self.hot_ids = Some(ids);
+                ids
+            }
         }
     }
 

@@ -66,7 +66,9 @@ impl J2eeApp {
             }
         }
         let now = ctx.now();
-        ctx.metrics().record_series("clients", now, target as f64);
+        let ids = self.hot_ids(ctx);
+        ctx.metrics()
+            .record_series_id(ids.clients, now, target as f64);
         ctx.send_after(self.cfg.ramp_tick, Addr::ROOT, Msg::RampTick);
     }
 
@@ -195,7 +197,8 @@ impl J2eeApp {
     /// in flight.
     pub(crate) fn on_client_abandon(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         if self.inflight.contains_key(&req) {
-            ctx.metrics().incr("requests.abandoned", 1);
+            let ids = self.hot_ids(ctx);
+            ctx.metrics().incr_id(ids.abandoned, 1);
             self.fail_request(ctx, req);
         }
     }
@@ -213,9 +216,11 @@ impl J2eeApp {
             return;
         }
         let (running, node, demand) = match self.legacy.server(apache) {
-            Ok(jade_tiers::LegacyServer::Apache(a)) => {
-                (a.process.state.is_running(), a.process.node, a.static_demand)
-            }
+            Ok(jade_tiers::LegacyServer::Apache(a)) => (
+                a.process.state.is_running(),
+                a.process.node,
+                a.static_demand,
+            ),
             _ => (false, jade_cluster::NodeId(0), SimDuration::ZERO),
         };
         if !running {
@@ -393,7 +398,11 @@ impl J2eeApp {
                         self.submit_job(
                             ctx,
                             node,
-                            JobOwner::DbWrite { req, cjdbc, backend },
+                            JobOwner::DbWrite {
+                                req,
+                                cjdbc,
+                                backend,
+                            },
                             demand,
                         );
                     }
@@ -415,7 +424,16 @@ impl J2eeApp {
                         .server(backend)
                         .map(|s| s.process().node)
                         .expect("active backend exists");
-                    self.submit_job(ctx, node, JobOwner::DbRead { req, cjdbc, backend }, demand);
+                    self.submit_job(
+                        ctx,
+                        node,
+                        JobOwner::DbRead {
+                            req,
+                            cjdbc,
+                            backend,
+                        },
+                        demand,
+                    );
                 }
                 Err(_) => self.fail_request(ctx, req),
             }
@@ -479,8 +497,9 @@ impl J2eeApp {
         let latency = ctx.now() - state.started;
         self.stats
             .record_completion_of(ctx.now(), latency, state.plan.name);
-        ctx.metrics().record_latency("latency", latency);
-        ctx.metrics().incr("requests.completed", 1);
+        let ids = self.hot_ids(ctx);
+        ctx.metrics().record_latency_id(ids.latency, latency);
+        ctx.metrics().incr_id(ids.completed, 1);
         let client = state.client;
         self.clients[client as usize].client.note_completed();
         self.schedule_think(ctx, client);
@@ -497,9 +516,9 @@ impl J2eeApp {
             .job_owner
             .iter()
             .filter(|(_, o)| match o {
-                JobOwner::ApacheServe(r)
-                | JobOwner::ServletPre(r)
-                | JobOwner::ServletPost(r) => *r == req,
+                JobOwner::ApacheServe(r) | JobOwner::ServletPre(r) | JobOwner::ServletPost(r) => {
+                    *r == req
+                }
                 JobOwner::DbRead { req: r, .. } | JobOwner::DbWrite { req: r, .. } => *r == req,
                 JobOwner::Daemon | JobOwner::Routing => false,
             })
@@ -543,7 +562,8 @@ impl J2eeApp {
             }
         }
         self.stats.record_failure_of(ctx.now(), state.plan.name);
-        ctx.metrics().incr("requests.failed", 1);
+        let ids = self.hot_ids(ctx);
+        ctx.metrics().incr_id(ids.failed, 1);
         ctx.trace(jade_sim::TraceLevel::Warn, "request", || {
             format!(
                 "request {req:?} ({}) failed in phase {:?}",
@@ -574,10 +594,16 @@ impl J2eeApp {
                 }
                 JobOwner::ServletPost(req) => self.on_servlet_done(ctx, req),
                 JobOwner::ApacheServe(req) => self.on_apache_done(ctx, req),
-                JobOwner::DbRead { req, cjdbc, backend }
-                | JobOwner::DbWrite { req, cjdbc, backend } => {
-                    self.on_db_job_done(ctx, req, cjdbc, backend)
+                JobOwner::DbRead {
+                    req,
+                    cjdbc,
+                    backend,
                 }
+                | JobOwner::DbWrite {
+                    req,
+                    cjdbc,
+                    backend,
+                } => self.on_db_job_done(ctx, req, cjdbc, backend),
                 JobOwner::Daemon | JobOwner::Routing => {}
             }
         }

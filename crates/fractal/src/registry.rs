@@ -161,7 +161,10 @@ impl<E> Registry<E> {
         let inbound = self.incoming_bindings(id);
         if !inbound.is_empty() {
             return Err(FractalError::BindingState {
-                reason: format!("{} inbound binding(s) still target the component", inbound.len()),
+                reason: format!(
+                    "{} inbound binding(s) still target the component",
+                    inbound.len()
+                ),
             });
         }
         self.components[id.0 as usize] = None;
@@ -295,12 +298,12 @@ impl<E> Registry<E> {
     ) -> Result<()> {
         let (signature, cardinality) = {
             let c = self.comp(id)?;
-            let decl =
-                c.interface(client_itf)
-                    .ok_or_else(|| FractalError::NoSuchInterface {
-                        component: id,
-                        interface: client_itf.to_owned(),
-                    })?;
+            let decl = c
+                .interface(client_itf)
+                .ok_or_else(|| FractalError::NoSuchInterface {
+                    component: id,
+                    interface: client_itf.to_owned(),
+                })?;
             if decl.role != Role::Client {
                 return Err(FractalError::IncompatibleBinding {
                     reason: format!("'{client_itf}' is not a client interface"),
@@ -310,12 +313,12 @@ impl<E> Registry<E> {
         };
         {
             let t = self.comp(target)?;
-            let sdecl =
-                t.interface(server_itf)
-                    .ok_or_else(|| FractalError::NoSuchInterface {
-                        component: target,
-                        interface: server_itf.to_owned(),
-                    })?;
+            let sdecl = t
+                .interface(server_itf)
+                .ok_or_else(|| FractalError::NoSuchInterface {
+                    component: target,
+                    interface: server_itf.to_owned(),
+                })?;
             if sdecl.role != Role::Server {
                 return Err(FractalError::IncompatibleBinding {
                     reason: format!("'{server_itf}' is not a server interface"),
@@ -388,12 +391,11 @@ impl<E> Registry<E> {
                     }
                     0
                 }
-                Some(t) => slot
-                    .iter()
-                    .position(|e| e.component == t)
-                    .ok_or_else(|| FractalError::BindingState {
+                Some(t) => slot.iter().position(|e| e.component == t).ok_or_else(|| {
+                    FractalError::BindingState {
                         reason: format!("interface '{client_itf}' is not bound to {t:?}"),
-                    })?,
+                    }
+                })?,
             };
             slot.remove(idx)
         };
@@ -720,7 +722,9 @@ mod tests {
             vec![InterfaceDecl::server("sql", "jdbc")],
             Box::new(NullWrapper),
         );
-        let err = reg.bind(&mut env, front, "backend", odd, "sql").unwrap_err();
+        let err = reg
+            .bind(&mut env, front, "backend", odd, "sql")
+            .unwrap_err();
         assert!(matches!(err, FractalError::IncompatibleBinding { .. }));
     }
 
@@ -732,7 +736,9 @@ mod tests {
         let b2 = reg.new_primitive("b2", server_decl(), Box::new(NullWrapper));
         let mut env = ();
         reg.bind(&mut env, front, "backend", b1, "http").unwrap();
-        let err = reg.bind(&mut env, front, "backend", b2, "http").unwrap_err();
+        let err = reg
+            .bind(&mut env, front, "backend", b2, "http")
+            .unwrap_err();
         assert!(matches!(err, FractalError::BindingState { .. }));
     }
 
@@ -997,7 +1003,10 @@ mod tests {
         let a = reg.new_primitive("a", vec![], Box::new(Picky));
         let mut env = ();
         assert!(reg.set_attr(&mut env, a, "port", -1i64).is_err());
-        assert!(reg.get_attr(a, "port").is_err(), "rejected write must not persist");
+        assert!(
+            reg.get_attr(a, "port").is_err(),
+            "rejected write must not persist"
+        );
         reg.set_attr(&mut env, a, "port", 8080i64).unwrap();
     }
 }

@@ -188,11 +188,8 @@ impl Snapshot {
             }
             // Bindings (set difference per interface).
             let empty: Vec<String> = Vec::new();
-            let interfaces: std::collections::BTreeSet<&String> = old_c
-                .bindings
-                .keys()
-                .chain(new_c.bindings.keys())
-                .collect();
+            let interfaces: std::collections::BTreeSet<&String> =
+                old_c.bindings.keys().chain(new_c.bindings.keys()).collect();
             for itf in interfaces {
                 let old_t = old_c.bindings.get(itf).unwrap_or(&empty);
                 let new_t = new_c.bindings.get(itf).unwrap_or(&empty);

@@ -1,0 +1,221 @@
+//! # jade-propcheck — minimal property-based testing
+//!
+//! A small, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses: run a closure over many generated cases, with
+//! deterministic seeding and a printed reproduction recipe on failure.
+//!
+//! ```
+//! use jade_propcheck::run;
+//!
+//! run("addition_commutes", 64, |g| {
+//!     let a = g.u64(0..1_000);
+//!     let b = g.u64(0..1_000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Unlike proptest there is no shrinking: a failing case prints its case
+//! index and seed, and `PROPCHECK_SEED`/`PROPCHECK_CASES` re-run exactly
+//! that input. Determinism of the system under test (the whole point of
+//! the simulator) makes minimal counterexamples less critical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-case random input generator.
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed (normally done by [`run`]).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform `u64` in `[range.start, range.end)`.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.next() % span
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `u32` in `[range.start, range.end)`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.u64(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Uniform `u8` over the full range.
+    pub fn u8(&mut self) -> u8 {
+        self.next() as u8
+    }
+
+    /// Uniform `i64` over the full range.
+    pub fn i64(&mut self) -> i64 {
+        self.next() as i64
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        let unit = (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(0..items.len())]
+    }
+
+    /// Picks an index from integer weights (proptest's `prop_oneof!` with
+    /// weights). Panics if all weights are zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted() needs a positive total");
+        let mut x = self.u64(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+
+    /// A vector with a length drawn from `len` and elements from `f`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Lowercase identifier: `[a-z][a-z0-9-]{0, max_tail}`.
+    pub fn ident(&mut self, max_tail: usize) -> String {
+        const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+        let mut s = String::new();
+        s.push(*self.choose(HEAD) as char);
+        for _ in 0..self.usize(0..max_tail + 1) {
+            s.push(*self.choose(TAIL) as char);
+        }
+        s
+    }
+
+    /// A string of up to `max_len` chars drawn from `alphabet`.
+    pub fn string_of(&mut self, alphabet: &[char], max_len: usize) -> String {
+        let n = self.usize(0..max_len + 1);
+        (0..n).map(|_| *self.choose(alphabet)).collect()
+    }
+}
+
+/// Default number of cases when neither the caller nor the environment
+/// says otherwise.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Runs `property` over `cases` generated inputs. Deterministic: the same
+/// binary runs the same cases. Override with `PROPCHECK_CASES` (count) and
+/// `PROPCHECK_SEED` (base seed) to reproduce or broaden a run.
+pub fn run(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
+    let cases = std::env::var("PROPCHECK_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cases);
+    let base: u64 = std::env::var("PROPCHECK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x4A41_4445_0001); // "JADE"
+    for case in 0..cases {
+        let mut sm = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = splitmix64(&mut sm);
+        let mut g = Gen::from_seed(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = result {
+            eprintln!(
+                "propcheck: property '{name}' failed at case {case}/{cases} \
+                 (reproduce with PROPCHECK_SEED={base} PROPCHECK_CASES={})",
+                case + 1
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = Gen::from_seed(1);
+        let mut b = Gen::from_seed(1);
+        for _ in 0..64 {
+            assert_eq!(a.u64(0..1_000), b.u64(0..1_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::from_seed(7);
+        for _ in 0..10_000 {
+            assert!((10..20).contains(&g.u64(10..20)));
+            let f = g.f64(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn weighted_skips_zero_weights() {
+        let mut g = Gen::from_seed(3);
+        for _ in 0..1_000 {
+            assert_ne!(g.weighted(&[3, 0, 5]), 1);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut g = Gen::from_seed(9);
+        for _ in 0..100 {
+            let v = g.vec(1..8, |g| g.bool());
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn run_executes_all_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = AtomicU32::new(0);
+        run("counter", 17, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counter.load(Ordering::Relaxed) >= 17);
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        run("always_fails", 4, |_| panic!("nope"));
+    }
+}

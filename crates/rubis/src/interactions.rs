@@ -112,7 +112,12 @@ fn scan(table: &str, column: &str, value: Value, limit: usize, demand_ms: f64) -
 }
 
 fn count(table: &str, demand_ms: f64) -> SqlOp {
-    SqlOp::new(Statement::Count { table: table.into() }, ms(demand_ms))
+    SqlOp::new(
+        Statement::Count {
+            table: table.into(),
+        },
+        ms(demand_ms),
+    )
 }
 
 fn insert(table: &str, cols: &[(&str, Value)], demand_ms: f64) -> SqlOp {
@@ -138,11 +143,7 @@ fn update(table: &str, key: u64, cols: &[(&str, Value)], demand_ms: f64) -> SqlO
 
 /// Instantiates the SQL work of an interaction against the current key
 /// space. Mutates the key space when the interaction inserts rows.
-fn sql_for(
-    t: &InteractionType,
-    ks: &mut KeySpace,
-    rng: &mut SimRng,
-) -> Vec<SqlOp> {
+fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlOp> {
     match t.name {
         "RegisterUser" => {
             let region = ks.region(rng);
@@ -333,16 +334,10 @@ impl InteractionMix {
 }
 
 /// Builds the concrete work plan of one client request.
-pub fn generate_plan(
-    t: &InteractionType,
-    ks: &mut KeySpace,
-    rng: &mut SimRng,
-) -> InteractionPlan {
+pub fn generate_plan(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> InteractionPlan {
     // CPU demands jitter ±20% around the calibrated mean, modelling data-
     // dependent servlet work.
-    let jitter = |mean_ms: f64, rng: &mut SimRng| {
-        ms(mean_ms * (0.8 + 0.4 * rng.f64()))
-    };
+    let jitter = |mean_ms: f64, rng: &mut SimRng| ms(mean_ms * (0.8 + 0.4 * rng.f64()));
     let sql = sql_for(t, ks, rng)
         .into_iter()
         .map(|op| {

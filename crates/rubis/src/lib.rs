@@ -24,7 +24,10 @@ pub mod transitions;
 pub mod workload;
 
 pub use client::{EmulatedClient, DEFAULT_THINK_TIME};
-pub use interactions::{generate_plan, sample_interaction, InteractionKind, InteractionMix, InteractionType, INTERACTIONS};
+pub use interactions::{
+    generate_plan, sample_interaction, InteractionKind, InteractionMix, InteractionType,
+    INTERACTIONS,
+};
 pub use schema::{dataset_statements, schema_statements, DatasetSpec, KeySpace};
 pub use stats::{InteractionStats, StatsCollector, WindowStats};
 pub use transitions::{StateId, TransitionMatrix};

@@ -154,7 +154,10 @@ pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement>
             table: "users".into(),
             row: row(&[
                 ("nickname", Value::Text(format!("user{i}"))),
-                ("region", Value::Int(rng.range_u64(0, spec.regions - 1) as i64)),
+                (
+                    "region",
+                    Value::Int(rng.range_u64(0, spec.regions - 1) as i64),
+                ),
                 ("rating", Value::Int(rng.range_u64(0, 100) as i64)),
             ]),
         });
@@ -164,7 +167,10 @@ pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement>
             table: "items".into(),
             row: row(&[
                 ("name", Value::Text(format!("item{i}"))),
-                ("seller", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                (
+                    "seller",
+                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                ),
                 (
                     "category",
                     Value::Int(rng.range_u64(0, spec.categories - 1) as i64),
@@ -179,7 +185,10 @@ pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement>
             table: "bids".into(),
             row: row(&[
                 ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
-                ("bidder", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                (
+                    "bidder",
+                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                ),
                 ("amount", Value::Int(rng.range_u64(1, 2000) as i64)),
             ]),
         });
@@ -189,7 +198,10 @@ pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement>
             table: "comments".into(),
             row: row(&[
                 ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
-                ("author", Value::Int(rng.range_u64(0, spec.users - 1) as i64)),
+                (
+                    "author",
+                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                ),
                 ("text", Value::Text("nice doing business".into())),
             ]),
         });

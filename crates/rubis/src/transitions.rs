@@ -235,8 +235,8 @@ mod tests {
         let m = TransitionMatrix::bidding_mix();
         let mut rng = SimRng::seed_from_u64(6);
         let dist = m.stationary(300_000, &mut rng);
-        let search = dist[super::state("SearchItemsInCategory")]
-            + dist[super::state("SearchItemsInRegion")];
+        let search =
+            dist[super::state("SearchItemsInCategory")] + dist[super::state("SearchItemsInRegion")];
         assert!(search > 0.15, "search share {search:.3}");
     }
 

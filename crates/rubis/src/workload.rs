@@ -73,8 +73,7 @@ impl WorkloadRamp {
         } else if t_us < down_start.as_micros() {
             self.peak_clients
         } else if t_us < down_end.as_micros() {
-            let steps =
-                (t_us - down_start.as_micros()) / self.step_interval.as_micros().max(1);
+            let steps = (t_us - down_start.as_micros()) / self.step_interval.as_micros().max(1);
             self.peak_clients
                 .saturating_sub(self.step_clients * steps as u32)
                 .max(self.base_clients)
@@ -114,7 +113,10 @@ mod tests {
         // Back at base.
         assert_eq!(r.clients_at(t(2880)), 80);
         assert_eq!(r.clients_at(t(5000)), 80);
-        assert_eq!(r.total_span(), SimDuration::from_secs(120 + 1200 + 360 + 1200));
+        assert_eq!(
+            r.total_span(),
+            SimDuration::from_secs(120 + 1200 + 360 + 1200)
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod digest;
 pub mod engine;
 pub mod metrics;
 pub mod queue;
@@ -31,8 +32,12 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{EfficiencyCurve, JobId, PsCpu};
+pub use digest::{digest_str, Digest};
 pub use engine::{Addr, App, Ctx, Engine, RunOutcome};
-pub use metrics::{Histogram, MetricsHub, MovingAverage, TimeSeries, UtilizationTracker};
+pub use metrics::{
+    CounterId, Histogram, HistogramId, MetricsHub, MovingAverage, SeriesId, TimeSeries,
+    UtilizationTracker,
+};
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -328,16 +328,41 @@ impl Histogram {
     }
 }
 
+/// Interned handle to a time series, for allocation- and hash-free
+/// recording on the simulation hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(u32);
+
+/// Interned handle to a latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// Interned handle to a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
 /// Central sink for named measurements produced during a run.
 ///
 /// The hub is owned by the engine so that all simulation actors can record
 /// without sharing ownership; after the run it is taken apart by the
 /// experiment harness.
+///
+/// Metrics are stored in insertion-ordered vectors with a name index on
+/// the side. Recording by name never allocates once the metric exists;
+/// hot-path producers (per-request latency, the periodic probes) intern a
+/// [`SeriesId`]/[`HistogramId`]/[`CounterId`] once and record through it,
+/// skipping even the name hash. [`record_series_batch`] appends one probe
+/// tick's worth of samples in a single call.
+///
+/// [`record_series_batch`]: MetricsHub::record_series_batch
 #[derive(Debug, Default)]
 pub struct MetricsHub {
-    series: HashMap<String, TimeSeries>,
-    histograms: HashMap<String, Histogram>,
-    counters: HashMap<String, u64>,
+    series: Vec<(String, TimeSeries)>,
+    series_index: HashMap<String, u32>,
+    histograms: Vec<(String, Histogram)>,
+    histogram_index: HashMap<String, u32>,
+    counters: Vec<(String, u64)>,
+    counter_index: HashMap<String, u32>,
 }
 
 impl MetricsHub {
@@ -346,52 +371,122 @@ impl MetricsHub {
         Self::default()
     }
 
+    /// Interns a series name, creating the (empty) series if needed.
+    pub fn series_id(&mut self, name: &str) -> SeriesId {
+        if let Some(&i) = self.series_index.get(name) {
+            return SeriesId(i);
+        }
+        let i = self.series.len() as u32;
+        self.series.push((name.to_owned(), TimeSeries::new()));
+        self.series_index.insert(name.to_owned(), i);
+        SeriesId(i)
+    }
+
+    /// Interns a histogram name, creating the (empty) histogram if needed.
+    pub fn histogram_id(&mut self, name: &str) -> HistogramId {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return HistogramId(i);
+        }
+        let i = self.histograms.len() as u32;
+        self.histograms.push((name.to_owned(), Histogram::new()));
+        self.histogram_index.insert(name.to_owned(), i);
+        HistogramId(i)
+    }
+
+    /// Interns a counter name, creating it at zero if needed.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counters.len() as u32;
+        self.counters.push((name.to_owned(), 0));
+        self.counter_index.insert(name.to_owned(), i);
+        CounterId(i)
+    }
+
     /// Appends to the named time series.
     pub fn record_series(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .record(t, v);
+        let id = self.series_id(name);
+        self.record_series_id(id, t, v);
+    }
+
+    /// Appends to an interned series (hot path: no hashing).
+    #[inline]
+    pub fn record_series_id(&mut self, id: SeriesId, t: SimTime, v: f64) {
+        self.series[id.0 as usize].1.record(t, v);
+    }
+
+    /// Appends one sample to each listed series at the same instant — the
+    /// shape of a periodic probe tick.
+    pub fn record_series_batch(&mut self, t: SimTime, samples: &[(SeriesId, f64)]) {
+        for &(id, v) in samples {
+            self.record_series_id(id, t, v);
+        }
     }
 
     /// Records a latency in the named histogram.
     pub fn record_latency(&mut self, name: &str, d: SimDuration) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(d);
+        let id = self.histogram_id(name);
+        self.record_latency_id(id, d);
+    }
+
+    /// Records a latency in an interned histogram (hot path).
+    #[inline]
+    pub fn record_latency_id(&mut self, id: HistogramId, d: SimDuration) {
+        self.histograms[id.0 as usize].1.record(d);
     }
 
     /// Increments the named counter.
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        let id = self.counter_id(name);
+        self.incr_id(id, by);
+    }
+
+    /// Increments an interned counter (hot path).
+    #[inline]
+    pub fn incr_id(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0 as usize].1 += by;
     }
 
     /// Looks up a series by name.
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
+        self.series_index
+            .get(name)
+            .map(|&i| &self.series[i as usize].1)
     }
 
     /// Looks up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.histogram_index
+            .get(name)
+            .map(|&i| &self.histograms[i as usize].1)
     }
 
     /// Reads a counter (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map(|&i| self.counters[i as usize].1)
+            .unwrap_or(0)
     }
 
     /// Names of all recorded series, sorted (deterministic output).
     pub fn series_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.series.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.series.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names
     }
 
     /// Names of all recorded histograms, sorted.
     pub fn histogram_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.histograms.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Names of all recorded counters, sorted.
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counters.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names
     }
@@ -513,5 +608,34 @@ mod tests {
         assert_eq!(hub.counter("requests"), 3);
         assert_eq!(hub.counter("missing"), 0);
         assert_eq!(hub.series_names(), vec!["cpu"]);
+    }
+
+    #[test]
+    fn interned_ids_alias_names() {
+        let mut hub = MetricsHub::new();
+        let id = hub.series_id("cpu");
+        assert_eq!(id, hub.series_id("cpu"));
+        hub.record_series_id(id, t(1), 0.25);
+        hub.record_series("cpu", t(2), 0.75);
+        assert_eq!(hub.series("cpu").unwrap().len(), 2);
+
+        let h = hub.histogram_id("lat");
+        hub.record_latency_id(h, SimDuration::from_millis(10));
+        assert_eq!(hub.histogram("lat").unwrap().count(), 1);
+
+        let c = hub.counter_id("reqs");
+        hub.incr_id(c, 2);
+        hub.incr("reqs", 1);
+        assert_eq!(hub.counter("reqs"), 3);
+    }
+
+    #[test]
+    fn batch_records_at_one_instant() {
+        let mut hub = MetricsHub::new();
+        let a = hub.series_id("a");
+        let b = hub.series_id("b");
+        hub.record_series_batch(t(5), &[(a, 1.0), (b, 2.0)]);
+        assert_eq!(hub.series("a").unwrap().points(), &[(t(5), 1.0)]);
+        assert_eq!(hub.series("b").unwrap().points(), &[(t(5), 2.0)]);
     }
 }

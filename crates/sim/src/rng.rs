@@ -3,56 +3,112 @@
 //! Every experiment owns one [`SimRng`] seeded from a `u64`, so runs are
 //! exactly reproducible and parameter sweeps can share seeds across
 //! configurations (common random numbers).
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+//! seeded through splitmix64 — no external crates, identical output on
+//! every platform, and cheap to [`fork`](SimRng::fork) into independent
+//! per-client or per-run streams.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// splitmix64 step: used for seeding and for deriving fork seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Seedable RNG with the distribution helpers the workload model needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Derives the seed for an independent stream of the same root seed:
+    /// `stream_for(seed, i)` is stable across runs and independent of any
+    /// draws made elsewhere — the harness uses it to give each run in a
+    /// sweep its own stream while preserving common random numbers.
+    pub fn stream_seed(root: u64, stream: u64) -> u64 {
+        let mut sm = root ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(stream.wrapping_add(1));
+        splitmix64(&mut sm)
+    }
+
+    /// Next raw 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each client its
     /// own stream so adding clients does not perturb existing ones.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`. Panics when `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64 - 1) as usize
     }
 
-    /// Uniform integer in the inclusive range.
+    /// Uniform integer in the inclusive range (unbiased via rejection).
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        debug_assert!(lo <= hi);
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        let zone = u64::MAX - (u64::MAX.wrapping_sub(span).wrapping_add(1)) % span;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return lo + x % span;
+            }
+        }
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        // 1 - u is in (0, 1], so ln() is finite and the result non-negative.
+        let u = self.f64();
+        -mean * (1.0 - u).ln()
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.f64() < p.clamp(0.0, 1.0)
     }
 
     /// Samples an index from a discrete distribution given by non-negative
@@ -60,7 +116,7 @@ impl SimRng {
     pub fn weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weighted() needs a positive total weight");
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             x -= w;
             if x <= 0.0 {
@@ -93,11 +149,34 @@ mod tests {
     }
 
     #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
     fn exp_mean_is_roughly_right() {
         let mut r = SimRng::seed_from_u64(7);
         let n = 20_000;
         let mean = (0..n).map(|_| r.exp(3.0)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn range_is_inclusive_and_unbiased_at_edges() {
+        let mut r = SimRng::seed_from_u64(13);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            let x = r.range_u64(5, 8);
+            assert!((5..=8).contains(&x));
+            lo_seen |= x == 5;
+            hi_seen |= x == 8;
+        }
+        assert!(lo_seen && hi_seen);
     }
 
     #[test]
@@ -121,6 +200,14 @@ mod tests {
         // Child streams must not be identical.
         let same = (0..32).filter(|_| c1.f64() == c2.f64()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_stream_and_are_stable() {
+        let a = SimRng::stream_seed(42, 0);
+        let b = SimRng::stream_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, SimRng::stream_seed(42, 0));
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
         let d = t - SimTime::from_secs(10);
         assert_eq!(d.as_micros(), 500_000);
         // Saturating: subtracting a later time yields zero, not wraparound.
-        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(2)).as_micros(), 0);
+        assert_eq!(
+            (SimTime::from_secs(1) - SimTime::from_secs(2)).as_micros(),
+            0
+        );
     }
 
     #[test]

@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn rendering_includes_time_and_level() {
         let mut tr = Tracer::enabled(4, TraceLevel::Debug);
-        tr.record(t(90), TraceLevel::Warn, "legacy", || "server stopped".into());
+        tr.record(t(90), TraceLevel::Warn, "legacy", || {
+            "server stopped".into()
+        });
         let line = tr.render();
         assert!(line.contains("90.000s"), "{line}");
         assert!(line.contains("WARN"), "{line}");

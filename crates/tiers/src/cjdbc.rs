@@ -175,10 +175,7 @@ impl CjdbcController {
     /// Completes one replay batch. If more writes arrived since the batch
     /// was taken, returns the next batch; otherwise the backend becomes
     /// `Active` and `None` is returned.
-    pub fn finish_replay(
-        &mut self,
-        server: ServerId,
-    ) -> Result<Option<Vec<LogEntry>>, CjdbcError> {
+    pub fn finish_replay(&mut self, server: ServerId) -> Result<Option<Vec<LogEntry>>, CjdbcError> {
         let head = self.log.head();
         let b = self
             .backends
@@ -294,7 +291,10 @@ impl CjdbcController {
                 .min_by_key(|id| self.backends[id].pending)
                 .expect("active is non-empty"),
         };
-        self.backends.get_mut(&chosen).expect("chosen is known").pending += 1;
+        self.backends
+            .get_mut(&chosen)
+            .expect("chosen is known")
+            .pending += 1;
         Ok(chosen)
     }
 

@@ -95,9 +95,7 @@ pub fn render_worker_properties(entries: &[WorkerEntry]) -> String {
 
 /// Renders a minimal `httpd.conf`.
 pub fn render_httpd_conf(server_name: &str, port: u16, doc_root: &str) -> String {
-    format!(
-        "ServerName {server_name}\nListen {port}\nDocumentRoot \"{doc_root}\"\nKeepAlive On\n"
-    )
+    format!("ServerName {server_name}\nListen {port}\nDocumentRoot \"{doc_root}\"\nKeepAlive On\n")
 }
 
 /// Renders a minimal `my.cnf`.
@@ -152,10 +150,21 @@ mod tests {
     #[test]
     fn store_roundtrip_and_write_count() {
         let mut store = ConfigStore::new();
-        store.write(NodeId(1), "conf/httpd.conf", render_httpd_conf("node1", 80, "/www"));
-        assert!(store.read(NodeId(1), "conf/httpd.conf").unwrap().contains("Listen 80"));
+        store.write(
+            NodeId(1),
+            "conf/httpd.conf",
+            render_httpd_conf("node1", 80, "/www"),
+        );
+        assert!(store
+            .read(NodeId(1), "conf/httpd.conf")
+            .unwrap()
+            .contains("Listen 80"));
         assert!(store.read(NodeId(2), "conf/httpd.conf").is_none());
-        store.write(NodeId(1), "conf/httpd.conf", render_httpd_conf("node1", 8080, "/www"));
+        store.write(
+            NodeId(1),
+            "conf/httpd.conf",
+            render_httpd_conf("node1", 8080, "/www"),
+        );
         assert_eq!(store.write_count(), 2);
         assert_eq!(store.paths_on(NodeId(1)), vec!["conf/httpd.conf"]);
         store.remove(NodeId(1), "conf/httpd.conf");

@@ -601,10 +601,7 @@ impl LegacyLayer {
         // dead controller (repaired mid-sync) must be dropped, not
         // applied — the replacement controller restarted reconciliation
         // from a restored state.
-        let still_syncing = self
-            .cjdbc(cjdbc)
-            .ok()
-            .and_then(|c| c.status(backend).ok())
+        let still_syncing = self.cjdbc(cjdbc).ok().and_then(|c| c.status(backend).ok())
             == Some(BackendStatus::Syncing);
         if !still_syncing {
             self.pending_replays.remove(&(cjdbc, backend));
@@ -693,9 +690,7 @@ impl LegacyLayer {
         if !state.is_running() {
             return Err(LegacyError::BadState(cjdbc, state));
         }
-        let (_, targets) = self
-            .cjdbc_mut(cjdbc)?
-            .route_write(op.statement.clone())?;
+        let (_, targets) = self.cjdbc_mut(cjdbc)?.route_write(op.statement.clone())?;
         for &b in &targets {
             let m = self.mysql_mut(b)?;
             let _ = m.execute(&op.statement);
@@ -835,7 +830,9 @@ mod tests {
         l.crash_node(NodeId(0), SimTime::from_secs(1));
         assert_eq!(l.server(t).unwrap().process().state, ServerState::Failed);
         let events = l.drain_outbox();
-        assert!(events.iter().any(|(_, e)| *e == LegacyEvent::ServerFailed(t)));
+        assert!(events
+            .iter()
+            .any(|(_, e)| *e == LegacyEvent::ServerFailed(t)));
     }
 
     fn write_op(i: i64) -> SqlOp {
@@ -897,7 +894,10 @@ mod tests {
         // Create the schema cluster-wide.
         l.cjdbc_execute_write(
             cj,
-            &SqlOp::new(Statement::CreateTable { table: "t".into() }, SimDuration::ZERO),
+            &SqlOp::new(
+                Statement::CreateTable { table: "t".into() },
+                SimDuration::ZERO,
+            ),
         )
         .unwrap();
         (cj, backends)
@@ -1002,10 +1002,7 @@ mod tests {
         l.stop_server(tomcats[0]).unwrap();
         let mut rng = SimRng::seed_from_u64(2);
         for _ in 0..5 {
-            assert_eq!(
-                l.balancer_route_running(plb, &mut rng).unwrap(),
-                tomcats[1]
-            );
+            assert_eq!(l.balancer_route_running(plb, &mut rng).unwrap(), tomcats[1]);
         }
     }
 

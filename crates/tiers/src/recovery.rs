@@ -114,9 +114,6 @@ mod tests {
     fn rendered_strings_match_statements() {
         let mut log = RecoveryLog::new();
         log.append(w(7));
-        assert_eq!(
-            log.rendered().next().unwrap(),
-            "INSERT INTO t SET a=7"
-        );
+        assert_eq!(log.rendered().next().unwrap(), "INSERT INTO t SET a=7");
     }
 }

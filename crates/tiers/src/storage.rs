@@ -260,16 +260,19 @@ mod tests {
     #[test]
     fn create_table_is_idempotent() {
         let mut db = Database::new();
-        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Statement::CreateTable { table: "t".into() })
+            .unwrap();
         db.execute(&insert("t", &[("a", Value::Int(1))])).unwrap();
-        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Statement::CreateTable { table: "t".into() })
+            .unwrap();
         assert_eq!(db.total_rows(), 1, "re-create must not wipe the table");
     }
 
     #[test]
     fn update_missing_row_affects_zero() {
         let mut db = Database::new();
-        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Statement::CreateTable { table: "t".into() })
+            .unwrap();
         let r = db
             .execute(&Statement::Update {
                 table: "t".into(),
@@ -314,7 +317,8 @@ mod tests {
     #[test]
     fn keys_are_not_reused_after_delete() {
         let mut db = Database::new();
-        db.execute(&Statement::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Statement::CreateTable { table: "t".into() })
+            .unwrap();
         db.execute(&insert("t", &[("a", Value::Int(1))])).unwrap();
         db.execute(&Statement::Delete {
             table: "t".into(),

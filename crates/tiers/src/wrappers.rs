@@ -11,8 +11,8 @@
 //! (set at deployment) so that wrappers can resolve binding targets to
 //! legacy processes.
 
-use crate::config::{render_httpd_conf, render_my_cnf, render_plb_conf, render_worker_properties};
 use crate::config::{render_cjdbc_xml, WorkerEntry};
+use crate::config::{render_httpd_conf, render_my_cnf, render_plb_conf, render_worker_properties};
 use crate::legacy::LegacyLayer;
 use crate::server::{ServerId, ServerState};
 use jade_fractal::{ArchView, AttrValue, ComponentId, Endpoint, FractalError, Wrapper};
@@ -94,7 +94,12 @@ impl ApacheWrapper {
         Ok(())
     }
 
-    fn rewrite_workers(&self, env: &mut LegacyLayer, view: &dyn ArchView, me: ComponentId) -> Result<()> {
+    fn rewrite_workers(
+        &self,
+        env: &mut LegacyLayer,
+        view: &dyn ArchView,
+        me: ComponentId,
+    ) -> Result<()> {
         let endpoints = view.bound_to(me, "ajp-itf");
         let entries: Vec<WorkerEntry> = endpoints
             .iter()
@@ -116,8 +121,11 @@ impl ApacheWrapper {
                 other => other.process().node,
             }
         };
-        env.configs
-            .write(node, "conf/worker.properties", render_worker_properties(&entries));
+        env.configs.write(
+            node,
+            "conf/worker.properties",
+            render_worker_properties(&entries),
+        );
         Ok(())
     }
 }
@@ -174,11 +182,21 @@ impl Wrapper<LegacyLayer> for ApacheWrapper {
         Ok(())
     }
 
-    fn on_start(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_start(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.start_server(self.server).map_err(wrap_err)
     }
 
-    fn on_stop(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_stop(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.stop_server(self.server).map_err(wrap_err)
     }
 }
@@ -223,11 +241,21 @@ impl Wrapper<LegacyLayer> for TomcatWrapper {
         Ok(())
     }
 
-    fn on_start(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_start(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.start_server(self.server).map_err(wrap_err)
     }
 
-    fn on_stop(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_stop(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.stop_server(self.server).map_err(wrap_err)
     }
 }
@@ -269,11 +297,21 @@ impl Wrapper<LegacyLayer> for MysqlWrapper {
         Ok(())
     }
 
-    fn on_start(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_start(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.start_server(self.server).map_err(wrap_err)
     }
 
-    fn on_stop(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_stop(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.stop_server(self.server).map_err(wrap_err)
     }
 }
@@ -374,11 +412,21 @@ impl Wrapper<LegacyLayer> for CjdbcWrapper {
         self.rewrite_descriptor(env, view, me)
     }
 
-    fn on_start(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_start(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.start_server(self.server).map_err(wrap_err)
     }
 
-    fn on_stop(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_stop(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.stop_server(self.server).map_err(wrap_err)
     }
 }
@@ -458,11 +506,21 @@ impl Wrapper<LegacyLayer> for BalancerWrapper {
         self.rewrite_conf(env, view, me)
     }
 
-    fn on_start(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_start(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.start_server(self.server).map_err(wrap_err)
     }
 
-    fn on_stop(&mut self, env: &mut LegacyLayer, _view: &dyn ArchView, _me: ComponentId) -> Result<()> {
+    fn on_stop(
+        &mut self,
+        env: &mut LegacyLayer,
+        _view: &dyn ArchView,
+        _me: ComponentId,
+    ) -> Result<()> {
         env.stop_server(self.server).map_err(wrap_err)
     }
 }
@@ -598,7 +656,10 @@ mod tests {
             ],
             Box::new(BalancerWrapper { server: plb_s }),
         );
-        let mk = |reg: &mut Registry<LegacyLayer>, legacy: &mut LegacyLayer, name: &str, sid: ServerId| {
+        let mk = |reg: &mut Registry<LegacyLayer>,
+                  legacy: &mut LegacyLayer,
+                  name: &str,
+                  sid: ServerId| {
             let c = reg.new_primitive(
                 name,
                 vec![InterfaceDecl::server("ajp", "ajp")],

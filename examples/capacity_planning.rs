@@ -52,7 +52,11 @@ fn main() {
         println!(
             "  ~{:>4.0} clients: {} -> {} replicas",
             t.clients,
-            if t.database { "database" } else { "application" },
+            if t.database {
+                "database"
+            } else {
+                "application"
+            },
             t.replicas
         );
     }
@@ -73,7 +77,10 @@ fn main() {
         let mut last = 1.0;
         for (t, v) in out.replica_steps(tier) {
             if v > last {
-                println!("  ~{:>4.0} clients: {tier:?} -> {v:.0} replicas", clients_at(t));
+                println!(
+                    "  ~{:>4.0} clients: {tier:?} -> {v:.0} replicas",
+                    clients_at(t)
+                );
             }
             last = v;
         }

@@ -24,7 +24,11 @@ fn main() {
         </j2ee>
     "#;
     let description = J2eeDescription::from_xml(adl).expect("valid ADL");
-    println!("deploying '{}' ({} initial nodes + client emulator)", description.name, description.initial_nodes());
+    println!(
+        "deploying '{}' ({} initial nodes + client emulator)",
+        description.name,
+        description.initial_nodes()
+    );
 
     // 2. Configure the experiment: Jade managed, steady 80 clients.
     let mut cfg = SystemConfig::paper_managed();

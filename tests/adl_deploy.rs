@@ -36,7 +36,9 @@ fn replicas_match_the_description() {
     assert_eq!(out.app.running_replicas(ManagedTier::Database), 3);
     assert_eq!(out.app.allocated_nodes(), 7); // 2 + 3 + PLB + C-JDBC
     let tree = out.app.render_architecture();
-    for name in ["PLB", "C-JDBC", "Tomcat1", "Tomcat2", "MySQL1", "MySQL2", "MySQL3"] {
+    for name in [
+        "PLB", "C-JDBC", "Tomcat1", "Tomcat2", "MySQL1", "MySQL2", "MySQL3",
+    ] {
         assert!(tree.contains(name), "missing {name} in:\n{tree}");
     }
 }
@@ -76,7 +78,9 @@ fn wrappers_materialize_config_files() {
     );
     let configs = &out.app.legacy.configs;
     // Deterministic layout: node1 = C-JDBC, node2 = PLB.
-    let cjdbc_xml = configs.read(NodeId(0), "conf/cjdbc.xml").expect("cjdbc.xml");
+    let cjdbc_xml = configs
+        .read(NodeId(0), "conf/cjdbc.xml")
+        .expect("cjdbc.xml");
     assert!(cjdbc_xml.contains("RAIDb-1"));
     assert!(cjdbc_xml.contains("jdbc:mysql://"));
     let plb_conf = configs.read(NodeId(1), "etc/plb.conf").expect("plb.conf");

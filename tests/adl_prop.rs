@@ -3,73 +3,81 @@
 //! input.
 
 use jade::adl::{J2eeDescription, TierKind, TierSpec};
+use jade_propcheck::{run, Gen};
 use jade_tiers::{BalancePolicy, ReadPolicy};
-use proptest::prelude::*;
 
-fn tier_strategy(kind: TierKind) -> impl Strategy<Value = TierSpec> {
-    (
-        1usize..6,
-        prop_oneof![Just(BalancePolicy::RoundRobin), Just(BalancePolicy::Random)],
-        prop_oneof![
-            Just(ReadPolicy::LeastPending),
-            Just(ReadPolicy::RoundRobin),
-            Just(ReadPolicy::Random)
-        ],
-    )
-        .prop_map(move |(replicas, balance_policy, read_policy)| TierSpec {
-            kind,
-            replicas,
-            balance_policy,
-            read_policy,
-        })
+fn gen_tier(g: &mut Gen, kind: TierKind) -> TierSpec {
+    TierSpec {
+        kind,
+        replicas: g.usize(1..6),
+        balance_policy: *g.choose(&[BalancePolicy::RoundRobin, BalancePolicy::Random]),
+        read_policy: *g.choose(&[
+            ReadPolicy::LeastPending,
+            ReadPolicy::RoundRobin,
+            ReadPolicy::Random,
+        ]),
+    }
 }
 
-fn description_strategy() -> impl Strategy<Value = J2eeDescription> {
-    (
-        "[a-z][a-z0-9-]{0,15}",
-        proptest::option::of(tier_strategy(TierKind::Web)),
-        tier_strategy(TierKind::Application),
-        tier_strategy(TierKind::Database),
-    )
-        .prop_map(|(name, web, application, database)| J2eeDescription {
-            name,
-            web,
-            application,
-            database,
-        })
+fn gen_description(g: &mut Gen) -> J2eeDescription {
+    J2eeDescription {
+        name: g.ident(15),
+        web: if g.bool() {
+            Some(gen_tier(g, TierKind::Web))
+        } else {
+            None
+        },
+        application: gen_tier(g, TierKind::Application),
+        database: gen_tier(g, TierKind::Database),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// to_xml ∘ from_xml = identity for every valid description.
-    #[test]
-    fn xml_roundtrip(desc in description_strategy()) {
+/// to_xml ∘ from_xml = identity for every valid description.
+#[test]
+fn xml_roundtrip() {
+    run("xml_roundtrip", 256, |g| {
+        let desc = gen_description(g);
         let xml = desc.to_xml();
         let parsed = J2eeDescription::from_xml(&xml).expect("own output parses");
-        prop_assert_eq!(parsed, desc);
-    }
+        assert_eq!(parsed, desc);
+    });
+}
 
-    /// The parser returns structured errors (never panics) on arbitrary
-    /// input, including near-XML garbage.
-    #[test]
-    fn parser_never_panics(input in ".{0,256}") {
+/// The parser returns structured errors (never panics) on arbitrary
+/// input, including near-XML garbage.
+#[test]
+fn parser_never_panics() {
+    const ANY: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\n', '\t', '<', '>', '/', '=', '"', '\'', '&',
+        ';', '!', '?', '-', '_', '.', 'é', '🦀',
+    ];
+    run("parser_never_panics", 256, |g| {
+        let input = g.string_of(ANY, 256);
         let _ = J2eeDescription::from_xml(&input);
-    }
+    });
+}
 
-    /// Same, biased toward angle-bracket-rich inputs.
-    #[test]
-    fn parser_never_panics_on_tag_soup(input in r#"[<>/="'a-z ]{0,200}"#) {
+/// Same, biased toward angle-bracket-rich inputs (tag soup).
+#[test]
+fn parser_never_panics_on_tag_soup() {
+    const SOUP: &[char] = &[
+        '<', '>', '/', '=', '"', '\'', ' ', 'a', 'b', 'c', 'j', 't', 'e', 'i', 'r',
+    ];
+    run("parser_never_panics_on_tag_soup", 256, |g| {
+        let input = g.string_of(SOUP, 200);
         let _ = J2eeDescription::from_xml(&input);
-    }
+    });
+}
 
-    /// Node accounting matches the tiers: replicas + one balancer each.
-    #[test]
-    fn initial_nodes_counts_balancers(desc in description_strategy()) {
+/// Node accounting matches the tiers: replicas + one balancer each.
+#[test]
+fn initial_nodes_counts_balancers() {
+    run("initial_nodes_counts_balancers", 256, |g| {
+        let desc = gen_description(g);
         let mut expected = desc.application.replicas + 1 + desc.database.replicas + 1;
         if let Some(w) = &desc.web {
             expected += w.replicas + 1;
         }
-        prop_assert_eq!(desc.initial_nodes(), expected);
-    }
+        assert_eq!(desc.initial_nodes(), expected);
+    });
 }

@@ -42,7 +42,11 @@ fn repair_outranks_optimization_under_load() {
     // Crash Tomcat2's node (layout: 0=C-JDBC, 1=PLB, 2,3=Tomcats, 4=MySQL)
     // right as the database load builds toward a scale-up.
     let out = run_experiment_with(cfg, SimDuration::from_secs(500), |eng| {
-        eng.schedule(SimTime::from_secs(100), Addr::ROOT, Msg::CrashNode(NodeId(3)));
+        eng.schedule(
+            SimTime::from_secs(100),
+            Addr::ROOT,
+            Msg::CrashNode(NodeId(3)),
+        );
     });
     // Both things eventually happened, through one serialized channel.
     assert_eq!(out.app.running_replicas(ManagedTier::Application), 2);

@@ -28,7 +28,11 @@ const PLB_NODE: NodeId = NodeId(1);
 #[test]
 fn plb_crash_is_repaired_and_traffic_resumes() {
     let out = run_experiment_with(cfg(), SimDuration::from_secs(500), |eng| {
-        eng.schedule(SimTime::from_secs(150), Addr::ROOT, Msg::CrashNode(PLB_NODE));
+        eng.schedule(
+            SimTime::from_secs(150),
+            Addr::ROOT,
+            Msg::CrashNode(PLB_NODE),
+        );
     });
     let log = format!("{:?}", out.app.reconfig_log);
     assert!(log.contains("repairing balancer PLB"), "{log}");
@@ -57,7 +61,11 @@ fn plb_crash_is_repaired_and_traffic_resumes() {
 #[test]
 fn cjdbc_crash_is_repaired_with_consistent_backends() {
     let out = run_experiment_with(cfg(), SimDuration::from_secs(500), |eng| {
-        eng.schedule(SimTime::from_secs(150), Addr::ROOT, Msg::CrashNode(CJDBC_NODE));
+        eng.schedule(
+            SimTime::from_secs(150),
+            Addr::ROOT,
+            Msg::CrashNode(CJDBC_NODE),
+        );
     });
     let log = format!("{:?}", out.app.reconfig_log);
     assert!(log.contains("repairing balancer C-JDBC"), "{log}");
@@ -118,8 +126,16 @@ fn controller_crash_during_backend_sync_stays_consistent() {
         // t=33: C-JDBC's node dies while MySQL2 (deployed at t≈1) is
         // still replaying the recovery log. t=61: the Active replica's
         // node dies too, forcing a redeploy from the new base image.
-        eng.schedule(SimTime::from_secs(33), Addr::ROOT, Msg::CrashNode(NodeId(0)));
-        eng.schedule(SimTime::from_secs(61), Addr::ROOT, Msg::CrashNode(NodeId(3)));
+        eng.schedule(
+            SimTime::from_secs(33),
+            Addr::ROOT,
+            Msg::CrashNode(NodeId(0)),
+        );
+        eng.schedule(
+            SimTime::from_secs(61),
+            Addr::ROOT,
+            Msg::CrashNode(NodeId(3)),
+        );
     });
     let log = format!("{:?}", out.app.reconfig_log);
     assert!(log.contains("repairing balancer C-JDBC"), "{log}");

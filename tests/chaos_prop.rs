@@ -4,17 +4,17 @@
 //! replica counts within bounds, keep active database replicas identical,
 //! and (with self-repair) converge back to a healthy architecture.
 //!
-//! Deterministic simulation makes this possible: each proptest case is a
+//! Deterministic simulation makes this possible: each generated case is a
 //! complete, reproducible 240-second experiment.
 
 use jade::config::SystemConfig;
 use jade::experiment::run_experiment_with;
 use jade::system::{ManagedTier, Msg};
 use jade_cluster::NodeId;
+use jade_propcheck::{run, Gen};
 use jade_rubis::WorkloadRamp;
 use jade_sim::{Addr, SimDuration, SimTime};
 use jade_tiers::Tier;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Chaos {
@@ -24,25 +24,19 @@ struct Chaos {
     crashes: Vec<(u64, u32)>,
 }
 
-fn chaos_strategy() -> impl Strategy<Value = Chaos> {
-    (
-        0u64..1_000,
-        20u32..300,
-        proptest::collection::vec((30u64..200, 0u32..9), 0..3),
-    )
-        .prop_map(|(seed, clients, crashes)| Chaos {
-            seed,
-            clients,
-            crashes,
-        })
+fn gen_chaos(g: &mut Gen) -> Chaos {
+    Chaos {
+        seed: g.u64(0..1_000),
+        clients: g.u32(20..300),
+        crashes: g.vec(0..3, |g| (g.u64(30..200), g.u32(0..9))),
+    }
 }
 
-proptest! {
+#[test]
+fn managed_system_upholds_invariants_under_chaos() {
     // Each case simulates 240 virtual seconds; keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn managed_system_upholds_invariants_under_chaos(chaos in chaos_strategy()) {
+    run("managed_system_upholds_invariants_under_chaos", 24, |g| {
+        let chaos = gen_chaos(g);
         let mut cfg = SystemConfig::paper_managed();
         cfg.seed = chaos.seed;
         cfg.ramp = WorkloadRamp::constant(chaos.clients);
@@ -65,15 +59,12 @@ proptest! {
             .map(|&(_, v)| v as usize)
             .max()
             .unwrap_or(0);
-        prop_assert!(peak_alloc <= 9, "over-allocated: {peak_alloc}");
+        assert!(peak_alloc <= 9, "over-allocated: {peak_alloc}");
 
         // Replica counts within configured bounds at every probe.
         for tier in [ManagedTier::Application, ManagedTier::Database] {
             for (t, v) in out.series(tier.replicas_series()) {
-                prop_assert!(
-                    v <= 4.0,
-                    "{tier:?} exceeded max_replicas at t={t}: {v}"
-                );
+                assert!(v <= 4.0, "{tier:?} exceeded max_replicas at t={t}: {v}");
             }
         }
 
@@ -85,7 +76,7 @@ proptest! {
             .into_iter()
             .map(|s| out.app.legacy.mysql(s).expect("mysql").digest())
             .collect();
-        prop_assert!(
+        assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
             "replicas diverged"
         );
@@ -93,30 +84,30 @@ proptest! {
         // Accounting sanity: every issued request was either answered,
         // failed, or is still in flight.
         let issued: u64 = out.app.stats.total_completed() + out.app.stats.total_failed();
-        prop_assert!(issued > 0, "no requests flowed");
+        assert!(issued > 0, "no requests flowed");
 
         // With self-repair on and at least one spare node at the end,
         // both tiers are back to >= 1 running replica (the service is up)
         // unless every crash wiped an irreplaceable balancer.
-        let balancers_alive = out
-            .app
-            .legacy
-            .running_servers_of(Tier::Balancer)
-            .len();
+        let balancers_alive = out.app.legacy.running_servers_of(Tier::Balancer).len();
         if balancers_alive >= 2 {
-            prop_assert!(
+            assert!(
                 out.app.running_replicas(ManagedTier::Application) >= 1
                     || out.app.legacy.cluster.free_count() == 0,
                 "application tier not repaired despite free nodes"
             );
         }
-    }
+    });
+}
 
-    /// Determinism under chaos: identical configurations (same seed, same
-    /// crash schedule) produce bit-identical trajectories.
-    #[test]
-    fn chaos_runs_are_deterministic(chaos in chaos_strategy()) {
-        let run = |chaos: &Chaos| {
+/// Determinism under chaos: identical configurations (same seed, same
+/// crash schedule) produce bit-identical trajectories — including the
+/// outcome digest the experiment manifests record.
+#[test]
+fn chaos_runs_are_deterministic() {
+    run("chaos_runs_are_deterministic", 24, |g| {
+        let chaos = gen_chaos(g);
+        let run_once = |chaos: &Chaos| {
             let mut cfg = SystemConfig::paper_managed();
             cfg.seed = chaos.seed;
             cfg.ramp = WorkloadRamp::constant(chaos.clients);
@@ -132,10 +123,11 @@ proptest! {
                 }
             })
         };
-        let a = run(&chaos);
-        let b = run(&chaos);
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.app.stats.total_completed(), b.app.stats.total_completed());
-        prop_assert_eq!(a.app.reconfig_log, b.app.reconfig_log);
-    }
+        let a = run_once(&chaos);
+        let b = run_once(&chaos);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.app.stats.total_completed(), b.app.stats.total_completed());
+        assert_eq!(a.app.reconfig_log, b.app.reconfig_log);
+        assert_eq!(a.outcome_digest(), b.outcome_digest());
+    });
 }

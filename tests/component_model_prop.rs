@@ -6,7 +6,7 @@ use jade_fractal::{
     Cardinality, ComponentId, FractalError, InterfaceDecl, LifecycleState, NullWrapper, Registry,
     Role,
 };
-use proptest::prelude::*;
+use jade_propcheck::{run, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -19,16 +19,16 @@ enum Op {
     SetAttr(u8, i64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Bind(a, b)),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Unbind(a, b)),
-        2 => any::<u8>().prop_map(Op::Start),
-        2 => any::<u8>().prop_map(Op::Stop),
-        1 => any::<u8>().prop_map(Op::Fail),
-        1 => any::<u8>().prop_map(Op::Repair),
-        1 => (any::<u8>(), any::<i64>()).prop_map(|(a, v)| Op::SetAttr(a, v)),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.weighted(&[3, 2, 2, 2, 1, 1, 1]) {
+        0 => Op::Bind(g.u8(), g.u8()),
+        1 => Op::Unbind(g.u8(), g.u8()),
+        2 => Op::Start(g.u8()),
+        3 => Op::Stop(g.u8()),
+        4 => Op::Fail(g.u8()),
+        5 => Op::Repair(g.u8()),
+        _ => Op::SetAttr(g.u8(), g.i64()),
+    }
 }
 
 fn build(n: usize) -> (Registry<()>, Vec<ComponentId>) {
@@ -48,14 +48,11 @@ fn build(n: usize) -> (Registry<()>, Vec<ComponentId>) {
     (reg, comps)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn registry_invariants_hold_under_arbitrary_ops(
-        n in 2usize..6,
-        ops in proptest::collection::vec(op_strategy(), 1..150),
-    ) {
+#[test]
+fn registry_invariants_hold_under_arbitrary_ops() {
+    run("registry_invariants_hold_under_arbitrary_ops", 192, |g| {
+        let n = g.usize(2..6);
+        let ops = g.vec(1..150, gen_op);
         let (mut reg, comps) = build(n);
         let mut env = ();
         let pick = |i: u8| comps[i as usize % comps.len()];
@@ -82,7 +79,7 @@ proptest! {
                         .iter()
                         .find(|d| d.name == ep.interface)
                         .expect("endpoint interface declared");
-                    prop_assert_eq!(decl.role, Role::Server);
+                    assert_eq!(decl.role, Role::Server);
                 }
                 // Invariant 2: no duplicate endpoints on a collection
                 // interface.
@@ -90,14 +87,14 @@ proptest! {
                 let mut dedup = eps.clone();
                 dedup.sort_by_key(|e| (e.component, e.interface.clone()));
                 dedup.dedup();
-                prop_assert_eq!(eps.len(), dedup.len());
+                assert_eq!(eps.len(), dedup.len());
             }
 
             // Invariant 3: life-cycle states are always one of the three
             // legal states and Failed components are never Started.
             for &c in &comps {
                 let s = reg.state(c).expect("component alive");
-                prop_assert!(matches!(
+                assert!(matches!(
                     s,
                     LifecycleState::Stopped | LifecycleState::Started | LifecycleState::Failed
                 ));
@@ -107,18 +104,18 @@ proptest! {
             // bindings_of.
             for &c in &comps {
                 for (src, itf) in reg.incoming_bindings(c) {
-                    prop_assert!(reg
-                        .bindings_of(src, &itf)
-                        .iter()
-                        .any(|e| e.component == c));
+                    assert!(reg.bindings_of(src, &itf).iter().any(|e| e.component == c));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Starting a failed component always fails until repaired.
-    #[test]
-    fn failed_components_refuse_to_start(seq in proptest::collection::vec(any::<bool>(), 1..30)) {
+/// Starting a failed component always fails until repaired.
+#[test]
+fn failed_components_refuse_to_start() {
+    run("failed_components_refuse_to_start", 192, |g| {
+        let seq = g.vec(1..30, |g| g.bool());
         let (mut reg, comps) = build(1);
         let mut env = ();
         let c = comps[0];
@@ -127,23 +124,26 @@ proptest! {
             if try_repair {
                 let _ = reg.repair(c);
                 let _ = reg.start(&mut env, c);
-                prop_assert_eq!(reg.state(c).unwrap(), LifecycleState::Started);
-                return Ok(());
+                assert_eq!(reg.state(c).unwrap(), LifecycleState::Started);
+                return;
             } else {
                 let refused = matches!(
                     reg.start(&mut env, c),
                     Err(FractalError::InvalidLifecycle { .. })
                 );
-                prop_assert!(refused);
+                assert!(refused);
             }
         }
-    }
+    });
+}
 
-    /// Single-cardinality interfaces never hold more than one binding;
-    /// collection interfaces hold exactly as many as successful binds
-    /// minus unbinds.
-    #[test]
-    fn cardinality_is_enforced(targets in proptest::collection::vec(0u8..4, 1..20)) {
+/// Single-cardinality interfaces never hold more than one binding;
+/// collection interfaces hold exactly as many as successful binds minus
+/// unbinds.
+#[test]
+fn cardinality_is_enforced() {
+    run("cardinality_is_enforced", 192, |g| {
+        let targets = g.vec(1..20, |g| g.u8() % 4);
         let mut reg: Registry<()> = Registry::new();
         let mut env = ();
         let single = reg.new_primitive(
@@ -168,11 +168,11 @@ proptest! {
             {
                 successes += 1;
             }
-            prop_assert!(reg.bindings_of(single, "out").len() <= 1);
+            assert!(reg.bindings_of(single, "out").len() <= 1);
         }
-        prop_assert_eq!(successes, 1, "only the first bind can succeed");
+        assert_eq!(successes, 1, "only the first bind can succeed");
         // Sanity: the declared cardinality drives the behaviour.
         let info = reg.info(single).unwrap();
-        prop_assert_eq!(info.interfaces[0].cardinality, Cardinality::Single);
-    }
+        assert_eq!(info.interfaces[0].cardinality, Cardinality::Single);
+    });
 }

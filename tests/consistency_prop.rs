@@ -3,11 +3,11 @@
 //! active replicas converge to identical database contents (paper §4.1's
 //! recovery-log state reconciliation).
 
+use jade_propcheck::{run, Gen};
 use jade_tiers::cjdbc::{BackendStatus, CjdbcController, ReadPolicy};
 use jade_tiers::sql::{row, Statement, Value};
 use jade_tiers::storage::Database;
 use jade_tiers::ServerId;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 /// Abstract operations the property generates.
@@ -25,14 +25,14 @@ enum Op {
     Fail(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => any::<i64>().prop_map(Op::Write),
-        2 => (0u64..64).prop_map(Op::Delete),
-        1 => any::<u8>().prop_map(Op::Disable),
-        2 => any::<u8>().prop_map(Op::Enable),
-        1 => any::<u8>().prop_map(Op::Fail),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.weighted(&[5, 2, 1, 2, 1]) {
+        0 => Op::Write(g.i64()),
+        1 => Op::Delete(g.u64(0..64)),
+        2 => Op::Disable(g.u8()),
+        3 => Op::Enable(g.u8()),
+        _ => Op::Fail(g.u8()),
+    }
 }
 
 /// A model cluster: the controller plus one real `Database` per backend,
@@ -110,8 +110,7 @@ impl Model {
             Op::Enable(i) => self.enable(self.backend(*i)),
             Op::Fail(i) => {
                 let id = self.backend(*i);
-                if self.ctrl.active_count() > 1
-                    || self.ctrl.status(id) != Ok(BackendStatus::Active)
+                if self.ctrl.active_count() > 1 || self.ctrl.status(id) != Ok(BackendStatus::Active)
                 {
                     let _ = self.ctrl.fail_backend(id);
                     // A crash-failed replica's disk is not trusted: the
@@ -126,16 +125,13 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After any operation sequence, re-enabling everything makes every
-    /// replica's content digest identical.
-    #[test]
-    fn replicas_converge_after_membership_churn(
-        backends in 2u32..5,
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-    ) {
+/// After any operation sequence, re-enabling everything makes every
+/// replica's content digest identical.
+#[test]
+fn replicas_converge_after_membership_churn() {
+    run("replicas_converge_after_membership_churn", 128, |g| {
+        let backends = g.u32(2..5);
+        let ops = g.vec(1..120, gen_op);
         let mut m = Model::new(backends);
         for op in &ops {
             m.apply(op);
@@ -146,19 +142,20 @@ proptest! {
             m.enable(id);
         }
         let digests: Vec<u64> = m.dbs.values().map(Database::digest).collect();
-        prop_assert!(
+        assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
             "replicas diverged: {digests:?}"
         );
-    }
+    });
+}
 
-    /// Active replicas are identical at *every* step, not just at the end
-    /// (writes are broadcast atomically w.r.t. membership).
-    #[test]
-    fn active_replicas_identical_at_every_step(
-        backends in 2u32..4,
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-    ) {
+/// Active replicas are identical at *every* step, not just at the end
+/// (writes are broadcast atomically w.r.t. membership).
+#[test]
+fn active_replicas_identical_at_every_step() {
+    run("active_replicas_identical_at_every_step", 128, |g| {
+        let backends = g.u32(2..4);
+        let ops = g.vec(1..60, gen_op);
         let mut m = Model::new(backends);
         for op in &ops {
             m.apply(op);
@@ -168,18 +165,21 @@ proptest! {
                 .into_iter()
                 .map(|id| m.dbs[&id].digest())
                 .collect();
-            prop_assert!(
+            assert!(
                 digests.windows(2).all(|w| w[0] == w[1]),
                 "active replicas diverged after {op:?}"
             );
         }
-    }
+    });
+}
 
-    /// The recovery log's backlog accounting is exact: a disabled
-    /// backend's backlog equals the number of writes accepted while it
-    /// was out.
-    #[test]
-    fn backlog_counts_missed_writes(writes_before in 0u64..30, writes_during in 0u64..30) {
+/// The recovery log's backlog accounting is exact: a disabled backend's
+/// backlog equals the number of writes accepted while it was out.
+#[test]
+fn backlog_counts_missed_writes() {
+    run("backlog_counts_missed_writes", 128, |g| {
+        let writes_before = g.u64(0..30);
+        let writes_during = g.u64(0..30);
         let mut m = Model::new(2);
         for i in 0..writes_before {
             m.apply(&Op::Write(i as i64));
@@ -190,6 +190,6 @@ proptest! {
         for i in 0..writes_during {
             m.apply(&Op::Write(1000 + i as i64));
         }
-        prop_assert_eq!(m.ctrl.recovery_log().backlog(checkpoint), writes_during);
-    }
+        assert_eq!(m.ctrl.recovery_log().backlog(checkpoint), writes_during);
+    });
 }

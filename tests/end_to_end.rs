@@ -50,7 +50,10 @@ fn managed_system_scales_up_and_back_down() {
     );
     // The database scales before the application tier (the DB is the
     // bottleneck in RUBiS — paper §5.2).
-    let first_db = out.replica_steps(ManagedTier::Database).get(1).map(|&(t, _)| t);
+    let first_db = out
+        .replica_steps(ManagedTier::Database)
+        .get(1)
+        .map(|&(t, _)| t);
     let first_app = out
         .replica_steps(ManagedTier::Application)
         .get(1)
@@ -111,10 +114,7 @@ fn runs_are_deterministic_for_a_seed() {
     let a = mk();
     let b = mk();
     assert_eq!(a.events, b.events, "event counts must match");
-    assert_eq!(
-        a.app.stats.total_completed(),
-        b.app.stats.total_completed()
-    );
+    assert_eq!(a.app.stats.total_completed(), b.app.stats.total_completed());
     assert_eq!(a.app.reconfig_log, b.app.reconfig_log);
     assert_eq!(
         a.series("replicas.db"),

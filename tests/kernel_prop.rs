@@ -1,21 +1,21 @@
 //! Property-based tests of the simulation kernel: event ordering under
-//! random schedules and cancellations, processor-sharing conservation
-//! laws, and workload-ramp bounds.
+//! random schedules and cancellations, a differential test of the
+//! slab-backed [`EventQueue`] against a naive reference model,
+//! processor-sharing conservation laws, and workload-ramp bounds.
 
+use jade_propcheck::run;
 use jade_rubis::WorkloadRamp;
 use jade_sim::{EfficiencyCurve, EventQueue, JobId, MovingAverage, PsCpu};
 use jade_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Events always pop in non-decreasing time order with FIFO
-    /// tie-breaks, regardless of push order and cancellations.
-    #[test]
-    fn event_queue_total_order(
-        entries in proptest::collection::vec((0u64..1_000, any::<bool>()), 1..200)
-    ) {
+/// Events always pop in non-decreasing time order with FIFO tie-breaks,
+/// regardless of push order and cancellations.
+#[test]
+fn event_queue_total_order() {
+    run("event_queue_total_order", 256, |g| {
+        let entries = g.vec(1..200, |g| (g.u64(0..1_000), g.bool()));
         let mut q = EventQueue::new();
         let mut tokens = Vec::new();
         let mut live = Vec::new();
@@ -37,16 +37,106 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_micros(), i));
         }
-        prop_assert_eq!(popped, live);
-    }
+        assert_eq!(popped, live);
+    });
+}
 
-    /// Processor sharing conserves work: with no aborts, total busy time
-    /// equals the sum of job demands (whatever the arrival pattern), and
-    /// every job completes.
-    #[test]
-    fn ps_cpu_conserves_work(
-        jobs in proptest::collection::vec((1u64..50_000, 0u64..100_000), 1..40)
-    ) {
+/// Differential test: the slab-backed queue agrees with a trivially
+/// correct model (a `BinaryHeap` ordered by `(time, seq)` whose cancelled
+/// entries are filtered at pop) across random interleavings of push,
+/// cancel and pop — including cancels of already-fired tokens, which the
+/// generation tags must turn into no-ops.
+#[test]
+fn event_queue_matches_naive_model() {
+    run("event_queue_matches_naive_model", 256, |g| {
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut model_cancelled: Vec<u64> = Vec::new();
+        // (queue token, model seq), including already-popped entries so
+        // the generator can exercise stale cancels.
+        let mut handles = Vec::new();
+        let mut next_seq = 0u64;
+        let steps = g.usize(1..300);
+        for _ in 0..steps {
+            match g.weighted(&[5, 2, 3]) {
+                // Push.
+                0 => {
+                    let t = g.u64(0..500);
+                    let payload = g.u32(0..1_000_000);
+                    let tok = q.push(SimTime::from_micros(t), payload);
+                    model.push(Reverse((t, next_seq, payload)));
+                    handles.push((tok, next_seq));
+                    next_seq += 1;
+                }
+                // Cancel a handle, possibly one that already fired.
+                1 => {
+                    if !handles.is_empty() {
+                        let &(tok, seq) = g.choose(&handles);
+                        q.cancel(tok);
+                        model_cancelled.push(seq);
+                    }
+                }
+                // Pop.
+                _ => {
+                    let expected = loop {
+                        match model.pop() {
+                            Some(Reverse((t, seq, payload))) => {
+                                if model_cancelled.contains(&seq) {
+                                    continue;
+                                }
+                                // Dead in the model now: a later cancel of
+                                // this seq must not resurrect anything.
+                                model_cancelled.push(seq);
+                                break Some((t, payload));
+                            }
+                            None => break None,
+                        }
+                    };
+                    let got = q.pop().map(|(t, p)| (t.as_micros(), p));
+                    assert_eq!(got, expected);
+                    assert_eq!(
+                        q.peek_time().map(SimTime::as_micros),
+                        model
+                            .iter()
+                            .filter(|Reverse((_, s, _))| !model_cancelled.contains(s))
+                            .map(|Reverse((t, _, _))| *t)
+                            .min()
+                    );
+                }
+            }
+            let model_live = model
+                .iter()
+                .filter(|Reverse((_, s, _))| !model_cancelled.contains(s))
+                .count();
+            assert_eq!(q.len(), model_live);
+            assert_eq!(q.is_empty(), model_live == 0);
+        }
+        // Drain both completely; remainders must agree. `into_sorted_vec`
+        // on `Reverse` entries is descending (time, seq), so reversing it
+        // yields exactly the expected pop order.
+        let rest_model: Vec<(u64, u32)> = model
+            .into_sorted_vec()
+            .into_iter()
+            .rev()
+            .filter(|Reverse((_, s, _))| !model_cancelled.contains(s))
+            .map(|Reverse((t, _, p))| (t, p))
+            .collect();
+        let mut rest_q = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            rest_q.push((t.as_micros(), p));
+        }
+        assert_eq!(rest_q, rest_model);
+        assert!(q.is_empty());
+    });
+}
+
+/// Processor sharing conserves work: with no aborts, total busy time
+/// equals the sum of job demands (whatever the arrival pattern), and
+/// every job completes.
+#[test]
+fn ps_cpu_conserves_work() {
+    run("ps_cpu_conserves_work", 256, |g| {
+        let jobs = g.vec(1..40, |g| (g.u64(1..50_000), g.u64(0..100_000)));
         let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
         let mut total_demand = 0u64;
         let mut completed = 0usize;
@@ -76,35 +166,42 @@ proptest! {
             now = next;
             completed += cpu.collect_completions(now).len();
         }
-        prop_assert_eq!(completed, arrivals.len(), "all jobs complete");
+        assert_eq!(completed, arrivals.len(), "all jobs complete");
         let busy = cpu.busy_time(now).as_micros();
         // Timer rounding adds at most 1 µs per completion.
         let slack = arrivals.len() as u64 + 1;
-        prop_assert!(
+        assert!(
             busy >= total_demand && busy <= total_demand + slack,
             "busy {busy} vs demand {total_demand}"
         );
-    }
+    });
+}
 
-    /// The moving average is always within the min/max of in-window
-    /// samples (hence safe to compare against thresholds).
-    #[test]
-    fn moving_average_bounded_by_samples(
-        samples in proptest::collection::vec((0u64..10_000, 0.0f64..1.0), 1..100)
-    ) {
+/// The moving average is always within the min/max of in-window samples
+/// (hence safe to compare against thresholds).
+#[test]
+fn moving_average_bounded_by_samples() {
+    run("moving_average_bounded_by_samples", 256, |g| {
+        let samples = g.vec(1..100, |g| (g.u64(0..10_000), g.f64(0.0..1.0)));
         let mut sorted = samples.clone();
         sorted.sort_by_key(|&(t, _)| t);
         let mut ma = MovingAverage::new(SimDuration::from_secs(1));
         for &(t, v) in &sorted {
             ma.record(SimTime::from_micros(t), v);
             let val = ma.value().unwrap();
-            prop_assert!((0.0..=1.0).contains(&val));
+            assert!((0.0..=1.0).contains(&val));
         }
-    }
+    });
+}
 
-    /// The workload ramp is bounded and returns to base.
-    #[test]
-    fn ramp_bounds(base in 1u32..100, delta in 0u32..500, step in 1u32..50, t in 0u64..10_000) {
+/// The workload ramp is bounded and returns to base.
+#[test]
+fn ramp_bounds() {
+    run("ramp_bounds", 256, |g| {
+        let base = g.u32(1..100);
+        let delta = g.u32(0..500);
+        let step = g.u32(1..50);
+        let t = g.u64(0..10_000);
         let ramp = WorkloadRamp {
             base_clients: base,
             peak_clients: base + delta,
@@ -114,20 +211,25 @@ proptest! {
             plateau: SimDuration::from_secs(60),
         };
         let c = ramp.clients_at(SimTime::from_secs(t));
-        prop_assert!(c >= base && c <= base + delta);
+        assert!(c >= base && c <= base + delta);
         // Far beyond the ramp: back at base.
         let end = SimTime::from_secs(1_000_000);
-        prop_assert_eq!(ramp.clients_at(end), base);
-    }
+        assert_eq!(ramp.clients_at(end), base);
+    });
+}
 
-    /// Thrashing efficiency is monotone non-increasing in population and
-    /// never exceeds 1 (the degradation law can only hurt).
-    #[test]
-    fn thrashing_monotone(knee in 1usize..100, slope in 0.001f64..1.0, n in 0usize..500) {
+/// Thrashing efficiency is monotone non-increasing in population and
+/// never exceeds 1 (the degradation law can only hurt).
+#[test]
+fn thrashing_monotone() {
+    run("thrashing_monotone", 256, |g| {
+        let knee = g.usize(1..100);
+        let slope = g.f64(0.001..1.0);
+        let n = g.usize(0..500);
         let curve = EfficiencyCurve::Thrashing { knee, slope };
         let e_n = curve.efficiency(n);
         let e_n1 = curve.efficiency(n + 1);
-        prop_assert!(e_n <= 1.0 && e_n > 0.0);
-        prop_assert!(e_n1 <= e_n);
-    }
+        assert!(e_n <= 1.0 && e_n > 0.0);
+        assert!(e_n1 <= e_n);
+    });
 }

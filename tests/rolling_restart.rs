@@ -28,7 +28,10 @@ fn application_tier_rolls_without_downtime() {
         );
     });
     let log = format!("{:?}", out.app.reconfig_log);
-    assert!(log.contains("rolling restart of Application: 2 replicas"), "{log}");
+    assert!(
+        log.contains("rolling restart of Application: 2 replicas"),
+        "{log}"
+    );
     assert!(log.contains("complete: 2 replicas bounced"), "{log}");
     // Both Tomcats went through Stopped→Started: the journal records two
     // extra stop/start pairs beyond bootstrap.
@@ -54,7 +57,10 @@ fn database_tier_roll_resynchronizes_each_backend() {
         );
     });
     let log = format!("{:?}", out.app.reconfig_log);
-    assert!(log.contains("rolling restart of Database: 2 replicas"), "{log}");
+    assert!(
+        log.contains("rolling restart of Database: 2 replicas"),
+        "{log}"
+    );
     assert!(log.contains("complete: 2 replicas bounced"), "{log}");
     // Each bounced backend re-entered through recovery-log replay and the
     // replicas converged (writes continued on the live one meanwhile).

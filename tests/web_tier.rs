@@ -35,7 +35,10 @@ fn figure2_topology_deploys_and_serves() {
         assert!(tree.contains(name), "missing {name}:\n{tree}");
     }
     // Each Apache is bound to both Tomcats (Figure 2's cross wiring).
-    assert!(tree.contains("Apache1 [started] (ajp-itf -> Tomcat1) (ajp-itf -> Tomcat2)"), "{tree}");
+    assert!(
+        tree.contains("Apache1 [started] (ajp-itf -> Tomcat1) (ajp-itf -> Tomcat2)"),
+        "{tree}"
+    );
     // Requests flow end-to-end through all four layers.
     assert!(out.app.stats.total_completed() > 2_000);
     assert_eq!(out.app.stats.total_failed(), 0);
@@ -57,7 +60,10 @@ fn static_documents_never_touch_the_database() {
             }
         }
     }
-    assert!(any_busy, "apache replicas must be deployed on the expected nodes");
+    assert!(
+        any_busy,
+        "apache replicas must be deployed on the expected nodes"
+    );
     assert!(out.app.stats.total_completed() > 500);
 }
 

@@ -17,7 +17,12 @@ fn browsing_mix_produces_no_writes() {
     // The recovery log only records writes: browsing leaves it empty.
     let (cj_server, _) = out.app.cjdbc.expect("cjdbc");
     assert_eq!(
-        out.app.legacy.cjdbc(cj_server).unwrap().recovery_log().head(),
+        out.app
+            .legacy
+            .cjdbc(cj_server)
+            .unwrap()
+            .recovery_log()
+            .head(),
         0,
         "browsing mix must not produce write requests"
     );
