@@ -8,6 +8,7 @@
 //! measured rates and the slab-vs-naive speedups.
 
 use jade_bench::microbench::{black_box, Runner};
+use jade_bench::NaivePsCpu;
 use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu};
 use jade_sim::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -194,21 +195,77 @@ fn bench_queues(r: &mut Runner) {
     }
 }
 
+/// Driver API shared by the virtual-time model and the naive reference, so
+/// one generic benchmark body drives both.
+trait CpuModel {
+    fn new(speed: f64, curve: EfficiencyCurve) -> Self;
+    fn submit(&mut self, now: SimTime, id: JobId, demand: SimDuration);
+    fn next_completion(&mut self, now: SimTime) -> Option<SimTime>;
+    fn collect_completions(&mut self, now: SimTime) -> Vec<JobId>;
+    fn load(&self) -> usize;
+}
+
+macro_rules! impl_cpu_model {
+    ($ty:ty) => {
+        impl CpuModel for $ty {
+            fn new(speed: f64, curve: EfficiencyCurve) -> Self {
+                <$ty>::new(speed, curve)
+            }
+            fn submit(&mut self, now: SimTime, id: JobId, demand: SimDuration) {
+                <$ty>::submit(self, now, id, demand)
+            }
+            fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+                <$ty>::next_completion(self, now)
+            }
+            fn collect_completions(&mut self, now: SimTime) -> Vec<JobId> {
+                <$ty>::collect_completions(self, now)
+            }
+            fn load(&self) -> usize {
+                <$ty>::load(self)
+            }
+        }
+    };
+}
+impl_cpu_model!(PsCpu);
+impl_cpu_model!(NaivePsCpu);
+
+/// Submit `jobs` jobs, then drain via the timer loop — the saturated-tier
+/// access pattern (Figs. 6 and 8). The workload is unchanged from the
+/// pre-rewrite bench so new numbers stay comparable with the committed
+/// baseline's.
+fn submit_drain<C: CpuModel>(jobs: usize, curve: EfficiencyCurve) -> usize {
+    let mut cpu = C::new(1.0, curve);
+    let mut t = SimTime::ZERO;
+    for i in 0..jobs {
+        cpu.submit(t, JobId(i as u64), SimDuration::from_millis(5));
+    }
+    while let Some(next) = cpu.next_completion(t) {
+        t = next;
+        black_box(cpu.collect_completions(t).len());
+    }
+    cpu.load()
+}
+
+const THRASH_CURVE: EfficiencyCurve = EfficiencyCurve::Thrashing {
+    knee: 64,
+    slope: 0.1,
+};
+
 fn bench_ps_cpu(r: &mut Runner) {
-    for jobs in [2usize, 16, 128] {
-        r.bench(&format!("ps_cpu/submit_drain_{jobs}"), || {
-            let mut cpu = PsCpu::new(1.0, EfficiencyCurve::Ideal);
-            let mut t = SimTime::ZERO;
-            for i in 0..jobs {
-                cpu.submit(t, JobId(i as u64), SimDuration::from_millis(5));
-            }
-            while let Some(next) = cpu.next_completion(t) {
-                t = next;
-                black_box(cpu.collect_completions(t).len());
-            }
-            cpu.load()
+    for jobs in [2usize, 16, 128, 512, 2048] {
+        r.bench(&format!("ps_cpu/submit_drain_{jobs}"), move || {
+            submit_drain::<PsCpu>(jobs, EfficiencyCurve::Ideal)
+        });
+        r.bench(&format!("ps_cpu/naive/submit_drain_{jobs}"), move || {
+            submit_drain::<NaivePsCpu>(jobs, EfficiencyCurve::Ideal)
         });
     }
+    r.bench("ps_cpu/thrashing_512", || {
+        submit_drain::<PsCpu>(512, THRASH_CURVE)
+    });
+    r.bench("ps_cpu/naive/thrashing_512", || {
+        submit_drain::<NaivePsCpu>(512, THRASH_CURVE)
+    });
 }
 
 /// A ping-pong app measuring raw engine dispatch throughput.
@@ -257,10 +314,19 @@ fn main() {
         &format!("event_queue/slab/churn_{CHURN_OPS}"),
         &format!("event_queue/naive/churn_{CHURN_OPS}"),
     );
+    let ps_128 = ratio("ps_cpu/submit_drain_128", "ps_cpu/naive/submit_drain_128");
+    let ps_512 = ratio("ps_cpu/submit_drain_512", "ps_cpu/naive/submit_drain_512");
+    let ps_2048 = ratio("ps_cpu/submit_drain_2048", "ps_cpu/naive/submit_drain_2048");
+    let ps_thrash = ratio("ps_cpu/thrashing_512", "ps_cpu/naive/thrashing_512");
     println!("\nslab vs naive BinaryHeap+HashSet queue:");
     println!("  push_pop      {push_pop:.2}x");
     println!("  cancel_heavy  {cancel:.2}x");
     println!("  churn         {churn:.2}x");
+    println!("virtual-time vs naive scan PS-CPU:");
+    println!("  submit_drain_128   {ps_128:.2}x");
+    println!("  submit_drain_512   {ps_512:.2}x");
+    println!("  submit_drain_2048  {ps_2048:.2}x");
+    println!("  thrashing_512      {ps_thrash:.2}x");
     r.write_json_with(
         "kernel",
         "BENCH_kernel.json",
@@ -268,6 +334,10 @@ fn main() {
             ("speedup_push_pop", push_pop),
             ("speedup_cancel_heavy", cancel),
             ("speedup_churn", churn),
+            ("speedup_ps_128", ps_128),
+            ("speedup_ps_512", ps_512),
+            ("speedup_ps_2048", ps_2048),
+            ("speedup_ps_thrashing", ps_thrash),
         ],
     );
 }

@@ -24,8 +24,10 @@
 pub mod cli;
 pub mod harness;
 pub mod microbench;
+pub mod reference;
 
 pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
+pub use reference::NaivePsCpu;
 
 use jade::experiment::ExperimentOutput;
 use jade::system::ManagedTier;

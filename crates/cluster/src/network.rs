@@ -33,14 +33,21 @@ impl Network {
         }
     }
 
+    /// Serialization delay for `bytes` on the link, rounded up to the
+    /// clock's microsecond resolution. The single rounding point shared by
+    /// every delay path, so node-to-node and client messages can't drift.
+    fn serialization(&self, bytes: u64) -> SimDuration {
+        let serialization_us = (bytes as f64 * 8.0) / self.bandwidth_mbps; // Mbps = bits/us
+        SimDuration::from_micros(serialization_us.ceil() as u64)
+    }
+
     /// One-way delay for a message of `bytes` between two nodes. A node
     /// talking to itself (loopback) pays no network delay.
     pub fn delay(&self, from: NodeId, to: NodeId, bytes: u64) -> SimDuration {
         if from == to {
             return SimDuration::ZERO;
         }
-        let serialization_us = (bytes as f64 * 8.0) / self.bandwidth_mbps; // Mbps = bits/us
-        self.hop_latency + SimDuration::from_micros(serialization_us.ceil() as u64)
+        self.hop_latency + self.serialization(bytes)
     }
 
     /// Delay for clients outside the cluster (WAN access through the
@@ -48,8 +55,7 @@ impl Network {
     pub fn client_delay(&self, bytes: u64) -> SimDuration {
         // Clients are on the same LAN in the paper's testbed (one node runs
         // the client emulator), so this is just a LAN hop.
-        self.hop_latency
-            + SimDuration::from_micros(((bytes as f64 * 8.0) / self.bandwidth_mbps).ceil() as u64)
+        self.hop_latency + self.serialization(bytes)
     }
 }
 
@@ -72,6 +78,17 @@ mod tests {
         // 100 KB at 100 Mbps = 8 ms serialization.
         assert!(large >= SimDuration::from_millis(8));
         assert!(large < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn client_and_node_paths_round_identically() {
+        let net = Network::lan_100mbps();
+        for bytes in [0, 1, 99, 512, 100_000] {
+            assert_eq!(
+                net.client_delay(bytes),
+                net.delay(NodeId(0), NodeId(1), bytes)
+            );
+        }
     }
 
     #[test]

@@ -102,7 +102,13 @@ impl Node {
     /// of the aborted jobs so their requests can be failed.
     pub fn crash(&mut self, now: SimTime) -> Vec<jade_sim::JobId> {
         self.state = NodeState::Crashed;
-        self.cpu.abort_all(now)
+        // Jobs that finished since the last completion-timer fire are still
+        // undelivered; the crash loses those responses too, so hand them to
+        // the caller to fail rather than leaking them into a post-repair
+        // drain.
+        let mut lost = self.cpu.collect_completions(now);
+        lost.extend(self.cpu.abort_all(now));
+        lost
     }
 
     /// Repairs a crashed node (reboot): memory returns to the base

@@ -97,6 +97,9 @@ pub struct J2eeApp {
     pub(crate) next_job: u64,
     pub(crate) job_owner: BTreeMap<JobId, JobOwner>,
     pub(crate) cpu_timers: BTreeMap<NodeId, EventToken>,
+    /// Recycled buffer for draining CPU completions on each timer fire
+    /// (the hottest per-event path), so the drain never allocates.
+    pub(crate) completion_scratch: Vec<JobId>,
 
     pub(crate) inhibition: InhibitionWindow,
     /// The policy-arbitration manager, when enabled (paper §7).
@@ -264,6 +267,7 @@ impl J2eeApp {
             next_job: 0,
             job_owner: BTreeMap::new(),
             cpu_timers: BTreeMap::new(),
+            completion_scratch: Vec::new(),
             inhibition,
             arbitrator: cfg_arbitration.then(crate::arbitration::Arbitrator::new),
             app_busy: false,

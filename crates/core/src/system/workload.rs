@@ -575,11 +575,14 @@ impl J2eeApp {
 
     /// Routes CPU-job completions to their owners.
     pub(crate) fn on_cpu_complete(&mut self, ctx: &mut Ctx<'_, Msg>, node: jade_cluster::NodeId) {
-        let done = match self.legacy.cluster.node_mut(node) {
-            Ok(n) => n.cpu.collect_completions(ctx.now()),
-            Err(_) => Vec::new(),
-        };
-        for job in done {
+        // Drain into the recycled scratch buffer (taken out of `self` so
+        // the borrow checker allows the handler calls below to use it).
+        let mut done = std::mem::take(&mut self.completion_scratch);
+        done.clear();
+        if let Ok(n) = self.legacy.cluster.node_mut(node) {
+            n.cpu.collect_completions_into(ctx.now(), &mut done);
+        }
+        for job in done.drain(..) {
             let Some(owner) = self.job_owner.remove(&job) else {
                 continue;
             };
@@ -607,6 +610,7 @@ impl J2eeApp {
                 JobOwner::Daemon | JobOwner::Routing => {}
             }
         }
+        self.completion_scratch = done;
         self.rearm_cpu(ctx, node);
     }
 }

@@ -4,6 +4,7 @@ use crate::attr::AttrValue;
 use crate::interface::InterfaceDecl;
 use crate::wrapper::Wrapper;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Opaque component identity ("a run-time entity … that has a distinct
 /// identity").
@@ -33,24 +34,30 @@ pub(crate) enum Kind<E> {
 }
 
 /// One endpoint of a binding: `(component, interface-name)`.
+///
+/// The interface name is an interned `Arc<str>` (see
+/// `Registry::intern`), so cloning an endpoint — which the binding
+/// controller and journal do on every bind/unbind — is two pointer-sized
+/// copies, not a string allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// Component holding the interface.
     pub component: ComponentId,
     /// Interface name on that component.
-    pub interface: String,
+    pub interface: Arc<str>,
 }
 
 /// Internal component record; accessed through the registry's controllers.
+/// Names and map keys are interned `Arc<str>`s shared with the journal.
 pub(crate) struct Component<E> {
-    pub(crate) name: String,
+    pub(crate) name: Arc<str>,
     pub(crate) parent: Option<ComponentId>,
     pub(crate) kind: Kind<E>,
     pub(crate) interfaces: Vec<InterfaceDecl>,
     /// client interface name -> bound server endpoints (len <= 1 unless the
     /// interface has collection cardinality).
-    pub(crate) bindings: BTreeMap<String, Vec<Endpoint>>,
-    pub(crate) attrs: BTreeMap<String, AttrValue>,
+    pub(crate) bindings: BTreeMap<Arc<str>, Vec<Endpoint>>,
+    pub(crate) attrs: BTreeMap<Arc<str>, AttrValue>,
     pub(crate) state: LifecycleState,
 }
 

@@ -20,23 +20,27 @@ use crate::component::{Component, ComponentId, ComponentInfo, Endpoint, Kind, Li
 use crate::error::{FractalError, Result};
 use crate::interface::{Cardinality, Contingency, InterfaceDecl, Role};
 use crate::wrapper::{ArchView, Wrapper};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One journaled management operation.
+///
+/// Names are interned `Arc<str>`s shared with the component records, so
+/// journaling an operation never allocates a string.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalOp {
     /// Component created.
-    Create(ComponentId, String),
+    Create(ComponentId, Arc<str>),
     /// Child added to a composite.
     AddChild(ComponentId, ComponentId),
     /// Child removed from a composite.
     RemoveChild(ComponentId, ComponentId),
     /// Attribute written.
-    SetAttr(ComponentId, String, AttrValue),
+    SetAttr(ComponentId, Arc<str>, AttrValue),
     /// Binding established.
-    Bind(ComponentId, String, Endpoint),
+    Bind(ComponentId, Arc<str>, Endpoint),
     /// Binding removed.
-    Unbind(ComponentId, String, Endpoint),
+    Unbind(ComponentId, Arc<str>, Endpoint),
     /// Component started.
     Start(ComponentId),
     /// Component stopped.
@@ -54,6 +58,11 @@ pub enum JournalOp {
 pub struct Registry<E> {
     components: Vec<Option<Component<E>>>,
     journal: Vec<JournalOp>,
+    /// Interned names (components, interfaces, attributes). Management
+    /// vocabularies are tiny and highly repetitive ("port", "host",
+    /// "workers", …), so the hot control operations reuse one allocation
+    /// per distinct name for the lifetime of the registry.
+    interner: BTreeSet<Arc<str>>,
 }
 
 impl<E> Default for Registry<E> {
@@ -66,7 +75,7 @@ impl<E> ArchView for Registry<E> {
     fn attr_of(&self, id: ComponentId, name: &str) -> Option<AttrValue> {
         self.comp(id).ok()?.attrs.get(name).cloned()
     }
-    fn name_of(&self, id: ComponentId) -> Option<String> {
+    fn name_of(&self, id: ComponentId) -> Option<Arc<str>> {
         Some(self.comp(id).ok()?.name.clone())
     }
     fn bound_to(&self, id: ComponentId, client_itf: &str) -> Vec<Endpoint> {
@@ -83,7 +92,19 @@ impl<E> Registry<E> {
         Registry {
             components: Vec::new(),
             journal: Vec::new(),
+            interner: BTreeSet::new(),
         }
+    }
+
+    /// Returns the shared `Arc<str>` for `s`, allocating only on first
+    /// sight of a name.
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(existing) = self.interner.get(s) {
+            return existing.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.interner.insert(arc.clone());
+        arc
     }
 
     fn comp(&self, id: ComponentId) -> Result<&Component<E>> {
@@ -118,8 +139,9 @@ impl<E> Registry<E> {
         interfaces: Vec<InterfaceDecl>,
         wrapper: Box<dyn Wrapper<E> + Send + Sync>,
     ) -> ComponentId {
+        let name = self.intern(name);
         self.insert(Component {
-            name: name.to_owned(),
+            name,
             parent: None,
             kind: Kind::Primitive(Some(wrapper)),
             interfaces,
@@ -131,8 +153,9 @@ impl<E> Registry<E> {
 
     /// Creates a composite component.
     pub fn new_composite(&mut self, name: &str, interfaces: Vec<InterfaceDecl>) -> ComponentId {
+        let name = self.intern(name);
         self.insert(Component {
-            name: name.to_owned(),
+            name,
             parent: None,
             kind: Kind::Composite(Vec::new()),
             interfaces,
@@ -252,11 +275,12 @@ impl<E> Registry<E> {
             let w = slot.as_ref().ok_or(FractalError::Reentrant(id))?;
             w.validate_attr(name, &value)?;
         }
+        let name_arc = self.intern(name);
         self.comp_mut(id)?
             .attrs
-            .insert(name.to_owned(), value.clone());
+            .insert(name_arc.clone(), value.clone());
         self.journal
-            .push(JournalOp::SetAttr(id, name.to_owned(), value.clone()));
+            .push(JournalOp::SetAttr(id, name_arc, value.clone()));
         self.with_wrapper(id, |w, env, view| {
             w.on_set_attr(env, view, id, name, &value)
         })(env)
@@ -335,11 +359,12 @@ impl<E> Registry<E> {
         }
         let endpoint = Endpoint {
             component: target,
-            interface: server_itf.to_owned(),
+            interface: self.intern(server_itf),
         };
+        let client_arc = self.intern(client_itf);
         {
             let c = self.comp_mut(id)?;
-            let slot = c.bindings.entry(client_itf.to_owned()).or_default();
+            let slot = c.bindings.entry(client_arc.clone()).or_default();
             if cardinality == Cardinality::Single && !slot.is_empty() {
                 return Err(FractalError::BindingState {
                     reason: format!("interface '{client_itf}' is already bound"),
@@ -353,7 +378,7 @@ impl<E> Registry<E> {
             slot.push(endpoint.clone());
         }
         self.journal
-            .push(JournalOp::Bind(id, client_itf.to_owned(), endpoint.clone()));
+            .push(JournalOp::Bind(id, client_arc, endpoint.clone()));
         self.with_wrapper(id, |w, env, view| {
             w.on_bind(env, view, id, client_itf, &endpoint)
         })(env)
@@ -399,11 +424,9 @@ impl<E> Registry<E> {
             };
             slot.remove(idx)
         };
-        self.journal.push(JournalOp::Unbind(
-            id,
-            client_itf.to_owned(),
-            endpoint.clone(),
-        ));
+        let client_arc = self.intern(client_itf);
+        self.journal
+            .push(JournalOp::Unbind(id, client_arc, endpoint.clone()));
         self.with_wrapper(id, |w, env, view| {
             w.on_unbind(env, view, id, client_itf, &endpoint)
         })(env)
@@ -417,8 +440,10 @@ impl<E> Registry<E> {
             .unwrap_or_default()
     }
 
-    /// All `(component, client_itf)` pairs bound *to* `target`.
-    pub fn incoming_bindings(&self, target: ComponentId) -> Vec<(ComponentId, String)> {
+    /// All `(component, client_itf)` pairs bound *to* `target`. Interface
+    /// names are the interned `Arc<str>`s — no per-call allocations beyond
+    /// the result vector.
+    pub fn incoming_bindings(&self, target: ComponentId) -> Vec<(ComponentId, Arc<str>)> {
         let mut result = Vec::new();
         for (idx, slot) in self.components.iter().enumerate() {
             let Some(c) = slot else { continue };
@@ -455,7 +480,7 @@ impl<E> Registry<E> {
             let c = self.comp(id)?;
             for decl in &c.interfaces {
                 if decl.role == Role::Client && decl.contingency == Contingency::Mandatory {
-                    let bound = c.bindings.get(&decl.name).map_or(0, Vec::len);
+                    let bound = c.bindings.get(decl.name.as_str()).map_or(0, Vec::len);
                     if bound == 0 {
                         return Err(FractalError::UnboundMandatory {
                             component: id,
@@ -528,7 +553,7 @@ impl<E> Registry<E> {
         let c = self.comp(id)?;
         Ok(ComponentInfo {
             id,
-            name: c.name.clone(),
+            name: c.name.to_string(),
             parent: c.parent,
             composite: matches!(c.kind, Kind::Composite(_)),
             children: self.children(id),
@@ -536,19 +561,19 @@ impl<E> Registry<E> {
             bindings: c
                 .bindings
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
             attributes: c
                 .attrs
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
             state: c.state,
         })
     }
 
-    /// Component name.
-    pub fn name(&self, id: ComponentId) -> Result<String> {
+    /// Component name (the interned `Arc<str>`; cloning it is free).
+    pub fn name(&self, id: ComponentId) -> Result<Arc<str>> {
         Ok(self.comp(id)?.name.clone())
     }
 
@@ -575,7 +600,7 @@ impl<E> Registry<E> {
     pub fn child_by_name(&self, parent: ComponentId, name: &str) -> Result<ComponentId> {
         self.children(parent)
             .into_iter()
-            .find(|&c| self.comp(c).map(|cc| cc.name == name).unwrap_or(false))
+            .find(|&c| self.comp(c).map(|cc| &*cc.name == name).unwrap_or(false))
             .ok_or_else(|| FractalError::NoSuchName(name.to_owned()))
     }
 
@@ -612,7 +637,7 @@ impl<E> Registry<E> {
             for ep in eps {
                 let target = self
                     .comp(ep.component)
-                    .map(|t| t.name.clone())
+                    .map(|t| t.name.to_string())
                     .unwrap_or_else(|_| format!("{:?}", ep.component));
                 out.push_str(&format!(" ({itf} -> {target})"));
             }
@@ -880,7 +905,7 @@ mod tests {
         let ops: Vec<_> = reg.journal().iter().collect();
         assert!(ops
             .iter()
-            .any(|op| matches!(op, JournalOp::SetAttr(id, n, _) if *id == a && n == "port")));
+            .any(|op| matches!(op, JournalOp::SetAttr(id, n, _) if *id == a && &**n == "port")));
     }
 
     #[test]

@@ -118,7 +118,9 @@ impl Snapshot {
         for id in reg.ids() {
             let Ok(info) = reg.info(id) else { continue };
             let name_of = |cid: ComponentId| -> String {
-                reg.name(cid).unwrap_or_else(|_| format!("{cid:?}"))
+                reg.name(cid)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|_| format!("{cid:?}"))
             };
             let bindings = info
                 .bindings

@@ -14,6 +14,7 @@
 use crate::attr::AttrValue;
 use crate::component::{ComponentId, Endpoint};
 use crate::error::Result;
+use std::sync::Arc;
 
 /// Read-only view of the rest of the management layer handed to a wrapper
 /// during a control operation (so e.g. Apache's `bind` can look up the
@@ -21,8 +22,9 @@ use crate::error::Result;
 pub trait ArchView {
     /// Attribute of another component, if set.
     fn attr_of(&self, id: ComponentId, name: &str) -> Option<AttrValue>;
-    /// Name of another component.
-    fn name_of(&self, id: ComponentId) -> Option<String>;
+    /// Name of another component. Returns the interned name — a shared
+    /// `Arc<str>`, not a fresh allocation.
+    fn name_of(&self, id: ComponentId) -> Option<Arc<str>>;
     /// Current endpoints bound to `(id, client_itf)`.
     fn bound_to(&self, id: ComponentId, client_itf: &str) -> Vec<Endpoint>;
 }

@@ -48,6 +48,7 @@ fn worker_entry(
     let port = env.server(sid).map_err(wrap_err)?.port();
     let name = view
         .name_of(ep.component)
+        .map(|n| n.to_string())
         .unwrap_or_else(|| format!("worker{idx}"));
     Ok(WorkerEntry { name, host, port })
 }

@@ -77,7 +77,7 @@ fn registry_invariants_hold_under_arbitrary_ops() {
                     let decl = info
                         .interfaces
                         .iter()
-                        .find(|d| d.name == ep.interface)
+                        .find(|d| d.name.as_str() == &*ep.interface)
                         .expect("endpoint interface declared");
                     assert_eq!(decl.role, Role::Server);
                 }
