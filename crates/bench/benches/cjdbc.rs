@@ -6,12 +6,17 @@
 use jade_bench::microbench::{black_box, Runner};
 use jade_sim::SimRng;
 use jade_tiers::cjdbc::{CjdbcController, ReadPolicy};
-use jade_tiers::sql::{row, Statement, Value};
+use jade_tiers::sql::{Schema, Statement, Value};
 use jade_tiers::storage::Database;
 use jade_tiers::ServerId;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder().table("t", &["a"]).build()
+}
 
 fn controller(n: u32, policy: ReadPolicy) -> CjdbcController {
-    let mut c = CjdbcController::new(policy);
+    let mut c = CjdbcController::new(policy, schema());
     for i in 0..n {
         let id = ServerId(i);
         c.register_backend(id);
@@ -21,11 +26,8 @@ fn controller(n: u32, policy: ReadPolicy) -> CjdbcController {
     c
 }
 
-fn write_stmt(i: i64) -> Statement {
-    Statement::Insert {
-        table: "t".into(),
-        row: row(&[("a", Value::Int(i))]),
-    }
+fn write_stmt(i: i64) -> Arc<Statement> {
+    Arc::new(schema().insert("t", &[("a", Value::Int(i))]))
 }
 
 fn bench_read_policies(r: &mut Runner) {
@@ -73,13 +75,13 @@ fn bench_recovery_replay(r: &mut Runner) {
     for backlog in [100usize, 1_000, 10_000] {
         r.bench(&format!("recovery_log_replay/join_after_{backlog}"), || {
             let mut ctrl = controller(1, ReadPolicy::RoundRobin);
-            ctrl.route_write(Statement::CreateTable { table: "t".into() })
+            ctrl.route_write(Arc::new(schema().create_table("t")))
                 .unwrap();
             for i in 0..backlog {
                 ctrl.route_write(write_stmt(i as i64)).unwrap();
             }
             ctrl.register_backend(ServerId(9));
-            let mut db = Database::new();
+            let mut db = Database::new(schema());
             let batch = ctrl.begin_enable(ServerId(9)).unwrap();
             for entry in &batch {
                 let _ = db.execute(&entry.statement);

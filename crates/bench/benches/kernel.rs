@@ -8,11 +8,17 @@
 //! measured rates and the slab-vs-naive speedups.
 
 use jade_bench::microbench::{black_box, Runner};
-use jade_bench::NaivePsCpu;
-use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu};
+use jade_bench::{NaiveDatabase, NaivePsCpu};
+use jade_rubis::{
+    dataset_statements, generate_plan, rubis_schema, sample_interaction, DatasetSpec, KeySpace,
+};
+use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu, SimRng};
 use jade_sim::{SimDuration, SimTime};
+use jade_tiers::sql::{Schema, SharedRow, Statement, Value};
+use jade_tiers::storage::Database;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// The event queue the kernel shipped with before the slab rewrite: a
 /// `BinaryHeap` with payloads inline plus a `HashSet` of cancelled
@@ -268,6 +274,195 @@ fn bench_ps_cpu(r: &mut Runner) {
     });
 }
 
+// ---------------------------------------------------------------------
+// Storage engine: interned + indexed vs the name-keyed scan baseline.
+// ---------------------------------------------------------------------
+
+const DB_ROWS: u64 = 10_000;
+const DB_HOT_SELECTS: u64 = 1_000;
+const DB_WHERE_SELECTS: u64 = 100;
+const DB_MIX_INTERACTIONS: usize = 500;
+
+fn db_schema() -> Arc<Schema> {
+    Schema::builder()
+        .table(
+            "items",
+            &["name", "seller", "category", "price", "quantity"],
+        )
+        .index("items", "category")
+        .index("items", "seller")
+        .build()
+}
+
+/// `CREATE TABLE` plus `DB_ROWS` item rows (~10 rows per category value).
+fn db_fixture(schema: &Schema) -> Vec<Statement> {
+    let mut rng = SimRng::seed_from_u64(0xDB);
+    let mut out = vec![schema.create_table("items")];
+    for i in 0..DB_ROWS {
+        out.push(schema.insert(
+            "items",
+            &[
+                ("name", Value::Text(format!("item{i}"))),
+                ("seller", Value::Int(rng.range_u64(0, 499) as i64)),
+                ("category", Value::Int(rng.range_u64(0, 999) as i64)),
+                ("price", Value::Int(rng.range_u64(1, 1000) as i64)),
+                ("quantity", Value::Int(1)),
+            ],
+        ));
+    }
+    out
+}
+
+fn loaded_interned(schema: &Arc<Schema>, fixture: &[Statement]) -> Database {
+    let mut db = Database::new(Arc::clone(schema));
+    for s in fixture {
+        db.execute(s).unwrap();
+    }
+    db
+}
+
+fn loaded_naive(schema: &Schema, fixture: &[Statement]) -> NaiveDatabase {
+    let mut db = NaiveDatabase::new();
+    for s in fixture {
+        db.execute(schema, s).unwrap();
+    }
+    db
+}
+
+fn bench_db(r: &mut Runner) {
+    let schema = db_schema();
+    let fixture = db_fixture(&schema);
+
+    // Point lookups on a hot key set (the ViewItem/BuyNow access pattern).
+    let hot: Vec<Statement> = {
+        let mut rng = SimRng::seed_from_u64(0x407);
+        (0..DB_HOT_SELECTS)
+            .map(|_| schema.select_by_key("items", rng.range_u64(0, DB_ROWS - 1)))
+            .collect()
+    };
+    {
+        let db = loaded_interned(&schema, &fixture);
+        let mut scratch: Vec<(u64, SharedRow)> = Vec::new();
+        let hot = hot.clone();
+        let mut db = db;
+        r.bench(
+            &format!("db/select_by_key_hot_{DB_HOT_SELECTS}"),
+            move || {
+                let mut acc = 0usize;
+                for s in &hot {
+                    let _ = db.execute_into(s, &mut scratch);
+                    acc += scratch.len();
+                }
+                acc
+            },
+        );
+    }
+    {
+        let mut db = loaded_naive(&schema, &fixture);
+        let schema = Arc::clone(&schema);
+        let hot = hot.clone();
+        r.bench(
+            &format!("db/naive/select_by_key_hot_{DB_HOT_SELECTS}"),
+            move || {
+                let mut acc = 0usize;
+                for s in &hot {
+                    if let Ok(jade_bench::NaiveQueryResult::Rows(rows)) = db.execute(&schema, s) {
+                        acc += rows.len();
+                    }
+                }
+                acc
+            },
+        );
+    }
+
+    // Equality scans over the indexed `category` column
+    // (SearchItemsInCategory): O(matches) postings vs a 10k-row full scan.
+    let scans: Vec<Statement> = (0..DB_WHERE_SELECTS)
+        .map(|i| schema.select_where("items", "category", Value::Int((i * 7 % 1000) as i64), 25))
+        .collect();
+    {
+        let mut db = loaded_interned(&schema, &fixture);
+        let mut scratch: Vec<(u64, SharedRow)> = Vec::new();
+        let scans = scans.clone();
+        r.bench(&format!("db/select_where_{DB_ROWS}"), move || {
+            let mut acc = 0usize;
+            for s in &scans {
+                let _ = db.execute_into(s, &mut scratch);
+                acc += scratch.len();
+            }
+            acc
+        });
+    }
+    {
+        let mut db = loaded_naive(&schema, &fixture);
+        let schema = Arc::clone(&schema);
+        let scans = scans.clone();
+        r.bench(&format!("db/naive/select_where_{DB_ROWS}"), move || {
+            let mut acc = 0usize;
+            for s in &scans {
+                if let Ok(jade_bench::NaiveQueryResult::Rows(rows)) = db.execute(&schema, s) {
+                    acc += rows.len();
+                }
+            }
+            acc
+        });
+    }
+
+    // The RUBiS bidding mix end-to-end: the statement stream one emulated
+    // client population issues, replayed against each engine. Writes
+    // accumulate across iterations identically for both, so the best
+    // sample (reported) compares like-for-like states.
+    let rubis = rubis_schema();
+    let spec = DatasetSpec::small();
+    let mut rng = SimRng::seed_from_u64(0x2B1D);
+    let dump = dataset_statements(spec, &mut rng);
+    let mix: Vec<Arc<Statement>> = {
+        let mut ks: KeySpace = spec.into();
+        let mut ops = Vec::new();
+        for _ in 0..DB_MIX_INTERACTIONS {
+            let t = sample_interaction(&mut rng);
+            let plan = generate_plan(t, &mut ks, &mut rng);
+            ops.extend(plan.sql.into_iter().map(|op| op.statement));
+        }
+        ops
+    };
+    {
+        let mut db = loaded_interned(&rubis, &dump);
+        let mut scratch: Vec<(u64, SharedRow)> = Vec::new();
+        let mix = mix.clone();
+        r.bench(&format!("db/rubis_mix_{DB_MIX_INTERACTIONS}"), move || {
+            let mut acc = 0u64;
+            for s in &mix {
+                if let Ok(summary) = db.execute_into(s, &mut scratch) {
+                    acc = acc.wrapping_add(summary.cardinality());
+                }
+            }
+            acc
+        });
+    }
+    {
+        let mut db = loaded_naive(&rubis, &dump);
+        let rubis = Arc::clone(&rubis);
+        let mix = mix.clone();
+        r.bench(
+            &format!("db/naive/rubis_mix_{DB_MIX_INTERACTIONS}"),
+            move || {
+                let mut acc = 0u64;
+                for s in &mix {
+                    if let Ok(res) = db.execute(&rubis, s) {
+                        acc = acc.wrapping_add(match res {
+                            jade_bench::NaiveQueryResult::Ack { affected, .. } => affected,
+                            jade_bench::NaiveQueryResult::Rows(rows) => rows.len() as u64,
+                            jade_bench::NaiveQueryResult::Count(n) => n,
+                        });
+                    }
+                }
+                acc
+            },
+        );
+    }
+}
+
 /// A ping-pong app measuring raw engine dispatch throughput.
 struct PingPong {
     remaining: u64,
@@ -295,6 +490,7 @@ fn main() {
     let mut r = Runner::new();
     bench_queues(&mut r);
     bench_ps_cpu(&mut r);
+    bench_db(&mut r);
     bench_engine(&mut r);
 
     let ratio = |fast: &str, slow: &str| -> f64 {
@@ -318,6 +514,18 @@ fn main() {
     let ps_512 = ratio("ps_cpu/submit_drain_512", "ps_cpu/naive/submit_drain_512");
     let ps_2048 = ratio("ps_cpu/submit_drain_2048", "ps_cpu/naive/submit_drain_2048");
     let ps_thrash = ratio("ps_cpu/thrashing_512", "ps_cpu/naive/thrashing_512");
+    let db_hot = ratio(
+        &format!("db/select_by_key_hot_{DB_HOT_SELECTS}"),
+        &format!("db/naive/select_by_key_hot_{DB_HOT_SELECTS}"),
+    );
+    let db_where = ratio(
+        &format!("db/select_where_{DB_ROWS}"),
+        &format!("db/naive/select_where_{DB_ROWS}"),
+    );
+    let db_mix = ratio(
+        &format!("db/rubis_mix_{DB_MIX_INTERACTIONS}"),
+        &format!("db/naive/rubis_mix_{DB_MIX_INTERACTIONS}"),
+    );
     println!("\nslab vs naive BinaryHeap+HashSet queue:");
     println!("  push_pop      {push_pop:.2}x");
     println!("  cancel_heavy  {cancel:.2}x");
@@ -327,6 +535,10 @@ fn main() {
     println!("  submit_drain_512   {ps_512:.2}x");
     println!("  submit_drain_2048  {ps_2048:.2}x");
     println!("  thrashing_512      {ps_thrash:.2}x");
+    println!("interned+indexed vs naive name-keyed storage engine:");
+    println!("  select_by_key_hot  {db_hot:.2}x");
+    println!("  select_where       {db_where:.2}x");
+    println!("  rubis_mix          {db_mix:.2}x");
     r.write_json_with(
         "kernel",
         "BENCH_kernel.json",
@@ -338,6 +550,9 @@ fn main() {
             ("speedup_ps_512", ps_512),
             ("speedup_ps_2048", ps_2048),
             ("speedup_ps_thrashing", ps_thrash),
+            ("speedup_db_select_hot", db_hot),
+            ("speedup_db_select_where", db_where),
+            ("speedup_db_rubis_mix", db_mix),
         ],
     );
 }

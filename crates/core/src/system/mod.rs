@@ -19,7 +19,7 @@ use crate::control::{AdaptiveThresholds, CpuAvgSensor, InhibitionWindow, Thresho
 use jade_cluster::SoftwareRepository;
 use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
 use jade_fractal::{ComponentId, InterfaceDecl, Registry};
-use jade_rubis::{dataset_statements, EmulatedClient, KeySpace, StatsCollector};
+use jade_rubis::{dataset_statements, rubis_schema, EmulatedClient, KeySpace, StatsCollector};
 use jade_sim::{App, Ctx, EventToken, JobId, SimDuration, SimTime};
 use jade_tiers::wrappers::{BalancerWrapper, CjdbcWrapper, MysqlWrapper, TomcatWrapper};
 use jade_tiers::{LegacyEvent, LegacyLayer, RequestId, ServerId};
@@ -475,7 +475,7 @@ impl J2eeApp {
         // The base dump every MySQL replica restores.
         let mut dump_rng = jade_sim::SimRng::seed_from_u64(self.cfg.seed ^ 0xDA7A);
         let dump = dataset_statements(self.cfg.dataset, &mut dump_rng);
-        self.legacy.set_mysql_dump(dump);
+        self.legacy.set_mysql_dump(rubis_schema(), &dump);
 
         let daemon = self.daemon_packages();
 

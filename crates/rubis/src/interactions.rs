@@ -9,10 +9,11 @@
 //! (first database replica added around 180 clients, the second around
 //! 320, the application tier scaling at around 420 clients).
 
-use crate::schema::KeySpace;
+use crate::schema::{rubis_ids, KeySpace};
 use jade_sim::{SimDuration, SimRng};
 use jade_tiers::request::{InteractionPlan, SqlOp};
-use jade_tiers::sql::{row, Statement, Value};
+use jade_tiers::sql::{ColId, Statement, TableId, Value};
+use std::sync::{Arc, OnceLock};
 
 /// How an interaction touches the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,21 +90,18 @@ fn ms(x: f64) -> SimDuration {
     SimDuration::from_secs_f64(x / 1e3)
 }
 
-fn read_key(table: &str, key: u64, demand_ms: f64) -> SqlOp {
-    SqlOp::new(
-        Statement::SelectByKey {
-            table: table.into(),
-            key,
-        },
-        ms(demand_ms),
-    )
+// Statement constructors over pre-resolved ids: preparing a plan performs
+// zero string hashing or name allocation.
+
+fn read_key(table: TableId, key: u64, demand_ms: f64) -> SqlOp {
+    SqlOp::new(Statement::SelectByKey { table, key }, ms(demand_ms))
 }
 
-fn scan(table: &str, column: &str, value: Value, limit: usize, demand_ms: f64) -> SqlOp {
+fn scan(table: TableId, column: ColId, value: Value, limit: usize, demand_ms: f64) -> SqlOp {
     SqlOp::new(
         Statement::SelectWhere {
-            table: table.into(),
-            column: column.into(),
+            table,
+            column,
             value,
             limit,
         },
@@ -111,106 +109,129 @@ fn scan(table: &str, column: &str, value: Value, limit: usize, demand_ms: f64) -
     )
 }
 
-fn count(table: &str, demand_ms: f64) -> SqlOp {
-    SqlOp::new(
-        Statement::Count {
-            table: table.into(),
-        },
-        ms(demand_ms),
-    )
+/// The constant `SELECT COUNT(*)` statements the browse pages reissue
+/// verbatim — prepared once per process and `Arc`-shared across plans.
+fn count_categories(demand_ms: f64) -> SqlOp {
+    static STMT: OnceLock<Arc<Statement>> = OnceLock::new();
+    let stmt = STMT.get_or_init(|| {
+        Arc::new(Statement::Count {
+            table: rubis_ids().categories,
+        })
+    });
+    SqlOp::shared(Arc::clone(stmt), ms(demand_ms))
 }
 
-fn insert(table: &str, cols: &[(&str, Value)], demand_ms: f64) -> SqlOp {
-    SqlOp::new(
-        Statement::Insert {
-            table: table.into(),
-            row: row(cols),
-        },
-        ms(demand_ms),
-    )
+fn count_regions(demand_ms: f64) -> SqlOp {
+    static STMT: OnceLock<Arc<Statement>> = OnceLock::new();
+    let stmt = STMT.get_or_init(|| {
+        Arc::new(Statement::Count {
+            table: rubis_ids().regions,
+        })
+    });
+    SqlOp::shared(Arc::clone(stmt), ms(demand_ms))
 }
 
-fn update(table: &str, key: u64, cols: &[(&str, Value)], demand_ms: f64) -> SqlOp {
-    SqlOp::new(
-        Statement::Update {
-            table: table.into(),
-            key,
-            set: row(cols),
-        },
-        ms(demand_ms),
-    )
+fn insert(table: TableId, row: Vec<Value>, demand_ms: f64) -> SqlOp {
+    SqlOp::new(Statement::Insert { table, row }, ms(demand_ms))
+}
+
+fn update(table: TableId, key: u64, set: Vec<(ColId, Value)>, demand_ms: f64) -> SqlOp {
+    SqlOp::new(Statement::Update { table, key, set }, ms(demand_ms))
 }
 
 /// Instantiates the SQL work of an interaction against the current key
 /// space. Mutates the key space when the interaction inserts rows.
 fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlOp> {
+    let ids = rubis_ids();
     match t.name {
         "RegisterUser" => {
             let region = ks.region(rng);
             ks.users += 1;
+            // Layout: [nickname, region, rating].
             vec![insert(
-                "users",
-                &[
-                    ("nickname", Value::Text(format!("newuser{}", ks.users))),
-                    ("region", Value::Int(region as i64)),
-                    ("rating", Value::Int(0)),
+                ids.users,
+                vec![
+                    Value::Text(format!("newuser{}", ks.users)),
+                    Value::Int(region as i64),
+                    Value::Int(0),
                 ],
                 8.0,
             )]
         }
-        "BrowseCategories" => vec![count("categories", 8.0)],
+        "BrowseCategories" => vec![count_categories(8.0)],
         "SearchItemsInCategory" => {
             let cat = ks.category(rng);
-            vec![scan("items", "category", Value::Int(cat as i64), 25, 58.0)]
+            vec![scan(
+                ids.items,
+                ids.item_category,
+                Value::Int(cat as i64),
+                25,
+                58.0,
+            )]
         }
-        "BrowseRegions" => vec![count("regions", 6.0)],
-        "BrowseCategoriesInRegion" => vec![count("categories", 8.0)],
+        "BrowseRegions" => vec![count_regions(6.0)],
+        "BrowseCategoriesInRegion" => vec![count_categories(8.0)],
         "SearchItemsInRegion" => {
             let region = ks.region(rng);
-            vec![scan("users", "region", Value::Int(region as i64), 25, 52.0)]
+            vec![scan(
+                ids.users,
+                ids.user_region,
+                Value::Int(region as i64),
+                25,
+                52.0,
+            )]
         }
         "ViewItem" => {
             let item = ks.item(rng);
             vec![
-                read_key("items", item, 10.0),
-                scan("bids", "item", Value::Int(item as i64), 20, 22.0),
+                read_key(ids.items, item, 10.0),
+                scan(ids.bids, ids.bid_item, Value::Int(item as i64), 20, 22.0),
             ]
         }
         "ViewUserInfo" => {
             let user = ks.user(rng);
             vec![
-                read_key("users", user, 8.0),
-                scan("comments", "author", Value::Int(user as i64), 20, 14.0),
+                read_key(ids.users, user, 8.0),
+                scan(
+                    ids.comments,
+                    ids.comment_author,
+                    Value::Int(user as i64),
+                    20,
+                    14.0,
+                ),
             ]
         }
         "ViewBidHistory" => {
             let item = ks.item(rng);
             vec![
-                read_key("items", item, 8.0),
-                scan("bids", "item", Value::Int(item as i64), 30, 20.0),
+                read_key(ids.items, item, 8.0),
+                scan(ids.bids, ids.bid_item, Value::Int(item as i64), 30, 20.0),
             ]
         }
-        "BuyNow" => vec![read_key("items", ks.item(rng), 10.0)],
+        "BuyNow" => vec![read_key(ids.items, ks.item(rng), 10.0)],
         "StoreBuyNow" => {
             let item = ks.item(rng);
             let buyer = ks.user(rng);
             vec![
+                // Layout: [item, buyer].
                 insert(
-                    "buy_now",
-                    &[
-                        ("item", Value::Int(item as i64)),
-                        ("buyer", Value::Int(buyer as i64)),
-                    ],
+                    ids.buy_now,
+                    vec![Value::Int(item as i64), Value::Int(buyer as i64)],
                     10.0,
                 ),
-                update("items", item, &[("quantity", Value::Int(0))], 8.0),
+                update(
+                    ids.items,
+                    item,
+                    vec![(ids.item_quantity, Value::Int(0))],
+                    8.0,
+                ),
             ]
         }
         "PutBid" => {
             let item = ks.item(rng);
             vec![
-                read_key("items", item, 10.0),
-                scan("bids", "item", Value::Int(item as i64), 10, 14.0),
+                read_key(ids.items, item, 10.0),
+                scan(ids.bids, ids.bid_item, Value::Int(item as i64), 10, 14.0),
             ]
         }
         "StoreBid" => {
@@ -218,51 +239,59 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
             let bidder = ks.user(rng);
             ks.bids += 1;
             vec![
+                // Layout: [item, bidder, amount].
                 insert(
-                    "bids",
-                    &[
-                        ("item", Value::Int(item as i64)),
-                        ("bidder", Value::Int(bidder as i64)),
-                        ("amount", Value::Int(rng.range_u64(1, 2000) as i64)),
+                    ids.bids,
+                    vec![
+                        Value::Int(item as i64),
+                        Value::Int(bidder as i64),
+                        Value::Int(rng.range_u64(1, 2000) as i64),
                     ],
                     10.0,
                 ),
-                read_key("items", item, 6.0),
+                read_key(ids.items, item, 6.0),
             ]
         }
         "PutComment" => vec![
-            read_key("users", ks.user(rng), 6.0),
-            read_key("items", ks.item(rng), 6.0),
+            read_key(ids.users, ks.user(rng), 6.0),
+            read_key(ids.items, ks.item(rng), 6.0),
         ],
         "StoreComment" => {
             let author = ks.user(rng);
             ks.comments += 1;
             vec![
+                // Layout: [item, author, text].
                 insert(
-                    "comments",
-                    &[
-                        ("item", Value::Int(ks.item(rng) as i64)),
-                        ("author", Value::Int(author as i64)),
-                        ("text", Value::Text("great seller".into())),
+                    ids.comments,
+                    vec![
+                        Value::Int(ks.item(rng) as i64),
+                        Value::Int(author as i64),
+                        Value::Text("great seller".into()),
                     ],
                     10.0,
                 ),
-                update("users", author, &[("rating", Value::Int(1))], 6.0),
+                update(
+                    ids.users,
+                    author,
+                    vec![(ids.user_rating, Value::Int(1))],
+                    6.0,
+                ),
             ]
         }
-        "SelectCategoryToSellItem" => vec![count("categories", 8.0)],
+        "SelectCategoryToSellItem" => vec![count_categories(8.0)],
         "RegisterItem" => {
             let seller = ks.user(rng);
             let cat = ks.category(rng);
             ks.items += 1;
+            // Layout: [name, seller, category, price, quantity].
             vec![insert(
-                "items",
-                &[
-                    ("name", Value::Text(format!("newitem{}", ks.items))),
-                    ("seller", Value::Int(seller as i64)),
-                    ("category", Value::Int(cat as i64)),
-                    ("price", Value::Int(rng.range_u64(1, 1000) as i64)),
-                    ("quantity", Value::Int(1)),
+                ids.items,
+                vec![
+                    Value::Text(format!("newitem{}", ks.items)),
+                    Value::Int(seller as i64),
+                    Value::Int(cat as i64),
+                    Value::Int(rng.range_u64(1, 1000) as i64),
+                    Value::Int(1),
                 ],
                 12.0,
             )]
@@ -270,10 +299,22 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
         "AboutMe" => {
             let user = ks.user(rng);
             vec![
-                read_key("users", user, 8.0),
-                scan("bids", "bidder", Value::Int(user as i64), 20, 16.0),
-                scan("items", "seller", Value::Int(user as i64), 20, 16.0),
-                scan("comments", "author", Value::Int(user as i64), 10, 10.0),
+                read_key(ids.users, user, 8.0),
+                scan(ids.bids, ids.bid_bidder, Value::Int(user as i64), 20, 16.0),
+                scan(
+                    ids.items,
+                    ids.item_seller,
+                    Value::Int(user as i64),
+                    20,
+                    16.0,
+                ),
+                scan(
+                    ids.comments,
+                    ids.comment_author,
+                    Value::Int(user as i64),
+                    10,
+                    10.0,
+                ),
             ]
         }
         // Static / form pages.
@@ -342,7 +383,7 @@ pub fn generate_plan(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -
         .into_iter()
         .map(|op| {
             let d = op.demand.as_secs_f64() * 1e3;
-            SqlOp::new(op.statement, jitter(d, rng))
+            SqlOp::shared(op.statement, jitter(d, rng))
         })
         .collect();
     InteractionPlan {

@@ -28,7 +28,9 @@ pub use interactions::{
     generate_plan, sample_interaction, InteractionKind, InteractionMix, InteractionType,
     INTERACTIONS,
 };
-pub use schema::{dataset_statements, schema_statements, DatasetSpec, KeySpace};
+pub use schema::{
+    dataset_statements, rubis_ids, rubis_schema, schema_statements, DatasetSpec, KeySpace, RubisIds,
+};
 pub use stats::{InteractionStats, StatsCollector, WindowStats};
 pub use transitions::{StateId, TransitionMatrix};
 pub use workload::WorkloadRamp;

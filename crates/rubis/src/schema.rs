@@ -6,7 +6,8 @@
 //! subset the workload exercises.
 
 use jade_sim::SimRng;
-use jade_tiers::sql::{row, Statement, Value};
+use jade_tiers::sql::{ColId, Schema, Statement, TableId, Value};
+use std::sync::{Arc, OnceLock};
 
 /// Table names of the RUBiS schema.
 pub const TABLES: &[&str] = &[
@@ -18,6 +19,102 @@ pub const TABLES: &[&str] = &[
     "comments",
     "buy_now",
 ];
+
+/// The RUBiS schema, built once per process: tables, columns and the
+/// secondary indexes covering every equality filter the 26 interactions
+/// issue (`items.category`/`items.seller`, `bids.item`/`bids.bidder`,
+/// `comments.author`, `users.region`).
+pub fn rubis_schema() -> Arc<Schema> {
+    static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+    Arc::clone(SCHEMA.get_or_init(|| {
+        Schema::builder()
+            .table("users", &["nickname", "region", "rating"])
+            .table(
+                "items",
+                &["name", "seller", "category", "price", "quantity"],
+            )
+            .table("categories", &["name"])
+            .table("regions", &["name"])
+            .table("bids", &["item", "bidder", "amount"])
+            .table("comments", &["item", "author", "text"])
+            .table("buy_now", &["item", "buyer"])
+            .index("users", "region")
+            .index("items", "category")
+            .index("items", "seller")
+            .index("bids", "item")
+            .index("bids", "bidder")
+            .index("comments", "author")
+            .build()
+    }))
+}
+
+/// Pre-resolved identifiers of every RUBiS table and column: names are
+/// interned exactly once per process, so statement preparation performs
+/// zero string hashing.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct RubisIds {
+    pub users: TableId,
+    pub items: TableId,
+    pub categories: TableId,
+    pub regions: TableId,
+    pub bids: TableId,
+    pub comments: TableId,
+    pub buy_now: TableId,
+    pub user_nickname: ColId,
+    pub user_region: ColId,
+    pub user_rating: ColId,
+    pub item_name: ColId,
+    pub item_seller: ColId,
+    pub item_category: ColId,
+    pub item_price: ColId,
+    pub item_quantity: ColId,
+    pub category_name: ColId,
+    pub region_name: ColId,
+    pub bid_item: ColId,
+    pub bid_bidder: ColId,
+    pub bid_amount: ColId,
+    pub comment_item: ColId,
+    pub comment_author: ColId,
+    pub comment_text: ColId,
+    pub buy_now_item: ColId,
+    pub buy_now_buyer: ColId,
+}
+
+/// The process-wide [`RubisIds`], resolved once against [`rubis_schema`].
+pub fn rubis_ids() -> &'static RubisIds {
+    static IDS: OnceLock<RubisIds> = OnceLock::new();
+    IDS.get_or_init(|| {
+        let s = rubis_schema();
+        RubisIds {
+            users: s.must_table("users"),
+            items: s.must_table("items"),
+            categories: s.must_table("categories"),
+            regions: s.must_table("regions"),
+            bids: s.must_table("bids"),
+            comments: s.must_table("comments"),
+            buy_now: s.must_table("buy_now"),
+            user_nickname: s.must_col("users", "nickname"),
+            user_region: s.must_col("users", "region"),
+            user_rating: s.must_col("users", "rating"),
+            item_name: s.must_col("items", "name"),
+            item_seller: s.must_col("items", "seller"),
+            item_category: s.must_col("items", "category"),
+            item_price: s.must_col("items", "price"),
+            item_quantity: s.must_col("items", "quantity"),
+            category_name: s.must_col("categories", "name"),
+            region_name: s.must_col("regions", "name"),
+            bid_item: s.must_col("bids", "item"),
+            bid_bidder: s.must_col("bids", "bidder"),
+            bid_amount: s.must_col("bids", "amount"),
+            comment_item: s.must_col("comments", "item"),
+            comment_author: s.must_col("comments", "author"),
+            comment_text: s.must_col("comments", "text"),
+            buy_now_item: s.must_col("buy_now", "item"),
+            buy_now_buyer: s.must_col("buy_now", "buyer"),
+        }
+    })
+}
 
 /// Sizing of the initial dataset.
 #[derive(Debug, Clone, Copy)]
@@ -125,85 +222,72 @@ impl KeySpace {
 
 /// Statements that create the schema.
 pub fn schema_statements() -> Vec<Statement> {
-    TABLES
-        .iter()
-        .map(|t| Statement::CreateTable {
-            table: (*t).to_owned(),
-        })
-        .collect()
+    let schema = rubis_schema();
+    TABLES.iter().map(|t| schema.create_table(t)).collect()
 }
 
 /// Statements that populate the initial dataset. Deterministic given the
 /// RNG seed, so every database replica and every run sees the same data.
+/// Rows are built in each table's fixed column layout — no name lookups.
 pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement> {
+    let ids = rubis_ids();
     let mut out = schema_statements();
     for i in 0..spec.regions {
         out.push(Statement::Insert {
-            table: "regions".into(),
-            row: row(&[("name", Value::Text(format!("region-{i}")))]),
+            table: ids.regions,
+            row: vec![Value::Text(format!("region-{i}"))],
         });
     }
     for i in 0..spec.categories {
         out.push(Statement::Insert {
-            table: "categories".into(),
-            row: row(&[("name", Value::Text(format!("category-{i}")))]),
+            table: ids.categories,
+            row: vec![Value::Text(format!("category-{i}"))],
         });
     }
     for i in 0..spec.users {
+        // Layout: [nickname, region, rating].
         out.push(Statement::Insert {
-            table: "users".into(),
-            row: row(&[
-                ("nickname", Value::Text(format!("user{i}"))),
-                (
-                    "region",
-                    Value::Int(rng.range_u64(0, spec.regions - 1) as i64),
-                ),
-                ("rating", Value::Int(rng.range_u64(0, 100) as i64)),
-            ]),
+            table: ids.users,
+            row: vec![
+                Value::Text(format!("user{i}")),
+                Value::Int(rng.range_u64(0, spec.regions - 1) as i64),
+                Value::Int(rng.range_u64(0, 100) as i64),
+            ],
         });
     }
     for i in 0..spec.items {
+        // Layout: [name, seller, category, price, quantity].
         out.push(Statement::Insert {
-            table: "items".into(),
-            row: row(&[
-                ("name", Value::Text(format!("item{i}"))),
-                (
-                    "seller",
-                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
-                ),
-                (
-                    "category",
-                    Value::Int(rng.range_u64(0, spec.categories - 1) as i64),
-                ),
-                ("price", Value::Int(rng.range_u64(1, 1000) as i64)),
-                ("quantity", Value::Int(rng.range_u64(1, 10) as i64)),
-            ]),
+            table: ids.items,
+            row: vec![
+                Value::Text(format!("item{i}")),
+                Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                Value::Int(rng.range_u64(0, spec.categories - 1) as i64),
+                Value::Int(rng.range_u64(1, 1000) as i64),
+                Value::Int(rng.range_u64(1, 10) as i64),
+            ],
         });
     }
     for _ in 0..spec.bids {
+        // Layout: [item, bidder, amount].
         out.push(Statement::Insert {
-            table: "bids".into(),
-            row: row(&[
-                ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
-                (
-                    "bidder",
-                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
-                ),
-                ("amount", Value::Int(rng.range_u64(1, 2000) as i64)),
-            ]),
+            table: ids.bids,
+            row: vec![
+                Value::Int(rng.range_u64(0, spec.items - 1) as i64),
+                Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                Value::Int(rng.range_u64(1, 2000) as i64),
+            ],
         });
     }
     for _ in 0..spec.comments {
+        // Layout: [item, author, text].
         out.push(Statement::Insert {
-            table: "comments".into(),
-            row: row(&[
-                ("item", Value::Int(rng.range_u64(0, spec.items - 1) as i64)),
-                (
-                    "author",
-                    Value::Int(rng.range_u64(0, spec.users - 1) as i64),
-                ),
-                ("text", Value::Text("nice doing business".into())),
-            ]),
+            table: ids.comments,
+            row: vec![
+                Value::Int(rng.range_u64(0, spec.items - 1) as i64),
+                Value::Int(rng.range_u64(0, spec.users - 1) as i64),
+                Value::Text("nice doing business".into()),
+            ],
         });
     }
     out
@@ -218,7 +302,7 @@ mod tests {
     fn dataset_loads_and_matches_spec() {
         let spec = DatasetSpec::tiny();
         let mut rng = SimRng::seed_from_u64(1);
-        let mut db = Database::new();
+        let mut db = Database::new(rubis_schema());
         for s in dataset_statements(spec, &mut rng) {
             db.execute(&s).unwrap();
         }
@@ -231,8 +315,8 @@ mod tests {
     #[test]
     fn dataset_is_deterministic() {
         let spec = DatasetSpec::tiny();
-        let mut db1 = Database::new();
-        let mut db2 = Database::new();
+        let mut db1 = Database::new(rubis_schema());
+        let mut db2 = Database::new(rubis_schema());
         let mut r1 = SimRng::seed_from_u64(9);
         let mut r2 = SimRng::seed_from_u64(9);
         for s in dataset_statements(spec, &mut r1) {

@@ -74,11 +74,11 @@ impl TimeSeries {
         let mut acc = 0.0;
         let mut covered = 0.0;
         let mut cursor = from;
-        let mut current = match self.points.partition_point(|&(pt, _)| pt <= from) {
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        let mut current = match start {
             0 => None,
             i => Some(self.points[i - 1].1),
         };
-        let start = self.points.partition_point(|&(pt, _)| pt <= from);
         for &(pt, v) in &self.points[start..] {
             if pt >= to {
                 break;
@@ -306,11 +306,11 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target.max(1) {
+            if seen >= target {
                 return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
             }
         }

@@ -15,9 +15,10 @@
 
 use crate::recovery::{LogEntry, RecoveryLog};
 use crate::server::ServerId;
-use crate::sql::Statement;
+use crate::sql::{Schema, Statement};
 use jade_sim::SimRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Read-scheduling policy across active backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,11 +90,12 @@ pub struct CjdbcController {
 }
 
 impl CjdbcController {
-    /// Creates a controller with the given read policy.
-    pub fn new(policy: ReadPolicy) -> Self {
+    /// Creates a controller with the given read policy over the cluster's
+    /// database schema (used to render logged writes).
+    pub fn new(policy: ReadPolicy, schema: Arc<Schema>) -> Self {
         CjdbcController {
             backends: BTreeMap::new(),
-            log: RecoveryLog::new(),
+            log: RecoveryLog::new(schema),
             policy,
             rr_cursor: 0,
         }
@@ -299,11 +301,15 @@ impl CjdbcController {
     }
 
     /// Routes a write: appends it to the recovery log and returns the set
-    /// of active backends that must execute it (write broadcast). All
-    /// active backends' checkpoints advance — in this deterministic model
-    /// the broadcast is applied atomically with respect to membership
-    /// changes.
-    pub fn route_write(&mut self, stmt: Statement) -> Result<(u64, Vec<ServerId>), CjdbcError> {
+    /// of active backends that must execute it (write broadcast). The
+    /// statement is `Arc`-shared — broadcasting to N mirrored backends and
+    /// logging it performs zero statement clones. All active backends'
+    /// checkpoints advance — in this deterministic model the broadcast is
+    /// applied atomically with respect to membership changes.
+    pub fn route_write(
+        &mut self,
+        stmt: Arc<Statement>,
+    ) -> Result<(u64, Vec<ServerId>), CjdbcError> {
         let active = self.active_backends();
         if active.is_empty() {
             return Err(CjdbcError::NoActiveBackend);
@@ -335,17 +341,18 @@ impl CjdbcController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{row, Value};
+    use crate::sql::Value;
 
-    fn write(i: i64) -> Statement {
-        Statement::Insert {
-            table: "t".into(),
-            row: row(&[("a", Value::Int(i))]),
-        }
+    fn schema() -> Arc<Schema> {
+        Schema::builder().table("t", &["a"]).build()
+    }
+
+    fn write(i: i64) -> Arc<Statement> {
+        Arc::new(schema().insert("t", &[("a", Value::Int(i))]))
     }
 
     fn controller_with_active(n: u32) -> CjdbcController {
-        let mut c = CjdbcController::new(ReadPolicy::RoundRobin);
+        let mut c = CjdbcController::new(ReadPolicy::RoundRobin, schema());
         for i in 0..n {
             let id = ServerId(i);
             c.register_backend(id);
@@ -397,7 +404,7 @@ mod tests {
 
     #[test]
     fn read_with_no_active_backend_fails() {
-        let mut c = CjdbcController::new(ReadPolicy::Random);
+        let mut c = CjdbcController::new(ReadPolicy::Random, schema());
         c.register_backend(ServerId(0));
         let mut rng = SimRng::seed_from_u64(1);
         assert_eq!(c.route_read(&mut rng), Err(CjdbcError::NoActiveBackend));

@@ -21,6 +21,7 @@ use crate::tomcat::TomcatServer;
 use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
 use jade_sim::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One legacy server process of any tier.
 #[derive(Debug)]
@@ -216,6 +217,9 @@ pub struct LegacyLayer {
     /// controller re-snapshots this image from a current replica (the
     /// lost log can no longer bridge from the original dataset dump).
     mysql_base: crate::storage::Database,
+    /// The cluster-wide database schema (statements are prepared against
+    /// it once; the C-JDBC recovery log renders through it).
+    schema: Arc<crate::sql::Schema>,
     /// Time to transfer + execute one recovery-log entry during resync.
     pub replay_cost_per_entry: SimDuration,
     /// Fixed cost to set up a resync session.
@@ -234,19 +238,25 @@ impl LegacyLayer {
             next_server: 0,
             outbox: Vec::new(),
             pending_replays: BTreeMap::new(),
-            mysql_base: crate::storage::Database::new(),
+            mysql_base: crate::storage::Database::new(crate::sql::Schema::empty()),
+            schema: crate::sql::Schema::empty(),
             replay_cost_per_entry: SimDuration::from_micros(500),
             replay_setup_cost: SimDuration::from_secs(2),
         }
     }
 
-    /// Sets the base image restored into new MySQL replicas by executing
-    /// a statement dump into a fresh database.
-    pub fn set_mysql_dump(&mut self, dump: Vec<crate::sql::Statement>) {
-        let mut db = crate::storage::Database::new();
-        for stmt in &dump {
+    /// Sets the cluster schema and the base image restored into new MySQL
+    /// replicas by executing a statement dump into a fresh database.
+    pub fn set_mysql_dump(
+        &mut self,
+        schema: Arc<crate::sql::Schema>,
+        dump: &[crate::sql::Statement],
+    ) {
+        let mut db = crate::storage::Database::new(Arc::clone(&schema));
+        for stmt in dump {
             let _ = db.execute(stmt);
         }
+        self.schema = schema;
         self.mysql_base = db;
     }
 
@@ -306,7 +316,7 @@ impl LegacyLayer {
             LegacyServer::Cjdbc {
                 process: ServerProcess::new(id, name, node, Tier::Balancer),
                 port: 25322,
-                ctrl: CjdbcController::new(policy),
+                ctrl: CjdbcController::new(policy, Arc::clone(&self.schema)),
                 routing_demand: SimDuration::from_micros(200),
             },
         );
@@ -690,7 +700,9 @@ impl LegacyLayer {
         if !state.is_running() {
             return Err(LegacyError::BadState(cjdbc, state));
         }
-        let (_, targets) = self.cjdbc_mut(cjdbc)?.route_write(op.statement.clone())?;
+        let (_, targets) = self
+            .cjdbc_mut(cjdbc)?
+            .route_write(Arc::clone(&op.statement))?;
         for &b in &targets {
             let m = self.mysql_mut(b)?;
             let _ = m.execute(&op.statement);
@@ -761,8 +773,12 @@ impl LegacyLayer {
 mod tests {
     use super::*;
     use crate::request::SqlOp;
-    use crate::sql::{row, Statement, Value};
+    use crate::sql::{Schema, Value};
     use jade_cluster::{NodeSpec, SoftwareRepository};
+
+    fn test_schema() -> Arc<Schema> {
+        Schema::builder().table("t", &["a"]).build()
+    }
 
     fn layer(nodes: usize) -> LegacyLayer {
         let cluster = ClusterManager::homogeneous(nodes, NodeSpec::default(), 128);
@@ -837,24 +853,19 @@ mod tests {
 
     fn write_op(i: i64) -> SqlOp {
         SqlOp::new(
-            Statement::Insert {
-                table: "t".into(),
-                row: row(&[("a", Value::Int(i))]),
-            },
+            test_schema().insert("t", &[("a", Value::Int(i))]),
             SimDuration::from_millis(5),
         )
     }
 
     fn read_op() -> SqlOp {
-        SqlOp::new(
-            Statement::Count { table: "t".into() },
-            SimDuration::from_millis(2),
-        )
+        SqlOp::new(test_schema().count("t"), SimDuration::from_millis(2))
     }
 
     /// Deploys a C-JDBC with `n` active MySQL backends (synchronously
     /// draining boot/replay events).
     fn db_cluster(l: &mut LegacyLayer, n: usize) -> (ServerId, Vec<ServerId>) {
+        l.set_mysql_dump(test_schema(), &[]);
         let cj_node = l.cluster.allocate().unwrap();
         install(l, cj_node, "cjdbc");
         let cj = l.create_cjdbc("C-JDBC", cj_node, ReadPolicy::LeastPending);
@@ -894,10 +905,7 @@ mod tests {
         // Create the schema cluster-wide.
         l.cjdbc_execute_write(
             cj,
-            &SqlOp::new(
-                Statement::CreateTable { table: "t".into() },
-                SimDuration::ZERO,
-            ),
+            &SqlOp::new(test_schema().create_table("t"), SimDuration::ZERO),
         )
         .unwrap();
         (cj, backends)

@@ -42,7 +42,10 @@ pub use mysql::MysqlServer;
 pub use recovery::{LogEntry, RecoveryLog};
 pub use request::{InteractionPlan, RequestId, SqlOp};
 pub use server::{ServerId, ServerProcess, ServerState, Tier};
-pub use sql::{QueryResult, Row, SqlError, Statement, Value};
+pub use sql::{
+    ColId, ExecSummary, QueryResult, Schema, SchemaBuilder, SharedRow, SqlError, Statement,
+    TableId, Value,
+};
 pub use storage::{Database, Table};
 pub use tomcat::TomcatServer;
 pub use wrappers::{ApacheWrapper, BalancerWrapper, CjdbcWrapper, MysqlWrapper, TomcatWrapper};

@@ -1,7 +1,7 @@
 //! The MySQL database server (database tier).
 
 use crate::server::{ServerId, ServerProcess, Tier};
-use crate::sql::{QueryResult, SqlError, Statement};
+use crate::sql::{ExecSummary, Schema, SharedRow, SqlError, Statement};
 use crate::storage::Database;
 use jade_cluster::NodeId;
 
@@ -15,21 +15,32 @@ pub struct MysqlServer {
     pub port: u16,
     /// The replica's database contents.
     pub db: Database,
+    /// Copy-out scratch reused across queries: selects land their
+    /// `Arc`-shared rows here instead of allocating a result per request.
+    scratch: Vec<(u64, SharedRow)>,
 }
 
 impl MysqlServer {
-    /// Creates a stopped MySQL replica with an empty database on `node`.
+    /// Creates a stopped MySQL replica with an empty database on `node`
+    /// (the legacy layer restores the base image into `db` on creation).
     pub fn new(id: ServerId, name: &str, node: NodeId) -> Self {
         MysqlServer {
             process: ServerProcess::new(id, name, node, Tier::Database),
             port: 3306,
-            db: Database::new(),
+            db: Database::new(Schema::empty()),
+            scratch: Vec::new(),
         }
     }
 
-    /// Executes one statement against this replica.
-    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult, SqlError> {
-        self.db.execute(stmt)
+    /// Executes one statement against this replica through the reused
+    /// scratch buffer (no per-query result allocation).
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecSummary, SqlError> {
+        self.db.execute_into(stmt, &mut self.scratch)
+    }
+
+    /// Rows produced by the last `execute` (valid until the next call).
+    pub fn last_rows(&self) -> &[(u64, SharedRow)] {
+        &self.scratch
     }
 
     /// Content digest (replica-convergence checks).
@@ -41,21 +52,20 @@ impl MysqlServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{row, Value};
+    use crate::sql::Value;
 
     #[test]
     fn executes_against_local_storage() {
+        let schema = Schema::builder().table("users", &["name"]).build();
         let mut m = MysqlServer::new(ServerId(2), "MySQL1", NodeId(3));
-        m.execute(&Statement::CreateTable {
-            table: "users".into(),
-        })
-        .unwrap();
-        m.execute(&Statement::Insert {
-            table: "users".into(),
-            row: row(&[("name", Value::from("eve"))]),
-        })
-        .unwrap();
+        m.db = Database::new(schema.clone());
+        m.execute(&schema.create_table("users")).unwrap();
+        m.execute(&schema.insert("users", &[("name", Value::from("eve"))]))
+            .unwrap();
         assert_eq!(m.db.total_rows(), 1);
         assert_eq!(m.process.tier, Tier::Database);
+        let r = m.execute(&schema.select_by_key("users", 0)).unwrap();
+        assert_eq!(r, ExecSummary::Rows(1));
+        assert_eq!(m.last_rows()[0].0, 0);
     }
 }

@@ -10,42 +10,49 @@
 //! of the state of this replica … stored as the index value … of the last
 //! write request that it has executed before being disabled."
 
-use crate::sql::Statement;
+use crate::sql::{Schema, Statement};
+use std::sync::Arc;
 
 /// A logged write: global index plus the statement (stored rendered, as
-/// C-JDBC stores strings, and structured for replay).
+/// C-JDBC stores strings, and structured for replay). The statement is
+/// `Arc`-shared with the broadcast that produced it — logging a write
+/// never clones it.
 #[derive(Debug, Clone)]
 pub struct LogEntry {
     /// Global write index (0-based, dense).
     pub index: u64,
     /// The write statement.
-    pub statement: Statement,
+    pub statement: Arc<Statement>,
     /// The rendered string form (what C-JDBC actually persisted).
     pub rendered: String,
 }
 
 /// Append-only log of all writes accepted by the clustered database.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RecoveryLog {
+    schema: Arc<Schema>,
     entries: Vec<LogEntry>,
 }
 
 impl RecoveryLog {
-    /// Creates an empty log.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty log rendering against `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        RecoveryLog {
+            schema,
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a write, returning its index. Panics on non-write
     /// statements — reads must never reach the log.
-    pub fn append(&mut self, statement: Statement) -> u64 {
+    pub fn append(&mut self, statement: Arc<Statement>) -> u64 {
         assert!(
             statement.is_write(),
             "only write requests are logged (got {})",
-            statement.render()
+            statement.render(&self.schema)
         );
         let index = self.entries.len() as u64;
-        let rendered = statement.render();
+        let rendered = statement.render(&self.schema);
         self.entries.push(LogEntry {
             index,
             statement,
@@ -80,18 +87,23 @@ impl RecoveryLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{row, Value};
+    use crate::sql::Value;
 
-    fn w(i: i64) -> Statement {
-        Statement::Insert {
-            table: "t".into(),
-            row: row(&[("a", Value::Int(i))]),
-        }
+    fn schema() -> Arc<Schema> {
+        Schema::builder().table("t", &["a"]).build()
+    }
+
+    fn log() -> RecoveryLog {
+        RecoveryLog::new(schema())
+    }
+
+    fn w(i: i64) -> Arc<Statement> {
+        Arc::new(schema().insert("t", &[("a", Value::Int(i))]))
     }
 
     #[test]
     fn indices_are_dense_and_ordered() {
-        let mut log = RecoveryLog::new();
+        let mut log = log();
         assert_eq!(log.append(w(1)), 0);
         assert_eq!(log.append(w(2)), 1);
         assert_eq!(log.head(), 2);
@@ -106,13 +118,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "only write requests")]
     fn reads_are_rejected() {
-        let mut log = RecoveryLog::new();
-        log.append(Statement::Count { table: "t".into() });
+        let mut log = log();
+        log.append(Arc::new(schema().count("t")));
     }
 
     #[test]
     fn rendered_strings_match_statements() {
-        let mut log = RecoveryLog::new();
+        let mut log = log();
         log.append(w(7));
         assert_eq!(log.rendered().next().unwrap(), "INSERT INTO t SET a=7");
     }

@@ -3,6 +3,7 @@
 
 use crate::sql::Statement;
 use jade_sim::SimDuration;
+use std::sync::Arc;
 
 /// Unique id of one client HTTP interaction end-to-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -10,17 +11,30 @@ pub struct RequestId(pub u64);
 
 /// One database query a servlet issues, with its execution cost on a
 /// database node.
+///
+/// The statement is `Arc`-shared: cloning a plan, broadcasting a write to
+/// N mirrored backends and appending to the recovery log all reuse the
+/// one prepared statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlOp {
     /// The statement to execute.
-    pub statement: Statement,
+    pub statement: Arc<Statement>,
     /// CPU demand on the executing MySQL node.
     pub demand: SimDuration,
 }
 
 impl SqlOp {
-    /// Builds a query op.
+    /// Builds a query op from a freshly prepared statement.
     pub fn new(statement: Statement, demand: SimDuration) -> Self {
+        SqlOp {
+            statement: Arc::new(statement),
+            demand,
+        }
+    }
+
+    /// Builds a query op sharing an already-prepared statement (e.g. the
+    /// constant `COUNT(*)` reads the RUBiS mix reissues verbatim).
+    pub fn shared(statement: Arc<Statement>, demand: SimDuration) -> Self {
         SqlOp { statement, demand }
     }
 
@@ -82,26 +96,24 @@ impl InteractionPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{row, Value};
+    use crate::sql::{Schema, Value};
 
     #[test]
     fn demand_accounting() {
+        let schema = Schema::builder()
+            .table("items", &["name"])
+            .table("bids", &["bid"])
+            .build();
         let plan = InteractionPlan {
             name: "ViewItem",
             pre_demand: SimDuration::from_millis(3),
             sql: vec![
                 SqlOp::new(
-                    Statement::SelectByKey {
-                        table: "items".into(),
-                        key: 1,
-                    },
+                    schema.select_by_key("items", 1),
                     SimDuration::from_millis(10),
                 ),
                 SqlOp::new(
-                    Statement::Insert {
-                        table: "bids".into(),
-                        row: row(&[("bid", Value::Int(5))]),
-                    },
+                    schema.insert("bids", &[("bid", Value::Int(5))]),
                     SimDuration::from_millis(8),
                 ),
             ],

@@ -5,10 +5,17 @@
 
 use jade_propcheck::{run, Gen};
 use jade_tiers::cjdbc::{BackendStatus, CjdbcController, ReadPolicy};
-use jade_tiers::sql::{row, Statement, Value};
+use jade_tiers::sql::{Schema, Statement, Value};
 use jade_tiers::storage::Database;
 use jade_tiers::ServerId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One table with an indexed column, so membership churn also exercises
+/// secondary-index maintenance through replay.
+fn schema() -> Arc<Schema> {
+    Schema::builder().table("t", &["a"]).index("t", "a").build()
+}
 
 /// Abstract operations the property generates.
 #[derive(Debug, Clone)]
@@ -44,7 +51,8 @@ struct Model {
 
 impl Model {
     fn new(backends: u32) -> Self {
-        let mut ctrl = CjdbcController::new(ReadPolicy::RoundRobin);
+        let schema = schema();
+        let mut ctrl = CjdbcController::new(ReadPolicy::RoundRobin, Arc::clone(&schema));
         let mut dbs = BTreeMap::new();
         for i in 0..backends {
             let id = ServerId(i);
@@ -52,15 +60,16 @@ impl Model {
             let replay = ctrl.begin_enable(id).unwrap();
             assert!(replay.is_empty());
             assert!(ctrl.finish_replay(id).unwrap().is_none());
-            dbs.insert(id, Database::new());
+            dbs.insert(id, Database::new(Arc::clone(&schema)));
         }
         let mut model = Model { ctrl, dbs };
-        model.write(Statement::CreateTable { table: "t".into() });
+        model.write(schema.create_table("t"));
         model
     }
 
     fn write(&mut self, stmt: Statement) {
-        if let Ok((_, targets)) = self.ctrl.route_write(stmt.clone()) {
+        let stmt = Arc::new(stmt);
+        if let Ok((_, targets)) = self.ctrl.route_write(Arc::clone(&stmt)) {
             for t in targets {
                 let _ = self.dbs.get_mut(&t).unwrap().execute(&stmt);
                 self.ctrl.note_complete(t);
@@ -91,14 +100,11 @@ impl Model {
 
     fn apply(&mut self, op: &Op) {
         match op {
-            Op::Write(v) => self.write(Statement::Insert {
-                table: "t".into(),
-                row: row(&[("a", Value::Int(*v))]),
-            }),
-            Op::Delete(k) => self.write(Statement::Delete {
-                table: "t".into(),
-                key: *k,
-            }),
+            Op::Write(v) => self.write(schema().insert("t", &[("a", Value::Int(*v))])),
+            Op::Delete(k) => {
+                let table = schema().must_table("t");
+                self.write(Statement::Delete { table, key: *k });
+            }
             Op::Disable(i) => {
                 let id = self.backend(*i);
                 // Never disable the last active backend (C-JDBC refuses
@@ -118,7 +124,7 @@ impl Model {
                     // re-initialized before re-enabling — exactly what
                     // the repair manager does by deploying a fresh
                     // server restored from the base dump.
-                    self.dbs.insert(id, Database::new());
+                    self.dbs.insert(id, Database::new(schema()));
                 }
             }
         }
