@@ -7,10 +7,13 @@
 //! `cargo bench --bench kernel` writes `BENCH_kernel.json` with the
 //! measured rates and the slab-vs-naive speedups.
 
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
 use jade_bench::microbench::{black_box, Runner};
-use jade_bench::{NaiveDatabase, NaivePsCpu};
+use jade_bench::{NaiveDatabase, NaiveLifecycle, NaivePsCpu};
 use jade_rubis::{
     dataset_statements, generate_plan, rubis_schema, sample_interaction, DatasetSpec, KeySpace,
+    WorkloadRamp,
 };
 use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu, SimRng};
 use jade_sim::{SimDuration, SimTime};
@@ -463,6 +466,44 @@ fn bench_db(r: &mut Runner) {
     }
 }
 
+// ---------------------------------------------------------------------
+// End-to-end: the slab-backed request lifecycle vs the naive stack.
+// ---------------------------------------------------------------------
+
+/// Fig. 5's peak client population.
+const E2E_FIG5_CLIENTS: u32 = 500;
+const E2E_FIG5_HORIZON: SimDuration = SimDuration::from_secs(30);
+/// An order of magnitude beyond the paper's scale.
+const E2E_5K_CLIENTS: u32 = 5_000;
+const E2E_5K_HORIZON: SimDuration = SimDuration::from_secs(10);
+
+fn e2e_cfg(clients: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(clients);
+    cfg.seed = 0xE2E;
+    cfg
+}
+
+/// Wall-clock to simulate one scenario (bootstrap included), full system
+/// vs the `NaiveLifecycle` pre-optimization stack at the same client
+/// count and horizon. The real system simulates strictly more (the web
+/// of management loops, probes, and metrics on top of the request path),
+/// so the reported speedups understate the lifecycle win.
+fn bench_e2e(r: &mut Runner) {
+    for (tag, clients, horizon) in [
+        ("fig5_500_clients", E2E_FIG5_CLIENTS, E2E_FIG5_HORIZON),
+        ("5k_clients", E2E_5K_CLIENTS, E2E_5K_HORIZON),
+    ] {
+        r.bench(&format!("e2e/system/{tag}"), move || {
+            let out = run_experiment(e2e_cfg(clients), horizon);
+            (out.events, out.metrics.counter("requests.completed"))
+        });
+        r.bench(&format!("e2e/naive/{tag}"), move || {
+            NaiveLifecycle::new(clients, 0xE2E).run(horizon)
+        });
+    }
+}
+
 /// A ping-pong app measuring raw engine dispatch throughput.
 struct PingPong {
     remaining: u64,
@@ -491,6 +532,7 @@ fn main() {
     bench_queues(&mut r);
     bench_ps_cpu(&mut r);
     bench_db(&mut r);
+    bench_e2e(&mut r);
     bench_engine(&mut r);
 
     let ratio = |fast: &str, slow: &str| -> f64 {
@@ -526,6 +568,8 @@ fn main() {
         &format!("db/rubis_mix_{DB_MIX_INTERACTIONS}"),
         &format!("db/naive/rubis_mix_{DB_MIX_INTERACTIONS}"),
     );
+    let e2e_fig5 = ratio("e2e/system/fig5_500_clients", "e2e/naive/fig5_500_clients");
+    let e2e_5k = ratio("e2e/system/5k_clients", "e2e/naive/5k_clients");
     println!("\nslab vs naive BinaryHeap+HashSet queue:");
     println!("  push_pop      {push_pop:.2}x");
     println!("  cancel_heavy  {cancel:.2}x");
@@ -539,6 +583,9 @@ fn main() {
     println!("  select_by_key_hot  {db_hot:.2}x");
     println!("  select_where       {db_where:.2}x");
     println!("  rubis_mix          {db_mix:.2}x");
+    println!("slab lifecycle vs naive end-to-end stack (same scenario):");
+    println!("  fig5_500_clients   {e2e_fig5:.2}x");
+    println!("  5k_clients         {e2e_5k:.2}x");
     r.write_json_with(
         "kernel",
         "BENCH_kernel.json",
@@ -553,6 +600,8 @@ fn main() {
             ("speedup_db_select_hot", db_hot),
             ("speedup_db_select_where", db_where),
             ("speedup_db_rubis_mix", db_mix),
+            ("speedup_e2e_fig5", e2e_fig5),
+            ("speedup_e2e_5k_clients", e2e_5k),
         ],
     );
 }

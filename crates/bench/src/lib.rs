@@ -27,7 +27,7 @@ pub mod microbench;
 pub mod reference;
 
 pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
-pub use reference::{NaiveDatabase, NaivePsCpu, NaiveQueryResult, NaiveRow};
+pub use reference::{NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveRow};
 
 use jade::experiment::ExperimentOutput;
 use jade::system::ManagedTier;

@@ -370,6 +370,377 @@ impl NaiveDatabase {
     }
 }
 
+// ---------------------------------------------------------------------
+// Naive end-to-end request lifecycle
+// ---------------------------------------------------------------------
+
+use jade_rubis::{
+    dataset_statements, rubis_schema, DatasetSpec, EmulatedClient, KeySpace, DEFAULT_THINK_TIME,
+};
+use jade_sim::{EfficiencyCurve as Curve, SimRng};
+use jade_tiers::InteractionPlan;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Events of the naive lifecycle simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LifecycleMsg {
+    Think(u32),
+    TomcatAccept { req: u64 },
+    DbDispatch { req: u64 },
+    CpuComplete { node: usize },
+    Response { req: u64 },
+}
+
+/// The pre-slab event queue: a `BinaryHeap` with payloads inline plus a
+/// `HashSet` of cancelled sequence numbers (the same baseline the
+/// `event_queue/naive/*` bench cases measure in isolation).
+struct LifecycleQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, LifecycleMsg)>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl LifecycleQueue {
+    fn new() -> Self {
+        LifecycleQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, msg: LifecycleMsg) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, seq, msg)));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, LifecycleMsg)> {
+        while let Some(Reverse((time, seq, msg))) = self.heap.pop() {
+            if !self.cancelled.remove(&seq) {
+                return Some((time, msg));
+            }
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LifecycleOwner {
+    ServletPre(u64),
+    ServletPost(u64),
+    Db(u64),
+    Routing,
+}
+
+struct LifecycleRequest {
+    client: u32,
+    plan: InteractionPlan,
+    tomcat: usize,
+    sql_idx: usize,
+    pending_db: usize,
+}
+
+const LC_TOMCATS: usize = 2;
+const LC_BACKENDS: usize = 2;
+const LC_WORKERS: usize = 150;
+const LC_QUEUE_LIMIT: usize = 512;
+const LC_PLB: usize = 0;
+const LC_CJDBC: usize = 1;
+const LC_TOMCAT0: usize = 2;
+const LC_BACKEND0: usize = LC_TOMCAT0 + LC_TOMCATS;
+const LC_CLIENT_DELAY: SimDuration = SimDuration::from_millis(1);
+const LC_HOP: SimDuration = SimDuration::from_micros(120);
+const LC_PLB_ROUTING: SimDuration = SimDuration::from_micros(100);
+const LC_CJDBC_ROUTING: SimDuration = SimDuration::from_micros(300);
+
+/// The pre-optimization request lifecycle, end to end: a closed-loop
+/// multi-tier simulation (clients → PLB → Tomcat workers → C-JDBC →
+/// MySQL backends) built entirely from the retained naive components.
+///
+/// Every structure is the one the optimized stack replaced: the
+/// `BinaryHeap` + cancel-set event queue, `BTreeMap`s keyed by request
+/// and job id, name-keyed accept queues and CPU timers, [`NaivePsCpu`]
+/// scan-on-advance processors, [`NaiveDatabase`] backends, a freshly
+/// allocated SQL plan per interaction, and a cloned `SqlOp` per dispatch.
+/// The `e2e/naive/*` bench cases measure this model against the real
+/// `jade::experiment::run_experiment` stack at equal client counts.
+pub struct NaiveLifecycle {
+    queue: LifecycleQueue,
+    cpus: Vec<NaivePsCpu>,
+    cpu_timers: BTreeMap<usize, u64>,
+    inflight: BTreeMap<u64, LifecycleRequest>,
+    job_owner: BTreeMap<u64, LifecycleOwner>,
+    accept_queues: BTreeMap<usize, VecDeque<u64>>,
+    active: Vec<usize>,
+    dbs: Vec<NaiveDatabase>,
+    schema: Arc<Schema>,
+    clients: Vec<EmulatedClient>,
+    ks: KeySpace,
+    next_request: u64,
+    next_job: u64,
+    rr_tomcat: usize,
+    rr_backend: usize,
+    completed: u64,
+    events: u64,
+    now: SimTime,
+}
+
+impl NaiveLifecycle {
+    /// Builds the system: loads the RUBiS dump into every backend and
+    /// staggers the initial think of each emulated client, exactly like
+    /// the real bootstrap.
+    pub fn new(clients: u32, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let schema = rubis_schema();
+        let spec = DatasetSpec::small();
+        let dump = dataset_statements(spec, &mut rng);
+        let dbs: Vec<NaiveDatabase> = (0..LC_BACKENDS)
+            .map(|_| {
+                let mut db = NaiveDatabase::new();
+                for s in &dump {
+                    let _ = db.execute(&schema, s);
+                }
+                db
+            })
+            .collect();
+        let mut sim = NaiveLifecycle {
+            queue: LifecycleQueue::new(),
+            cpus: vec![NaivePsCpu::new(1.0, Curve::Ideal); LC_BACKEND0 + LC_BACKENDS],
+            cpu_timers: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            job_owner: BTreeMap::new(),
+            accept_queues: BTreeMap::new(),
+            active: vec![0; LC_TOMCATS],
+            dbs,
+            schema,
+            clients: Vec::with_capacity(clients as usize),
+            ks: spec.into(),
+            next_request: 0,
+            next_job: 0,
+            rr_tomcat: 0,
+            rr_backend: 0,
+            completed: 0,
+            events: 0,
+            now: SimTime::ZERO,
+        };
+        for i in 0..clients {
+            sim.clients
+                .push(EmulatedClient::new(i, rng.fork(), DEFAULT_THINK_TIME));
+            let stagger = SimDuration::from_secs_f64(rng.f64() * DEFAULT_THINK_TIME.as_secs_f64());
+            sim.queue
+                .push(SimTime::ZERO + stagger, LifecycleMsg::Think(i));
+        }
+        sim
+    }
+
+    /// Runs until `horizon`; returns `(completed requests, events)`.
+    pub fn run(mut self, horizon: SimDuration) -> (u64, u64) {
+        let end = SimTime::ZERO + horizon;
+        while let Some((t, msg)) = self.queue.pop() {
+            if t > end {
+                break;
+            }
+            self.now = t;
+            self.events += 1;
+            self.dispatch(msg);
+        }
+        (self.completed, self.events)
+    }
+
+    fn dispatch(&mut self, msg: LifecycleMsg) {
+        match msg {
+            LifecycleMsg::Think(c) => self.on_think(c),
+            LifecycleMsg::TomcatAccept { req } => self.on_tomcat_accept(req),
+            LifecycleMsg::DbDispatch { req } => self.on_db_dispatch(req),
+            LifecycleMsg::CpuComplete { node } => self.on_cpu_complete(node),
+            LifecycleMsg::Response { req } => self.on_response(req),
+        }
+    }
+
+    fn submit_job(&mut self, node: usize, owner: LifecycleOwner, demand: SimDuration) {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.job_owner.insert(id, owner);
+        self.cpus[node].submit(self.now, JobId(id), demand);
+        self.rearm(node);
+    }
+
+    fn rearm(&mut self, node: usize) {
+        if let Some(tok) = self.cpu_timers.remove(&node) {
+            self.queue.cancel(tok);
+        }
+        if let Some(t) = self.cpus[node].next_completion(self.now) {
+            let tok = self.queue.push(t, LifecycleMsg::CpuComplete { node });
+            self.cpu_timers.insert(node, tok);
+        }
+    }
+
+    fn on_think(&mut self, c: u32) {
+        // The historical allocation profile: a fresh `Vec<SqlOp>` per plan.
+        let plan = self.clients[c as usize].next_interaction(&mut self.ks);
+        let req = self.next_request;
+        self.next_request += 1;
+        let tomcat = self.rr_tomcat % LC_TOMCATS;
+        self.rr_tomcat += 1;
+        self.inflight.insert(
+            req,
+            LifecycleRequest {
+                client: c,
+                plan,
+                tomcat,
+                sql_idx: 0,
+                pending_db: 0,
+            },
+        );
+        self.submit_job(LC_PLB, LifecycleOwner::Routing, LC_PLB_ROUTING);
+        self.queue.push(
+            self.now + LC_CLIENT_DELAY + LC_HOP,
+            LifecycleMsg::TomcatAccept { req },
+        );
+    }
+
+    fn on_tomcat_accept(&mut self, req: u64) {
+        let Some(state) = self.inflight.get(&req) else {
+            return;
+        };
+        let tomcat = state.tomcat;
+        if self.active[tomcat] < LC_WORKERS {
+            self.start_servlet(req);
+        } else {
+            let q = self.accept_queues.entry(tomcat).or_default();
+            if q.len() < LC_QUEUE_LIMIT {
+                q.push_back(req);
+            } else {
+                self.fail(req); // connection refused
+            }
+        }
+    }
+
+    fn start_servlet(&mut self, req: u64) {
+        let (tomcat, demand) = {
+            let s = self.inflight.get(&req).expect("checked in caller");
+            (s.tomcat, s.plan.pre_demand)
+        };
+        self.active[tomcat] += 1;
+        self.submit_job(LC_TOMCAT0 + tomcat, LifecycleOwner::ServletPre(req), demand);
+    }
+
+    fn serve_accept_queue(&mut self, tomcat: usize) {
+        loop {
+            let next = match self.accept_queues.get_mut(&tomcat) {
+                Some(q) => q.pop_front(),
+                None => return,
+            };
+            let Some(req) = next else { return };
+            if self.inflight.contains_key(&req) {
+                self.start_servlet(req);
+                return;
+            }
+        }
+    }
+
+    fn on_db_dispatch(&mut self, req: u64) {
+        let Some(state) = self.inflight.get(&req) else {
+            return;
+        };
+        if state.sql_idx >= state.plan.sql.len() {
+            let (tomcat, demand) = (state.tomcat, state.plan.post_demand);
+            self.submit_job(
+                LC_TOMCAT0 + tomcat,
+                LifecycleOwner::ServletPost(req),
+                demand,
+            );
+            return;
+        }
+        // The historical per-dispatch clone of the whole SqlOp.
+        let op = state.plan.sql[state.sql_idx].clone();
+        self.submit_job(LC_CJDBC, LifecycleOwner::Routing, LC_CJDBC_ROUTING);
+        if op.is_write() {
+            if let Some(st) = self.inflight.get_mut(&req) {
+                st.pending_db = LC_BACKENDS;
+            }
+            for b in 0..LC_BACKENDS {
+                let _ = self.dbs[b].execute(&self.schema, &op.statement);
+                self.submit_job(LC_BACKEND0 + b, LifecycleOwner::Db(req), op.demand);
+            }
+        } else {
+            let b = self.rr_backend % LC_BACKENDS;
+            self.rr_backend += 1;
+            if let Some(st) = self.inflight.get_mut(&req) {
+                st.pending_db = 1;
+            }
+            let _ = self.dbs[b].execute(&self.schema, &op.statement);
+            self.submit_job(LC_BACKEND0 + b, LifecycleOwner::Db(req), op.demand);
+        }
+    }
+
+    fn on_cpu_complete(&mut self, node: usize) {
+        self.cpu_timers.remove(&node);
+        let done = self.cpus[node].collect_completions(self.now);
+        for job in done {
+            let Some(owner) = self.job_owner.remove(&job.0) else {
+                continue;
+            };
+            match owner {
+                LifecycleOwner::ServletPre(req) => {
+                    self.queue
+                        .push(self.now + LC_HOP, LifecycleMsg::DbDispatch { req });
+                }
+                LifecycleOwner::Db(req) => {
+                    let Some(st) = self.inflight.get_mut(&req) else {
+                        continue;
+                    };
+                    st.pending_db = st.pending_db.saturating_sub(1);
+                    if st.pending_db == 0 {
+                        st.sql_idx += 1;
+                        self.queue
+                            .push(self.now + LC_HOP, LifecycleMsg::DbDispatch { req });
+                    }
+                }
+                LifecycleOwner::ServletPost(req) => {
+                    let tomcat = self.inflight[&req].tomcat;
+                    self.active[tomcat] = self.active[tomcat].saturating_sub(1);
+                    self.serve_accept_queue(tomcat);
+                    self.queue
+                        .push(self.now + LC_CLIENT_DELAY, LifecycleMsg::Response { req });
+                }
+                LifecycleOwner::Routing => {}
+            }
+        }
+        self.rearm(node);
+    }
+
+    fn on_response(&mut self, req: u64) {
+        let Some(state) = self.inflight.remove(&req) else {
+            return;
+        };
+        self.completed += 1;
+        let c = state.client as usize;
+        self.clients[c].note_completed();
+        let think = self.clients[c].think_time();
+        self.queue
+            .push(self.now + think, LifecycleMsg::Think(state.client));
+    }
+
+    fn fail(&mut self, req: u64) {
+        let Some(state) = self.inflight.remove(&req) else {
+            return;
+        };
+        let c = state.client as usize;
+        let think = self.clients[c].think_time();
+        self.queue
+            .push(self.now + think, LifecycleMsg::Think(state.client));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +750,16 @@ mod tests {
     }
     fn d(ms: u64) -> SimDuration {
         SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn naive_lifecycle_completes_requests() {
+        let (completed, events) = NaiveLifecycle::new(40, 7).run(SimDuration::from_secs(30));
+        assert!(completed > 50, "completed {completed}");
+        assert!(events > completed, "events {events}");
+        // Deterministic for a fixed seed.
+        let again = NaiveLifecycle::new(40, 7).run(SimDuration::from_secs(30));
+        assert_eq!((completed, events), again);
     }
 
     #[test]

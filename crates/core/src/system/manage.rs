@@ -5,8 +5,8 @@ use super::msg::{DeployPhase, JobOwner, ManagedTier, Msg, PendingDeploy};
 use super::J2eeApp;
 use crate::control::Decision;
 use jade_cluster::NodeId;
-use jade_sim::{Addr, Ctx, SimDuration};
-use jade_tiers::{LegacyEvent, ServerId, Tier};
+use jade_sim::{Addr, Ctx, SimDuration, SlabKey};
+use jade_tiers::{LegacyEvent, RequestId, ServerId, Tier};
 
 /// Extra installation latency for restoring the database dump onto a new
 /// MySQL replica.
@@ -552,16 +552,19 @@ impl J2eeApp {
     /// Fails every in-flight request processed by `server` (queued,
     /// executing, or mid-SQL).
     pub(crate) fn fail_requests_on_server(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
-        let victims: Vec<_> = self
+        // Slab iteration is slot order; sort by the creation-order stamp
+        // so victims fail oldest-first like the old ordered-map scan.
+        let mut victims: Vec<(u64, RequestId)> = self
             .inflight
             .iter()
             .filter(|(_, s)| s.tomcat == Some(server) || s.apache == Some(server))
-            .map(|(&r, _)| r)
+            .map(|(k, s)| (s.seq, RequestId(k.raw())))
             .collect();
-        for req in victims {
+        victims.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, req) in victims {
             self.fail_request(ctx, req);
         }
-        self.accept_queues.remove(&server);
+        self.clear_accept_queue(server);
     }
 
     /// Aborts all CPU jobs on a node, failing the requests they belonged
@@ -571,11 +574,9 @@ impl J2eeApp {
             Ok(n) => n.cpu.abort_all(ctx.now()),
             Err(_) => Vec::new(),
         };
-        if let Some(tok) = self.cpu_timers.remove(&node) {
-            ctx.cancel(tok);
-        }
+        self.cancel_cpu_timer(ctx, node);
         for job in aborted {
-            if let Some(owner) = self.job_owner.remove(&job) {
+            if let Some(owner) = self.job_owner.remove(SlabKey::from_raw(job.0)) {
                 match owner {
                     JobOwner::ApacheServe(req)
                     | JobOwner::ServletPre(req)
@@ -595,11 +596,9 @@ impl J2eeApp {
     /// Crashes a node: every hosted server fails, every job aborts.
     pub(crate) fn on_crash_node(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
         let aborted = self.legacy.crash_node(node, ctx.now());
-        if let Some(tok) = self.cpu_timers.remove(&node) {
-            ctx.cancel(tok);
-        }
+        self.cancel_cpu_timer(ctx, node);
         for job in aborted {
-            if let Some(owner) = self.job_owner.remove(&job) {
+            if let Some(owner) = self.job_owner.remove(SlabKey::from_raw(job.0)) {
                 match owner {
                     JobOwner::ApacheServe(req)
                     | JobOwner::ServletPre(req)
@@ -718,7 +717,7 @@ impl J2eeApp {
                     .registry
                     .unbind(&mut self.legacy, apache_comp, "ajp-itf", Some(comp));
             }
-            self.accept_queues.remove(&server);
+            self.clear_accept_queue(server);
         }
         // Destroy the broken replica.
         let _ = self.registry.stop(&mut self.legacy, comp);

@@ -20,9 +20,9 @@ use jade_cluster::SoftwareRepository;
 use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
 use jade_fractal::{ComponentId, InterfaceDecl, Registry};
 use jade_rubis::{dataset_statements, rubis_schema, EmulatedClient, KeySpace, StatsCollector};
-use jade_sim::{App, Ctx, EventToken, JobId, SimDuration, SimTime};
+use jade_sim::{App, Ctx, EventToken, GenSlab, JobId, SimDuration, SimTime, SlabKey};
 use jade_tiers::wrappers::{BalancerWrapper, CjdbcWrapper, MysqlWrapper, TomcatWrapper};
-use jade_tiers::{LegacyEvent, LegacyLayer, RequestId, ServerId};
+use jade_tiers::{LegacyEvent, LegacyLayer, RequestId, ServerId, SqlOp};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One emulated client and its scheduling state.
@@ -90,16 +90,33 @@ pub struct J2eeApp {
     pub(crate) ks: KeySpace,
     pub(crate) transitions: jade_rubis::TransitionMatrix,
     pub(crate) mix: jade_rubis::InteractionMix,
-    pub(crate) inflight: BTreeMap<RequestId, RequestState>,
-    pub(crate) accept_queues: BTreeMap<ServerId, VecDeque<RequestId>>,
-    pub(crate) next_request: u64,
+    /// In-flight requests in a generational slab: the public `RequestId`
+    /// is the packed `{generation, slot}` key, so every per-event lookup
+    /// is O(1) array indexing and a stale id (e.g. an abandon timer that
+    /// outlived its request) provably misses instead of hitting whatever
+    /// request reused the slot.
+    pub(crate) inflight: GenSlab<RequestState>,
+    /// Per-Tomcat accept queues, indexed densely by `ServerId.0` (server
+    /// ids are interned sequentially at create-server time and never
+    /// recycled — see `LegacyLayer::server_index_bound`).
+    pub(crate) accept_queues: Vec<VecDeque<RequestId>>,
+    /// Creation-order stamp for the next request (slab slots recycle, so
+    /// ordering needs its own counter).
+    pub(crate) next_request_seq: u64,
 
-    pub(crate) next_job: u64,
-    pub(crate) job_owner: BTreeMap<JobId, JobOwner>,
-    pub(crate) cpu_timers: BTreeMap<NodeId, EventToken>,
+    /// CPU-job owners in a generational slab keyed by the packed `JobId`.
+    pub(crate) job_owner: GenSlab<JobOwner>,
+    /// Pending `CpuComplete` timer per node, indexed densely by
+    /// `NodeId.0` (the node pool is fixed at configuration time).
+    pub(crate) cpu_timers: Vec<Option<EventToken>>,
     /// Recycled buffer for draining CPU completions on each timer fire
     /// (the hottest per-event path), so the drain never allocates.
     pub(crate) completion_scratch: Vec<JobId>,
+    /// Recycled `plan.sql` allocations of retired requests, reused by the
+    /// workload generator for new plans.
+    pub(crate) sql_recycle: Vec<Vec<SqlOp>>,
+    /// Recycled per-request job lists of retired requests.
+    pub(crate) jobs_recycle: Vec<Vec<JobId>>,
 
     pub(crate) inhibition: InhibitionWindow,
     /// The policy-arbitration manager, when enabled (paper §7).
@@ -261,13 +278,14 @@ impl J2eeApp {
             } else {
                 jade_rubis::InteractionMix::bidding()
             },
-            inflight: BTreeMap::new(),
-            accept_queues: BTreeMap::new(),
-            next_request: 0,
-            next_job: 0,
-            job_owner: BTreeMap::new(),
-            cpu_timers: BTreeMap::new(),
+            inflight: GenSlab::new(),
+            accept_queues: Vec::new(),
+            next_request_seq: 0,
+            job_owner: GenSlab::new(),
+            cpu_timers: Vec::new(),
             completion_scratch: Vec::new(),
+            sql_recycle: Vec::new(),
+            jobs_recycle: Vec::new(),
             inhibition,
             arbitrator: cfg_arbitration.then(crate::arbitration::Arbitrator::new),
             app_busy: false,
@@ -295,6 +313,68 @@ impl J2eeApp {
     }
 
     // ------------------------------------------------------------------
+    // Request / job slab plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn request(&self, req: RequestId) -> Option<&RequestState> {
+        self.inflight.get(SlabKey::from_raw(req.0))
+    }
+
+    pub(crate) fn request_mut(&mut self, req: RequestId) -> Option<&mut RequestState> {
+        self.inflight.get_mut(SlabKey::from_raw(req.0))
+    }
+
+    pub(crate) fn request_live(&self, req: RequestId) -> bool {
+        self.inflight.contains(SlabKey::from_raw(req.0))
+    }
+
+    pub(crate) fn remove_request(&mut self, req: RequestId) -> Option<RequestState> {
+        self.inflight.remove(SlabKey::from_raw(req.0))
+    }
+
+    /// Returns a retired request's buffers to the recycling pools.
+    pub(crate) fn recycle_request(&mut self, state: RequestState) {
+        let RequestState { plan, mut jobs, .. } = state;
+        self.recycle_plan(plan);
+        jobs.clear();
+        self.jobs_recycle.push(jobs);
+    }
+
+    /// Returns a dropped plan's SQL buffer to the recycling pool.
+    pub(crate) fn recycle_plan(&mut self, plan: jade_tiers::InteractionPlan) {
+        let mut sql = plan.sql;
+        sql.clear();
+        self.sql_recycle.push(sql);
+    }
+
+    /// The accept queue of `server`, growing the dense table on demand.
+    pub(crate) fn accept_queue_mut(&mut self, server: ServerId) -> &mut VecDeque<RequestId> {
+        let idx = server.0 as usize;
+        if idx >= self.accept_queues.len() {
+            self.accept_queues.resize_with(idx + 1, VecDeque::new);
+        }
+        &mut self.accept_queues[idx]
+    }
+
+    /// Drops any queued requests of `server` without growing the table.
+    pub(crate) fn clear_accept_queue(&mut self, server: ServerId) {
+        if let Some(q) = self.accept_queues.get_mut(server.0 as usize) {
+            q.clear();
+        }
+    }
+
+    /// Cancels and clears the pending CPU timer of `node`, if any.
+    pub(crate) fn cancel_cpu_timer(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
+        if let Some(tok) = self
+            .cpu_timers
+            .get_mut(node.0 as usize)
+            .and_then(Option::take)
+        {
+            ctx.cancel(tok);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // CPU job plumbing
     // ------------------------------------------------------------------
 
@@ -305,9 +385,12 @@ impl J2eeApp {
         owner: JobOwner,
         demand: SimDuration,
     ) {
-        let id = JobId(self.next_job);
-        self.next_job += 1;
-        self.job_owner.insert(id, owner);
+        let id = JobId(self.job_owner.insert(owner).raw());
+        if let Some(req) = owner.request() {
+            if let Some(state) = self.inflight.get_mut(SlabKey::from_raw(req.0)) {
+                state.jobs.push(id);
+            }
+        }
         if let Ok(n) = self.legacy.cluster.node_mut(node) {
             n.cpu.submit(ctx.now(), id, demand);
         }
@@ -315,7 +398,11 @@ impl J2eeApp {
     }
 
     pub(crate) fn rearm_cpu(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
-        if let Some(tok) = self.cpu_timers.remove(&node) {
+        let slot = node.0 as usize;
+        if slot >= self.cpu_timers.len() {
+            self.cpu_timers.resize(slot + 1, None);
+        }
+        if let Some(tok) = self.cpu_timers[slot].take() {
             ctx.cancel(tok);
         }
         let next = self
@@ -326,7 +413,7 @@ impl J2eeApp {
             .and_then(|n| n.cpu.next_completion(ctx.now()));
         if let Some(t) = next {
             let tok = ctx.send_at(t, jade_sim::Addr::ROOT, Msg::CpuComplete(node));
-            self.cpu_timers.insert(node, tok);
+            self.cpu_timers[slot] = Some(tok);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Messages and per-request state of the simulated J2EE system.
 
 use jade_cluster::NodeId;
-use jade_sim::SimTime;
+use jade_sim::{EventToken, JobId, SimTime};
 use jade_tiers::{InteractionPlan, LegacyEvent, RequestId, ServerId};
 
 /// Events routed through the discrete-event engine.
@@ -113,6 +113,19 @@ pub enum JobOwner {
     Routing,
 }
 
+impl JobOwner {
+    /// The request the job belongs to, when it belongs to one.
+    pub fn request(self) -> Option<RequestId> {
+        match self {
+            JobOwner::ApacheServe(req) | JobOwner::ServletPre(req) | JobOwner::ServletPost(req) => {
+                Some(req)
+            }
+            JobOwner::DbRead { req, .. } | JobOwner::DbWrite { req, .. } => Some(req),
+            JobOwner::Daemon | JobOwner::Routing => None,
+        }
+    }
+}
+
 /// Progress of one in-flight request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestPhase {
@@ -130,11 +143,15 @@ pub enum RequestPhase {
     Responding,
 }
 
-/// Per-request bookkeeping.
+/// Per-request bookkeeping, stored in the in-flight slab.
 #[derive(Debug)]
 pub struct RequestState {
     /// Issuing client.
     pub client: u32,
+    /// Creation-order stamp, monotonic across the run. Slab slots are
+    /// recycled, so bulk-failure paths sort victims by this to preserve
+    /// the old map's creation-order iteration.
+    pub seq: u64,
     /// Issue time (latency reference).
     pub started: SimTime,
     /// The interaction's work plan.
@@ -149,6 +166,13 @@ pub struct RequestState {
     pub sql_idx: usize,
     /// Outstanding broadcast-write jobs.
     pub pending_db: usize,
+    /// Every CPU job submitted for this request, in submission order.
+    /// Generational `JobId`s go stale when a job completes, so failure
+    /// paths simply skip ids whose slab slot no longer matches.
+    pub jobs: Vec<JobId>,
+    /// The pending `ClientAbandon` patience timer, cancelled on
+    /// completion or failure.
+    pub abandon: Option<EventToken>,
 }
 
 /// A staged deployment in progress (scale-up workflow).

@@ -4,7 +4,7 @@
 use super::msg::{JobOwner, Msg, RequestPhase, RequestState};
 use super::{ClientSlot, J2eeApp};
 use jade_rubis::EmulatedClient;
-use jade_sim::{Addr, Ctx, SimDuration};
+use jade_sim::{Addr, Ctx, SimDuration, SlabKey};
 use jade_tiers::{RequestId, ServerId};
 
 /// Approximate HTTP request size on the wire.
@@ -85,16 +85,20 @@ impl J2eeApp {
     }
 
     pub(crate) fn on_client_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
+        // Reuse a retired request's SQL buffer for the new plan.
+        let sql_buf = self.sql_recycle.pop().unwrap_or_default();
         let slot = &mut self.clients[client as usize];
         if !slot.active {
             slot.busy = false;
+            self.sql_recycle.push(sql_buf);
             return;
         }
         let plan = if self.cfg.markov_navigation {
             slot.client
-                .next_interaction_markov(&self.transitions, &mut self.ks)
+                .next_interaction_markov_into(&self.transitions, &mut self.ks, sql_buf)
         } else {
-            slot.client.next_interaction_in_mix(&self.mix, &mut self.ks)
+            slot.client
+                .next_interaction_in_mix_into(&self.mix, &mut self.ks, sql_buf)
         };
 
         // With a web tier deployed, every request enters through the L4
@@ -108,13 +112,14 @@ impl J2eeApp {
             let apache = match apache {
                 Ok(a) => a,
                 Err(_) => {
+                    self.recycle_plan(plan);
                     self.stats.record_failure(ctx.now());
                     self.schedule_think(ctx, client);
                     return;
                 }
             };
             let req = self.new_request(ctx, client, plan);
-            if let Some(st) = self.inflight.get_mut(&req) {
+            if let Some(st) = self.request_mut(req) {
                 st.apache = Some(apache);
                 st.phase = RequestPhase::WebServe;
             }
@@ -124,17 +129,22 @@ impl J2eeApp {
         }
 
         let Some((plb_server, _)) = self.plb else {
+            self.recycle_plan(plan);
             self.stats.record_failure(ctx.now());
             self.schedule_think(ctx, client);
             return;
         };
-        let tomcat = {
+        // One routing pass resolves the worker plus both endpoint nodes,
+        // instead of re-probing the server table for each.
+        let routed = {
             let rng = ctx.rng();
-            self.legacy.balancer_route_running(plb_server, rng)
+            self.legacy
+                .balancer_route_running_with_nodes(plb_server, rng)
         };
-        let tomcat = match tomcat {
-            Ok(t) => t,
+        let (tomcat, plb_node, tomcat_node) = match routed {
+            Ok(r) => r,
             Err(_) => {
+                self.recycle_plan(plan);
                 self.stats.record_failure(ctx.now());
                 self.schedule_think(ctx, client);
                 return;
@@ -142,16 +152,6 @@ impl J2eeApp {
         };
         let req = self.new_request(ctx, client, plan);
         // Client → front-end → replica network path.
-        let plb_node = self
-            .legacy
-            .server(plb_server)
-            .map(|s| s.process().node)
-            .expect("PLB exists");
-        let tomcat_node = self
-            .legacy
-            .server(tomcat)
-            .map(|s| s.process().node)
-            .expect("routed worker exists");
         let delay = self.legacy.net.client_delay(REQUEST_BYTES)
             + self.legacy.net.delay(plb_node, tomcat_node, REQUEST_BYTES);
         // The front-end spends a little CPU forwarding the connection
@@ -171,36 +171,46 @@ impl J2eeApp {
         client: u32,
         plan: jade_tiers::InteractionPlan,
     ) -> RequestId {
-        let req = RequestId(self.next_request);
-        self.next_request += 1;
-        self.inflight.insert(
-            req,
-            RequestState {
-                client,
-                started: ctx.now(),
-                plan,
-                apache: None,
-                tomcat: None,
-                phase: RequestPhase::Queued,
-                sql_idx: 0,
-                pending_db: 0,
-            },
-        );
-        // Impatient clients abandon requests that take too long.
+        let seq = self.next_request_seq;
+        self.next_request_seq += 1;
+        let jobs = self.jobs_recycle.pop().unwrap_or_default();
+        let key = self.inflight.insert(RequestState {
+            client,
+            seq,
+            started: ctx.now(),
+            plan,
+            apache: None,
+            tomcat: None,
+            phase: RequestPhase::Queued,
+            sql_idx: 0,
+            pending_db: 0,
+            jobs,
+            abandon: None,
+        });
+        let req = RequestId(key.raw());
+        // Impatient clients abandon requests that take too long. The
+        // timer token is kept in the slot so completion can cancel it.
         if let Some(patience) = self.cfg.client_patience {
-            ctx.send_after(patience, Addr::ROOT, Msg::ClientAbandon { req });
+            let tok = ctx.send_after(patience, Addr::ROOT, Msg::ClientAbandon { req });
+            if let Some(state) = self.inflight.get_mut(key) {
+                state.abandon = Some(tok);
+            }
         }
         req
     }
 
     /// The client's patience ran out: abandon the request if it is still
-    /// in flight.
+    /// in flight. A stale id (the request completed and its slot was
+    /// reused) misses the generation check and is ignored.
     pub(crate) fn on_client_abandon(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        if self.inflight.contains_key(&req) {
-            let ids = self.hot_ids(ctx);
-            ctx.metrics().incr_id(ids.abandoned, 1);
-            self.fail_request(ctx, req);
-        }
+        let Some(state) = self.request_mut(req) else {
+            return;
+        };
+        // This timer just fired; don't cancel it again in fail_request.
+        state.abandon = None;
+        let ids = self.hot_ids(ctx);
+        ctx.metrics().incr_id(ids.abandoned, 1);
+        self.fail_request(ctx, req);
     }
 
     /// An HTTP request reached an Apache: charge the (small) web-tier CPU
@@ -212,7 +222,7 @@ impl J2eeApp {
         req: RequestId,
         apache: ServerId,
     ) {
-        if !self.inflight.contains_key(&req) {
+        if !self.request_live(req) {
             return;
         }
         let (running, node, demand) = match self.legacy.server(apache) {
@@ -232,7 +242,7 @@ impl J2eeApp {
 
     /// The Apache job finished: respond (static) or forward (dynamic).
     pub(crate) fn on_apache_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        let Some(state) = self.inflight.get_mut(&req) else {
+        let Some(state) = self.request_mut(req) else {
             return;
         };
         // Static documents never leave the web tier (paper §2: "the web
@@ -278,7 +288,7 @@ impl J2eeApp {
         req: RequestId,
         tomcat: ServerId,
     ) {
-        let Some(state) = self.inflight.get_mut(&req) else {
+        let Some(state) = self.request_mut(req) else {
             return;
         };
         state.tomcat = Some(tomcat);
@@ -291,26 +301,27 @@ impl J2eeApp {
             self.fail_request(ctx, req);
             return;
         }
-        let (has_capacity, queue_len) = {
-            let t = self.legacy.tomcat_mut(tomcat).expect("tomcat exists");
-            (
-                t.has_capacity(),
-                self.accept_queues.get(&tomcat).map_or(0, |q| q.len()),
-            )
-        };
+        let has_capacity = self
+            .legacy
+            .tomcat_mut(tomcat)
+            .expect("tomcat exists")
+            .has_capacity();
         if has_capacity {
             self.start_servlet(ctx, req);
-        } else if queue_len < ACCEPT_QUEUE_LIMIT {
-            self.accept_queues.entry(tomcat).or_default().push_back(req);
         } else {
-            self.fail_request(ctx, req); // connection refused
+            let queue = self.accept_queue_mut(tomcat);
+            if queue.len() < ACCEPT_QUEUE_LIMIT {
+                queue.push_back(req);
+            } else {
+                self.fail_request(ctx, req); // connection refused
+            }
         }
     }
 
     /// Allocates a worker thread and starts the pre-query servlet work.
     fn start_servlet(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let (tomcat, demand) = {
-            let state = self.inflight.get_mut(&req).expect("checked in caller");
+            let state = self.request_mut(req).expect("checked in caller");
             state.phase = RequestPhase::ServletPre;
             (
                 state.tomcat.expect("accepted request has a tomcat"),
@@ -328,12 +339,12 @@ impl J2eeApp {
     /// When a worker thread frees up, admit the next queued request.
     pub(crate) fn serve_accept_queue(&mut self, ctx: &mut Ctx<'_, Msg>, tomcat: ServerId) {
         loop {
-            let next = match self.accept_queues.get_mut(&tomcat) {
+            let next = match self.accept_queues.get_mut(tomcat.0 as usize) {
                 Some(q) => q.pop_front(),
                 None => return,
             };
             let Some(req) = next else { return };
-            if self.inflight.contains_key(&req) {
+            if self.request_live(req) {
                 self.start_servlet(ctx, req);
                 return;
             }
@@ -348,7 +359,7 @@ impl J2eeApp {
     /// Dispatches the request's next SQL op to C-JDBC — or, when the plan
     /// is exhausted, starts the post-query page generation.
     pub(crate) fn on_db_dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        let Some(state) = self.inflight.get(&req) else {
+        let Some(state) = self.request(req) else {
             return;
         };
         let tomcat = state.tomcat.expect("SQL phase implies a tomcat");
@@ -361,17 +372,17 @@ impl J2eeApp {
                     return;
                 }
             };
-            if let Some(st) = self.inflight.get_mut(&req) {
+            if let Some(st) = self.request_mut(req) {
                 st.phase = RequestPhase::ServletPost;
             }
             self.submit_job(ctx, node, JobOwner::ServletPost(req), demand);
             return;
         }
+        let is_write = state.plan.sql[state.sql_idx].is_write();
         let Some((cjdbc, _)) = self.cjdbc else {
             self.fail_request(ctx, req);
             return;
         };
-        let op = state.plan.sql[state.sql_idx].clone();
         // C-JDBC burns CPU on its own node routing every query (the paper
         // gave the database load balancer a dedicated machine).
         if let Ok(jade_tiers::LegacyServer::Cjdbc {
@@ -383,10 +394,20 @@ impl J2eeApp {
             let (cj_node, demand) = (process.node, *routing_demand);
             self.submit_job(ctx, cj_node, JobOwner::Routing, demand);
         }
-        if op.is_write() {
-            match self.legacy.cjdbc_execute_write(cjdbc, &op) {
+        // The op is executed by reference straight out of the slab slot;
+        // `inflight` and `legacy` are disjoint fields, so no clone.
+        if is_write {
+            let executed = {
+                let state = self
+                    .inflight
+                    .get(SlabKey::from_raw(req.0))
+                    .expect("request checked live above");
+                let op = &state.plan.sql[state.sql_idx];
+                self.legacy.cjdbc_execute_write(cjdbc, op)
+            };
+            match executed {
                 Ok(targets) => {
-                    if let Some(st) = self.inflight.get_mut(&req) {
+                    if let Some(st) = self.request_mut(req) {
                         st.pending_db = targets.len();
                     }
                     for (backend, demand) in targets {
@@ -411,12 +432,17 @@ impl J2eeApp {
             }
         } else {
             let routed = {
+                let state = self
+                    .inflight
+                    .get(SlabKey::from_raw(req.0))
+                    .expect("request checked live above");
+                let op = &state.plan.sql[state.sql_idx];
                 let rng = ctx.rng();
-                self.legacy.cjdbc_execute_read(cjdbc, &op, rng)
+                self.legacy.cjdbc_execute_read(cjdbc, op, rng)
             };
             match routed {
                 Ok((backend, demand)) => {
-                    if let Some(st) = self.inflight.get_mut(&req) {
+                    if let Some(st) = self.request_mut(req) {
                         st.pending_db = 1;
                     }
                     let node = self
@@ -450,7 +476,7 @@ impl J2eeApp {
         backend: ServerId,
     ) {
         self.legacy.cjdbc_note_complete(cjdbc, backend);
-        let Some(state) = self.inflight.get_mut(&req) else {
+        let Some(state) = self.request_mut(req) else {
             return;
         };
         state.pending_db = state.pending_db.saturating_sub(1);
@@ -471,7 +497,7 @@ impl J2eeApp {
     /// The post-query servlet work finished: free the worker thread and
     /// ship the response.
     pub(crate) fn on_servlet_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        let Some(state) = self.inflight.get_mut(&req) else {
+        let Some(state) = self.request_mut(req) else {
             return;
         };
         state.phase = RequestPhase::Responding;
@@ -491,9 +517,13 @@ impl J2eeApp {
     }
 
     pub(crate) fn on_response(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        let Some(state) = self.inflight.remove(&req) else {
+        let Some(state) = self.remove_request(req) else {
             return;
         };
+        // The client answered; its patience timer is moot.
+        if let Some(tok) = state.abandon {
+            ctx.cancel(tok);
+        }
         let latency = ctx.now() - state.started;
         self.stats
             .record_completion_of(ctx.now(), latency, state.plan.name);
@@ -502,30 +532,27 @@ impl J2eeApp {
         ctx.metrics().incr_id(ids.completed, 1);
         let client = state.client;
         self.clients[client as usize].client.note_completed();
+        self.recycle_request(state);
         self.schedule_think(ctx, client);
     }
 
     /// Fails a request: aborts its CPU jobs, releases its worker thread,
     /// notifies statistics and sends the client back to thinking.
     pub(crate) fn fail_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
-        let Some(state) = self.inflight.remove(&req) else {
+        let Some(mut state) = self.remove_request(req) else {
             return;
         };
-        // Abort any CPU jobs owned by this request.
-        let owned: Vec<(jade_sim::JobId, JobOwner)> = self
-            .job_owner
-            .iter()
-            .filter(|(_, o)| match o {
-                JobOwner::ApacheServe(r) | JobOwner::ServletPre(r) | JobOwner::ServletPost(r) => {
-                    *r == req
-                }
-                JobOwner::DbRead { req: r, .. } | JobOwner::DbWrite { req: r, .. } => *r == req,
-                JobOwner::Daemon | JobOwner::Routing => false,
-            })
-            .map(|(&j, &o)| (j, o))
-            .collect();
-        for (job, owner) in owned {
-            self.job_owner.remove(&job);
+        if let Some(tok) = state.abandon.take() {
+            ctx.cancel(tok);
+        }
+        // Abort any CPU job still owned by this request. `state.jobs` is
+        // in submission order; completed jobs left stale generational ids
+        // behind, which the slab remove simply rejects.
+        let mut jobs = std::mem::take(&mut state.jobs);
+        for job in jobs.drain(..) {
+            let Some(owner) = self.job_owner.remove(SlabKey::from_raw(job.0)) else {
+                continue;
+            };
             let node = match owner {
                 JobOwner::ApacheServe(_) => state
                     .apache
@@ -549,6 +576,7 @@ impl J2eeApp {
                 self.rearm_cpu(ctx, node);
             }
         }
+        state.jobs = jobs;
         // Release the worker thread if the request held one.
         if matches!(
             state.phase,
@@ -570,7 +598,9 @@ impl J2eeApp {
                 state.plan.name, state.phase
             )
         });
-        self.schedule_think(ctx, state.client);
+        let client = state.client;
+        self.recycle_request(state);
+        self.schedule_think(ctx, client);
     }
 
     /// Routes CPU-job completions to their owners.
@@ -583,12 +613,12 @@ impl J2eeApp {
             n.cpu.collect_completions_into(ctx.now(), &mut done);
         }
         for job in done.drain(..) {
-            let Some(owner) = self.job_owner.remove(&job) else {
+            let Some(owner) = self.job_owner.remove(SlabKey::from_raw(job.0)) else {
                 continue;
             };
             match owner {
                 JobOwner::ServletPre(req) => {
-                    if let Some(state) = self.inflight.get_mut(&req) {
+                    if let Some(state) = self.request_mut(req) {
                         state.phase = RequestPhase::Sql;
                         state.sql_idx = 0;
                     }

@@ -5,11 +5,12 @@
 //! style), issue one interaction, wait for the response. The think-time
 //! mean is calibrated so 80 clients produce the ~12 req/s of Table 1.
 
-use crate::interactions::{generate_plan, sample_interaction};
+use crate::interactions::{generate_plan, generate_plan_into, sample_interaction};
 use crate::schema::KeySpace;
 use crate::transitions::{StateId, TransitionMatrix};
 use jade_sim::{SimDuration, SimRng};
 use jade_tiers::request::InteractionPlan;
+use jade_tiers::request::SqlOp;
 
 /// Mean think time between a response and the next request.
 pub const DEFAULT_THINK_TIME: SimDuration = SimDuration::from_millis(6_500);
@@ -61,9 +62,22 @@ impl EmulatedClient {
         mix: &crate::interactions::InteractionMix,
         ks: &mut KeySpace,
     ) -> InteractionPlan {
+        self.next_interaction_in_mix_into(mix, ks, Vec::new())
+    }
+
+    /// [`next_interaction_in_mix`] with a recycled SQL buffer (see
+    /// [`generate_plan_into`]).
+    ///
+    /// [`next_interaction_in_mix`]: EmulatedClient::next_interaction_in_mix
+    pub fn next_interaction_in_mix_into(
+        &mut self,
+        mix: &crate::interactions::InteractionMix,
+        ks: &mut KeySpace,
+        sql_buf: Vec<SqlOp>,
+    ) -> InteractionPlan {
         self.issued += 1;
         let t = mix.sample(&mut self.rng);
-        generate_plan(t, ks, &mut self.rng)
+        generate_plan_into(t, ks, &mut self.rng, sql_buf)
     }
 
     /// Generates the next interaction by navigating the transition-table
@@ -74,13 +88,26 @@ impl EmulatedClient {
         matrix: &TransitionMatrix,
         ks: &mut KeySpace,
     ) -> InteractionPlan {
+        self.next_interaction_markov_into(matrix, ks, Vec::new())
+    }
+
+    /// [`next_interaction_markov`] with a recycled SQL buffer (see
+    /// [`generate_plan_into`]).
+    ///
+    /// [`next_interaction_markov`]: EmulatedClient::next_interaction_markov
+    pub fn next_interaction_markov_into(
+        &mut self,
+        matrix: &TransitionMatrix,
+        ks: &mut KeySpace,
+        sql_buf: Vec<SqlOp>,
+    ) -> InteractionPlan {
         self.issued += 1;
         let s = match self.nav_state {
             Some(s) => matrix.next(s, &mut self.rng),
             None => matrix.home(),
         };
         self.nav_state = Some(s);
-        generate_plan(matrix.interaction(s), ks, &mut self.rng)
+        generate_plan_into(matrix.interaction(s), ks, &mut self.rng, sql_buf)
     }
 
     /// Records a completed response.

@@ -140,15 +140,16 @@ fn update(table: TableId, key: u64, set: Vec<(ColId, Value)>, demand_ms: f64) ->
 }
 
 /// Instantiates the SQL work of an interaction against the current key
-/// space. Mutates the key space when the interaction inserts rows.
-fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlOp> {
+/// space, appending the ops to `out` (a recycled buffer on the request
+/// hot path). Mutates the key space when the interaction inserts rows.
+fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &mut Vec<SqlOp>) {
     let ids = rubis_ids();
     match t.name {
         "RegisterUser" => {
             let region = ks.region(rng);
             ks.users += 1;
             // Layout: [nickname, region, rating].
-            vec![insert(
+            out.push(insert(
                 ids.users,
                 vec![
                     Value::Text(format!("newuser{}", ks.users)),
@@ -156,41 +157,41 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     Value::Int(0),
                 ],
                 8.0,
-            )]
+            ))
         }
-        "BrowseCategories" => vec![count_categories(8.0)],
+        "BrowseCategories" => out.push(count_categories(8.0)),
         "SearchItemsInCategory" => {
             let cat = ks.category(rng);
-            vec![scan(
+            out.push(scan(
                 ids.items,
                 ids.item_category,
                 Value::Int(cat as i64),
                 25,
                 58.0,
-            )]
+            ))
         }
-        "BrowseRegions" => vec![count_regions(6.0)],
-        "BrowseCategoriesInRegion" => vec![count_categories(8.0)],
+        "BrowseRegions" => out.push(count_regions(6.0)),
+        "BrowseCategoriesInRegion" => out.push(count_categories(8.0)),
         "SearchItemsInRegion" => {
             let region = ks.region(rng);
-            vec![scan(
+            out.push(scan(
                 ids.users,
                 ids.user_region,
                 Value::Int(region as i64),
                 25,
                 52.0,
-            )]
+            ))
         }
         "ViewItem" => {
             let item = ks.item(rng);
-            vec![
+            out.extend([
                 read_key(ids.items, item, 10.0),
                 scan(ids.bids, ids.bid_item, Value::Int(item as i64), 20, 22.0),
-            ]
+            ])
         }
         "ViewUserInfo" => {
             let user = ks.user(rng);
-            vec![
+            out.extend([
                 read_key(ids.users, user, 8.0),
                 scan(
                     ids.comments,
@@ -199,20 +200,20 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     20,
                     14.0,
                 ),
-            ]
+            ])
         }
         "ViewBidHistory" => {
             let item = ks.item(rng);
-            vec![
+            out.extend([
                 read_key(ids.items, item, 8.0),
                 scan(ids.bids, ids.bid_item, Value::Int(item as i64), 30, 20.0),
-            ]
+            ])
         }
-        "BuyNow" => vec![read_key(ids.items, ks.item(rng), 10.0)],
+        "BuyNow" => out.push(read_key(ids.items, ks.item(rng), 10.0)),
         "StoreBuyNow" => {
             let item = ks.item(rng);
             let buyer = ks.user(rng);
-            vec![
+            out.extend([
                 // Layout: [item, buyer].
                 insert(
                     ids.buy_now,
@@ -225,20 +226,20 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     vec![(ids.item_quantity, Value::Int(0))],
                     8.0,
                 ),
-            ]
+            ])
         }
         "PutBid" => {
             let item = ks.item(rng);
-            vec![
+            out.extend([
                 read_key(ids.items, item, 10.0),
                 scan(ids.bids, ids.bid_item, Value::Int(item as i64), 10, 14.0),
-            ]
+            ])
         }
         "StoreBid" => {
             let item = ks.item(rng);
             let bidder = ks.user(rng);
             ks.bids += 1;
-            vec![
+            out.extend([
                 // Layout: [item, bidder, amount].
                 insert(
                     ids.bids,
@@ -250,16 +251,16 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     10.0,
                 ),
                 read_key(ids.items, item, 6.0),
-            ]
+            ])
         }
-        "PutComment" => vec![
+        "PutComment" => out.extend([
             read_key(ids.users, ks.user(rng), 6.0),
             read_key(ids.items, ks.item(rng), 6.0),
-        ],
+        ]),
         "StoreComment" => {
             let author = ks.user(rng);
             ks.comments += 1;
-            vec![
+            out.extend([
                 // Layout: [item, author, text].
                 insert(
                     ids.comments,
@@ -276,15 +277,15 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     vec![(ids.user_rating, Value::Int(1))],
                     6.0,
                 ),
-            ]
+            ])
         }
-        "SelectCategoryToSellItem" => vec![count_categories(8.0)],
+        "SelectCategoryToSellItem" => out.push(count_categories(8.0)),
         "RegisterItem" => {
             let seller = ks.user(rng);
             let cat = ks.category(rng);
             ks.items += 1;
             // Layout: [name, seller, category, price, quantity].
-            vec![insert(
+            out.push(insert(
                 ids.items,
                 vec![
                     Value::Text(format!("newitem{}", ks.items)),
@@ -294,11 +295,11 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     Value::Int(1),
                 ],
                 12.0,
-            )]
+            ))
         }
         "AboutMe" => {
             let user = ks.user(rng);
-            vec![
+            out.extend([
                 read_key(ids.users, user, 8.0),
                 scan(ids.bids, ids.bid_bidder, Value::Int(user as i64), 20, 16.0),
                 scan(
@@ -315,11 +316,19 @@ fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlO
                     10,
                     10.0,
                 ),
-            ]
+            ])
         }
         // Static / form pages.
-        _ => Vec::new(),
+        _ => {}
     }
+}
+
+/// Instantiates the SQL work of an interaction into a fresh `Vec` (see
+/// [`sql_for_into`] for the allocation-reusing variant).
+fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlOp> {
+    let mut out = Vec::new();
+    sql_for_into(t, ks, rng, &mut out);
+    out
 }
 
 /// Samples an interaction type from the default bidding mix.
@@ -376,20 +385,32 @@ impl InteractionMix {
 
 /// Builds the concrete work plan of one client request.
 pub fn generate_plan(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> InteractionPlan {
+    generate_plan_into(t, ks, rng, Vec::new())
+}
+
+/// Like [`generate_plan`], but builds the plan's SQL into `sql_buf` — a
+/// recycled buffer, typically salvaged from a completed request's plan —
+/// so steady-state request generation reuses one allocation per client
+/// slot instead of allocating a fresh `Vec<SqlOp>` per request.
+pub fn generate_plan_into(
+    t: &InteractionType,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+    mut sql_buf: Vec<SqlOp>,
+) -> InteractionPlan {
     // CPU demands jitter ±20% around the calibrated mean, modelling data-
     // dependent servlet work.
     let jitter = |mean_ms: f64, rng: &mut SimRng| ms(mean_ms * (0.8 + 0.4 * rng.f64()));
-    let sql = sql_for(t, ks, rng)
-        .into_iter()
-        .map(|op| {
-            let d = op.demand.as_secs_f64() * 1e3;
-            SqlOp::shared(op.statement, jitter(d, rng))
-        })
-        .collect();
+    sql_buf.clear();
+    sql_for_into(t, ks, rng, &mut sql_buf);
+    for op in &mut sql_buf {
+        let d = op.demand.as_secs_f64() * 1e3;
+        op.demand = jitter(d, rng);
+    }
     InteractionPlan {
         name: t.name,
         pre_demand: jitter(t.pre_ms, rng),
-        sql,
+        sql: sql_buf,
         post_demand: jitter(t.post_ms, rng),
         response_bytes: t.response_bytes,
     }

@@ -7,6 +7,8 @@
 //!   [`SimDuration`]),
 //! * a pending-event set with FIFO tie-breaking and lazy cancellation
 //!   ([`queue::EventQueue`]),
+//! * a generational slab arena for O(1) id-addressed state with stale-id
+//!   detection ([`slab::GenSlab`]),
 //! * an application-routing engine ([`Engine`], [`App`], [`Ctx`]),
 //! * a processor-sharing CPU model with a thrashing law ([`cpu::PsCpu`]),
 //! * measurement infrastructure ([`metrics`]) including the time-windowed
@@ -28,6 +30,7 @@ pub mod engine;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod trace;
 
@@ -40,5 +43,6 @@ pub use metrics::{
 };
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
+pub use slab::{GenSlab, SlabKey};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

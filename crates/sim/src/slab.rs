@@ -1,0 +1,255 @@
+//! Generational slab arena: O(1) insert/lookup/remove with stale-key
+//! detection.
+//!
+//! This generalizes the packed-key + intrusive-free-list design of
+//! [`crate::EventQueue`]'s cancellation tokens to arbitrary payloads: a
+//! [`SlabKey`] packs `(generation << 32) | slot` into one `u64`, vacant
+//! slots chain through an intrusive free list, and each slot's generation
+//! is bumped when it is freed so a key held across a free/reuse cycle no
+//! longer resolves. Callers that already traffic in `u64` ids (request
+//! ids, job ids) can round-trip through [`SlabKey::raw`] /
+//! [`SlabKey::from_raw`] without widening their id types.
+
+/// Packed handle to an occupied slab slot: low 32 bits slot index, high
+/// 32 bits the slot's generation at insertion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabKey(u64);
+
+impl SlabKey {
+    fn new(slot: u32, generation: u32) -> Self {
+        SlabKey(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// Reconstructs a key from its packed `u64` representation.
+    pub fn from_raw(raw: u64) -> Self {
+        SlabKey(raw)
+    }
+
+    /// The packed `u64` representation (round-trips via [`from_raw`]).
+    ///
+    /// [`from_raw`]: SlabKey::from_raw
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Sentinel terminating the intrusive free list.
+const NO_FREE: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum State<T> {
+    /// Free slot; the payload is the next free slot index (or `NO_FREE`).
+    Vacant(u32),
+    Occupied(T),
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Bumped every time the slot is freed; keys carry the generation
+    /// they were issued under, so stale keys miss.
+    generation: u32,
+    state: State<T>,
+}
+
+/// A slab of `T` addressed by generational [`SlabKey`]s.
+///
+/// All operations are O(1); memory is proportional to the high-water
+/// occupancy, and freed slots are recycled most-recently-freed first.
+#[derive(Debug)]
+pub struct GenSlab<T> {
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for GenSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> GenSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        GenSlab {
+            entries: Vec::new(),
+            free_head: NO_FREE,
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning the key addressing it.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if self.free_head != NO_FREE {
+            let slot = self.free_head;
+            let entry = &mut self.entries[slot as usize];
+            match entry.state {
+                State::Vacant(next) => self.free_head = next,
+                State::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            entry.state = State::Occupied(value);
+            SlabKey::new(slot, entry.generation)
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("slab capacity");
+            self.entries.push(Entry {
+                generation: 0,
+                state: State::Occupied(value),
+            });
+            SlabKey::new(slot, 0)
+        }
+    }
+
+    fn entry(&self, key: SlabKey) -> Option<&Entry<T>> {
+        self.entries
+            .get(key.slot() as usize)
+            .filter(|e| e.generation == key.generation())
+    }
+
+    /// True when `key` addresses a live value.
+    pub fn contains(&self, key: SlabKey) -> bool {
+        matches!(
+            self.entry(key),
+            Some(Entry {
+                state: State::Occupied(_),
+                ..
+            })
+        )
+    }
+
+    /// The value addressed by `key`, unless removed or stale.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.entry(key) {
+            Some(Entry {
+                state: State::Occupied(v),
+                ..
+            }) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value addressed by `key`.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.entries.get_mut(key.slot() as usize) {
+            Some(e) if e.generation == key.generation() => match &mut e.state {
+                State::Occupied(v) => Some(v),
+                State::Vacant(_) => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value addressed by `key`; the slot's
+    /// generation is bumped so the key (and any copy of it) goes stale.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = key.slot();
+        let entry = self.entries.get_mut(slot as usize)?;
+        if entry.generation != key.generation() || matches!(entry.state, State::Vacant(_)) {
+            return None;
+        }
+        let state = std::mem::replace(&mut entry.state, State::Vacant(self.free_head));
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free_head = slot;
+        self.len -= 1;
+        match state {
+            State::Occupied(v) => Some(v),
+            State::Vacant(_) => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Iterates over occupied slots in slot (not insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match &e.state {
+                State::Occupied(v) => Some((SlabKey::new(i as u32, e.generation), v)),
+                State::Vacant(_) => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = GenSlab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        *slab.get_mut(a).unwrap() = "a2";
+        assert_eq!(slab.remove(a), Some("a2"));
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.get(a), None);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn stale_key_is_rejected_after_slot_reuse() {
+        let mut slab = GenSlab::new();
+        let a = slab.insert(1u32);
+        slab.remove(a);
+        // LIFO free list: the next insert reuses a's slot.
+        let b = slab.insert(2u32);
+        assert_eq!(b.raw() as u32, a.raw() as u32, "slot reused");
+        assert_ne!(b.raw(), a.raw(), "generation differs");
+        assert_eq!(slab.get(a), None, "stale key must miss");
+        assert_eq!(slab.remove(a), None, "stale remove must be a no-op");
+        assert_eq!(slab.get(b), Some(&2));
+    }
+
+    #[test]
+    fn keys_roundtrip_through_raw() {
+        let mut slab = GenSlab::new();
+        let k = slab.insert(7i64);
+        let k2 = SlabKey::from_raw(k.raw());
+        assert_eq!(slab.get(k2), Some(&7));
+    }
+
+    #[test]
+    fn iter_yields_occupied_in_slot_order() {
+        let mut slab = GenSlab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        slab.remove(b);
+        let seen: Vec<_> = slab.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(seen, vec![(a, 10), (c, 30)]);
+    }
+
+    #[test]
+    fn free_list_recycles_most_recently_freed_first() {
+        let mut slab = GenSlab::new();
+        let keys: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        slab.remove(keys[1]);
+        slab.remove(keys[3]);
+        let reused = slab.insert(99);
+        assert_eq!(reused.raw() as u32, keys[3].raw() as u32);
+        let reused2 = slab.insert(98);
+        assert_eq!(reused2.raw() as u32, keys[1].raw() as u32);
+    }
+}

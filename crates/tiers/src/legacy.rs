@@ -267,10 +267,20 @@ impl LegacyLayer {
         Ok(())
     }
 
+    /// Assigns the next server id. Ids are sequential and never recycled,
+    /// so `ServerId.0` doubles as a small dense index interned at
+    /// create-server time: per-server side tables (e.g. the app layer's
+    /// accept queues) can be flat `Vec`s indexed by it instead of maps.
     fn fresh_id(&mut self) -> ServerId {
         let id = ServerId(self.next_server);
         self.next_server += 1;
         id
+    }
+
+    /// One past the largest `ServerId.0` ever assigned — the length a
+    /// dense `Vec` indexed by server id must have to cover every server.
+    pub fn server_index_bound(&self) -> usize {
+        self.next_server as usize
     }
 
     /// Drains deferred events; the simulation schedules them.
@@ -752,15 +762,35 @@ impl LegacyLayer {
         balancer_id: ServerId,
         rng: &mut SimRng,
     ) -> Result<ServerId, LegacyError> {
-        let state = self.server(balancer_id)?.process().state;
+        self.balancer_route_running_with_nodes(balancer_id, rng)
+            .map(|(worker, _, _)| worker)
+    }
+
+    /// [`balancer_route_running`], additionally returning the balancer's
+    /// and the chosen worker's nodes `(worker, balancer_node,
+    /// worker_node)` — resolved from the probes routing already performs,
+    /// so callers that need the network path don't re-look both servers
+    /// up.
+    ///
+    /// [`balancer_route_running`]: LegacyLayer::balancer_route_running
+    pub fn balancer_route_running_with_nodes(
+        &mut self,
+        balancer_id: ServerId,
+        rng: &mut SimRng,
+    ) -> Result<(ServerId, NodeId, NodeId), LegacyError> {
+        let (state, balancer_node) = {
+            let p = self.server(balancer_id)?.process();
+            (p.state, p.node)
+        };
         if !state.is_running() {
             return Err(LegacyError::BadState(balancer_id, state));
         }
         let attempts = self.balancer_mut(balancer_id)?.len().max(1);
         for _ in 0..attempts {
             let worker = self.balancer_mut(balancer_id)?.route(rng)?;
-            if self.server(worker)?.process().state.is_running() {
-                return Ok(worker);
+            let wp = self.server(worker)?.process();
+            if wp.state.is_running() {
+                return Ok((worker, balancer_node, wp.node));
             }
         }
         Err(LegacyError::Balancer(

@@ -1,0 +1,55 @@
+//! Regression tests for the cancellable abandon timer and the stale-id
+//! path of the slab-backed lifecycle.
+//!
+//! Request slots are recycled aggressively, so a patience timer that
+//! outlives its request carries an id whose slot may already belong to a
+//! *different* request. Completion and failure therefore cancel the
+//! timer, and any event that still slips through must miss the slab's
+//! generation check instead of abandoning the innocent new occupant.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade_rubis::WorkloadRamp;
+use jade_sim::SimDuration;
+
+/// A healthy system whose requests complete far inside the patience
+/// window, for long enough that every slab slot is reused many times per
+/// window. If completion failed to cancel the timer — or a fired stale
+/// timer matched a recycled slot — some later request would be abandoned
+/// spuriously.
+#[test]
+fn recycled_slots_are_never_abandoned_by_stale_timers() {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(120);
+    cfg.seed = 17;
+    cfg.client_patience = Some(SimDuration::from_secs(20));
+    let out = run_experiment(cfg, SimDuration::from_secs(300));
+    assert!(
+        out.metrics.counter("requests.completed") > 3_000,
+        "slots must be recycled many times over"
+    );
+    assert_eq!(out.metrics.counter("requests.abandoned"), 0);
+    assert_eq!(out.metrics.counter("requests.failed"), 0);
+}
+
+/// Completions and abandons interleaving on the same recycled slots:
+/// every failure in this scenario is an abandonment (nothing crashes and
+/// no accept queue overflows), so a single cross-talk casualty would
+/// break the `failed == abandoned` balance.
+#[test]
+fn abandons_and_completions_share_slots_without_cross_talk() {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(250);
+    cfg.seed = 23;
+    cfg.client_patience = Some(SimDuration::from_millis(700));
+    let out = run_experiment(cfg.clone(), SimDuration::from_secs(150));
+    let completed = out.metrics.counter("requests.completed");
+    let abandoned = out.metrics.counter("requests.abandoned");
+    let failed = out.metrics.counter("requests.failed");
+    assert!(completed > 0 && abandoned > 0, "both paths must be hot");
+    assert_eq!(failed, abandoned);
+    // And the interleaving is reproducible.
+    let again = run_experiment(cfg, SimDuration::from_secs(150));
+    assert_eq!(out.outcome_digest(), again.outcome_digest());
+    assert_eq!(out.events, again.events);
+}

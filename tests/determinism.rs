@@ -63,6 +63,50 @@ fn worker_count_never_changes_outcomes() {
     }
 }
 
+/// Abandonment-heavy runs are as deterministic as calm ones: with a
+/// patience tight enough that timers routinely fire mid-request, slab
+/// slot recycling, timer cancellation, and the stale-id path all stay on
+/// the hot path — and the digests must still be byte-identical across
+/// worker counts.
+#[test]
+fn abandon_heavy_runs_digest_identically_across_jobs() {
+    let abandon_cfg = |clients: u32, seed: u64| {
+        let mut cfg = quick_cfg(clients, seed);
+        cfg.client_patience = Some(SimDuration::from_millis(600));
+        cfg
+    };
+    let specs = || -> Vec<RunSpec> {
+        (0..4)
+            .map(|i| {
+                RunSpec::new(
+                    format!("abandon{i}"),
+                    abandon_cfg(150 + 100 * i, 500 + i as u64),
+                    HORIZON,
+                )
+                .on_stream(i as u64)
+            })
+            .collect()
+    };
+    let serial = Harness::with_jobs(1).run(specs());
+    let parallel = Harness::with_jobs(4).run(specs());
+    assert_eq!(serial.len(), parallel.len());
+    let mut abandoned_total = 0;
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.record.outcome_digest, p.record.outcome_digest,
+            "digest of '{}' changed with worker count",
+            s.record.label
+        );
+        assert_eq!(s.record.events, p.record.events);
+        assert_eq!(s.record.completed, p.record.completed);
+        abandoned_total += s.out.metrics.counter("requests.abandoned");
+    }
+    assert!(
+        abandoned_total > 0,
+        "patience of 600ms should abandon at least one request"
+    );
+}
+
 /// Seed rebasing is itself deterministic and preserves common random
 /// numbers: the managed run and its unmanaged baseline derive the same
 /// seed from the same stream.

@@ -1,0 +1,61 @@
+//! Differential test for the slab-backed request lifecycle: a seeded
+//! 200-client run must reproduce the counters and latency histogram the
+//! pre-rewrite (`BTreeMap`-keyed) lifecycle produced.
+//!
+//! The golden values below were captured from the implementation as of
+//! the storage-engine PR (commit 89555a5) with this exact configuration;
+//! they pin the client-observable behaviour — completed / failed /
+//! abandoned totals and the full latency distribution — across the
+//! slab rewrite. Float goldens compare via `to_bits()`: the rewrite must
+//! be exact, not approximately equal.
+
+use jade::config::SystemConfig;
+use jade::experiment::run_experiment;
+use jade_rubis::WorkloadRamp;
+use jade_sim::SimDuration;
+
+fn differential_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(200);
+    cfg.seed = 42;
+    // Tight patience so the abandon path (timer + cancellation) is
+    // exercised alongside completions.
+    cfg.client_patience = Some(SimDuration::from_millis(800));
+    cfg
+}
+
+#[test]
+fn slab_lifecycle_matches_pre_rewrite_semantics() {
+    let out = run_experiment(differential_cfg(), SimDuration::from_secs(120));
+    assert_eq!(out.metrics.counter("requests.completed"), 3721);
+    assert_eq!(out.metrics.counter("requests.failed"), 72);
+    assert_eq!(out.metrics.counter("requests.abandoned"), 72);
+    let hist = out.metrics.histogram("latency").expect("latency histogram");
+    assert_eq!(hist.count(), 3721);
+    assert_eq!(hist.mean_ms().to_bits(), 4635657830790855648);
+    assert_eq!(hist.max_ms().to_bits(), 4650246331018143334);
+    assert_eq!(hist.quantile_ms(0.5), 64.0);
+    assert_eq!(hist.quantile_ms(0.9), 256.0);
+    assert_eq!(hist.quantile_ms(0.99), 1024.0);
+}
+
+/// Without a patience timeout there are no abandon timers at all, so the
+/// whole run — event count included — must be byte-identical to the
+/// pre-rewrite engine. These digests were captured at commit 89555a5.
+#[test]
+fn default_config_digests_unchanged_by_slab_rewrite() {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(150);
+    cfg.seed = 9;
+    let out = run_experiment(cfg, SimDuration::from_secs(120));
+    assert_eq!(out.outcome_digest(), 0x4cb396e154e3d695);
+    assert_eq!(out.events, 31679);
+
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(150);
+    cfg.seed = 9;
+    cfg.markov_navigation = true;
+    let out = run_experiment(cfg, SimDuration::from_secs(120));
+    assert_eq!(out.outcome_digest(), 0xc197356884f48e36);
+    assert_eq!(out.events, 29827);
+}
