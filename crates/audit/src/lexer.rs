@@ -1,0 +1,370 @@
+//! A minimal Rust lexer: just enough tokenization for pattern-level
+//! static analysis.
+//!
+//! The workspace builds fully offline with no external dependencies, so
+//! `jade-audit` cannot use `syn`; instead it lexes source text into a
+//! flat token stream (identifiers, punctuation, literals) plus a side
+//! list of comments, each tagged with its 1-indexed line. This is
+//! deliberately *not* a parser: the rule engine in [`crate::rules`]
+//! matches token patterns, which is robust against formatting and cheap
+//! enough to run on every file of the workspace in milliseconds.
+//!
+//! Correctness-critical corners the lexer does get right, because getting
+//! them wrong would let banned calls hide or produce phantom diagnostics:
+//!
+//! * string literals (plain, raw `r#"…"#`, byte, C) are skipped as single
+//!   tokens — a `"Instant::now"` inside a string is not a violation;
+//! * comments (line, nested block) are captured separately — they carry
+//!   the `jade-audit:` suppression directives;
+//! * char literals are distinguished from lifetimes (`'a'` vs `'a`).
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// Any string literal (contents discarded).
+    Str,
+    /// Char literal.
+    Char,
+    /// Numeric literal (digits plus any glued suffix characters).
+    Num,
+    /// Lifetime (`'a`), label included.
+    Lifetime,
+}
+
+/// One token with its source line (1-indexed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub tok: Tok,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with its source line (1-indexed) and raw text (without the
+/// `//` / `/*` markers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Comment body text.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end-of-file (the real compiler reports those).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances over `b[i]`, maintaining the line counter.
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start_line = line;
+            i += 2;
+            let text_start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[text_start..i].to_owned(),
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            i += 2;
+            let text_start = i;
+            let mut depth = 1u32;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            let text_end = if i >= 2 { i - 2 } else { i };
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[text_start..text_end.max(text_start)].to_owned(),
+            });
+            continue;
+        }
+        // Identifiers, keywords and string-literal prefixes (r, b, br, c…).
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let word = &src[start..i];
+            // `r"…"`, `b"…"`, `br#"…"#`, `c"…"`: the "identifier" is a
+            // literal prefix when a quote (optionally after `#`s for raw
+            // strings containing `r`) follows directly.
+            let is_prefix = matches!(word, "r" | "b" | "br" | "c" | "cr" | "rb");
+            if is_prefix && i < b.len() && (b[i] == b'"' || (word.contains('r') && b[i] == b'#')) {
+                let start_line = line;
+                // Count leading #s of a raw string.
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'"' {
+                    bump!(); // opening quote
+                    skip_string_body(b, src, &mut i, &mut line, hashes, word.contains('r'));
+                    out.tokens.push(Token {
+                        tok: Tok::Str,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, emit the `#`s as
+                // punctuation and re-lex the identifier.
+                for _ in 0..hashes {
+                    out.tokens.push(Token {
+                        tok: Tok::Punct('#'),
+                        line,
+                    });
+                }
+                continue;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(word.to_owned()),
+                line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let start_line = line;
+            bump!();
+            skip_string_body(b, src, &mut i, &mut line, 0, false);
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let start_line = line;
+            i += 1;
+            if i < b.len() && b[i] == b'\\' {
+                // Escaped char literal: skip escape, then to closing quote.
+                i += 1;
+                if i < b.len() {
+                    bump!();
+                }
+                while i < b.len() && b[i] != b'\'' {
+                    bump!();
+                }
+                if i < b.len() {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: start_line,
+                });
+            } else if i + 1 < b.len() && b[i + 1] == b'\'' {
+                // 'x'
+                i += 2;
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: start_line,
+                });
+            } else if i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphabetic()) {
+                // Lifetime or label.
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line: start_line,
+                });
+            } else {
+                // Odd char literal like '(' — consume to closing quote.
+                while i < b.len() && b[i] != b'\'' {
+                    bump!();
+                }
+                if i < b.len() {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+        // Numbers (suffixes glued on; `1..2` stops before the dots).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                let continues_float = d == b'.'
+                    && i + 1 < b.len()
+                    && b[i + 1].is_ascii_digit()
+                    && !src[..i].ends_with('.');
+                if d == b'_' || d.is_ascii_alphanumeric() || continues_float {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Num,
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c as char),
+            line,
+        });
+        bump!();
+    }
+    out
+}
+
+/// Skips a string body whose opening quote has been consumed. `hashes` is
+/// the number of `#`s of a raw string (0 for plain); `raw` disables
+/// escape processing.
+fn skip_string_body(b: &[u8], _src: &str, i: &mut usize, line: &mut u32, hashes: usize, raw: bool) {
+    while *i < b.len() {
+        let c = b[*i];
+        if c == b'\n' {
+            *line += 1;
+            *i += 1;
+            continue;
+        }
+        if !raw && c == b'\\' {
+            *i += 2;
+            continue;
+        }
+        if c == b'"' {
+            // Raw strings close only on `"` followed by the right number
+            // of `#`s.
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(*i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "Instant::now()"; // Instant::now in a comment
+            let b = r#"thread_rng"#;
+            /* HashMap::new() */
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "Instant" || s == "thread_rng"));
+        assert!(ids.contains(&"let".to_owned()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+        assert!(lexed.comments[1].text.contains("HashMap::new"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'y' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still */ fin");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fin"), vec!["fin".to_owned()]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("0..10");
+        let puncts = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('.'))
+            .count();
+        assert_eq!(puncts, 2);
+        assert!(lex("1.5e3").tokens.len() <= 3, "float stays one-ish token");
+    }
+}

@@ -1,0 +1,261 @@
+//! `jade-audit`: the workspace determinism/simulation-safety analyzer.
+//!
+//! The reproduction's headline claim is that every experiment replays
+//! byte-identically from `{scenario, seed}`. That property is easy to
+//! state and easy to lose: one `Instant::now()` in a scheduler, one
+//! default-hashed `HashMap` iterated into a digest, one `as u16` that
+//! silently wraps at 65 536 requests, and the committed `results/*.json`
+//! stop being reproducible evidence. `jade-audit` turns the contract into
+//! a CI gate: it lexes every source file (see [`lexer`]) and pattern-
+//! matches the token stream against the rules in [`rules`].
+//!
+//! Run it as `cargo run -p jade-audit -- check` (exit 0 = clean), or
+//! `fix-list` for machine-readable JSON. Per-site escapes use
+//! `// jade-audit: allow(<rule>): <reason>` comments; a reason string is
+//! mandatory.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{analyze_source, Config, Diagnostic, Rule, ScopeMode};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Fixture directory (test data full of deliberate violations) — never
+/// scanned as part of the workspace.
+const FIXTURES: &str = "crates/audit/tests/fixtures";
+
+/// Walks the workspace rooted at `root` and returns all `.rs` files as
+/// workspace-relative forward-slash paths, sorted. Skips `target/`,
+/// hidden directories and the audit fixtures.
+pub fn workspace_rs_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                if rel_path(root, &path).as_deref() == Some(FIXTURES) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Some(rel) = rel_path(root, &path) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    Some(s)
+}
+
+/// Runs the analyzer over the whole workspace (workspace scoping).
+pub fn check_workspace(root: &Path, cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rel in workspace_rs_files(root) {
+        if let Ok(src) = fs::read_to_string(root.join(&rel)) {
+            diags.extend(analyze_source(&rel, &src, cfg));
+        }
+    }
+    diags.sort();
+    diags
+}
+
+/// Runs the analyzer over explicit files (all-files scoping: every
+/// enabled rule applies regardless of path).
+pub fn check_files(paths: &[PathBuf], cfg: &Config) -> Vec<Diagnostic> {
+    let cfg = Config {
+        disabled: cfg.disabled.clone(),
+        scope: ScopeMode::AllFiles,
+    };
+    let mut diags = Vec::new();
+    for p in paths {
+        let rel = p.to_string_lossy().replace('\\', "/");
+        match fs::read_to_string(p) {
+            Ok(src) => diags.extend(analyze_source(&rel, &src, &cfg)),
+            Err(e) => diags.push(Diagnostic {
+                file: rel,
+                line: 0,
+                rule: Rule::BadSuppression,
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    diags.sort();
+    diags
+}
+
+/// Minimal JSON string escape.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a machine-readable JSON array (the `fix-list`
+/// output format).
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&d.file),
+            d.line,
+            d.rule.id(),
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Per-crate safety inventory (the `inventory` subcommand): proves which
+/// units carry `#![forbid(unsafe_code)]` and counts audit surface.
+#[derive(Debug, Default)]
+pub struct UnitInventory {
+    /// Unit name (`crates/<name>` or `root`).
+    pub unit: String,
+    /// Number of `.rs` files.
+    pub files: usize,
+    /// Total source lines.
+    pub lines: usize,
+    /// Occurrences of the `unsafe` keyword outside strings/comments.
+    pub unsafe_tokens: usize,
+    /// Whether any file declares `#![forbid(unsafe_code)]`.
+    pub forbids_unsafe: bool,
+    /// `#[jade_hot]` / `jade-audit: hot` marked functions.
+    pub hot_fns: usize,
+    /// `jade-audit: allow(...)` suppression comments.
+    pub suppressions: usize,
+}
+
+/// Builds the unsafe/hot/suppression inventory for the workspace.
+pub fn inventory(root: &Path) -> Vec<UnitInventory> {
+    use lexer::Tok;
+    let mut units: std::collections::BTreeMap<String, UnitInventory> =
+        std::collections::BTreeMap::new();
+    for rel in workspace_rs_files(root) {
+        let unit = match rel.split('/').collect::<Vec<_>>().as_slice() {
+            ["crates", name, ..] => format!("crates/{name}"),
+            _ => "root".to_owned(),
+        };
+        let Ok(src) = fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let inv = units.entry(unit.clone()).or_insert_with(|| UnitInventory {
+            unit,
+            ..UnitInventory::default()
+        });
+        inv.files += 1;
+        inv.lines += src.lines().count();
+        let lexed = lexer::lex(&src);
+        let toks = &lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            match &t.tok {
+                Tok::Ident(s) if s == "unsafe" => inv.unsafe_tokens += 1,
+                Tok::Ident(s) if s == "forbid" => {
+                    // `#![forbid(unsafe_code)]`
+                    let next = |k: usize| toks.get(i + k).map(|t| &t.tok);
+                    if next(1) == Some(&Tok::Punct('('))
+                        && next(2) == Some(&Tok::Ident("unsafe_code".into()))
+                    {
+                        inv.forbids_unsafe = true;
+                    }
+                }
+                // Count attribute uses (`#[jade_hot]` / `#[jade_hot::jade_hot]`,
+                // where the ident is followed by `]`), not imports.
+                Tok::Ident(s)
+                    if s == "jade_hot"
+                        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(']')) =>
+                {
+                    inv.hot_fns += 1
+                }
+                _ => {}
+            }
+        }
+        for c in &lexed.comments {
+            let t = c
+                .text
+                .trim_start_matches(|c: char| c == '!' || c == '/' || c.is_whitespace());
+            if let Some(rest) = t.strip_prefix("jade-audit:").map(str::trim) {
+                if rest.starts_with("allow") {
+                    inv.suppressions += 1;
+                } else if rest == "hot" {
+                    inv.hot_fns += 1;
+                }
+            }
+        }
+    }
+    units.into_values().collect()
+}
+
+/// Finds the workspace root: walks up from `start` looking for a
+/// `Cargo.toml` containing `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn diagnostics_json_shape() {
+        let diags = vec![Diagnostic {
+            file: "x.rs".into(),
+            line: 3,
+            rule: Rule::NondetTime,
+            message: "msg".into(),
+        }];
+        let j = diagnostics_json(&diags);
+        assert!(j.contains("\"rule\": \"nondet-time\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

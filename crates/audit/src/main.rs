@@ -1,0 +1,184 @@
+//! `jade-audit` CLI.
+//!
+//! ```text
+//! jade-audit check [PATHS...] [--root DIR] [--disable RULE]... [--format text|json]
+//! jade-audit fix-list [--root DIR] [--disable RULE]...
+//! jade-audit inventory [--root DIR]
+//! jade-audit list-rules
+//! ```
+//!
+//! `check` with no PATHS scans the whole workspace under workspace
+//! scoping and exits nonzero if any diagnostic fires; with explicit PATHS
+//! every enabled rule applies to every named file (used by the fixture
+//! tests). `fix-list` always exits 0 and prints the JSON diagnostic
+//! array. `inventory` prints the per-crate unsafe/hot/suppression table.
+
+#![forbid(unsafe_code)]
+
+use jade_audit::rules::{Config, Rule, ScopeMode, ALL_RULES};
+use jade_audit::{check_files, check_workspace, diagnostics_json, find_workspace_root, inventory};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    paths: Vec<PathBuf>,
+    root: Option<PathBuf>,
+    disabled: Vec<Rule>,
+    format: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| "help".to_owned());
+    let mut args = Args {
+        cmd,
+        paths: Vec::new(),
+        root: None,
+        disabled: Vec::new(),
+        format: "text".to_owned(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--disable" => {
+                let v = argv.next().ok_or("--disable needs a rule id")?;
+                let r = Rule::parse(&v).ok_or_else(|| format!("unknown rule '{v}'"))?;
+                args.disabled.push(r);
+            }
+            "--format" => {
+                let v = argv.next().ok_or("--format needs text|json")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("unknown format '{v}'"));
+                }
+                args.format = v;
+            }
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn resolve_root(args: &Args) -> Result<PathBuf, String> {
+    if let Some(r) = &args.root {
+        return Ok(r.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root(&cwd).ok_or_else(|| {
+        "no [workspace] Cargo.toml found above the current directory; pass --root".to_owned()
+    })
+}
+
+fn usage() -> &'static str {
+    "jade-audit: determinism/simulation-safety analyzer\n\
+     \n\
+     usage:\n\
+       jade-audit check [PATHS...] [--root DIR] [--disable RULE]... [--format text|json]\n\
+       jade-audit fix-list [--root DIR] [--disable RULE]...\n\
+       jade-audit inventory [--root DIR]\n\
+       jade-audit list-rules\n\
+     \n\
+     `check` exits 1 when violations are found. Suppress per site with\n\
+     `// jade-audit: allow(<rule>): <reason>` (the reason is mandatory)."
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("jade-audit: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = Config {
+        disabled: args.disabled.iter().copied().collect(),
+        scope: ScopeMode::Workspace,
+    };
+    match args.cmd.as_str() {
+        "check" | "fix-list" => {
+            let diags = if args.paths.is_empty() {
+                let root = match resolve_root(&args) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("jade-audit: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                check_workspace(&root, &cfg)
+            } else {
+                check_files(&args.paths, &cfg)
+            };
+            if args.cmd == "fix-list" || args.format == "json" {
+                println!("{}", diagnostics_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    println!("jade-audit: clean");
+                } else {
+                    println!("jade-audit: {} violation(s)", diags.len());
+                }
+            }
+            if args.cmd == "check" && !diags.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "inventory" => {
+            let root = match resolve_root(&args) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("jade-audit: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>12}",
+                "unit", "files", "lines", "unsafe", "forbid(unsafe)", "hot-fns", "suppressions"
+            );
+            let mut missing_forbid = Vec::new();
+            for u in inventory(&root) {
+                println!(
+                    "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>12}",
+                    u.unit,
+                    u.files,
+                    u.lines,
+                    u.unsafe_tokens,
+                    if u.forbids_unsafe { "yes" } else { "NO" },
+                    u.hot_fns,
+                    u.suppressions
+                );
+                if !u.forbids_unsafe && u.unsafe_tokens == 0 {
+                    missing_forbid.push(u.unit);
+                }
+            }
+            if !missing_forbid.is_empty() {
+                println!(
+                    "note: unsafe-free units without #![forbid(unsafe_code)]: {}",
+                    missing_forbid.join(", ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "list-rules" => {
+            for r in ALL_RULES {
+                println!("{:<16} {}", r.id(), r.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("jade-audit: unknown command '{other}'\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

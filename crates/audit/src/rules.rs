@@ -1,0 +1,861 @@
+//! The determinism/simulation-safety rule set.
+//!
+//! Every rule is a token-pattern match over [`crate::lexer`]'s output,
+//! scoped by workspace path (see [`rule_in_scope`]). The rules encode the
+//! contract that every committed `results/*.json` digest depends on:
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `nondet-time`     | `Instant::now` / `SystemTime::now` outside the bench crate |
+//! | `nondet-rand`     | `thread_rng` / `from_entropy` (OS-seeded randomness) |
+//! | `nondet-env`      | `std::env::var*` outside `crates/bench/src/cli.rs` |
+//! | `nondet-hasher`   | `HashMap`/`HashSet` with the default `RandomState` in digest crates |
+//! | `unordered-iter`  | iterating a hash map/set without an ordered sink |
+//! | `packing-cast`    | truncating `as` casts on id-like integers outside the packing modules |
+//! | `hot-panic`       | `unwrap`/`expect`/indexing inside `#[jade_hot]` functions |
+//! | `bad-suppression` | malformed or reason-less `jade-audit:` directives |
+//!
+//! Suppression grammar (same line or the line directly above the code):
+//!
+//! ```text
+//! // jade-audit: allow(hot-panic, packing-cast): reason the invariant holds
+//! ```
+//!
+//! The reason string is mandatory: a suppression records *why* the code
+//! is safe, not just that someone wanted the diagnostic gone. A
+//! suppression without a reason is itself a `bad-suppression` violation.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One enforced rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`).
+    NondetTime,
+    /// OS-seeded randomness (`thread_rng`, `from_entropy`).
+    NondetRand,
+    /// Process-environment reads (`env::var`, `env::var_os`, …).
+    NondetEnv,
+    /// Default-`RandomState` hash collections in digest-feeding crates.
+    NondetHasher,
+    /// Iteration over a hash map/set whose order could leak into results.
+    UnorderedIter,
+    /// Truncating `as` casts on id-like integers outside packing modules.
+    PackingCast,
+    /// `unwrap`/`expect`/indexing inside `#[jade_hot]` functions.
+    HotPanic,
+    /// Malformed `jade-audit:` suppression directives.
+    BadSuppression,
+}
+
+/// All rules, in diagnostic-sort order.
+pub const ALL_RULES: [Rule; 8] = [
+    Rule::NondetTime,
+    Rule::NondetRand,
+    Rule::NondetEnv,
+    Rule::NondetHasher,
+    Rule::UnorderedIter,
+    Rule::PackingCast,
+    Rule::HotPanic,
+    Rule::BadSuppression,
+];
+
+impl Rule {
+    /// Stable rule id used in diagnostics, CLI flags and suppressions.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NondetTime => "nondet-time",
+            Rule::NondetRand => "nondet-rand",
+            Rule::NondetEnv => "nondet-env",
+            Rule::NondetHasher => "nondet-hasher",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::PackingCast => "packing-cast",
+            Rule::HotPanic => "hot-panic",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// One-line description (for `list-rules`).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NondetTime => "wall-clock reads; simulation code must use virtual time (SimTime)",
+            Rule::NondetRand => "OS-seeded randomness; use the run's seeded SimRng",
+            Rule::NondetEnv => "environment reads outside crates/bench/src/cli.rs",
+            Rule::NondetHasher => {
+                "HashMap/HashSet with the default RandomState hasher in digest-feeding crates"
+            }
+            Rule::UnorderedIter => "hash map/set iteration without an order-insensitive sink",
+            Rule::PackingCast => {
+                "truncating `as` cast on an id-like integer outside the audited packing modules"
+            }
+            Rule::HotPanic => "unwrap/expect/indexing inside a #[jade_hot] function",
+            Rule::BadSuppression => "malformed or reason-less jade-audit suppression",
+        }
+    }
+
+    /// Parses a rule id (as used in `allow(...)` and `--disable`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.id() == s.trim())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// How path-based scoping is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeMode {
+    /// Workspace layout scoping (digest crates, bench exemptions, packing
+    /// modules) — the CI configuration.
+    Workspace,
+    /// Every enabled rule applies to every file — used for explicit file
+    /// arguments and the fixture tests.
+    AllFiles,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rules switched off (`--disable <rule>`).
+    pub disabled: BTreeSet<Rule>,
+    /// Path scoping mode.
+    pub scope: ScopeMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            disabled: BTreeSet::new(),
+            scope: ScopeMode::Workspace,
+        }
+    }
+}
+
+/// Crates whose computation feeds run digests: the strict scope.
+const DIGEST_SCOPES: [&str; 7] = [
+    "crates/sim/",
+    "crates/cluster/",
+    "crates/core/",
+    "crates/tiers/",
+    "crates/rubis/",
+    "crates/fractal/",
+    "src/",
+];
+
+/// Hand-audited packing modules allowed to use raw `as` truncation on
+/// packed ids (`GenSlab`/`EventToken`/`PsCpu` slot packing, `RequestId`).
+const PACKING_MODULES: [&str; 4] = [
+    "crates/sim/src/slab.rs",
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/cpu.rs",
+    "crates/tiers/src/request.rs",
+];
+
+fn in_digest_scope(path: &str) -> bool {
+    DIGEST_SCOPES.iter().any(|p| path.starts_with(p))
+}
+
+/// Whether `rule` applies to the file at workspace-relative `path`.
+pub fn rule_in_scope(rule: Rule, path: &str, mode: ScopeMode) -> bool {
+    if mode == ScopeMode::AllFiles {
+        return true;
+    }
+    match rule {
+        // The bench harness measures wall-clock by design (its numbers are
+        // *labelled* wall-clock); everything else runs on virtual time.
+        Rule::NondetTime => !path.starts_with("crates/bench/"),
+        Rule::NondetRand => true,
+        // All environment knobs funnel through the bench CLI module.
+        Rule::NondetEnv => path != "crates/bench/src/cli.rs",
+        Rule::NondetHasher | Rule::UnorderedIter => in_digest_scope(path),
+        Rule::PackingCast => in_digest_scope(path) && !PACKING_MODULES.contains(&path),
+        Rule::HotPanic | Rule::BadSuppression => true,
+    }
+}
+
+/// Parsed `jade-audit:` directive.
+enum Directive {
+    Allow(Vec<Rule>),
+    Hot,
+}
+
+/// Parses the directive out of a comment body, if any. `Some(Err)` is a
+/// malformed directive (a `bad-suppression` violation).
+///
+/// Only comments that *start* with `jade-audit:` (after doc-comment
+/// decoration) are directives — prose that merely mentions the grammar,
+/// like this sentence, is ignored.
+fn parse_directive(text: &str) -> Option<Result<Directive, String>> {
+    let t = text.trim_start_matches(|c: char| c == '!' || c == '/' || c.is_whitespace());
+    let rest = t.strip_prefix("jade-audit:")?.trim();
+    if rest == "hot" {
+        return Some(Ok(Directive::Hot));
+    }
+    if let Some(args) = rest.strip_prefix("allow") {
+        let args = args.trim_start();
+        let Some(inner) = args.strip_prefix('(') else {
+            return Some(Err(
+                "malformed allow; expected allow(<rule>): <reason>".into()
+            ));
+        };
+        let Some(close) = inner.find(')') else {
+            return Some(Err("malformed allow; missing ')'".into()));
+        };
+        let mut rules = Vec::new();
+        for part in inner[..close].split(',') {
+            match Rule::parse(part) {
+                Some(r) => rules.push(r),
+                None => return Some(Err(format!("unknown rule '{}' in allow(...)", part.trim()))),
+            }
+        }
+        if rules.is_empty() {
+            return Some(Err("allow(...) names no rule".into()));
+        }
+        let reason = inner[close + 1..]
+            .trim()
+            .trim_start_matches([':', '-'])
+            .trim();
+        if reason.is_empty() {
+            return Some(Err(
+                "suppression must carry a reason string: allow(<rule>): <why>".into(),
+            ));
+        }
+        return Some(Ok(Directive::Allow(rules)));
+    }
+    Some(Err(format!("unrecognized jade-audit directive '{rest}'")))
+}
+
+/// Identifiers (or snake_case segments) that mark an integer as id-like
+/// for the `packing-cast` rule.
+fn is_id_like(ident: &str) -> bool {
+    if ident.len() >= 3 && ident.ends_with("Id") {
+        return true;
+    }
+    ident.split('_').any(|seg| {
+        matches!(
+            seg.to_ascii_lowercase().as_str(),
+            "id" | "ids"
+                | "key"
+                | "keys"
+                | "slot"
+                | "slots"
+                | "seq"
+                | "gen"
+                | "generation"
+                | "token"
+                | "tokens"
+                | "raw"
+        )
+    })
+}
+
+/// Type names treated as hash collections for `unordered-iter` receiver
+/// tracking (the det aliases iterate in *reproducible* but still
+/// hash-dependent order, so they are hazards too).
+const HASHY_TYPES: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "DetHashMap",
+    "DetHashSet",
+    "FxHashMap",
+    "FxHashSet",
+];
+
+/// Iterator sinks whose result is independent of visit order, accepted as
+/// escapes for `unordered-iter` (plus explicit sorts / ordered collects).
+const ORDER_INSENSITIVE: [&str; 16] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "all",
+    "any",
+    "is_empty",
+];
+
+const ITER_METHODS: [&str; 6] = ["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
+
+/// Analyzes one file's source. `path` must be workspace-relative with
+/// forward slashes; it is copied into each diagnostic.
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let enabled = |r: Rule| !cfg.disabled.contains(&r) && rule_in_scope(r, path, cfg.scope);
+    let diag = |line: u32, rule: Rule, message: String| Diagnostic {
+        file: path.to_owned(),
+        line,
+        rule,
+        message,
+    };
+
+    // ------------------------------------------------------------------
+    // Comments: suppressions, hot markers, bad directives.
+    // ------------------------------------------------------------------
+    let mut suppressions: Vec<(u32, Vec<Rule>)> = Vec::new();
+    let mut hot_marker_lines: Vec<u32> = Vec::new();
+    for Comment { line, text } in &lexed.comments {
+        match parse_directive(text) {
+            None => {}
+            Some(Ok(Directive::Allow(rules))) => suppressions.push((*line, rules)),
+            Some(Ok(Directive::Hot)) => hot_marker_lines.push(*line),
+            Some(Err(msg)) if enabled(Rule::BadSuppression) => {
+                raw.push(diag(*line, Rule::BadSuppression, msg));
+            }
+            Some(Err(_)) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass A: hash-typed names (aliases, fields, lets) for unordered-iter.
+    // ------------------------------------------------------------------
+    let mut hashy_types: BTreeSet<String> = HASHY_TYPES.iter().map(|s| s.to_string()).collect();
+    let mut hashy_vars: BTreeSet<String> = BTreeSet::new();
+    let ident = |i: usize| -> Option<&str> {
+        toks.get(i).and_then(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+    };
+    let punct = |i: usize, c: char| matches!(toks.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c);
+
+    // Type aliases: `type X = ... Hashy ... ;`
+    for i in 0..toks.len() {
+        if ident(i) == Some("type") {
+            if let Some(name) = ident(i + 1) {
+                let mut j = i + 2;
+                let mut rhs_hashy = false;
+                while j < toks.len() && !punct(j, ';') {
+                    if let Some(t) = ident(j) {
+                        if hashy_types.contains(t) {
+                            rhs_hashy = true;
+                        }
+                    }
+                    j += 1;
+                }
+                if rhs_hashy {
+                    hashy_types.insert(name.to_owned());
+                }
+            }
+        }
+    }
+    // Declarations: `name: [&mut path::]Hashy<...>` (fields, args, typed
+    // lets) and `let [mut] name = [path::]Hashy::...`.
+    for i in 0..toks.len() {
+        if let Some(name) = ident(i) {
+            if punct(i + 1, ':') && !punct(i + 2, ':') && !punct(i, ':') {
+                // Walk the type path after the colon.
+                let mut j = i + 2;
+                let mut steps = 0;
+                while j < toks.len() && steps < 16 {
+                    match &toks[j].tok {
+                        Tok::Ident(t) if t == "mut" || t == "dyn" => j += 1,
+                        Tok::Punct('&') | Tok::Lifetime => j += 1,
+                        Tok::Ident(t) => {
+                            if hashy_types.contains(t) {
+                                hashy_vars.insert(name.to_owned());
+                                break;
+                            }
+                            // Follow `path::` segments only.
+                            if punct(j + 1, ':') && punct(j + 2, ':') {
+                                j += 3;
+                            } else {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                    steps += 1;
+                }
+            }
+            if name == "let" {
+                let mut j = i + 1;
+                if ident(j) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(var) = ident(j) {
+                    if punct(j + 1, '=') && !punct(j + 2, '=') {
+                        // First few rhs tokens decide (Hashy::new / default).
+                        for k in (j + 2)..(j + 10).min(toks.len()) {
+                            if punct(k, '(') || punct(k, ';') {
+                                break;
+                            }
+                            if let Some(t) = ident(k) {
+                                if hashy_types.contains(t) {
+                                    hashy_vars.insert(var.to_owned());
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass B: the main token scan.
+    // ------------------------------------------------------------------
+    let mut brace_depth: i32 = 0;
+    let mut in_use = false;
+    let mut pending_hot = false;
+    let mut awaiting_hot_body = false;
+    let mut awaiting_paren_depth: i32 = 0;
+    let mut hot_depths: Vec<i32> = Vec::new();
+    let mut marker_idx = 0usize;
+    hot_marker_lines.sort_unstable();
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        // Comment-style hot markers apply to the next function seen.
+        while marker_idx < hot_marker_lines.len() && hot_marker_lines[marker_idx] < line {
+            pending_hot = true;
+            marker_idx += 1;
+        }
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                brace_depth += 1;
+                if awaiting_hot_body && awaiting_paren_depth == 0 {
+                    awaiting_hot_body = false;
+                    hot_depths.push(brace_depth);
+                }
+            }
+            Tok::Punct('}') => {
+                if hot_depths.last() == Some(&brace_depth) {
+                    hot_depths.pop();
+                }
+                brace_depth -= 1;
+            }
+            Tok::Punct('(') if awaiting_hot_body => awaiting_paren_depth += 1,
+            Tok::Punct(')') if awaiting_hot_body => awaiting_paren_depth -= 1,
+            Tok::Punct(';') => in_use = false,
+            Tok::Punct('#') if punct(i + 1, '[') => {
+                // Attribute: look for jade_hot inside the bracket group.
+                let mut j = i + 2;
+                let mut depth = 1;
+                while j < toks.len() && depth > 0 {
+                    match &toks[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        Tok::Ident(s) if s == "jade_hot" && depth == 1 => pending_hot = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Tok::Ident(w) => {
+                let in_hot = !hot_depths.is_empty();
+                match w.as_str() {
+                    "use" => in_use = true,
+                    "fn" if pending_hot => {
+                        pending_hot = false;
+                        awaiting_hot_body = true;
+                        awaiting_paren_depth = 0;
+                    }
+                    "Instant" | "SystemTime"
+                        if enabled(Rule::NondetTime)
+                            && punct(i + 1, ':')
+                            && punct(i + 2, ':')
+                            && ident(i + 3) == Some("now") =>
+                    {
+                        raw.push(diag(
+                            line,
+                            Rule::NondetTime,
+                            format!(
+                                "{w}::now() reads the wall clock; simulation code must use \
+                                 virtual time (SimTime) so runs are reproducible"
+                            ),
+                        ));
+                    }
+                    "thread_rng" | "from_entropy" if enabled(Rule::NondetRand) => {
+                        raw.push(diag(
+                            line,
+                            Rule::NondetRand,
+                            format!(
+                                "{w} draws OS entropy; use the run's seeded SimRng so results \
+                                 replay byte-identically"
+                            ),
+                        ));
+                    }
+                    "env"
+                        if enabled(Rule::NondetEnv)
+                            && punct(i + 1, ':')
+                            && punct(i + 2, ':')
+                            && matches!(
+                                ident(i + 3),
+                                Some("var" | "var_os" | "vars" | "vars_os")
+                            ) =>
+                    {
+                        raw.push(diag(
+                            line,
+                            Rule::NondetEnv,
+                            format!(
+                                "env::{} reads process environment; route knobs through \
+                                 crates/bench/src/cli.rs so runs are self-describing",
+                                ident(i + 3).unwrap_or("var")
+                            ),
+                        ));
+                    }
+                    "HashMap" | "HashSet" if enabled(Rule::NondetHasher) && !in_use => {
+                        if let Some(d) = check_default_hasher(toks, i, w, path) {
+                            raw.push(d);
+                        }
+                    }
+                    "as" if enabled(Rule::PackingCast) => {
+                        if let Some(d) = check_packing_cast(toks, i, path) {
+                            raw.push(d);
+                        }
+                    }
+                    "unwrap" | "expect"
+                        if in_hot && enabled(Rule::HotPanic) && punct(i.wrapping_sub(1), '.') =>
+                    {
+                        raw.push(diag(
+                            line,
+                            Rule::HotPanic,
+                            format!(
+                                ".{w}() inside a #[jade_hot] function can panic per delivered \
+                                 event; handle the None/Err arm or suppress with the invariant \
+                                 as reason"
+                            ),
+                        ));
+                    }
+                    m if in_hot && enabled(Rule::UnorderedIter) && ITER_METHODS.contains(&m) => {
+                        // handled by the generic iter check below (kept
+                        // here so hot functions get the same treatment)
+                    }
+                    _ => {}
+                }
+                // unordered-iter: `<hashy>.iter()` (and friends).
+                if enabled(Rule::UnorderedIter)
+                    && ITER_METHODS.contains(&w.as_str())
+                    && punct(i + 1, '(')
+                    && punct(i.wrapping_sub(1), '.')
+                {
+                    if let Some(recv) = ident(i.wrapping_sub(2)) {
+                        if hashy_vars.contains(recv) && !statement_is_order_insensitive(toks, i) {
+                            raw.push(diag(
+                                line,
+                                Rule::UnorderedIter,
+                                format!(
+                                    "iterating hash collection `{recv}` — bucket order is not \
+                                     a stable order; sort the result, collect into an ordered \
+                                     form, or use an order-insensitive sink"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // unordered-iter: `for x in &hashy { ... }`.
+                if enabled(Rule::UnorderedIter) && w == "in" {
+                    let mut j = i + 1;
+                    while punct(j, '&') || ident(j) == Some("mut") {
+                        j += 1;
+                    }
+                    if let Some(recv) = ident(j) {
+                        if hashy_vars.contains(recv) && punct(j + 1, '{') {
+                            raw.push(diag(
+                                line,
+                                Rule::UnorderedIter,
+                                format!(
+                                    "for-loop over hash collection `{recv}` visits entries in \
+                                     bucket order; iterate a sorted copy or an ordered \
+                                     collection instead"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Tok::Punct('[')
+                if !hot_depths.is_empty()
+                    && enabled(Rule::HotPanic)
+                    && matches!(
+                        toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                        Some(Tok::Ident(_)) | Some(Tok::Punct(')')) | Some(Tok::Punct(']'))
+                    ) =>
+            {
+                raw.push(diag(
+                    line,
+                    Rule::HotPanic,
+                    "indexing inside a #[jade_hot] function panics on out-of-bounds; use \
+                     get()/get_mut() or suppress with the bounds invariant as reason"
+                        .to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Apply suppressions: same line, or first token line after the
+    // comment line (i.e. the suppression sits directly above the code).
+    // ------------------------------------------------------------------
+    let next_code_line =
+        |after: u32| -> Option<u32> { toks.iter().map(|t| t.line).find(|&l| l > after) };
+    raw.retain(|d| {
+        if d.rule == Rule::BadSuppression {
+            return true;
+        }
+        !suppressions.iter().any(|(sline, rules)| {
+            rules.contains(&d.rule) && (d.line == *sline || Some(d.line) == next_code_line(*sline))
+        })
+    });
+    raw.sort();
+    raw
+}
+
+/// `HashMap`/`HashSet` default-hasher detection at token `i`.
+fn check_default_hasher(toks: &[Token], i: usize, name: &str, path: &str) -> Option<Diagnostic> {
+    let line = toks[i].line;
+    let ident = |k: usize| -> Option<&str> {
+        toks.get(k).and_then(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+    };
+    let punct = |k: usize, c: char| matches!(toks.get(k), Some(Token { tok: Tok::Punct(p), .. }) if *p == c);
+    let needed_args = if name == "HashMap" { 3 } else { 2 };
+    let fix = if name == "HashMap" {
+        "jade_sim::det::DetHashMap (or BTreeMap when iterated)"
+    } else {
+        "jade_sim::det::DetHashSet (or BTreeSet when iterated)"
+    };
+    // `HashMap::new(...)` / `HashMap::with_capacity(...)`: only defined
+    // for RandomState, so these are always the default hasher.
+    let mut j = i + 1;
+    if punct(j, ':') && punct(j + 1, ':') {
+        j += 2;
+        if punct(j, '<') {
+            // turbofish — fall through to the arity check below
+        } else {
+            return match ident(j) {
+                Some("new") | Some("with_capacity") => Some(Diagnostic {
+                    file: path.to_owned(),
+                    line,
+                    rule: Rule::NondetHasher,
+                    message: format!(
+                        "{name}::{}() builds a RandomState-hashed {name}; use {fix}",
+                        ident(j).unwrap_or("new")
+                    ),
+                }),
+                _ => None,
+            };
+        }
+    }
+    // Generic argument list: count top-level commas; fewer than
+    // `needed_args` type arguments means the hasher defaulted.
+    if punct(j, '<') {
+        let mut depth = 1i32;
+        let mut commas = 0usize;
+        let mut k = j + 1;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Punct('(') => {
+                    // Skip parenthesized (tuple) groups wholesale.
+                    let mut pd = 1i32;
+                    while k + 1 < toks.len() && pd > 0 {
+                        k += 1;
+                        match &toks[k].tok {
+                            Tok::Punct('(') => pd += 1,
+                            Tok::Punct(')') => pd -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => commas += 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        if commas + 1 < needed_args {
+            return Some(Diagnostic {
+                file: path.to_owned(),
+                line,
+                rule: Rule::NondetHasher,
+                message: format!(
+                    "{name} with the default RandomState hasher (no hasher type argument); \
+                     use {fix}"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Truncating-cast detection at the `as` keyword (token `i`).
+fn check_packing_cast(toks: &[Token], i: usize, path: &str) -> Option<Diagnostic> {
+    let target = match toks.get(i + 1).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) if matches!(s.as_str(), "u8" | "u16" | "u32") => s.clone(),
+        _ => return None,
+    };
+    let line = toks[i].line;
+    // Back-scan the source expression, collecting identifiers.
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = i as isize - 1;
+    let boundary;
+    loop {
+        if j < 0 {
+            boundary = None;
+            break;
+        }
+        let k = j as usize;
+        match &toks[k].tok {
+            Tok::Ident(s) => {
+                // Keywords end the expression.
+                if matches!(
+                    s.as_str(),
+                    "as" | "in" | "return" | "if" | "else" | "match" | "let"
+                ) {
+                    boundary = Some(k);
+                    break;
+                }
+                idents.push(s);
+                j -= 1;
+            }
+            Tok::Num | Tok::Str | Tok::Char | Tok::Lifetime => j -= 1,
+            Tok::Punct('.') => j -= 1,
+            Tok::Punct(')') | Tok::Punct(']') => {
+                // Skip the balanced group, still collecting identifiers.
+                let open = if toks[k].tok == Tok::Punct(')') {
+                    '('
+                } else {
+                    '['
+                };
+                let close = if open == '(' { ')' } else { ']' };
+                let mut depth = 1i32;
+                let mut m = j - 1;
+                while m >= 0 && depth > 0 {
+                    match &toks[m as usize].tok {
+                        Tok::Punct(c) if *c == close => depth += 1,
+                        Tok::Punct(c) if *c == open => depth -= 1,
+                        Tok::Ident(s) => idents.push(s),
+                        _ => {}
+                    }
+                    m -= 1;
+                }
+                j = m;
+            }
+            Tok::Punct(_) => {
+                boundary = Some(k);
+                break;
+            }
+        }
+    }
+    let flagged_source = idents.iter().any(|s| is_id_like(s));
+    // `IdentEndingInId( <expr> as uN` — construction of an id type.
+    let flagged_ctor = match boundary {
+        Some(k) if matches!(toks[k].tok, Tok::Punct('(')) => {
+            matches!(toks.get(k.wrapping_sub(1)).map(|t| &t.tok),
+                     Some(Tok::Ident(s)) if s.len() >= 3 && s.ends_with("Id"))
+        }
+        _ => false,
+    };
+    // `let <id-like> = <expr> as uN` — assignment into an id binding.
+    let flagged_dest = match boundary {
+        Some(k) if matches!(toks[k].tok, Tok::Punct('=')) => {
+            // Exclude comparisons (`== x as u32`).
+            !matches!(
+                toks.get(k.wrapping_sub(1)).map(|t| &t.tok),
+                Some(Tok::Punct('='))
+            ) && matches!(toks.get(k.wrapping_sub(1)).map(|t| &t.tok),
+                            Some(Tok::Ident(s)) if is_id_like(s))
+        }
+        _ => false,
+    };
+    if flagged_source || flagged_ctor || flagged_dest {
+        Some(Diagnostic {
+            file: path.to_owned(),
+            line,
+            rule: Rule::PackingCast,
+            message: format!(
+                "truncating `as {target}` on an id-like integer silently wraps on overflow; \
+                 use jade_sim::pack::id_{target} (checked) or move the packing into an \
+                 audited packing module"
+            ),
+        })
+    } else {
+        None
+    }
+}
+
+/// Whether the statement containing the iteration at token `i` mentions an
+/// order-insensitive sink or an explicit ordering operation (e.g. a
+/// `.sum()` at the end, or a `BTreeMap` annotation the result collects
+/// into).
+fn statement_is_order_insensitive(toks: &[Token], i: usize) -> bool {
+    // Backward to the statement start.
+    let mut j = i as isize - 1;
+    let mut steps_back = 0;
+    while j >= 0 && steps_back < 64 {
+        match &toks[j as usize].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            Tok::Ident(s) if ORDER_INSENSITIVE.contains(&s.as_str()) => return true,
+            _ => {}
+        }
+        j -= 1;
+        steps_back += 1;
+    }
+    // Forward to the statement end.
+    let mut j = i;
+    let mut depth = 0i32;
+    let mut steps = 0;
+    while j < toks.len() && steps < 64 {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') | Tok::Punct('{') if depth == 0 => break,
+            Tok::Ident(s) if ORDER_INSENSITIVE.contains(&s.as_str()) => return true,
+            _ => {}
+        }
+        j += 1;
+        steps += 1;
+    }
+    false
+}

@@ -1,0 +1,211 @@
+//! Fixture-driven tests for the analyzer: one bad and one good fixture
+//! per rule, asserting the exact `(line, rule)` of every diagnostic, plus
+//! suppression semantics and binary exit codes.
+
+use jade_audit::check_files;
+use jade_audit::rules::{Config, Rule};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Diagnostics for one fixture as `(line, rule)` pairs, asserting every
+/// diagnostic points at the fixture file itself.
+fn diags(name: &str) -> Vec<(u32, Rule)> {
+    let out = check_files(&[fixture(name)], &Config::default());
+    out.iter().for_each(|d| {
+        assert!(
+            d.file.ends_with(name),
+            "diagnostic for wrong file: {} (expected {name})",
+            d.file
+        );
+    });
+    out.into_iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn nondet_time_fixtures() {
+    assert_eq!(
+        diags("bad_nondet_time.rs"),
+        vec![(5, Rule::NondetTime), (6, Rule::NondetTime)]
+    );
+    assert_eq!(diags("good_nondet_time.rs"), vec![]);
+}
+
+#[test]
+fn nondet_rand_fixtures() {
+    assert_eq!(
+        diags("bad_nondet_rand.rs"),
+        vec![(3, Rule::NondetRand), (8, Rule::NondetRand)]
+    );
+    assert_eq!(diags("good_nondet_rand.rs"), vec![]);
+}
+
+#[test]
+fn nondet_env_fixtures() {
+    assert_eq!(
+        diags("bad_nondet_env.rs"),
+        vec![(3, Rule::NondetEnv), (4, Rule::NondetEnv)]
+    );
+    assert_eq!(diags("good_nondet_env.rs"), vec![]);
+}
+
+#[test]
+fn nondet_hasher_fixtures() {
+    assert_eq!(
+        diags("bad_nondet_hasher.rs"),
+        vec![
+            (5, Rule::NondetHasher),
+            (8, Rule::NondetHasher),
+            (9, Rule::NondetHasher)
+        ]
+    );
+    assert_eq!(diags("good_nondet_hasher.rs"), vec![]);
+}
+
+#[test]
+fn unordered_iter_fixtures() {
+    assert_eq!(
+        diags("bad_unordered_iter.rs"),
+        vec![(11, Rule::UnorderedIter)]
+    );
+    assert_eq!(diags("good_unordered_iter.rs"), vec![]);
+}
+
+#[test]
+fn packing_cast_fixtures() {
+    assert_eq!(
+        diags("bad_packing_cast.rs"),
+        vec![(5, Rule::PackingCast), (9, Rule::PackingCast)]
+    );
+    assert_eq!(diags("good_packing_cast.rs"), vec![]);
+}
+
+#[test]
+fn hot_panic_fixtures() {
+    assert_eq!(
+        diags("bad_hot_panic.rs"),
+        vec![(9, Rule::HotPanic), (14, Rule::HotPanic)]
+    );
+    assert_eq!(diags("good_hot_panic.rs"), vec![]);
+}
+
+#[test]
+fn suppression_fixtures() {
+    // Reason-less, unknown-rule and unrecognized directives are each a
+    // bad-suppression violation at the directive's own line.
+    assert_eq!(
+        diags("bad_suppression.rs"),
+        vec![
+            (3, Rule::BadSuppression),
+            (8, Rule::BadSuppression),
+            (13, Rule::BadSuppression)
+        ]
+    );
+    // Reasoned suppressions (preceding-line and same-line forms) silence
+    // real violations entirely.
+    assert_eq!(diags("good_suppression.rs"), vec![]);
+}
+
+#[test]
+fn disable_switches_rules_off() {
+    let mut cfg = Config::default();
+    cfg.disabled.insert(Rule::NondetTime);
+    let out = check_files(&[fixture("bad_nondet_time.rs")], &cfg);
+    assert!(out.is_empty(), "disabled rule must not fire: {out:?}");
+}
+
+#[test]
+fn every_rule_id_round_trips() {
+    for r in jade_audit::rules::ALL_RULES {
+        assert_eq!(Rule::parse(r.id()), Some(r));
+    }
+    assert_eq!(Rule::parse("no-such-rule"), None);
+}
+
+const BAD_FIXTURES: [&str; 8] = [
+    "bad_nondet_time.rs",
+    "bad_nondet_rand.rs",
+    "bad_nondet_env.rs",
+    "bad_nondet_hasher.rs",
+    "bad_unordered_iter.rs",
+    "bad_packing_cast.rs",
+    "bad_hot_panic.rs",
+    "bad_suppression.rs",
+];
+
+const GOOD_FIXTURES: [&str; 8] = [
+    "good_nondet_time.rs",
+    "good_nondet_rand.rs",
+    "good_nondet_env.rs",
+    "good_nondet_hasher.rs",
+    "good_unordered_iter.rs",
+    "good_packing_cast.rs",
+    "good_hot_panic.rs",
+    "good_suppression.rs",
+];
+
+#[test]
+fn check_exits_nonzero_on_each_bad_fixture() {
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    for bad in BAD_FIXTURES {
+        let status = Command::new(exe)
+            .arg("check")
+            .arg(fixture(bad))
+            .status()
+            .expect("spawn jade-audit");
+        assert!(!status.success(), "`check {bad}` must exit nonzero");
+    }
+}
+
+#[test]
+fn check_exits_zero_on_each_good_fixture() {
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    for good in GOOD_FIXTURES {
+        let status = Command::new(exe)
+            .arg("check")
+            .arg(fixture(good))
+            .status()
+            .expect("spawn jade-audit");
+        assert!(status.success(), "`check {good}` must exit zero");
+    }
+}
+
+#[test]
+fn fix_list_exits_zero_and_emits_json() {
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    let out = Command::new(exe)
+        .arg("fix-list")
+        .arg(fixture("bad_nondet_time.rs"))
+        .output()
+        .expect("spawn jade-audit");
+    assert!(out.status.success(), "fix-list always exits zero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.contains("\"rule\": \"nondet-time\""));
+    assert!(stdout.contains("\"line\": 5"));
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    let out = Command::new(exe)
+        .arg("check")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn jade-audit");
+    assert!(
+        out.status.success(),
+        "workspace must stay audit-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,16 @@
+// Fixture: panicking operations inside hot functions must be flagged.
+pub struct Q {
+    items: Vec<u64>,
+}
+
+impl Q {
+    #[jade_hot]
+    pub fn first(&self) -> u64 {
+        self.items[0]
+    }
+
+    // jade-audit: hot
+    pub fn head(&self) -> u64 {
+        *self.items.first().unwrap()
+    }
+}

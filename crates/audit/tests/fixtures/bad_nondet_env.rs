@@ -1,0 +1,6 @@
+// Fixture: environment reads must be flagged.
+pub fn knobs() -> (Option<String>, bool) {
+    let a = std::env::var("JADE_MODE").ok();
+    let b = std::env::var_os("JADE_FAST").is_some();
+    (a, b)
+}

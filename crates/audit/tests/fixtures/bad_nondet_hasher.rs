@@ -1,0 +1,12 @@
+// Fixture: default-RandomState hash collections must be flagged.
+use std::collections::{HashMap, HashSet};
+
+pub struct Directory {
+    by_name: HashMap<String, u32>,
+}
+
+pub fn build() -> HashSet<u64> {
+    let mut s = HashSet::new();
+    s.insert(1);
+    s
+}

@@ -1,0 +1,9 @@
+// Fixture: OS-entropy randomness must be flagged.
+pub fn seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    next(&mut rng)
+}
+
+pub fn reseed() -> Pcg {
+    Pcg::from_entropy()
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads must be flagged.
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, u64) {
+    let i = Instant::now();
+    let s = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (i, s)
+}

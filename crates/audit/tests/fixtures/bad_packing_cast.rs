@@ -1,0 +1,10 @@
+// Fixture: truncating casts on id-like integers must be flagged.
+pub struct NodeId(pub u32);
+
+pub fn make(i: usize) -> NodeId {
+    NodeId(i as u32)
+}
+
+pub fn pack(slot: u64) -> u32 {
+    slot as u32
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-order iteration without an ordered sink must be flagged.
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+pub struct Stats {
+    counts: HashMap<String, u64, BuildHasherDefault<DetHasher>>,
+}
+
+pub fn dump(s: &Stats) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in s.counts.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}

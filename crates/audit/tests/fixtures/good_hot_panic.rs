@@ -1,0 +1,16 @@
+// Fixture: hot functions using non-panicking access pass; cold
+// functions may unwrap.
+pub struct Q {
+    items: Vec<u64>,
+}
+
+impl Q {
+    #[jade_hot]
+    pub fn head(&self) -> u64 {
+        self.items.first().copied().unwrap_or(0)
+    }
+
+    pub fn cold_unwrap(&self) -> u64 {
+        self.items.first().copied().unwrap()
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: explicit configuration instead of environment reads.
+pub fn knobs(mode: Option<String>, fast: bool) -> (Option<String>, bool) {
+    (mode, fast)
+}

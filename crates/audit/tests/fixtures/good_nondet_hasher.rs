@@ -1,0 +1,10 @@
+// Fixture: explicit deterministic hashers and ordered maps pass.
+use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasherDefault;
+
+pub type Det = HashMap<u64, u64, BuildHasherDefault<DetHasher>>;
+
+pub struct Directory {
+    by_name: BTreeMap<String, u32>,
+    by_id: HashMap<u32, String, BuildHasherDefault<DetHasher>>,
+}

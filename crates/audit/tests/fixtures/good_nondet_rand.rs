@@ -1,0 +1,4 @@
+// Fixture: seeded deterministic RNG passes.
+pub fn seeded(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}

@@ -1,0 +1,7 @@
+// Fixture: virtual time and string/comment mentions are fine.
+// A comment saying Instant::now() is not a violation.
+pub fn virtual_now(clock_ns: u64) -> u64 {
+    let label = "Instant::now() belongs to the bench crate only";
+    let _ = label;
+    clock_ns
+}

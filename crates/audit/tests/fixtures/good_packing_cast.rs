@@ -1,0 +1,8 @@
+// Fixture: checked narrowing and non-id casts pass.
+pub fn checked(i: usize) -> u32 {
+    u32::try_from(i).expect("fits in the id space")
+}
+
+pub fn histogram_bucket(count: usize) -> u32 {
+    count as u32
+}

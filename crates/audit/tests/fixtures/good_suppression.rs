@@ -1,0 +1,11 @@
+// Fixture: a reasoned suppression silences the diagnostic, in both the
+// preceding-line and same-line forms.
+pub fn seed() -> u64 {
+    // jade-audit: allow(nondet-rand): fixture demonstrates a justified escape
+    let mut rng = rand::thread_rng();
+    next(&mut rng)
+}
+
+pub fn wall_start() -> Instant {
+    std::time::Instant::now() // jade-audit: allow(nondet-time): same-line form
+}

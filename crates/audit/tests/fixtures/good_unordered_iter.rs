@@ -1,0 +1,16 @@
+// Fixture: order-insensitive sinks and ordered collects pass.
+use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasherDefault;
+
+pub struct Stats {
+    counts: HashMap<String, u64, BuildHasherDefault<DetHasher>>,
+}
+
+pub fn total(s: &Stats) -> u64 {
+    s.counts.values().sum()
+}
+
+pub fn dump_sorted(s: &Stats) -> BTreeMap<String, u64> {
+    let ordered: BTreeMap<String, u64> = s.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
+    ordered
+}

@@ -21,6 +21,8 @@
 //! component-model operations, C-JDBC routing/replay, the event kernel,
 //! and ablations of the design knobs called out in DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod harness;
 pub mod microbench;

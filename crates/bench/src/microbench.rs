@@ -46,7 +46,7 @@ pub struct Runner {
 impl Runner {
     /// A runner with default budgets (fast ones under `JADE_BENCH_FAST`).
     pub fn new() -> Self {
-        let fast = std::env::var_os("JADE_BENCH_FAST").is_some();
+        let fast = crate::cli::bench_fast();
         Self {
             results: Vec::new(),
             sample_ms: if fast { 20.0 } else { 120.0 },
@@ -55,6 +55,9 @@ impl Runner {
     }
 
     /// Times `f` (whose return value is black-boxed) and records a case.
+    // The microbenchmark runner is a sanctioned wall-clock user: its
+    // output is labelled wall time and never feeds a results digest.
+    #[allow(clippy::disallowed_methods)]
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
         // Calibrate: how many iterations fill one sample budget?
         let mut iters = 1u64;

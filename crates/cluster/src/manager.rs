@@ -53,7 +53,7 @@ impl ClusterManager {
         let nodes: Vec<Node> = (0..count)
             .map(|i| {
                 Node::new(
-                    NodeId(i as u32),
+                    NodeId(jade_sim::id_u32(i)),
                     &format!("node{}", i + 1),
                     spec,
                     base_mem_mb,

@@ -792,7 +792,7 @@ impl J2eeApp {
                 .get_attr(c, "server-id")
                 .ok()
                 .and_then(|v| v.as_int())
-                .map(|i| ServerId(i as u32))
+                .map(|i| ServerId(jade_sim::id_u32(i)))
         };
         let mut active_backends: Vec<(jade_fractal::ComponentId, ServerId)> = Vec::new();
         let mut stale_backends: Vec<(jade_fractal::ComponentId, ServerId)> = Vec::new();

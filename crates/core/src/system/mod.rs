@@ -769,6 +769,7 @@ impl J2eeApp {
 impl App for J2eeApp {
     type Msg = Msg;
 
+    #[jade_hot::jade_hot]
     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, _dst: jade_sim::Addr, msg: Msg) {
         match msg {
             Msg::Bootstrap => self.bootstrap(ctx),

@@ -39,7 +39,7 @@ impl J2eeApp {
             }
         }
         while active < target {
-            let id = self.clients.len() as u32;
+            let id = jade_sim::id_u32(self.clients.len());
             let rng = ctx.rng().fork();
             self.clients.push(ClientSlot {
                 client: EmulatedClient::new(id, rng, self.cfg.think_time),
@@ -358,10 +358,12 @@ impl J2eeApp {
 
     /// Dispatches the request's next SQL op to C-JDBC — or, when the plan
     /// is exhausted, starts the post-query page generation.
+    #[jade_hot::jade_hot]
     pub(crate) fn on_db_dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let Some(state) = self.request(req) else {
             return;
         };
+        // jade-audit: allow(hot-panic): tomcat is assigned before the first DbDispatch is scheduled
         let tomcat = state.tomcat.expect("SQL phase implies a tomcat");
         if state.sql_idx >= state.plan.sql.len() {
             let demand = state.plan.post_demand;
@@ -378,6 +380,7 @@ impl J2eeApp {
             self.submit_job(ctx, node, JobOwner::ServletPost(req), demand);
             return;
         }
+        // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
         let is_write = state.plan.sql[state.sql_idx].is_write();
         let Some((cjdbc, _)) = self.cjdbc else {
             self.fail_request(ctx, req);
@@ -401,7 +404,9 @@ impl J2eeApp {
                 let state = self
                     .inflight
                     .get(SlabKey::from_raw(req.0))
+                    // jade-audit: allow(hot-panic): request(req) returned Some at function entry
                     .expect("request checked live above");
+                // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
                 let op = &state.plan.sql[state.sql_idx];
                 self.legacy.cjdbc_execute_write(cjdbc, op)
             };
@@ -415,6 +420,7 @@ impl J2eeApp {
                             .legacy
                             .server(backend)
                             .map(|s| s.process().node)
+                            // jade-audit: allow(hot-panic): cjdbc_execute_write targets only live backends
                             .expect("active backend exists");
                         self.submit_job(
                             ctx,
@@ -435,7 +441,9 @@ impl J2eeApp {
                 let state = self
                     .inflight
                     .get(SlabKey::from_raw(req.0))
+                    // jade-audit: allow(hot-panic): request(req) returned Some at function entry
                     .expect("request checked live above");
+                // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
                 let op = &state.plan.sql[state.sql_idx];
                 let rng = ctx.rng();
                 self.legacy.cjdbc_execute_read(cjdbc, op, rng)
@@ -449,6 +457,7 @@ impl J2eeApp {
                         .legacy
                         .server(backend)
                         .map(|s| s.process().node)
+                        // jade-audit: allow(hot-panic): cjdbc_execute_read routes only to live backends
                         .expect("active backend exists");
                     self.submit_job(
                         ctx,

@@ -23,6 +23,16 @@ use crate::wrapper::{ArchView, Wrapper};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+/// Checked narrowing of a component slot index into the `u32` id space.
+/// `jade-fractal` sits below `jade-sim` in the dependency order, so it
+/// carries its own helper instead of `jade_sim::pack::id_u32`; the
+/// behaviour is identical (panic instead of silent wrap-around).
+#[inline]
+#[track_caller]
+fn comp_idx(i: usize) -> u32 {
+    u32::try_from(i).expect("component count exceeds the u32 id space")
+}
+
 /// One journaled management operation.
 ///
 /// Names are interned `Arc<str>`s shared with the component records, so
@@ -126,7 +136,7 @@ impl<E> Registry<E> {
     // ------------------------------------------------------------------
 
     fn insert(&mut self, c: Component<E>) -> ComponentId {
-        let id = ComponentId(self.components.len() as u32);
+        let id = ComponentId(comp_idx(self.components.len()));
         self.journal.push(JournalOp::Create(id, c.name.clone()));
         self.components.push(Some(c));
         id
@@ -449,7 +459,7 @@ impl<E> Registry<E> {
             let Some(c) = slot else { continue };
             for (itf, eps) in &c.bindings {
                 if eps.iter().any(|e| e.component == target) {
-                    result.push((ComponentId(idx as u32), itf.clone()));
+                    result.push((ComponentId(comp_idx(idx)), itf.clone()));
                 }
             }
         }
@@ -582,7 +592,7 @@ impl<E> Registry<E> {
         self.components
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| c.as_ref().map(|_| ComponentId(i as u32)))
+            .filter_map(|(i, c)| c.as_ref().map(|_| ComponentId(comp_idx(i))))
             .collect()
     }
 

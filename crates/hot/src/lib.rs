@@ -1,0 +1,31 @@
+//! # jade-hot — the `#[jade_hot]` hot-path marker
+//!
+//! A dependency-free attribute macro that expands to exactly the item it
+//! annotates. Its only purpose is to mark the event-loop entry points of
+//! the simulation (the functions executed once per delivered event) so
+//! that `jade-audit`'s `hot-panic` rule can hold them to a stricter
+//! standard: no `unwrap`/`expect`/indexing without a reasoned
+//! `// jade-audit: allow(hot-panic)` suppression documenting the
+//! invariant that makes the panic unreachable.
+//!
+//! Being a real attribute (rather than a naming convention) means the
+//! marker survives refactors: it moves with the function, shows up in
+//! rustdoc, and a typo'd `#[jade_hott]` fails to compile instead of
+//! silently unmarking the hot path.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as a simulation hot path. Expands to the unchanged
+/// item; `jade-audit` enforces the `hot-panic` rule inside marked
+/// functions.
+#[proc_macro_attribute]
+pub fn jade_hot(attr: TokenStream, item: TokenStream) -> TokenStream {
+    assert!(
+        attr.is_empty(),
+        "#[jade_hot] takes no arguments; use // jade-audit: allow(hot-panic): <reason> \
+         to suppress diagnostics inside the function"
+    );
+    item
+}

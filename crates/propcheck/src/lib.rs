@@ -139,10 +139,12 @@ pub const DEFAULT_CASES: u32 = 256;
 /// binary runs the same cases. Override with `PROPCHECK_CASES` (count) and
 /// `PROPCHECK_SEED` (base seed) to reproduce or broaden a run.
 pub fn run(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
+    // jade-audit: allow(nondet-env): documented repro knob of the test harness itself; it never runs inside a simulation
     let cases = std::env::var("PROPCHECK_CASES")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(cases);
+    // jade-audit: allow(nondet-env): documented repro knob of the test harness itself; it never runs inside a simulation
     let base: u64 = std::env::var("PROPCHECK_SEED")
         .ok()
         .and_then(|s| s.parse().ok())

@@ -64,10 +64,9 @@
 //! engine, and on the timer calls [`PsCpu::collect_completions`]. Re-arming
 //! uses the event queue's lazy cancellation.
 
+use crate::det::DetHashMap;
 use crate::metrics::UtilizationTracker;
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
-use std::hash::{BuildHasher, Hasher};
 
 /// Identifier the owner attaches to a job (e.g. a request id).
 ///
@@ -183,45 +182,6 @@ enum Slot {
     Aborted,
 }
 
-/// Deterministic multiplicative hasher for the job index. Ids are single
-/// `u64`s, so one xor-multiply spreads them fine and is an order of
-/// magnitude cheaper than the default SipHash; fixing the seed (instead of
-/// `RandomState`) makes clones and reruns hash identically. The map is
-/// never iterated, so the hash order can't leak into simulation results.
-#[derive(Debug, Clone, Copy, Default)]
-struct JobHasher(u64);
-
-impl Hasher for JobHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(b as u64);
-        }
-    }
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        // Fibonacci multiplier pushes entropy into the high bits, which is
-        // where `HashMap`'s control bytes and bucket index come from.
-        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-/// [`BuildHasher`] producing [`JobHasher`]s.
-#[derive(Debug, Clone, Copy, Default)]
-struct JobHash;
-
-impl BuildHasher for JobHash {
-    type Hasher = JobHasher;
-    #[inline]
-    fn build_hasher(&self) -> JobHasher {
-        JobHasher::default()
-    }
-}
-
 /// Free-list terminator.
 const NO_FREE: u32 = u32::MAX;
 
@@ -265,8 +225,10 @@ pub struct PsCpu {
     /// Job id -> slab slot, for O(1) abort. Built lazily: the map only
     /// exists (and is maintained) once an id lookup has actually been
     /// needed, so the pure submit/complete path — the saturated-tier hot
-    /// loop — never hashes at all.
-    index: HashMap<JobId, u32, JobHash>,
+    /// loop — never hashes at all. Uses the workspace-wide deterministic
+    /// fx hasher ([`crate::det`]); the map is never iterated, so hash
+    /// order can't leak into simulation results.
+    index: DetHashMap<JobId, u32>,
     /// Whether `index` is currently materialized and being maintained.
     index_live: bool,
     util: UtilizationTracker,
@@ -294,7 +256,7 @@ impl PsCpu {
             live: 0,
             aborted: 0,
             zero_demand: 0,
-            index: HashMap::default(),
+            index: DetHashMap::default(),
             index_live: false,
             util: UtilizationTracker::new(),
             completed: Vec::with_capacity(32),

@@ -1,0 +1,114 @@
+//! Deterministic hashing: the sanctioned replacement for
+//! `std::collections`' default `RandomState`.
+//!
+//! `RandomState` seeds itself per process, so two runs of the same
+//! simulation can place identical keys in different buckets. That is
+//! harmless for pure lookups, but the moment a map is iterated the bucket
+//! order leaks into results — and even for lookup-only maps it makes heap
+//! layouts and profiles irreproducible. The workspace therefore bans the
+//! default hasher in every crate that feeds a run digest (enforced by
+//! `jade-audit`'s `nondet-hasher` rule) and uses these aliases instead.
+//!
+//! [`FxHasher`] is the fixed-seed multiply-rotate mix previously
+//! duplicated by the storage engine's secondary indexes and the PS-CPU's
+//! job index; both now share this one definition. It is an order of
+//! magnitude cheaper than SipHash on the small keys (ids, interned
+//! strings, column values) the simulation hashes, and — having no random
+//! state — it hashes identically across runs, clones and platforms.
+//!
+//! Iterating a [`DetHashMap`]/[`DetHashSet`] is *still* unordered (bucket
+//! order is hash order, not insertion order); the determinism contract
+//! only guarantees the order is the *same* on every run. Code whose
+//! iteration order reaches a digest must sort first or use a `BTreeMap`
+//! (see the `unordered-iter` audit rule).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fixed multiplier of the fx mix (pushes entropy into the high bits,
+/// which is where `HashMap`'s control bytes and bucket index come from).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Deterministic fx-style hasher: a fixed-seed multiply-rotate mix with
+/// no per-process random state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructible).
+pub type DetState = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the deterministic hasher — the drop-in replacement for
+/// a default-hashed `HashMap` in digest-feeding crates.
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>;
+
+/// `HashSet` with the deterministic hasher.
+pub type DetHashSet<T> = HashSet<T, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_across_hasher_instances() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_and_u64_paths_mix() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn det_map_round_trips() {
+        let mut m: DetHashMap<u64, &str> = DetHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: DetHashSet<u64> = DetHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

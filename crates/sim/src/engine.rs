@@ -18,6 +18,7 @@ use crate::queue::{EventQueue, EventToken};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceLevel, Tracer};
+use jade_hot::jade_hot;
 
 /// Application-defined actor address. The application decides the meaning
 /// (e.g. an index into a server slab or a well-known constant).
@@ -184,6 +185,7 @@ impl<A: App> Engine<A> {
 
     /// Delivers the next event, if any. Returns `false` when the queue is
     /// drained or a stop was requested.
+    #[jade_hot]
     pub fn step(&mut self) -> bool {
         if self.stop_requested {
             return false;
@@ -208,6 +210,7 @@ impl<A: App> Engine<A> {
 
     /// Runs until the horizon `until` (inclusive), the queue drains, or a
     /// handler requests a stop.
+    #[jade_hot]
     pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
         loop {
             if self.stop_requested {

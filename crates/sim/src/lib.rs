@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod det;
 pub mod digest;
 pub mod engine;
 pub mod metrics;
+pub mod pack;
 pub mod queue;
 pub mod rng;
 pub mod slab;
@@ -35,12 +37,14 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{EfficiencyCurve, JobId, PsCpu};
+pub use det::{DetHashMap, DetHashSet, DetState, FxHasher};
 pub use digest::{digest_str, Digest};
 pub use engine::{Addr, App, Ctx, Engine, RunOutcome};
 pub use metrics::{
     CounterId, Histogram, HistogramId, MetricsHub, MovingAverage, SeriesId, TimeSeries,
     UtilizationTracker,
 };
+pub use pack::{id_u16, id_u32};
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use slab::{GenSlab, SlabKey};

@@ -2,8 +2,9 @@
 //! trackers and the time-windowed moving averages that the Jade
 //! self-optimization sensors rely on (paper §4.1 and §5.2).
 
+use crate::det::DetHashMap;
 use crate::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A recorded `(time, value)` series, e.g. "number of database backends".
 #[derive(Debug, Clone, Default)]
@@ -358,11 +359,11 @@ pub struct CounterId(u32);
 #[derive(Debug, Default)]
 pub struct MetricsHub {
     series: Vec<(String, TimeSeries)>,
-    series_index: HashMap<String, u32>,
+    series_index: DetHashMap<String, u32>,
     histograms: Vec<(String, Histogram)>,
-    histogram_index: HashMap<String, u32>,
+    histogram_index: DetHashMap<String, u32>,
     counters: Vec<(String, u64)>,
-    counter_index: HashMap<String, u32>,
+    counter_index: DetHashMap<String, u32>,
 }
 
 impl MetricsHub {

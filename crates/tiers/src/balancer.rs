@@ -143,7 +143,7 @@ mod tests {
             b.add_worker(ServerId(i)).unwrap();
         }
         let mut rng = SimRng::seed_from_u64(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = jade_sim::DetHashSet::default();
         for _ in 0..100 {
             seen.insert(b.route(&mut rng).unwrap());
         }

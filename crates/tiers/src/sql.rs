@@ -22,6 +22,7 @@
 //! recovery log indexes ("all write requests are logged and indexed as
 //! strings", §4.1).
 
+use jade_sim::id_u16;
 use std::fmt::{self, Write as _};
 use std::sync::Arc;
 
@@ -120,7 +121,7 @@ impl TableDef {
         self.columns
             .iter()
             .position(|c| c == name)
-            .map(|i| ColId(i as u16))
+            .map(|i| ColId(id_u16(i)))
     }
 
     /// Column positions in name-sorted order.
@@ -175,7 +176,7 @@ impl Schema {
         self.tables
             .iter()
             .position(|t| t.name == name)
-            .map(|i| TableId(i as u16))
+            .map(|i| TableId(id_u16(i)))
     }
 
     /// Catalog entry of `table`, if in range.

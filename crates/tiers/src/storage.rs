@@ -30,46 +30,18 @@
 use crate::sql::{
     ColId, ExecSummary, QueryResult, Schema, SharedRow, SqlError, Statement, TableId, Value,
 };
+use jade_sim::{id_u16, DetHashMap};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-
-/// Deterministic fx-style hasher for index keys: a fixed multiply-rotate
-/// mix (no per-process random state, unlike `RandomState`), a few ns per
-/// value instead of SipHash's tens.
-#[derive(Default)]
-struct FxHasher(u64);
-
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl Hasher for FxHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
-        }
-    }
-    fn write_u64(&mut self, n: u64) {
-        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
-    }
-    fn write_u8(&mut self, n: u8) {
-        self.write_u64(u64::from(n));
-    }
-    fn write_i64(&mut self, n: i64) {
-        self.write_u64(n as u64);
-    }
-    fn write_usize(&mut self, n: usize) {
-        self.write_u64(n as u64);
-    }
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
 
 /// One secondary index: filter value → keys of matching rows, kept
 /// sorted ascending (keys are assigned monotonically, so insertion is an
-/// O(1) push; only update/delete need a binary-searched removal).
-type Index = HashMap<Value, Vec<u64>, BuildHasherDefault<FxHasher>>;
+/// O(1) push; only update/delete need a binary-searched removal). Uses
+/// the workspace-wide deterministic fx hasher ([`jade_sim::det`]) — no
+/// per-process random state, a few ns per value instead of SipHash's
+/// tens.
+type Index = DetHashMap<Value, Vec<u64>>;
 
 /// One table: dense rows indexed directly by primary key.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -241,7 +213,7 @@ impl Database {
                 );
                 let key = t.next_key();
                 for (ci, v) in row.iter().enumerate() {
-                    t.index_insert(ColId(ci as u16), v, key);
+                    t.index_insert(ColId(id_u16(ci)), v, key);
                 }
                 t.rows.push(Some(Arc::new(row.clone())));
                 t.live += 1;
@@ -286,7 +258,7 @@ impl Database {
                     Some(row) => {
                         t.live -= 1;
                         for (ci, v) in row.iter().enumerate() {
-                            t.index_remove(ColId(ci as u16), v, *key);
+                            t.index_remove(ColId(id_u16(ci)), v, *key);
                         }
                         1
                     }

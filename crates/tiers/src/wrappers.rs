@@ -24,7 +24,7 @@ type Result<T> = std::result::Result<T, FractalError>;
 pub fn server_id_of(view: &dyn ArchView, comp: ComponentId) -> Result<ServerId> {
     view.attr_of(comp, "server-id")
         .and_then(|v| v.as_int())
-        .map(|i| ServerId(i as u32))
+        .map(|i| ServerId(jade_sim::id_u32(i)))
         .ok_or_else(|| FractalError::Wrapper {
             reason: format!("component {comp:?} has no server-id attribute"),
         })
