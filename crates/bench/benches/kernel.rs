@@ -476,10 +476,26 @@ const E2E_FIG5_HORIZON: SimDuration = SimDuration::from_secs(30);
 /// An order of magnitude beyond the paper's scale.
 const E2E_5K_CLIENTS: u32 = 5_000;
 const E2E_5K_HORIZON: SimDuration = SimDuration::from_secs(10);
+/// The `fig5_1m` scenario's peak, pinned constant for the bench.
+const E2E_1M_CLIENTS: u32 = 1_000_000;
+const E2E_1M_HORIZON: SimDuration = SimDuration::from_secs(5);
 
 fn e2e_cfg(clients: u32) -> SystemConfig {
     let mut cfg = SystemConfig::paper_managed();
     cfg.ramp = WorkloadRamp::constant(clients);
+    cfg.seed = 0xE2E;
+    cfg
+}
+
+/// The million-client scenario at its peak: `fig5_1m`'s hardware and
+/// think time with the ramp pinned at a constant million clients on the
+/// peak deployment (four replicas per managed tier), so every benchmark
+/// second runs at full aggregate-pool pressure.
+fn e2e_1m_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::million_clients();
+    cfg.ramp = WorkloadRamp::constant(E2E_1M_CLIENTS);
+    cfg.description.application.replicas = 4;
+    cfg.description.database.replicas = 4;
     cfg.seed = 0xE2E;
     cfg
 }
@@ -500,6 +516,25 @@ fn bench_e2e(r: &mut Runner) {
         });
         r.bench(&format!("e2e/naive/{tag}"), move || {
             NaiveLifecycle::new(clients, 0xE2E).run(horizon)
+        });
+    }
+
+    // A million clients: the real system runs them as an aggregate pool
+    // ticking over the timer wheel; the naive stack materializes a
+    // million emulated clients with one pending think timer each in the
+    // `NaiveTimers` heap, and pays `log(1M)` per timer on top of the
+    // per-client setup. Same hardware scale on both sides (`fig5_1m`'s
+    // speed-20 nodes, four replicas per managed tier, 650 s think time).
+    {
+        let cfg = e2e_1m_cfg();
+        let think = cfg.think_time;
+        let speed = cfg.node_spec.cpu_speed;
+        r.bench("e2e/system/fig5_1m", move || {
+            let out = run_experiment(e2e_1m_cfg(), E2E_1M_HORIZON);
+            (out.events, out.metrics.counter("requests.completed"))
+        });
+        r.bench("e2e/naive/fig5_1m", move || {
+            NaiveLifecycle::at_scale(E2E_1M_CLIENTS, 0xE2E, think, speed, 4, 4).run(E2E_1M_HORIZON)
         });
     }
 }
@@ -570,6 +605,7 @@ fn main() {
     );
     let e2e_fig5 = ratio("e2e/system/fig5_500_clients", "e2e/naive/fig5_500_clients");
     let e2e_5k = ratio("e2e/system/5k_clients", "e2e/naive/5k_clients");
+    let e2e_1m = ratio("e2e/system/fig5_1m", "e2e/naive/fig5_1m");
     println!("\nslab vs naive BinaryHeap+HashSet queue:");
     println!("  push_pop      {push_pop:.2}x");
     println!("  cancel_heavy  {cancel:.2}x");
@@ -586,6 +622,8 @@ fn main() {
     println!("slab lifecycle vs naive end-to-end stack (same scenario):");
     println!("  fig5_500_clients   {e2e_fig5:.2}x");
     println!("  5k_clients         {e2e_5k:.2}x");
+    println!("aggregate pool + timer wheel vs per-client NaiveTimers stack:");
+    println!("  fig5_1m (1M clients) {e2e_1m:.2}x");
     r.write_json_with(
         "kernel",
         "BENCH_kernel.json",
@@ -602,6 +640,7 @@ fn main() {
             ("speedup_db_rubis_mix", db_mix),
             ("speedup_e2e_fig5", e2e_fig5),
             ("speedup_e2e_5k_clients", e2e_5k),
+            ("speedup_e2e_1m_clients", e2e_1m),
         ],
     );
 }

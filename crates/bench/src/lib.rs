@@ -6,6 +6,7 @@
 //! |-------------|------------|
 //! | `reconfig`  | §5.1 qualitative comparison (ops + config writes)   |
 //! | `fig5`      | Figure 5: replica counts under the client ramp      |
+//! | `fig5_1m`   | Figure 5 rescaled to a million aggregate clients    |
 //! | `fig6`      | Figure 6: database-tier CPU, managed vs unmanaged   |
 //! | `fig7`      | Figure 7: application-tier CPU, managed vs unmanaged|
 //! | `fig8`      | Figure 8: response time without Jade                |
@@ -29,7 +30,9 @@ pub mod microbench;
 pub mod reference;
 
 pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
-pub use reference::{NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveRow};
+pub use reference::{
+    NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveRow, NaiveTimers,
+};
 
 use jade::experiment::ExperimentOutput;
 use jade::system::ManagedTier;

@@ -393,42 +393,69 @@ enum LifecycleMsg {
     Response { req: u64 },
 }
 
-/// The pre-slab event queue: a `BinaryHeap` with payloads inline plus a
+/// The pre-wheel timer store: a `BinaryHeap` with payloads inline plus a
 /// `HashSet` of cancelled sequence numbers (the same baseline the
 /// `event_queue/naive/*` bench cases measure in isolation).
-struct LifecycleQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, LifecycleMsg)>>,
+///
+/// This is both the naive lifecycle's event queue and the trivially
+/// correct reference model the `wheel_prop` differential test checks the
+/// hierarchical timer wheel against: entries fire in `(time, insertion
+/// sequence)` order, cancellation is lazy (filtered at pop), and a
+/// sequence number is never reused, so a cancel of an already-fired
+/// timer is a no-op by construction.
+pub struct NaiveTimers<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, T)>>,
     cancelled: HashSet<u64>,
     next_seq: u64,
 }
 
-impl LifecycleQueue {
-    fn new() -> Self {
-        LifecycleQueue {
+impl<T: Ord> NaiveTimers<T> {
+    /// An empty timer store.
+    pub fn new() -> Self {
+        NaiveTimers {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
         }
     }
 
-    fn push(&mut self, time: SimTime, msg: LifecycleMsg) -> u64 {
+    /// Arms a timer; returns its cancellation handle.
+    pub fn push(&mut self, time: SimTime, msg: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse((time, seq, msg)));
         seq
     }
 
-    fn cancel(&mut self, seq: u64) {
+    /// Marks a timer cancelled (dropped lazily at pop).
+    pub fn cancel(&mut self, seq: u64) {
         self.cancelled.insert(seq);
     }
 
-    fn pop(&mut self) -> Option<(SimTime, LifecycleMsg)> {
+    /// Pops the earliest live timer.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
         while let Some(Reverse((time, seq, msg))) = self.heap.pop() {
             if !self.cancelled.remove(&seq) {
                 return Some((time, msg));
             }
         }
         None
+    }
+
+    /// Live timers remaining (cancelled-but-unswept entries excluded).
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live timers remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Ord> Default for NaiveTimers<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -455,7 +482,6 @@ const LC_QUEUE_LIMIT: usize = 512;
 const LC_PLB: usize = 0;
 const LC_CJDBC: usize = 1;
 const LC_TOMCAT0: usize = 2;
-const LC_BACKEND0: usize = LC_TOMCAT0 + LC_TOMCATS;
 const LC_CLIENT_DELAY: SimDuration = SimDuration::from_millis(1);
 const LC_HOP: SimDuration = SimDuration::from_micros(120);
 const LC_PLB_ROUTING: SimDuration = SimDuration::from_micros(100);
@@ -473,7 +499,10 @@ const LC_CJDBC_ROUTING: SimDuration = SimDuration::from_micros(300);
 /// The `e2e/naive/*` bench cases measure this model against the real
 /// `jade::experiment::run_experiment` stack at equal client counts.
 pub struct NaiveLifecycle {
-    queue: LifecycleQueue,
+    queue: NaiveTimers<LifecycleMsg>,
+    tomcats: usize,
+    backends: usize,
+    backend0: usize,
     cpus: Vec<NaivePsCpu>,
     cpu_timers: BTreeMap<usize, u64>,
     inflight: BTreeMap<u64, LifecycleRequest>,
@@ -498,11 +527,34 @@ impl NaiveLifecycle {
     /// staggers the initial think of each emulated client, exactly like
     /// the real bootstrap.
     pub fn new(clients: u32, seed: u64) -> Self {
+        Self::at_scale(
+            clients,
+            seed,
+            DEFAULT_THINK_TIME,
+            1.0,
+            LC_TOMCATS,
+            LC_BACKENDS,
+        )
+    }
+
+    /// [`NaiveLifecycle::new`] with the deployment scaled: mean think
+    /// time, node speed and tier widths become parameters so the naive
+    /// stack can be pitted against the real system on rescaled scenarios
+    /// (the million-client run pits it against `cpu_speed` 20 nodes and
+    /// four replicas per managed tier).
+    pub fn at_scale(
+        clients: u32,
+        seed: u64,
+        think: SimDuration,
+        cpu_speed: f64,
+        tomcats: usize,
+        backends: usize,
+    ) -> Self {
         let mut rng = SimRng::seed_from_u64(seed);
         let schema = rubis_schema();
         let spec = DatasetSpec::small();
         let dump = dataset_statements(spec, &mut rng);
-        let dbs: Vec<NaiveDatabase> = (0..LC_BACKENDS)
+        let dbs: Vec<NaiveDatabase> = (0..backends)
             .map(|_| {
                 let mut db = NaiveDatabase::new();
                 for s in &dump {
@@ -511,14 +563,18 @@ impl NaiveLifecycle {
                 db
             })
             .collect();
+        let backend0 = LC_TOMCAT0 + tomcats;
         let mut sim = NaiveLifecycle {
-            queue: LifecycleQueue::new(),
-            cpus: vec![NaivePsCpu::new(1.0, Curve::Ideal); LC_BACKEND0 + LC_BACKENDS],
+            queue: NaiveTimers::new(),
+            tomcats,
+            backends,
+            backend0,
+            cpus: vec![NaivePsCpu::new(cpu_speed, Curve::Ideal); backend0 + backends],
             cpu_timers: BTreeMap::new(),
             inflight: BTreeMap::new(),
             job_owner: BTreeMap::new(),
             accept_queues: BTreeMap::new(),
-            active: vec![0; LC_TOMCATS],
+            active: vec![0; tomcats],
             dbs,
             schema,
             clients: Vec::with_capacity(clients as usize),
@@ -532,9 +588,8 @@ impl NaiveLifecycle {
             now: SimTime::ZERO,
         };
         for i in 0..clients {
-            sim.clients
-                .push(EmulatedClient::new(i, rng.fork(), DEFAULT_THINK_TIME));
-            let stagger = SimDuration::from_secs_f64(rng.f64() * DEFAULT_THINK_TIME.as_secs_f64());
+            sim.clients.push(EmulatedClient::new(i, rng.fork(), think));
+            let stagger = SimDuration::from_secs_f64(rng.f64() * think.as_secs_f64());
             sim.queue
                 .push(SimTime::ZERO + stagger, LifecycleMsg::Think(i));
         }
@@ -588,7 +643,7 @@ impl NaiveLifecycle {
         let plan = self.clients[c as usize].next_interaction(&mut self.ks);
         let req = self.next_request;
         self.next_request += 1;
-        let tomcat = self.rr_tomcat % LC_TOMCATS;
+        let tomcat = self.rr_tomcat % self.tomcats;
         self.rr_tomcat += 1;
         self.inflight.insert(
             req,
@@ -665,20 +720,20 @@ impl NaiveLifecycle {
         self.submit_job(LC_CJDBC, LifecycleOwner::Routing, LC_CJDBC_ROUTING);
         if op.is_write() {
             if let Some(st) = self.inflight.get_mut(&req) {
-                st.pending_db = LC_BACKENDS;
+                st.pending_db = self.backends;
             }
-            for b in 0..LC_BACKENDS {
+            for b in 0..self.backends {
                 let _ = self.dbs[b].execute(&self.schema, &op.statement);
-                self.submit_job(LC_BACKEND0 + b, LifecycleOwner::Db(req), op.demand);
+                self.submit_job(self.backend0 + b, LifecycleOwner::Db(req), op.demand);
             }
         } else {
-            let b = self.rr_backend % LC_BACKENDS;
+            let b = self.rr_backend % self.backends;
             self.rr_backend += 1;
             if let Some(st) = self.inflight.get_mut(&req) {
                 st.pending_db = 1;
             }
             let _ = self.dbs[b].execute(&self.schema, &op.statement);
-            self.submit_job(LC_BACKEND0 + b, LifecycleOwner::Db(req), op.demand);
+            self.submit_job(self.backend0 + b, LifecycleOwner::Db(req), op.demand);
         }
     }
 

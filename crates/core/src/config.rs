@@ -10,6 +10,26 @@ use jade_cluster::NodeSpec;
 use jade_rubis::{DatasetSpec, WorkloadRamp, DEFAULT_THINK_TIME};
 use jade_sim::{EfficiencyCurve, SimDuration};
 
+/// How the emulated-client population is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// One `EmulatedClient` object, RNG stream and pending think timer
+    /// per session — exact per-session trajectories, fine at the paper's
+    /// 500 clients.
+    PerClient,
+    /// Idle sessions collapsed to per-navigation-state counts
+    /// (`jade_rubis::ClientPool`): each tick draws how many sessions
+    /// finish thinking from the binomial implied by the exponential
+    /// think time's memorylessness, and a session only materializes
+    /// per-request state at dispatch. Scales to millions of clients.
+    Aggregate {
+        /// Issuance-tick period (the binomial sampling quantum). Think
+        /// completions within a tick get a uniform dispatch offset, so
+        /// smaller ticks trade event count for arrival smoothness.
+        tick: SimDuration,
+    },
+}
+
 /// Configuration of one tier's self-optimization loop.
 #[derive(Debug, Clone, Copy)]
 pub struct TierLoopConfig {
@@ -147,6 +167,8 @@ pub struct SystemConfig {
     pub drain_grace: SimDuration,
     /// Period of the client-pool adjustment tick.
     pub ramp_tick: SimDuration,
+    /// Client-emulation mode (per-client objects vs aggregate counts).
+    pub client_mode: ClientMode,
 }
 
 impl Default for SystemConfig {
@@ -176,6 +198,7 @@ impl Default for SystemConfig {
             stats_window: SimDuration::from_secs(10),
             drain_grace: SimDuration::from_secs(5),
             ramp_tick: SimDuration::from_secs(2),
+            client_mode: ClientMode::PerClient,
         }
     }
 }
@@ -190,6 +213,52 @@ impl SystemConfig {
     pub fn paper_unmanaged() -> Self {
         SystemConfig {
             jade: JadeConfig::unmanaged(),
+            ..SystemConfig::default()
+        }
+    }
+
+    /// The Figure 5 scenario scaled to a production-size population: a
+    /// 160 k → 1 M → 160 k client ramp driven by the aggregate client
+    /// pool, on hardware scaled with the load. The scenario is a
+    /// consistent rescale of the paper's run: population ×2000, think
+    /// time ×100 (650 s) and node speed ×20, so the offered load *per
+    /// unit of CPU speed* matches fig5 at every corresponding ramp
+    /// point (the base population loads the initial single Tomcat like
+    /// the paper's 80 clients; the million-client peak is the paper's
+    /// 500). The ramp and the managers' time constants (smoothing,
+    /// inhibition) are compressed ×4 together, which preserves the
+    /// detection-lag-to-ramp-rate ratio while keeping the run short
+    /// enough to finish in seconds of wall clock.
+    pub fn million_clients() -> Self {
+        let mut jade = JadeConfig {
+            inhibition: SimDuration::from_secs(15),
+            ..JadeConfig::default()
+        };
+        jade.app_loop.window = SimDuration::from_secs(15);
+        jade.db_loop.window = SimDuration::from_millis(22_500);
+        SystemConfig {
+            nodes: 12,
+            node_spec: NodeSpec {
+                cpu_speed: 20.0,
+                memory_mb: 1024,
+                curve: EfficiencyCurve::Thrashing {
+                    knee: 40,
+                    slope: 0.02,
+                },
+            },
+            ramp: WorkloadRamp {
+                base_clients: 160_000,
+                peak_clients: 1_000_000,
+                step_clients: 42_000,
+                step_interval: SimDuration::from_secs(15),
+                warmup: SimDuration::from_secs(30),
+                plateau: SimDuration::from_secs(90),
+            },
+            think_time: SimDuration::from_secs(650),
+            client_mode: ClientMode::Aggregate {
+                tick: SimDuration::from_millis(100),
+            },
+            jade,
             ..SystemConfig::default()
         }
     }

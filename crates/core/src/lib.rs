@@ -46,7 +46,7 @@ pub mod planner;
 pub mod system;
 
 pub use adl::{AdlError, J2eeDescription, TierKind, TierSpec};
-pub use config::{JadeConfig, SystemConfig, TierLoopConfig};
+pub use config::{ClientMode, JadeConfig, SystemConfig, TierLoopConfig};
 pub use control::{
     CpuAvgSensor, Decision, InhibitionWindow, LatencySensor, Sensor, ThresholdReactor,
 };

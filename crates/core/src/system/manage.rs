@@ -137,7 +137,7 @@ impl J2eeApp {
         // Arbitration pump: execute at most one queued reconfiguration
         // when the system is quiescent.
         self.pump_arbitrator(ctx);
-        ctx.send_after(self.cfg.jade.probe_period, Addr::ROOT, Msg::MeasureTick);
+        ctx.send_after_coarse(self.cfg.jade.probe_period, Addr::ROOT, Msg::MeasureTick);
     }
 
     /// Executes the next arbitrated reconfiguration when permitted.
@@ -240,7 +240,7 @@ impl J2eeApp {
                 }
             }
         }
-        ctx.send_after(period, Addr::ROOT, Msg::SensorTick(idx));
+        ctx.send_after_coarse(period, Addr::ROOT, Msg::SensorTick(idx));
     }
 
     // ------------------------------------------------------------------
@@ -668,7 +668,7 @@ impl J2eeApp {
                 self.repair_server(ctx, server);
             }
         }
-        ctx.send_after(self.cfg.jade.probe_period, Addr::ROOT, Msg::DetectorTick);
+        ctx.send_after_coarse(self.cfg.jade.probe_period, Addr::ROOT, Msg::DetectorTick);
     }
 
     /// Repairs one failed replica: detach it from its balancer, destroy

@@ -87,6 +87,13 @@ pub struct J2eeApp {
     pub(crate) apache_seq: u32,
 
     pub(crate) clients: Vec<ClientSlot>,
+    /// Aggregate-mode client population (`Some` iff
+    /// `cfg.client_mode` is [`crate::config::ClientMode::Aggregate`]);
+    /// `clients` stays empty in that mode.
+    pub(crate) pool: Option<jade_rubis::ClientPool>,
+    /// Recycled issuance buffer of the aggregate pool tick:
+    /// `(dispatch offset, return bucket, interaction index)`.
+    pub(crate) pool_scratch: Vec<(SimDuration, u32, u32)>,
     pub(crate) ks: KeySpace,
     pub(crate) transitions: jade_rubis::TransitionMatrix,
     pub(crate) mix: jade_rubis::InteractionMix,
@@ -251,6 +258,7 @@ impl J2eeApp {
         let inhibition = InhibitionWindow::new(cfg.jade.inhibition);
         let cfg_arbitration = cfg.jade.arbitration;
         let cfg_browsing = cfg.browsing_mix;
+        let cfg_aggregate = matches!(cfg.client_mode, crate::config::ClientMode::Aggregate { .. });
         let ks: KeySpace = cfg.dataset.into();
         J2eeApp {
             cfg,
@@ -271,6 +279,8 @@ impl J2eeApp {
             mysql_seq: 0,
             apache_seq: 0,
             clients: Vec::new(),
+            pool: cfg_aggregate.then(jade_rubis::ClientPool::new),
+            pool_scratch: Vec::new(),
             ks,
             transitions: jade_rubis::TransitionMatrix::bidding_mix(),
             mix: if cfg_browsing {
@@ -725,20 +735,23 @@ impl J2eeApp {
     fn bootstrap(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.deploy_initial();
         ctx.send_now(jade_sim::Addr::ROOT, Msg::RampTick);
-        ctx.send_after(
+        if let crate::config::ClientMode::Aggregate { tick } = self.cfg.client_mode {
+            ctx.send_after_coarse(tick, jade_sim::Addr::ROOT, Msg::PoolTick);
+        }
+        ctx.send_after_coarse(
             self.cfg.jade.probe_period,
             jade_sim::Addr::ROOT,
             Msg::MeasureTick,
         );
         for i in 0..self.managers.len() {
-            ctx.send_after(
+            ctx.send_after_coarse(
                 self.cfg.jade.probe_period,
                 jade_sim::Addr::ROOT,
                 Msg::SensorTick(i),
             );
         }
         if self.cfg.jade.managed && self.cfg.jade.self_repair {
-            ctx.send_after(
+            ctx.send_after_coarse(
                 self.cfg.jade.probe_period,
                 jade_sim::Addr::ROOT,
                 Msg::DetectorTick,
@@ -776,6 +789,11 @@ impl App for J2eeApp {
             Msg::RampTick => self.on_ramp_tick(ctx),
             Msg::MeasureTick => self.on_measure_tick(ctx),
             Msg::ClientThink(c) => self.on_client_think(ctx, c),
+            Msg::PoolTick => self.on_pool_tick(ctx),
+            Msg::PoolDispatch {
+                bucket,
+                interaction,
+            } => self.on_pool_dispatch(ctx, bucket, interaction),
             Msg::ApacheAccept { req, apache } => self.on_apache_accept(ctx, req, apache),
             Msg::TomcatAccept { req, tomcat } => self.on_tomcat_accept(ctx, req, tomcat),
             Msg::DbDispatch { req } => self.on_db_dispatch(ctx, req),

@@ -15,6 +15,19 @@ pub enum Msg {
     MeasureTick,
     /// A client finished thinking and issues its next interaction.
     ClientThink(u32),
+    /// Aggregate-mode issuance tick: draw which idle sessions finish
+    /// thinking this period and schedule their dispatches.
+    PoolTick,
+    /// An aggregate-mode session's dispatch offset elapsed: materialize
+    /// the request and route it into the system.
+    PoolDispatch {
+        /// Idle bucket the session returns to on completion — its new
+        /// navigation state under Markov navigation, the fresh bucket
+        /// under the stateless i.i.d. mix.
+        bucket: u32,
+        /// Index of the issued interaction in `INTERACTIONS`.
+        interaction: u32,
+    },
     /// An HTTP request reached an Apache replica (web-tier topologies).
     ApacheAccept {
         /// The request.

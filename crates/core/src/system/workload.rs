@@ -19,6 +19,19 @@ impl J2eeApp {
     // ------------------------------------------------------------------
 
     pub(crate) fn on_ramp_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Aggregate mode: the population is a set of counts; ramping is
+        // pure bookkeeping on the pool (growth adds fresh sessions,
+        // shrinkage retires idle ones and books in-flight debt).
+        if let Some(pool) = self.pool.as_mut() {
+            let target = u64::from(self.cfg.ramp.clients_at(ctx.now()));
+            pool.set_target(target);
+            let now = ctx.now();
+            let ids = self.hot_ids(ctx);
+            ctx.metrics()
+                .record_series_id(ids.clients, now, target as f64);
+            ctx.send_after_coarse(self.cfg.ramp_tick, Addr::ROOT, Msg::RampTick);
+            return;
+        }
         let target = self.cfg.ramp.clients_at(ctx.now()) as usize;
         // Grow: reactivate parked clients, then create new ones.
         let mut active: usize = self.clients.iter().filter(|c| c.active).count();
@@ -34,7 +47,7 @@ impl J2eeApp {
                     let stagger = SimDuration::from_secs_f64(
                         ctx.rng().f64() * self.cfg.think_time.as_secs_f64(),
                     );
-                    ctx.send_after(stagger, Addr::ROOT, Msg::ClientThink(i as u32));
+                    ctx.send_after_coarse(stagger, Addr::ROOT, Msg::ClientThink(i as u32));
                 }
             }
         }
@@ -48,7 +61,7 @@ impl J2eeApp {
             });
             let stagger =
                 SimDuration::from_secs_f64(ctx.rng().f64() * self.cfg.think_time.as_secs_f64());
-            ctx.send_after(stagger, Addr::ROOT, Msg::ClientThink(id));
+            ctx.send_after_coarse(stagger, Addr::ROOT, Msg::ClientThink(id));
             active += 1;
         }
         // Shrink: park the highest-numbered clients; they retire at the
@@ -69,10 +82,12 @@ impl J2eeApp {
         let ids = self.hot_ids(ctx);
         ctx.metrics()
             .record_series_id(ids.clients, now, target as f64);
-        ctx.send_after(self.cfg.ramp_tick, Addr::ROOT, Msg::RampTick);
+        ctx.send_after_coarse(self.cfg.ramp_tick, Addr::ROOT, Msg::RampTick);
     }
 
-    /// Schedules the client's next think-cycle.
+    /// Schedules the client's next think-cycle. Think timers are the
+    /// bulk of the pending set — one per idle client — so they ride the
+    /// timer wheel, not the min-heap.
     pub(crate) fn schedule_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
         let slot = &mut self.clients[client as usize];
         if !slot.active {
@@ -81,7 +96,7 @@ impl J2eeApp {
         }
         slot.busy = true;
         let think = slot.client.think_time();
-        ctx.send_after(think, Addr::ROOT, Msg::ClientThink(client));
+        ctx.send_after_coarse(think, Addr::ROOT, Msg::ClientThink(client));
     }
 
     pub(crate) fn on_client_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
@@ -100,7 +115,105 @@ impl J2eeApp {
             slot.client
                 .next_interaction_in_mix_into(&self.mix, &mut self.ks, sql_buf)
         };
+        self.dispatch_interaction(ctx, client, plan);
+    }
 
+    /// One aggregate issuance tick: every idle session fires with the
+    /// binomial probability implied by the tick length and the
+    /// exponential think-time mean; each issuer draws a uniform dispatch
+    /// offset within the tick and its navigation transition (in the
+    /// pool's documented bucket order), and the materialization is
+    /// deferred to [`Msg::PoolDispatch`].
+    pub(crate) fn on_pool_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let crate::config::ClientMode::Aggregate { tick } = self.cfg.client_mode else {
+            return;
+        };
+        let dt = tick.as_secs_f64();
+        let p = 1.0 - (-dt / self.cfg.think_time.as_secs_f64()).exp();
+        let mut pool = self.pool.take().expect("pool tick implies aggregate mode");
+        let mut out = std::mem::take(&mut self.pool_scratch);
+        out.clear();
+        {
+            let markov = self.cfg.markov_navigation;
+            let transitions = &self.transitions;
+            let mix = &self.mix;
+            pool.tick(p, ctx.rng(), |rng, bucket| {
+                let offset = SimDuration::from_secs_f64(rng.f64() * dt);
+                let (ret, interaction) = if markov {
+                    // A fresh session enters at Home without a draw,
+                    // exactly like `EmulatedClient`; the issued
+                    // interaction *is* the session's new state.
+                    let s = if bucket == jade_rubis::FRESH_BUCKET {
+                        transitions.home()
+                    } else {
+                        transitions.next(bucket, rng)
+                    };
+                    (s as u32, s as u32)
+                } else {
+                    // The i.i.d. mix tracks no state: sample the
+                    // interaction, return to the fresh bucket.
+                    let t = mix.sample_index(rng);
+                    (jade_rubis::FRESH_BUCKET as u32, t as u32)
+                };
+                out.push((offset, ret, interaction));
+            });
+        }
+        for &(offset, bucket, interaction) in &out {
+            ctx.send_after_coarse(
+                offset,
+                Addr::ROOT,
+                Msg::PoolDispatch {
+                    bucket,
+                    interaction,
+                },
+            );
+        }
+        self.pool_scratch = out;
+        self.pool = Some(pool);
+        ctx.send_after_coarse(tick, Addr::ROOT, Msg::PoolTick);
+    }
+
+    /// An aggregate session's think time elapsed: materialize the plan
+    /// (this is the only point an aggregate session pays per-session
+    /// cost) and route it like any per-client request. The request
+    /// carries the return bucket in its `client` field.
+    pub(crate) fn on_pool_dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        bucket: u32,
+        interaction: u32,
+    ) {
+        let sql_buf = self.sql_recycle.pop().unwrap_or_default();
+        let plan = jade_rubis::interactions::generate_plan_into(
+            &jade_rubis::INTERACTIONS[interaction as usize],
+            &mut self.ks,
+            ctx.rng(),
+            sql_buf,
+        );
+        self.dispatch_interaction(ctx, bucket, plan);
+    }
+
+    /// Returns the session behind `client` to its idle state after a
+    /// request left the system: per-client mode re-arms the think
+    /// timer, aggregate mode re-counts the session in its bucket.
+    pub(crate) fn session_idle(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.complete(client as usize);
+        } else {
+            self.schedule_think(ctx, client);
+        }
+    }
+
+    /// Routes a freshly generated interaction into the system — through
+    /// the web tier when deployed, else via the PLB front-end straight
+    /// to a Tomcat. Shared by both emulation modes; `client` is the
+    /// issuing client index (per-client) or return bucket (aggregate).
+    fn dispatch_interaction(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: u32,
+        plan: jade_tiers::InteractionPlan,
+    ) {
         // With a web tier deployed, every request enters through the L4
         // switch and an Apache replica (paper Figure 2); otherwise it goes
         // straight through the PLB front-end to a Tomcat.
@@ -114,7 +227,7 @@ impl J2eeApp {
                 Err(_) => {
                     self.recycle_plan(plan);
                     self.stats.record_failure(ctx.now());
-                    self.schedule_think(ctx, client);
+                    self.session_idle(ctx, client);
                     return;
                 }
             };
@@ -131,7 +244,7 @@ impl J2eeApp {
         let Some((plb_server, _)) = self.plb else {
             self.recycle_plan(plan);
             self.stats.record_failure(ctx.now());
-            self.schedule_think(ctx, client);
+            self.session_idle(ctx, client);
             return;
         };
         // One routing pass resolves the worker plus both endpoint nodes,
@@ -146,7 +259,7 @@ impl J2eeApp {
             Err(_) => {
                 self.recycle_plan(plan);
                 self.stats.record_failure(ctx.now());
-                self.schedule_think(ctx, client);
+                self.session_idle(ctx, client);
                 return;
             }
         };
@@ -191,7 +304,7 @@ impl J2eeApp {
         // Impatient clients abandon requests that take too long. The
         // timer token is kept in the slot so completion can cancel it.
         if let Some(patience) = self.cfg.client_patience {
-            let tok = ctx.send_after(patience, Addr::ROOT, Msg::ClientAbandon { req });
+            let tok = ctx.send_after_coarse(patience, Addr::ROOT, Msg::ClientAbandon { req });
             if let Some(state) = self.inflight.get_mut(key) {
                 state.abandon = Some(tok);
             }
@@ -540,9 +653,13 @@ impl J2eeApp {
         ctx.metrics().record_latency_id(ids.latency, latency);
         ctx.metrics().incr_id(ids.completed, 1);
         let client = state.client;
-        self.clients[client as usize].client.note_completed();
         self.recycle_request(state);
-        self.schedule_think(ctx, client);
+        if self.pool.is_some() {
+            self.session_idle(ctx, client);
+        } else {
+            self.clients[client as usize].client.note_completed();
+            self.schedule_think(ctx, client);
+        }
     }
 
     /// Fails a request: aborts its CPU jobs, releases its worker thread,
@@ -609,7 +726,7 @@ impl J2eeApp {
         });
         let client = state.client;
         self.recycle_request(state);
-        self.schedule_think(ctx, client);
+        self.session_idle(ctx, client);
     }
 
     /// Routes CPU-job completions to their owners.

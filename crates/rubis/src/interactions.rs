@@ -379,7 +379,15 @@ impl InteractionMix {
 
     /// Samples an interaction type.
     pub fn sample(&self, rng: &mut SimRng) -> &'static InteractionType {
-        &INTERACTIONS[rng.weighted(&self.weights)]
+        &INTERACTIONS[self.sample_index(rng)]
+    }
+
+    /// Samples an interaction's index into [`INTERACTIONS`] — same single
+    /// draw as [`InteractionMix::sample`]. The aggregate client pool uses
+    /// the index form because it defers plan generation to dispatch time
+    /// and carries the choice through a message.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        rng.weighted(&self.weights)
     }
 }
 

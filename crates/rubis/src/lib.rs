@@ -18,6 +18,7 @@
 
 pub mod client;
 pub mod interactions;
+pub mod pool;
 pub mod schema;
 pub mod stats;
 pub mod transitions;
@@ -28,6 +29,7 @@ pub use interactions::{
     generate_plan, sample_interaction, InteractionKind, InteractionMix, InteractionType,
     INTERACTIONS,
 };
+pub use pool::{ClientPool, FRESH_BUCKET};
 pub use schema::{
     dataset_statements, rubis_ids, rubis_schema, schema_statements, DatasetSpec, KeySpace, RubisIds,
 };

@@ -149,13 +149,31 @@ impl TransitionMatrix {
 
     /// Samples the next state from `from`. Dead-end states (none in the
     /// default table) restart at `Home`, as a session timeout would.
+    ///
+    /// Consumes exactly **one** uniform draw, and performs the same
+    /// floating-point arithmetic in the same edge order as
+    /// [`SimRng::weighted`] over the row's weights — so the sampled
+    /// trajectory is bit-identical to the original `Vec`-collecting
+    /// implementation, without its per-call allocation. The aggregate
+    /// client pool relies on this fixed draw discipline: per-tick state
+    /// transitions consume RNG in documented state-index order, one draw
+    /// per issuing session (see `crate::pool`), which is what makes
+    /// aggregate-mode runs deterministic and seed-comparable.
     pub fn next(&self, from: StateId, rng: &mut SimRng) -> StateId {
         let row = &self.rows[from];
         if row.next.is_empty() {
             return self.home;
         }
-        let weights: Vec<f64> = row.next.iter().map(|&(_, w)| w).collect();
-        row.next[rng.weighted(&weights)].0
+        let total: f64 = row.next.iter().map(|&(_, w)| w).sum();
+        debug_assert!(total > 0.0, "row weights must be positive");
+        let mut x = rng.f64() * total;
+        for &(next, w) in &row.next {
+            x -= w;
+            if x <= 0.0 {
+                return next;
+            }
+        }
+        row.next[row.next.len() - 1].0
     }
 
     /// The interaction type of a state.
@@ -238,6 +256,35 @@ mod tests {
         let search =
             dist[super::state("SearchItemsInCategory")] + dist[super::state("SearchItemsInRegion")];
         assert!(search > 0.15, "search share {search:.3}");
+    }
+
+    /// Pins the sampling discipline of `next`: exactly one uniform draw
+    /// per call, consumed against the row's edges in declaration order,
+    /// bit-identical to `SimRng::weighted` over the same weights. The
+    /// aggregate client pool documents (and the determinism digests
+    /// depend on) this draw order — a refactor that collects weights
+    /// differently, walks edges in another order, or adds a draw must
+    /// fail here.
+    #[test]
+    fn next_draw_order_is_pinned() {
+        let m = TransitionMatrix::bidding_mix();
+        // Reference: the original Vec-collecting implementation.
+        let reference = |m: &TransitionMatrix, from: StateId, rng: &mut SimRng| -> StateId {
+            let row = &m.rows[from];
+            let weights: Vec<f64> = row.next.iter().map(|&(_, w)| w).collect();
+            row.next[rng.weighted(&weights)].0
+        };
+        let mut a = SimRng::seed_from_u64(0xD0C);
+        let mut b = SimRng::seed_from_u64(0xD0C);
+        let (mut s_a, mut s_b) = (m.home(), m.home());
+        for step in 0..10_000 {
+            s_a = m.next(s_a, &mut a);
+            s_b = reference(&m, s_b, &mut b);
+            assert_eq!(s_a, s_b, "trajectories diverged at step {step}");
+        }
+        // Equal *states* could in principle survive an extra draw; equal
+        // RNG positions cannot. One draw per call, exactly.
+        assert_eq!(a.next_u64(), b.next_u64(), "draw counts differ");
     }
 
     #[test]

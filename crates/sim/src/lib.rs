@@ -6,7 +6,9 @@
 //! * a virtual clock with microsecond resolution ([`SimTime`],
 //!   [`SimDuration`]),
 //! * a pending-event set with FIFO tie-breaking and lazy cancellation
-//!   ([`queue::EventQueue`]),
+//!   ([`queue::EventQueue`]), backed by a slab min-heap for precise
+//!   events and a hierarchical timer wheel ([`wheel`]) for the coarse
+//!   deadlines that dominate at million-client scale,
 //! * a generational slab arena for O(1) id-addressed state with stale-id
 //!   detection ([`slab::GenSlab`]),
 //! * an application-routing engine ([`Engine`], [`App`], [`Ctx`]),
@@ -35,6 +37,7 @@ pub mod rng;
 pub mod slab;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use cpu::{EfficiencyCurve, JobId, PsCpu};
 pub use det::{DetHashMap, DetHashSet, DetState, FxHasher};

@@ -30,8 +30,23 @@
 //! accumulate, the queue *compacts* (filters cancelled entries and
 //! re-heapifies in O(n)) whenever more than half of a non-trivial heap is
 //! dead.
+//!
+//! # Coarse deadlines
+//!
+//! [`EventQueue::push_coarse`] routes an event to a hierarchical timer
+//! wheel (see [`crate::wheel`]) instead of the heap: O(1) insert and
+//! cancel regardless of how many timers are resident, which is what
+//! million-client think-time and patience timers need. The wheel is
+//! *exact* — entries fire at their precise microsecond timestamp — and it
+//! shares this queue's payload slab, token generations, and the single
+//! global sequence counter, so heap and wheel events at the same instant
+//! interleave by insertion order exactly as if both sat in one heap.
+//! Which structure held a timer is unobservable to the simulation; only
+//! the constant factors differ.
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
+use std::collections::VecDeque;
 
 /// Token identifying a scheduled event, usable to cancel it.
 ///
@@ -98,8 +113,11 @@ enum Slot<T> {
 
 /// One slab cell: payload state plus the generation tag that invalidates
 /// stale tokens. Kept together so cancel/pop touch a single cache line.
+/// `coarse` records whether the pending entry lives on the wheel rather
+/// than the heap, so `cancel` maintains the right garbage counter.
 struct SlotEntry<T> {
     generation: u32,
+    coarse: bool,
     state: Slot<T>,
 }
 
@@ -113,7 +131,17 @@ pub struct EventQueue<T> {
     slots: Vec<SlotEntry<T>>,
     free_head: u32,
     next_seq: u64,
+    /// Cancelled-but-unswept entries in the heap.
     cancelled: usize,
+    /// Coarse-deadline side: the wheel plus the drain buffer holding the
+    /// current minimal wheel timestamp's entries, sorted by seq.
+    wheel: TimerWheel,
+    ready: VecDeque<u64>,
+    ready_time: SimTime,
+    /// Cancelled-but-unswept entries on the wheel/ready side.
+    wheel_cancelled: usize,
+    /// Scratch for wheel drains, reused across calls.
+    drain_scratch: Vec<(u64, u64)>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -140,6 +168,11 @@ impl<T> EventQueue<T> {
             free_head: NO_FREE,
             next_seq: 0,
             cancelled: 0,
+            wheel: TimerWheel::new(),
+            ready: VecDeque::new(),
+            ready_time: SimTime::ZERO,
+            wheel_cancelled: 0,
+            drain_scratch: Vec::new(),
         }
     }
 
@@ -152,10 +185,12 @@ impl<T> EventQueue<T> {
                 _ => unreachable!("free list points at a live slot"),
             }
             cell.state = Slot::Occupied(payload);
+            cell.coarse = false;
             slot
         } else {
             self.slots.push(SlotEntry {
                 generation: 0,
+                coarse: false,
                 state: Slot::Occupied(payload),
             });
             (self.slots.len() - 1) as u32
@@ -184,19 +219,88 @@ impl<T> EventQueue<T> {
         token
     }
 
-    /// Reassigns pending sequence numbers to `0..n` in key order, so `seq`
-    /// keeps fitting in 32 bits no matter how many events a run schedules.
-    /// The remap is monotone in the old key, so relative order — and hence
-    /// determinism — is untouched, and the heap property is preserved
-    /// in place.
-    fn renumber(&mut self) {
-        let mut order: Vec<u32> = (0..self.heap.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| self.heap[i as usize].key());
-        for (new_seq, &i) in order.iter().enumerate() {
-            let e = &mut self.heap[i as usize];
-            *e = HeapEntry::new(e.time, new_seq as u64, e.slot());
+    /// Schedules `payload` at `time` on the timer wheel: O(1) insert and
+    /// cancel independent of the resident-timer population, at the cost
+    /// of amortized cascade work as the deadline approaches. Semantics
+    /// are identical to [`EventQueue::push`] — exact fire time, shared
+    /// seq ordering against heap events at the same instant, and a token
+    /// with the same cancel/reuse behaviour. Use it for coarse deadlines
+    /// (think times, patience timers, periodic ticks) that dominate the
+    /// pending set at scale; keep precise, short-lived completions on
+    /// the heap.
+    pub fn push_coarse(&mut self, time: SimTime, payload: T) -> EventToken {
+        if time.as_micros() < self.wheel.cursor() {
+            // The wheel cannot hold entries behind its cursor (possible
+            // when a caller schedules against a clock that lags a peek).
+            // The heap can, and the two are observably identical.
+            return self.push(time, payload);
         }
-        self.next_seq = self.heap.len() as u64;
+        if self.next_seq > u32::MAX as u64 {
+            self.renumber();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc_slot(payload);
+        let cell = &mut self.slots[slot as usize];
+        cell.coarse = true;
+        let token = EventToken::new(slot, cell.generation);
+        self.wheel.push(time.as_micros(), (seq << 32) | slot as u64);
+        token
+    }
+
+    /// Reassigns pending sequence numbers to `0..n` in key order — across
+    /// the heap, the wheel, and the wheel's drain buffer jointly — so
+    /// `seq` keeps fitting in 32 bits no matter how many events a run
+    /// schedules. The remap is monotone in the old global key, so
+    /// relative order — and hence determinism — is untouched, and the
+    /// heap property is preserved in place.
+    fn renumber(&mut self) {
+        enum Src {
+            Heap(u32),
+            Node(u32),
+            Over(u32),
+            Ready(u32),
+        }
+        let key_of = |time: u64, packed: u64| ((time as u128) << 64) | packed as u128;
+        let mut all: Vec<(u128, Src)> =
+            Vec::with_capacity(self.heap.len() + self.wheel.len() + self.ready.len());
+        for (i, e) in self.heap.iter().enumerate() {
+            all.push((e.key(), Src::Heap(i as u32)));
+        }
+        for (i, n) in self.wheel.nodes.iter().enumerate() {
+            if n.live {
+                all.push((key_of(n.time, n.packed), Src::Node(i as u32)));
+            }
+        }
+        for (i, &(t, p)) in self.wheel.overflow.iter().enumerate() {
+            all.push((key_of(t, p), Src::Over(i as u32)));
+        }
+        for (i, &p) in self.ready.iter().enumerate() {
+            all.push((key_of(self.ready_time.as_micros(), p), Src::Ready(i as u32)));
+        }
+        all.sort_unstable_by_key(|&(k, _)| k);
+        for (new_seq, (_, src)) in all.iter().enumerate() {
+            let reseq = |packed: u64| ((new_seq as u64) << 32) | (packed & u32::MAX as u64);
+            match *src {
+                Src::Heap(i) => {
+                    let e = &mut self.heap[i as usize];
+                    *e = HeapEntry::new(e.time, new_seq as u64, e.slot());
+                }
+                Src::Node(i) => {
+                    let n = &mut self.wheel.nodes[i as usize];
+                    n.packed = reseq(n.packed);
+                }
+                Src::Over(i) => {
+                    let o = &mut self.wheel.overflow[i as usize];
+                    o.1 = reseq(o.1);
+                }
+                Src::Ready(i) => {
+                    let p = &mut self.ready[i as usize];
+                    *p = reseq(*p);
+                }
+            }
+        }
+        self.next_seq = all.len() as u64;
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
@@ -204,6 +308,14 @@ impl<T> EventQueue<T> {
     pub fn cancel(&mut self, token: EventToken) {
         let idx = token.slot() as usize;
         if idx >= self.slots.len() || self.slots[idx].generation != token.generation() {
+            return;
+        }
+        if matches!(self.slots[idx].state, Slot::Cancelled) {
+            return;
+        }
+        if self.slots[idx].coarse {
+            self.slots[idx].state = Slot::Cancelled;
+            self.wheel_cancelled += 1;
             return;
         }
         if matches!(self.slots[idx].state, Slot::Occupied(_)) {
@@ -215,21 +327,83 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Pops the earliest non-cancelled event, if any.
+    /// Refills the wheel's drain buffer: advances the wheel (cascading
+    /// and draining buckets) until either the minimal wheel timestamp's
+    /// entries sit in `ready` sorted by seq, the wheel is exhausted, or
+    /// the wheel provably cannot beat the current heap head. Cancelled
+    /// entries are swept as they surface.
+    fn fill_ready(&mut self) {
+        while self.ready.is_empty() && !self.wheel.is_empty() {
+            // A cancelled heap head only makes this bound conservative:
+            // the pop/peek loop removes it and comes back here.
+            let bound = self.heap.first().map(|e| e.time.as_micros());
+            match self.wheel.next_candidate() {
+                Some(cand) if bound.is_none_or(|b| cand <= b) => {
+                    self.drain_scratch.clear();
+                    self.wheel.advance_once(&mut self.drain_scratch);
+                    if self.drain_scratch.is_empty() {
+                        continue; // cascaded or migrated; keep advancing
+                    }
+                    self.drain_scratch.sort_unstable_by_key(|&(_, p)| p);
+                    self.ready_time = SimTime::from_micros(self.drain_scratch[0].0);
+                    let scratch = std::mem::take(&mut self.drain_scratch);
+                    for &(_, p) in &scratch {
+                        if matches!(self.slots[p as u32 as usize].state, Slot::Cancelled) {
+                            self.wheel_cancelled -= 1;
+                            self.free_slot(p as u32);
+                        } else {
+                            self.ready.push_back(p);
+                        }
+                    }
+                    self.drain_scratch = scratch;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Pops the earliest non-cancelled event, merging the heap with the
+    /// wheel: ties in time resolve by the shared insertion seq.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         loop {
-            let head = *self.heap.first()?;
-            self.remove_root();
-            let slot = head.slot();
-            let next_free = self.free_head;
-            let cell = &mut self.slots[slot as usize];
-            let state = std::mem::replace(&mut cell.state, Slot::Vacant(next_free));
-            cell.generation = cell.generation.wrapping_add(1);
-            self.free_head = slot;
-            match state {
-                Slot::Occupied(payload) => return Some((head.time, payload)),
-                Slot::Cancelled => self.cancelled -= 1,
-                Slot::Vacant(_) => unreachable!("heap entry points at vacant slot"),
+            self.fill_ready();
+            let take_wheel = match (self.ready.front(), self.heap.first()) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(&p), Some(h)) => {
+                    (((self.ready_time.as_micros() as u128) << 64) | p as u128) < h.key()
+                }
+            };
+            if take_wheel {
+                let p = self.ready.pop_front().expect("checked non-empty");
+                let slot = p as u32;
+                let next_free = self.free_head;
+                let cell = &mut self.slots[slot as usize];
+                let state = std::mem::replace(&mut cell.state, Slot::Vacant(next_free));
+                cell.generation = cell.generation.wrapping_add(1);
+                self.free_head = slot;
+                match state {
+                    Slot::Occupied(payload) => return Some((self.ready_time, payload)),
+                    // fill_ready sweeps entries cancelled before the
+                    // drain; this one was cancelled while in `ready`.
+                    Slot::Cancelled => self.wheel_cancelled -= 1,
+                    Slot::Vacant(_) => unreachable!("ready entry points at vacant slot"),
+                }
+            } else {
+                let head = *self.heap.first().expect("checked non-empty");
+                self.remove_root();
+                let slot = head.slot();
+                let next_free = self.free_head;
+                let cell = &mut self.slots[slot as usize];
+                let state = std::mem::replace(&mut cell.state, Slot::Vacant(next_free));
+                cell.generation = cell.generation.wrapping_add(1);
+                self.free_head = slot;
+                match state {
+                    Slot::Occupied(payload) => return Some((head.time, payload)),
+                    Slot::Cancelled => self.cancelled -= 1,
+                    Slot::Vacant(_) => unreachable!("heap entry points at vacant slot"),
+                }
             }
         }
     }
@@ -237,26 +411,58 @@ impl<T> EventQueue<T> {
     /// Time of the earliest non-cancelled event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
-            let head = *self.heap.first()?;
-            if matches!(self.slots[head.slot() as usize].state, Slot::Cancelled) {
-                self.remove_root();
-                self.cancelled -= 1;
-                self.free_slot(head.slot());
+            if let Some(&head) = self.heap.first() {
+                if matches!(self.slots[head.slot() as usize].state, Slot::Cancelled) {
+                    self.remove_root();
+                    self.cancelled -= 1;
+                    self.free_slot(head.slot());
+                    continue;
+                }
+            }
+            self.fill_ready();
+            let mut swept_ready = false;
+            while let Some(&p) = self.ready.front() {
+                if matches!(self.slots[p as u32 as usize].state, Slot::Cancelled) {
+                    self.ready.pop_front();
+                    self.wheel_cancelled -= 1;
+                    self.free_slot(p as u32);
+                    swept_ready = true;
+                } else {
+                    break;
+                }
+            }
+            if swept_ready && self.ready.is_empty() && !self.wheel.is_empty() {
+                // The whole drained batch turned out to be cancelled;
+                // advance the wheel further. (Without the sweep check
+                // this would spin: `fill_ready` legitimately leaves
+                // `ready` empty when the heap head is earlier than any
+                // wheel entry.)
                 continue;
             }
-            return Some(head.time);
+            let heap_time = self.heap.first().map(|e| e.time);
+            let wheel_time = if self.ready.is_empty() {
+                None
+            } else {
+                Some(self.ready_time)
+            };
+            return match (heap_time, wheel_time) {
+                (None, None) => None,
+                (Some(t), None) | (None, Some(t)) => Some(t),
+                (Some(a), Some(b)) => Some(a.min(b)),
+            };
         }
     }
 
-    /// Number of events still in the heap (cancelled-but-unswept events
+    /// Number of events still resident (cancelled-but-unswept events
     /// included; use only as a capacity heuristic).
     pub fn raw_len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.wheel.len() + self.ready.len()
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled
+        self.heap.len() - self.cancelled + self.wheel.len() + self.ready.len()
+            - self.wheel_cancelled
     }
 
     /// True when no live event remains.
@@ -487,6 +693,122 @@ mod tests {
         }
         assert_eq!(q.pop(), Some((SimTime::from_secs(9), 90u64)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn coarse_and_precise_events_interleave_by_push_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(500);
+        // Alternate structures at one instant: the shared seq counter
+        // must make the structure choice unobservable.
+        for i in 0..40u64 {
+            if i % 2 == 0 {
+                q.push(t, i);
+            } else {
+                q.push_coarse(t, i);
+            }
+        }
+        q.push(SimTime::from_millis(400), 100);
+        q.push_coarse(SimTime::from_millis(300), 200);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(300), 200)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(400), 100)));
+        for i in 0..40u64 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn coarse_cancellation_and_stale_tokens() {
+        let mut q = EventQueue::new();
+        let a = q.push_coarse(SimTime::from_secs(1), 1u8);
+        let b = q.push_coarse(SimTime::from_secs(2), 2u8);
+        q.push(SimTime::from_secs(3), 3u8);
+        q.cancel(a);
+        q.cancel(a); // double cancel is a no-op
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2u8)));
+        q.cancel(b); // already fired: no-op
+                     // b's recycled slot must not be killable through the stale token.
+        let _fresh = q.push_coarse(SimTime::from_secs(4), 4u8);
+        q.cancel(b);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3u8)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(4), 4u8)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn coarse_peek_matches_pop() {
+        let mut q = EventQueue::new();
+        let mut times = Vec::new();
+        // Spread across wheel levels, with a few precise events mixed in.
+        for i in 0..200u64 {
+            let t = SimTime::from_micros((i * i * 37) % 5_000_000);
+            if i % 5 == 0 {
+                q.push(t, i);
+            } else {
+                q.push_coarse(t, i);
+            }
+            times.push(t);
+        }
+        times.sort_unstable();
+        for expect in times {
+            assert_eq!(q.peek_time(), Some(expect));
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, expect);
+        }
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_skips_fully_cancelled_coarse_batches() {
+        let mut q = EventQueue::new();
+        let a = q.push_coarse(SimTime::from_secs(1), 1u8);
+        let b = q.push_coarse(SimTime::from_secs(1), 2u8);
+        q.push_coarse(SimTime::from_secs(5), 3u8);
+        // Cancel the entire earliest batch after it may have drained.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 3u8)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn renumbering_covers_the_wheel() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        q.push(SimTime::from_secs(9), 90u64);
+        for i in 0..50u64 {
+            if i % 2 == 0 {
+                q.push_coarse(t, i);
+            } else {
+                q.push(t, i);
+            }
+        }
+        q.push_coarse(SimTime::from_secs(1), 10u64);
+        q.renumber();
+        assert_eq!(q.next_seq, 52);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 10u64)));
+        for i in 0..50u64 {
+            assert_eq!(q.pop(), Some((t, i)), "FIFO tie order must survive");
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9), 90u64)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn coarse_push_behind_cursor_falls_back_to_heap() {
+        let mut q = EventQueue::new();
+        q.push_coarse(SimTime::from_secs(10), 1u8);
+        // Draining advances the wheel cursor to t=10s.
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 1u8)));
+        // An earlier coarse push must still fire at its exact time.
+        q.push_coarse(SimTime::from_secs(4), 2u8);
+        q.push_coarse(SimTime::from_secs(12), 3u8);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(4), 2u8)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(12), 3u8)));
     }
 
     #[test]

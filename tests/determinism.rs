@@ -107,6 +107,44 @@ fn abandon_heavy_runs_digest_identically_across_jobs() {
     );
 }
 
+/// A million-client aggregate run digests identically across worker
+/// counts and repeats. The aggregate pool samples binomial issuance
+/// counts and uniform dispatch offsets from the engine RNG in a
+/// documented bucket order; this pins that order (and the timer-wheel
+/// scheduling underneath it) at a scale where any nondeterminism in the
+/// pool's draw discipline would surface immediately.
+#[test]
+fn million_client_aggregate_digests_identically_across_jobs() {
+    let cfg = || {
+        // The canonical 1M scenario, pinned at its peak: a constant
+        // million clients on the peak deployment (four replicas per
+        // managed tier) instead of the ramp, so the whole horizon runs
+        // at full aggregate-pool pressure.
+        let mut cfg = SystemConfig::million_clients();
+        cfg.ramp = WorkloadRamp::constant(1_000_000);
+        cfg.description.application.replicas = 4;
+        cfg.description.database.replicas = 4;
+        cfg.seed = 1_000_003;
+        cfg
+    };
+    let horizon = SimDuration::from_secs(10);
+    let spec = || vec![RunSpec::new("fig5-1m", cfg(), horizon)];
+    let one = Harness::with_jobs(1).run(spec());
+    let two = Harness::with_jobs(2).run(spec());
+    let eight = Harness::with_jobs(8).run(spec());
+    let again = Harness::with_jobs(8).run(spec());
+    assert!(
+        one[0].record.completed > 10_000,
+        "a million clients must produce serious traffic (completed {})",
+        one[0].record.completed
+    );
+    for other in [&two, &eight, &again] {
+        assert_eq!(one[0].record.outcome_digest, other[0].record.outcome_digest);
+        assert_eq!(one[0].record.events, other[0].record.events);
+        assert_eq!(one[0].record.completed, other[0].record.completed);
+    }
+}
+
 /// Seed rebasing is itself deterministic and preserves common random
 /// numbers: the managed run and its unmanaged baseline derive the same
 /// seed from the same stream.
