@@ -82,8 +82,8 @@ fn bench_recovery_replay(r: &mut Runner) {
             }
             ctrl.register_backend(ServerId(9));
             let mut db = Database::new(schema());
-            let batch = ctrl.begin_enable(ServerId(9)).unwrap();
-            for entry in &batch {
+            let plan = ctrl.begin_enable(ServerId(9)).unwrap();
+            for entry in &plan.entries {
                 let _ = db.execute(&entry.statement);
             }
             assert!(ctrl.finish_replay(ServerId(9)).unwrap().is_none());

@@ -10,13 +10,14 @@
 use jade::config::SystemConfig;
 use jade::experiment::run_experiment;
 use jade_bench::microbench::{black_box, Runner};
-use jade_bench::{NaiveDatabase, NaiveLifecycle, NaivePsCpu};
+use jade_bench::{NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveReplication};
 use jade_rubis::{
     dataset_statements, generate_plan, rubis_schema, sample_interaction, DatasetSpec, KeySpace,
     WorkloadRamp,
 };
 use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu, SimRng};
 use jade_sim::{SimDuration, SimTime};
+use jade_tiers::recovery::RecoveryLog;
 use jade_tiers::sql::{Schema, SharedRow, Statement, Value};
 use jade_tiers::storage::Database;
 use std::cmp::Reverse;
@@ -467,6 +468,167 @@ fn bench_db(r: &mut Runner) {
 }
 
 // ---------------------------------------------------------------------
+// Replication: execute-once delta broadcast vs re-execute-everywhere.
+// ---------------------------------------------------------------------
+
+/// RAIDb-1 mirror width for the broadcast bench (fig5's peak DB tier
+/// plus one).
+const REPL_REPLICAS: usize = 5;
+/// Writes in the broadcast mix.
+const REPL_MIX_WRITES: usize = 2_000;
+/// Recovery-log length ahead of the late joiner.
+const REPL_SYNC_WRITES: usize = 100_000;
+
+/// The write statements a RUBiS bidding population issues (reads
+/// dropped), `n` of them.
+fn rubis_write_mix(n: usize, seed: u64) -> Vec<Arc<Statement>> {
+    let spec = DatasetSpec::small();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut ks: KeySpace = spec.into();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let t = sample_interaction(&mut rng);
+        let plan = generate_plan(t, &mut ks, &mut rng);
+        out.extend(
+            plan.sql
+                .into_iter()
+                .filter(|op| op.statement.is_write())
+                .map(|op| op.statement),
+        );
+    }
+    out.truncate(n);
+    out
+}
+
+/// The replicated write path in isolation: the delta stack executes each
+/// write once on the primary, logs the captured delta (string rendering
+/// deferred), and applies the physical delta to the other four mirrors;
+/// the naive stack renders the log string eagerly and re-evaluates the
+/// statement on all five. Each iteration rebuilds the whole mirror from
+/// the same pristine base (an O(#tables) copy-on-write clone), so every
+/// sample runs the identical workload against the identical state —
+/// without the reset, tables grow with every iteration and the best
+/// sample would mostly reflect how much state had accumulated by the
+/// time it ran.
+fn bench_replication(r: &mut Runner) {
+    let rubis = rubis_schema();
+    let spec = DatasetSpec::small();
+    let mut rng = SimRng::seed_from_u64(0x2B1D);
+    let dump = dataset_statements(spec, &mut rng);
+    let writes = rubis_write_mix(REPL_MIX_WRITES, 0x5EED);
+    {
+        let pristine = loaded_interned(&rubis, &dump);
+        let schema = Arc::clone(&rubis);
+        let writes = writes.clone();
+        r.bench(
+            &format!("replication/delta/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
+            move || {
+                let mut primary = pristine.clone();
+                let mut replicas: Vec<Database> =
+                    (1..REPL_REPLICAS).map(|_| pristine.clone()).collect();
+                let mut log = RecoveryLog::new(Arc::clone(&schema));
+                let mut acc = 0u64;
+                for s in &writes {
+                    match primary.execute_capture(s) {
+                        Ok((summary, delta)) => {
+                            acc = acc.wrapping_add(summary.cardinality());
+                            let delta = Arc::new(delta);
+                            for db in &mut replicas {
+                                let _ = db.apply_delta(&delta);
+                            }
+                            log.append_captured(Arc::clone(s), delta);
+                        }
+                        Err(_) => {
+                            log.append(Arc::clone(s));
+                            for db in &mut replicas {
+                                let _ = db.execute(s);
+                            }
+                        }
+                    }
+                }
+                acc.wrapping_add(log.head())
+            },
+        );
+    }
+    {
+        let pristine = loaded_interned(&rubis, &dump);
+        let schema = Arc::clone(&rubis);
+        let writes = writes.clone();
+        r.bench(
+            &format!("replication/naive/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
+            move || {
+                let mut naive =
+                    NaiveReplication::new(Arc::clone(&schema), &pristine, REPL_REPLICAS);
+                let mut acc = 0u64;
+                for s in &writes {
+                    acc = acc.wrapping_add(naive.execute_write(s));
+                }
+                acc.wrapping_add(naive.head())
+            },
+        );
+    }
+
+    // Late joiner: a fresh replica must catch up on a 100k-write log.
+    // The delta stack restores the nearest checkpoint snapshot (O(#tables)
+    // `Arc` clones) and applies only the delta tail past it; the naive
+    // stack re-executes the whole statement history.
+    let sync_writes = rubis_write_mix(REPL_SYNC_WRITES, 0xCA7C);
+    {
+        let base = loaded_interned(&rubis, &dump);
+        let mut primary = base.clone();
+        let mut log = RecoveryLog::new(Arc::clone(&rubis));
+        for s in &sync_writes {
+            match primary.execute_capture(s) {
+                Ok((_, delta)) => {
+                    log.append_captured(Arc::clone(s), Arc::new(delta));
+                }
+                Err(_) => {
+                    log.append(Arc::clone(s));
+                }
+            }
+            if log.snapshot_due() {
+                log.install_snapshot(primary.snapshot());
+            }
+        }
+        r.bench(
+            &format!("replication/delta/replica_sync_{REPL_SYNC_WRITES}"),
+            move || {
+                let plan = log.sync_plan(0);
+                let mut joiner = match &plan.snapshot {
+                    Some((_, snapshot)) => Database::from_snapshot(snapshot),
+                    None => base.clone(),
+                };
+                for entry in &plan.entries {
+                    match &entry.delta {
+                        Some(delta) => {
+                            let _ = joiner.apply_delta(delta);
+                        }
+                        None => {
+                            let _ = joiner.execute(&entry.statement);
+                        }
+                    }
+                }
+                joiner.total_rows()
+            },
+        );
+    }
+    {
+        let base = loaded_interned(&rubis, &dump);
+        let mut naive = NaiveReplication::new(Arc::clone(&rubis), &base, 1);
+        for s in &sync_writes {
+            naive.execute_write(s);
+        }
+        r.bench(
+            &format!("replication/naive/replica_sync_{REPL_SYNC_WRITES}"),
+            move || {
+                let joiner = naive.sync_replica(&base, 0);
+                joiner.total_rows()
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: the slab-backed request lifecycle vs the naive stack.
 // ---------------------------------------------------------------------
 
@@ -567,6 +729,7 @@ fn main() {
     bench_queues(&mut r);
     bench_ps_cpu(&mut r);
     bench_db(&mut r);
+    bench_replication(&mut r);
     bench_e2e(&mut r);
     bench_engine(&mut r);
 
@@ -603,6 +766,14 @@ fn main() {
         &format!("db/rubis_mix_{DB_MIX_INTERACTIONS}"),
         &format!("db/naive/rubis_mix_{DB_MIX_INTERACTIONS}"),
     );
+    let repl_bcast = ratio(
+        &format!("replication/delta/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
+        &format!("replication/naive/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
+    );
+    let repl_sync = ratio(
+        &format!("replication/delta/replica_sync_{REPL_SYNC_WRITES}"),
+        &format!("replication/naive/replica_sync_{REPL_SYNC_WRITES}"),
+    );
     let e2e_fig5 = ratio("e2e/system/fig5_500_clients", "e2e/naive/fig5_500_clients");
     let e2e_5k = ratio("e2e/system/5k_clients", "e2e/naive/5k_clients");
     let e2e_1m = ratio("e2e/system/fig5_1m", "e2e/naive/fig5_1m");
@@ -619,6 +790,9 @@ fn main() {
     println!("  select_by_key_hot  {db_hot:.2}x");
     println!("  select_where       {db_where:.2}x");
     println!("  rubis_mix          {db_mix:.2}x");
+    println!("execute-once delta broadcast vs re-execute-everywhere mirror:");
+    println!("  broadcast_write ({REPL_REPLICAS} replicas)  {repl_bcast:.2}x");
+    println!("  replica_sync (late joiner)   {repl_sync:.2}x");
     println!("slab lifecycle vs naive end-to-end stack (same scenario):");
     println!("  fig5_500_clients   {e2e_fig5:.2}x");
     println!("  5k_clients         {e2e_5k:.2}x");
@@ -638,6 +812,8 @@ fn main() {
             ("speedup_db_select_hot", db_hot),
             ("speedup_db_select_where", db_where),
             ("speedup_db_rubis_mix", db_mix),
+            ("speedup_db_broadcast_write", repl_bcast),
+            ("speedup_db_replica_sync", repl_sync),
             ("speedup_e2e_fig5", e2e_fig5),
             ("speedup_e2e_5k_clients", e2e_5k),
             ("speedup_e2e_1m_clients", e2e_1m),

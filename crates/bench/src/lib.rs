@@ -31,7 +31,8 @@ pub mod reference;
 
 pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
 pub use reference::{
-    NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveRow, NaiveTimers,
+    NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveReplication, NaiveRow,
+    NaiveTimers,
 };
 
 use jade::experiment::ExperimentOutput;

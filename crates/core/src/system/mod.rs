@@ -122,6 +122,10 @@ pub struct J2eeApp {
     /// Recycled `plan.sql` allocations of retired requests, reused by the
     /// workload generator for new plans.
     pub(crate) sql_recycle: Vec<Vec<SqlOp>>,
+    /// Recycled broadcast-target buffer for the DB write path: each write
+    /// fills it via `cjdbc_execute_write_into` instead of allocating a
+    /// fresh targets `Vec` (zero steady-state allocation).
+    pub(crate) db_write_targets: Vec<ServerId>,
     /// Recycled per-request job lists of retired requests.
     pub(crate) jobs_recycle: Vec<Vec<JobId>>,
 
@@ -295,6 +299,7 @@ impl J2eeApp {
             cpu_timers: Vec::new(),
             completion_scratch: Vec::new(),
             sql_recycle: Vec::new(),
+            db_write_targets: Vec::new(),
             jobs_recycle: Vec::new(),
             inhibition,
             arbitrator: cfg_arbitration.then(crate::arbitration::Arbitrator::new),

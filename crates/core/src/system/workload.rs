@@ -513,7 +513,11 @@ impl J2eeApp {
         // The op is executed by reference straight out of the slab slot;
         // `inflight` and `legacy` are disjoint fields, so no clone.
         if is_write {
-            let executed = {
+            // Recycled broadcast buffer: the primary executes once, the
+            // replicas apply its delta, and no targets `Vec` is allocated
+            // in steady state.
+            let mut targets = std::mem::take(&mut self.db_write_targets);
+            let (executed, demand) = {
                 let state = self
                     .inflight
                     .get(SlabKey::from_raw(req.0))
@@ -521,19 +525,23 @@ impl J2eeApp {
                     .expect("request checked live above");
                 // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
                 let op = &state.plan.sql[state.sql_idx];
-                self.legacy.cjdbc_execute_write(cjdbc, op)
+                (
+                    self.legacy
+                        .cjdbc_execute_write_into(cjdbc, op, &mut targets),
+                    op.demand,
+                )
             };
             match executed {
-                Ok(targets) => {
+                Ok(()) => {
                     if let Some(st) = self.request_mut(req) {
                         st.pending_db = targets.len();
                     }
-                    for (backend, demand) in targets {
+                    for &backend in &targets {
                         let node = self
                             .legacy
                             .server(backend)
                             .map(|s| s.process().node)
-                            // jade-audit: allow(hot-panic): cjdbc_execute_write targets only live backends
+                            // jade-audit: allow(hot-panic): cjdbc_execute_write_into targets only live backends
                             .expect("active backend exists");
                         self.submit_job(
                             ctx,
@@ -549,6 +557,7 @@ impl J2eeApp {
                 }
                 Err(_) => self.fail_request(ctx, req),
             }
+            self.db_write_targets = targets;
         } else {
             let routed = {
                 let state = self

@@ -8,14 +8,20 @@
 //! * read distribution over active backends (Round-Robin, Random or
 //!   Least-Pending scheduling),
 //! * write broadcast to all active backends, every write appended to the
-//!   [`crate::recovery::RecoveryLog`],
-//! * state reconciliation: a joining backend replays the exact log suffix
-//!   it is missing (possibly in several batches if writes keep arriving),
-//!   and a leaving backend records its checkpoint index.
+//!   [`crate::recovery::RecoveryLog`]. The first active backend in id
+//!   order is the deterministic *primary*: it executes the statement once
+//!   and captures a [`WriteDelta`](crate::storage::WriteDelta) that the
+//!   remaining replicas apply without re-evaluating,
+//! * state reconciliation: a joining backend receives a
+//!   [`SyncPlan`](crate::recovery::SyncPlan) — the nearest checkpoint
+//!   snapshot plus the delta tail past it, or the exact log suffix it is
+//!   missing (possibly in several batches if writes keep arriving) — and
+//!   a leaving backend records its checkpoint index.
 
-use crate::recovery::{LogEntry, RecoveryLog};
+use crate::recovery::{RecoveryLog, SyncPlan};
 use crate::server::ServerId;
 use crate::sql::{Schema, Statement};
+use crate::storage::{Snapshot, WriteDelta};
 use jade_sim::SimRng;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -137,10 +143,11 @@ impl CjdbcController {
     }
 
     /// Starts enabling a disabled backend: moves it to `Syncing` and
-    /// returns the log suffix it must replay. An empty suffix means it can
-    /// be activated immediately (the caller should still call
-    /// [`CjdbcController::finish_replay`]).
-    pub fn begin_enable(&mut self, server: ServerId) -> Result<Vec<LogEntry>, CjdbcError> {
+    /// returns the [`SyncPlan`] it must apply — the nearest checkpoint
+    /// snapshot plus delta tail when one skips work, the plain log suffix
+    /// otherwise. An empty plan means it can be activated immediately (the
+    /// caller should still call [`CjdbcController::finish_replay`]).
+    pub fn begin_enable(&mut self, server: ServerId) -> Result<SyncPlan, CjdbcError> {
         let head = self.log.head();
         let b = self
             .backends
@@ -153,7 +160,7 @@ impl CjdbcController {
         let from = b.checkpoint;
         b.applied = from;
         b.checkpoint = head; // will have applied up to head once replay ends
-        Ok(self.log.entries_from(from).to_vec())
+        Ok(self.log.sync_plan(from))
     }
 
     /// Aborts an in-progress enable: the backend returns to `Disabled`
@@ -175,9 +182,11 @@ impl CjdbcController {
     }
 
     /// Completes one replay batch. If more writes arrived since the batch
-    /// was taken, returns the next batch; otherwise the backend becomes
-    /// `Active` and `None` is returned.
-    pub fn finish_replay(&mut self, server: ServerId) -> Result<Option<Vec<LogEntry>>, CjdbcError> {
+    /// was taken, returns the next batch (a plain delta tail — the backend
+    /// already caught up to its previous checkpoint, so no snapshot can
+    /// help); otherwise the backend becomes `Active` and `None` is
+    /// returned.
+    pub fn finish_replay(&mut self, server: ServerId) -> Result<Option<SyncPlan>, CjdbcError> {
         let head = self.log.head();
         let b = self
             .backends
@@ -191,7 +200,11 @@ impl CjdbcController {
         if b.checkpoint < head {
             let from = b.checkpoint;
             b.checkpoint = head;
-            Ok(Some(self.log.entries_from(from).to_vec()))
+            Ok(Some(SyncPlan {
+                snapshot: None,
+                entries: self.log.entries_from(from).to_vec(),
+                backlog: head - from,
+            }))
         } else {
             b.status = BackendStatus::Active;
             Ok(None)
@@ -300,6 +313,17 @@ impl CjdbcController {
         Ok(chosen)
     }
 
+    /// The deterministic write primary: the first active backend in id
+    /// order. It executes each broadcast write once (capturing the delta
+    /// the other replicas apply); `BTreeMap` iteration makes the choice
+    /// stable across runs regardless of membership history.
+    pub fn write_primary(&self) -> Option<ServerId> {
+        self.backends
+            .iter()
+            .find(|(_, b)| b.status == BackendStatus::Active)
+            .map(|(&id, _)| id)
+    }
+
     /// Routes a write: appends it to the recovery log and returns the set
     /// of active backends that must execute it (write broadcast). The
     /// statement is `Arc`-shared — broadcasting to N mirrored backends and
@@ -310,18 +334,64 @@ impl CjdbcController {
         &mut self,
         stmt: Arc<Statement>,
     ) -> Result<(u64, Vec<ServerId>), CjdbcError> {
-        let active = self.active_backends();
-        if active.is_empty() {
+        let mut targets = Vec::new();
+        let index = self.route_write_into(stmt, None, &mut targets)?;
+        Ok((index, targets))
+    }
+
+    /// Scratch-buffer variant of [`CjdbcController::route_write`]: fills
+    /// `out` with the broadcast set (id order, so `out[0]` is the write
+    /// primary) instead of allocating, and logs the write together with
+    /// the delta its primary captured, if any. The steady-state write path
+    /// performs zero allocations here.
+    pub fn route_write_into(
+        &mut self,
+        stmt: Arc<Statement>,
+        delta: Option<Arc<WriteDelta>>,
+        out: &mut Vec<ServerId>,
+    ) -> Result<u64, CjdbcError> {
+        out.clear();
+        out.extend(
+            self.backends
+                .iter()
+                .filter(|(_, b)| b.status == BackendStatus::Active)
+                .map(|(&id, _)| id),
+        );
+        if out.is_empty() {
             return Err(CjdbcError::NoActiveBackend);
         }
-        let index = self.log.append(stmt);
-        for id in &active {
+        let index = match delta {
+            Some(delta) => self.log.append_captured(stmt, delta),
+            None => self.log.append(stmt),
+        };
+        for id in out.iter() {
             let b = self.backends.get_mut(id).expect("active is known");
             b.checkpoint = index + 1;
             b.applied = index + 1;
             b.pending += 1;
         }
-        Ok((index, active))
+        Ok(index)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint snapshots (delegated to the recovery log)
+    // ------------------------------------------------------------------
+
+    /// True when the log wants a fresh checkpoint snapshot installed.
+    pub fn snapshot_due(&self) -> bool {
+        self.log.snapshot_due()
+    }
+
+    /// Installs a checkpoint snapshot of the cluster state at the current
+    /// log head (taken from any up-to-date backend — all active replicas
+    /// are identical under full mirroring).
+    pub fn install_snapshot(&mut self, snapshot: Snapshot) {
+        self.log.install_snapshot(snapshot);
+    }
+
+    /// Reconfigures the checkpoint snapshot cadence.
+    pub fn set_snapshot_interval(&mut self, every: u64) {
+        self.log.set_snapshot_interval(every);
     }
 
     /// Records completion of a query on a backend (pending accounting for
@@ -356,8 +426,8 @@ mod tests {
         for i in 0..n {
             let id = ServerId(i);
             c.register_backend(id);
-            let replay = c.begin_enable(id).unwrap();
-            assert!(replay.is_empty());
+            let plan = c.begin_enable(id).unwrap();
+            assert!(plan.is_empty());
             assert!(c.finish_replay(id).unwrap().is_none());
         }
         c
@@ -418,10 +488,11 @@ mod tests {
         }
         let id = ServerId(9);
         c.register_backend(id);
-        let replay = c.begin_enable(id).unwrap();
-        assert_eq!(replay.len(), 5);
-        assert_eq!(replay[0].index, 0);
-        assert_eq!(replay[4].index, 4);
+        let plan = c.begin_enable(id).unwrap();
+        assert_eq!(plan.entries.len(), 5);
+        assert_eq!(plan.backlog, 5);
+        assert_eq!(plan.entries[0].index, 0);
+        assert_eq!(plan.entries[4].index, 4);
         assert!(c.finish_replay(id).unwrap().is_none());
         assert_eq!(c.status(id).unwrap(), BackendStatus::Active);
     }
@@ -433,15 +504,19 @@ mod tests {
         let id = ServerId(9);
         c.register_backend(id);
         let batch1 = c.begin_enable(id).unwrap();
-        assert_eq!(batch1.len(), 1);
+        assert_eq!(batch1.entries.len(), 1);
         // A write lands while the new backend replays batch 1. It goes to
         // the active backend only (the syncing one is not in the broadcast
         // set).
         let (_, targets) = c.route_write(write(1)).unwrap();
         assert!(!targets.contains(&id));
         let batch2 = c.finish_replay(id).unwrap().expect("second batch");
-        assert_eq!(batch2.len(), 1);
-        assert_eq!(batch2[0].index, 1);
+        assert!(
+            batch2.snapshot.is_none(),
+            "second tails never need snapshots"
+        );
+        assert_eq!(batch2.entries.len(), 1);
+        assert_eq!(batch2.entries[0].index, 1);
         assert!(c.finish_replay(id).unwrap().is_none());
         assert_eq!(c.status(id).unwrap(), BackendStatus::Active);
     }
@@ -455,9 +530,9 @@ mod tests {
         // Two writes happen while disabled.
         c.route_write(write(1)).unwrap();
         c.route_write(write(2)).unwrap();
-        let replay = c.begin_enable(ServerId(1)).unwrap();
-        assert_eq!(replay.len(), 2);
-        assert_eq!(replay[0].index, 1);
+        let plan = c.begin_enable(ServerId(1)).unwrap();
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.entries[0].index, 1);
     }
 
     #[test]
@@ -466,8 +541,8 @@ mod tests {
         c.route_write(write(0)).unwrap();
         c.fail_backend(ServerId(1)).unwrap();
         assert_eq!(c.checkpoint(ServerId(1)).unwrap(), 0);
-        let replay = c.begin_enable(ServerId(1)).unwrap();
-        assert_eq!(replay.len(), 1, "full log replayed after failure");
+        let plan = c.begin_enable(ServerId(1)).unwrap();
+        assert_eq!(plan.entries.len(), 1, "full log replayed after failure");
     }
 
     #[test]
@@ -480,24 +555,24 @@ mod tests {
         c.register_backend(id);
         // Begin: batch covers entries 0..4; abort before acknowledging.
         let batch = c.begin_enable(id).unwrap();
-        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.entries.len(), 4);
         c.abort_enable(id).unwrap();
         assert_eq!(c.status(id).unwrap(), BackendStatus::Disabled);
         assert_eq!(c.checkpoint(id).unwrap(), 0, "nothing acknowledged");
         // Re-enable replays the same suffix — no entry lost or doubled.
         let batch = c.begin_enable(id).unwrap();
-        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.entries.len(), 4);
         // Acknowledge the first batch, then writes arrive, then abort:
         // the checkpoint keeps the acknowledged prefix.
         let (_, _) = c.route_write(write(100)).unwrap();
         let next = c.finish_replay(id).unwrap().expect("second batch");
-        assert_eq!(next.len(), 1);
+        assert_eq!(next.entries.len(), 1);
         c.abort_enable(id).unwrap();
         assert_eq!(c.checkpoint(id).unwrap(), 4, "first batch acknowledged");
         // Final enable replays only the unacknowledged suffix.
         let batch = c.begin_enable(id).unwrap();
-        assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].index, 4);
+        assert_eq!(batch.entries.len(), 1);
+        assert_eq!(batch.entries[0].index, 4);
     }
 
     #[test]
@@ -509,9 +584,130 @@ mod tests {
         for i in 1..4 {
             c.route_write(write(i)).unwrap();
         }
-        let replay = c.begin_enable(ServerId(1)).unwrap();
-        let indices: Vec<u64> = replay.iter().map(|e| e.index).collect();
+        let plan = c.begin_enable(ServerId(1)).unwrap();
+        let indices: Vec<u64> = plan.entries.iter().map(|e| e.index).collect();
         assert_eq!(indices, vec![1, 2, 3], "exactly the missed suffix");
+    }
+
+    #[test]
+    fn primary_is_first_active_in_id_order() {
+        let mut c = controller_with_active(3);
+        assert_eq!(c.write_primary(), Some(ServerId(0)));
+        // Disabling the primary promotes the next id deterministically.
+        c.disable_backend(ServerId(0)).unwrap();
+        assert_eq!(c.write_primary(), Some(ServerId(1)));
+        c.disable_backend(ServerId(1)).unwrap();
+        c.disable_backend(ServerId(2)).unwrap();
+        assert_eq!(c.write_primary(), None);
+    }
+
+    #[test]
+    fn route_write_into_reuses_scratch_and_orders_primary_first() {
+        let mut c = controller_with_active(3);
+        let mut scratch = vec![ServerId(99)]; // stale content must be cleared
+        let idx = c.route_write_into(write(1), None, &mut scratch).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(scratch, vec![ServerId(0), ServerId(1), ServerId(2)]);
+        assert_eq!(scratch[0], c.write_primary().unwrap());
+        let idx = c.route_write_into(write(2), None, &mut scratch).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(scratch.len(), 3);
+    }
+
+    #[test]
+    fn late_joiner_plan_uses_nearest_snapshot_with_full_backlog() {
+        use crate::storage::Database;
+        let mut c = controller_with_active(1);
+        c.set_snapshot_interval(4);
+        let mut db = Database::new(schema());
+        db.execute(&schema().create_table("t")).unwrap();
+        // The create-table broadcast is also a logged write.
+        let (_, targets) = c.route_write(Arc::new(schema().create_table("t"))).unwrap();
+        assert_eq!(targets.len(), 1);
+        for i in 0..9 {
+            let stmt = write(i);
+            c.route_write(Arc::clone(&stmt)).unwrap();
+            db.execute(&stmt).unwrap();
+            if c.snapshot_due() {
+                c.install_snapshot(db.snapshot());
+            }
+        }
+        // 10 writes, snapshots at 4 and 8: a fresh joiner restores the
+        // snapshot at 8 and applies a 2-entry tail, yet the latency model
+        // still sees the full 10-entry backlog.
+        let id = ServerId(9);
+        c.register_backend(id);
+        let plan = c.begin_enable(id).unwrap();
+        assert_eq!(plan.snapshot.as_ref().map(|(p, _)| *p), Some(8));
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.backlog, 10);
+        // Restoring + applying the tail converges to the live state.
+        let (pos, snap) = plan.snapshot.unwrap();
+        let mut joiner = Database::from_snapshot(&snap);
+        for entry in &plan.entries {
+            assert!(entry.index >= pos);
+            joiner.execute(&entry.statement).unwrap();
+        }
+        assert_eq!(joiner.digest(), db.digest());
+    }
+
+    // Satellite: membership edge cases the delta path must preserve.
+
+    #[test]
+    fn fail_during_syncing_discards_session_and_resets_checkpoint() {
+        let mut c = controller_with_active(1);
+        for i in 0..3 {
+            c.route_write(write(i)).unwrap();
+        }
+        let id = ServerId(9);
+        c.register_backend(id);
+        let plan = c.begin_enable(id).unwrap();
+        assert_eq!(plan.entries.len(), 3);
+        assert_eq!(c.checkpoint(id).unwrap(), 3, "optimistic during sync");
+        // The node dies mid-replay: nothing it applied is trusted.
+        c.fail_backend(id).unwrap();
+        assert_eq!(c.status(id).unwrap(), BackendStatus::Disabled);
+        assert_eq!(c.checkpoint(id).unwrap(), 0);
+        let plan = c.begin_enable(id).unwrap();
+        assert_eq!(plan.entries.len(), 3, "full resync after failure");
+    }
+
+    #[test]
+    fn abort_during_syncing_falls_back_to_applied() {
+        // The graceful counterpart: an aborted enable keeps exactly the
+        // acknowledged prefix (checkpoint falls back to `applied`).
+        let mut c = controller_with_active(1);
+        for i in 0..3 {
+            c.route_write(write(i)).unwrap();
+        }
+        let id = ServerId(9);
+        c.register_backend(id);
+        c.begin_enable(id).unwrap();
+        c.route_write(write(3)).unwrap();
+        // First batch (3 entries) acknowledged; second (1 entry) handed
+        // out but never acknowledged before the abort.
+        assert!(c.finish_replay(id).unwrap().is_some());
+        c.abort_enable(id).unwrap();
+        assert_eq!(c.checkpoint(id).unwrap(), 3);
+        let plan = c.begin_enable(id).unwrap();
+        assert_eq!(plan.entries.len(), 1, "only the unacknowledged suffix");
+        assert_eq!(plan.entries[0].index, 3);
+    }
+
+    #[test]
+    fn fail_then_reregister_starts_from_scratch() {
+        let mut c = controller_with_active(2);
+        for i in 0..4 {
+            c.route_write(write(i)).unwrap();
+        }
+        c.fail_backend(ServerId(1)).unwrap();
+        // The node is released, then a replacement registers under the
+        // same id: checkpoint must be 0, not inherited.
+        c.unregister_backend(ServerId(1));
+        c.register_backend(ServerId(1));
+        assert_eq!(c.checkpoint(ServerId(1)).unwrap(), 0);
+        let plan = c.begin_enable(ServerId(1)).unwrap();
+        assert_eq!(plan.backlog, 4, "replays the whole history");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::apache::ApacheServer;
 use crate::balancer::{BalancePolicy, HttpBalancer};
 use crate::cjdbc::{BackendStatus, CjdbcController, CjdbcError, ReadPolicy};
 use crate::mysql::MysqlServer;
-use crate::recovery::LogEntry;
+use crate::recovery::SyncPlan;
 use crate::server::{ServerId, ServerProcess, ServerState, Tier};
 use crate::tomcat::TomcatServer;
 use jade_cluster::{ClusterManager, Network, NodeId, SoftwareInstallationService};
@@ -209,7 +209,7 @@ pub struct LegacyLayer {
     servers: BTreeMap<ServerId, LegacyServer>,
     next_server: u32,
     outbox: Vec<(SimDuration, LegacyEvent)>,
-    pending_replays: BTreeMap<(ServerId, ServerId), Vec<LogEntry>>,
+    pending_replays: BTreeMap<(ServerId, ServerId), SyncPlan>,
     /// Base database image restored into every new MySQL replica before
     /// it joins the cluster. The cluster-wide invariant is
     /// `base image + recovery log = current state`: writes issued after
@@ -600,9 +600,13 @@ impl LegacyLayer {
         if !state.is_running() {
             return Err(LegacyError::BadState(backend, state));
         }
-        let batch = self.cjdbc_mut(cjdbc)?.begin_enable(backend)?;
-        let delay = self.replay_setup_cost + self.replay_cost_per_entry.mul_f64(batch.len() as f64);
-        self.pending_replays.insert((cjdbc, backend), batch);
+        let plan = self.cjdbc_mut(cjdbc)?.begin_enable(backend)?;
+        // The simulated replay time follows the full statement backlog
+        // even when the plan carries a checkpoint snapshot: the snapshot
+        // path cuts host-side work, not modeled latency (digest-neutral).
+        let delay =
+            self.replay_setup_cost + self.replay_cost_per_entry.mul_f64(plan.backlog as f64);
+        self.pending_replays.insert((cjdbc, backend), plan);
         self.outbox
             .push((delay, LegacyEvent::ReplayBatchDone { cjdbc, backend }));
         Ok(())
@@ -627,21 +631,37 @@ impl LegacyLayer {
             self.pending_replays.remove(&(cjdbc, backend));
             return Ok(());
         }
-        let batch = self
+        let plan = self
             .pending_replays
             .remove(&(cjdbc, backend))
             .unwrap_or_default();
         {
             let m = self.mysql_mut(backend)?;
-            for entry in &batch {
-                // Replay tolerates individual statement errors the same way
-                // C-JDBC does (the write already succeeded cluster-wide).
-                let _ = m.execute(&entry.statement);
+            if let Some((_, snapshot)) = &plan.snapshot {
+                // Checkpoint restore: replace the replica's state with
+                // the snapshot (O(#tables) Arc clones) and apply only the
+                // delta tail past it, instead of replaying the history.
+                m.db = crate::storage::Database::from_snapshot(snapshot);
+            }
+            for entry in &plan.entries {
+                match &entry.delta {
+                    // Apply the physical effect the primary captured —
+                    // no statement re-evaluation.
+                    Some(delta) => {
+                        let _ = m.db.apply_delta(delta);
+                    }
+                    // No captured delta (the statement errored on the
+                    // primary): re-execute, tolerating individual errors
+                    // the same way C-JDBC does.
+                    None => {
+                        let _ = m.execute(&entry.statement);
+                    }
+                }
             }
         }
         match self.cjdbc_mut(cjdbc)?.finish_replay(backend)? {
             Some(next) => {
-                let delay = self.replay_cost_per_entry.mul_f64(next.len() as f64);
+                let delay = self.replay_cost_per_entry.mul_f64(next.backlog as f64);
                 self.pending_replays.insert((cjdbc, backend), next);
                 self.outbox
                     .push((delay, LegacyEvent::ReplayBatchDone { cjdbc, backend }));
@@ -705,19 +725,64 @@ impl LegacyLayer {
         cjdbc: ServerId,
         op: &crate::request::SqlOp,
     ) -> Result<Vec<(ServerId, SimDuration)>, LegacyError> {
+        let mut targets = Vec::new();
+        self.cjdbc_execute_write_into(cjdbc, op, &mut targets)?;
+        Ok(targets.into_iter().map(|b| (b, op.demand)).collect())
+    }
+
+    /// Scratch-buffer variant of
+    /// [`LegacyLayer::cjdbc_execute_write`]: fills `out` with the
+    /// broadcast set (every backend is charged `op.demand`) with zero
+    /// steady-state allocation. The deterministic primary (`out[0]`)
+    /// executes the statement once and captures a physical
+    /// [`crate::storage::WriteDelta`]; the remaining replicas apply the
+    /// delta — sharing the primary's row allocations — instead of
+    /// re-evaluating the statement.
+    pub fn cjdbc_execute_write_into(
+        &mut self,
+        cjdbc: ServerId,
+        op: &crate::request::SqlOp,
+        out: &mut Vec<ServerId>,
+    ) -> Result<(), LegacyError> {
         debug_assert!(op.is_write());
         let state = self.server(cjdbc)?.process().state;
         if !state.is_running() {
             return Err(LegacyError::BadState(cjdbc, state));
         }
-        let (_, targets) = self
-            .cjdbc_mut(cjdbc)?
-            .route_write(Arc::clone(&op.statement))?;
-        for &b in &targets {
+        let primary = self
+            .cjdbc(cjdbc)?
+            .write_primary()
+            .ok_or(CjdbcError::NoActiveBackend)?;
+        let delta = match self.mysql_mut(primary)?.execute_capture(&op.statement) {
+            Ok((_, delta)) => Some(Arc::new(delta)),
+            // The statement failed on the primary. It is still logged and
+            // broadcast (the cluster-wide outcome of a failed write is
+            // deterministic too) — without a delta, so every replica
+            // re-executes it and fails identically.
+            Err(_) => None,
+        };
+        self.cjdbc_mut(cjdbc)?
+            .route_write_into(Arc::clone(&op.statement), delta.clone(), out)?;
+        debug_assert_eq!(out.first(), Some(&primary), "primary broadcasts first");
+        for &b in &out[1..] {
             let m = self.mysql_mut(b)?;
-            let _ = m.execute(&op.statement);
+            match &delta {
+                Some(delta) => {
+                    let _ = m.db.apply_delta(delta);
+                }
+                None => {
+                    let _ = m.execute(&op.statement);
+                }
+            }
         }
-        Ok(targets.into_iter().map(|b| (b, op.demand)).collect())
+        // Checkpoint cadence: every `snapshot_interval` writes, store a
+        // copy-on-write snapshot of the (identical) cluster state so late
+        // joiners sync from it instead of replaying the history.
+        if self.cjdbc(cjdbc)?.snapshot_due() {
+            let snapshot = self.mysql(primary)?.db.snapshot();
+            self.cjdbc_mut(cjdbc)?.install_snapshot(snapshot);
+        }
+        Ok(())
     }
 
     /// Restores `target`'s database from a dump of `source` (C-JDBC's

@@ -2,7 +2,7 @@
 
 use crate::server::{ServerId, ServerProcess, Tier};
 use crate::sql::{ExecSummary, Schema, SharedRow, SqlError, Statement};
-use crate::storage::Database;
+use crate::storage::{Database, WriteDelta};
 use jade_cluster::NodeId;
 
 /// A MySQL process: process state plus an actual storage engine holding a
@@ -36,6 +36,16 @@ impl MysqlServer {
     /// scratch buffer (no per-query result allocation).
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecSummary, SqlError> {
         self.db.execute_into(stmt, &mut self.scratch)
+    }
+
+    /// Executes one write against this replica, capturing the physical
+    /// delta for the other mirrors to apply (the execute-once broadcast
+    /// path).
+    pub fn execute_capture(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<(ExecSummary, WriteDelta), SqlError> {
+        self.db.execute_capture(stmt)
     }
 
     /// Rows produced by the last `execute` (valid until the next call).

@@ -9,29 +9,89 @@
 //! Symmetrically, removing a database replica is realized by keeping trace
 //! of the state of this replica … stored as the index value … of the last
 //! write request that it has executed before being disabled."
+//!
+//! Two refinements over the literal model:
+//!
+//! * each entry carries the [`WriteDelta`] the primary captured when it
+//!   executed the write, so replay applies physical effects instead of
+//!   re-evaluating statements (the string form is rendered lazily, only
+//!   when diagnostics ask for it — never on the hot append path);
+//! * every [`RecoveryLog::snapshot_interval`] writes the log accepts a
+//!   copy-on-write checkpoint [`Snapshot`] of the cluster state, so a
+//!   joining backend receives {nearest snapshot, delta tail} — O(delta) —
+//!   instead of replaying the entire history. The *simulated* resync
+//!   latency still follows the full entry backlog ([`SyncPlan::backlog`]),
+//!   keeping virtual-time trajectories identical to the full-replay
+//!   implementation (the digest-neutral contract).
 
 use crate::sql::{Schema, Statement};
+use crate::storage::{Snapshot, WriteDelta};
 use std::sync::Arc;
 
-/// A logged write: global index plus the statement (stored rendered, as
-/// C-JDBC stores strings, and structured for replay). The statement is
-/// `Arc`-shared with the broadcast that produced it — logging a write
-/// never clones it.
+/// A logged write: global index, the statement (structured, for
+/// diagnostics and statement-level replay fallback) and the physical
+/// delta captured by the primary. Both are `Arc`-shared with the
+/// broadcast that produced them — logging a write never clones either.
 #[derive(Debug, Clone)]
 pub struct LogEntry {
     /// Global write index (0-based, dense).
     pub index: u64,
     /// The write statement.
     pub statement: Arc<Statement>,
-    /// The rendered string form (what C-JDBC actually persisted).
-    pub rendered: String,
+    /// The primary's captured physical effect. `None` when the write was
+    /// logged without delta capture (statement-replay mode, or the
+    /// statement errored on the primary) — replay then re-executes the
+    /// statement, which reproduces the identical outcome.
+    pub delta: Option<Arc<WriteDelta>>,
 }
+
+impl LogEntry {
+    /// The rendered string form (what C-JDBC actually persisted),
+    /// produced on demand — the hot write path never renders.
+    pub fn render(&self, schema: &Schema) -> String {
+        self.statement.render(schema)
+    }
+}
+
+/// What [`crate::cjdbc::CjdbcController::begin_enable`] hands a joining
+/// backend: either the delta tail alone (applied onto the backend's
+/// retained state) or the nearest checkpoint snapshot plus the shorter
+/// tail past it.
+#[derive(Debug, Clone, Default)]
+pub struct SyncPlan {
+    /// `(position, snapshot)`: replace the backend's state with the
+    /// snapshot covering log entries `< position`, then apply `entries`.
+    /// `None`: the backend's own state is current up to its checkpoint —
+    /// apply `entries` directly.
+    pub snapshot: Option<(u64, Snapshot)>,
+    /// Delta tail to apply, in log order.
+    pub entries: Vec<LogEntry>,
+    /// The full entry count the literal statement-replay model would have
+    /// transferred (`head - checkpoint`). The simulated resync latency is
+    /// modeled on this, not on `entries.len()`, so switching a backend to
+    /// the snapshot path never shifts virtual time.
+    pub backlog: u64,
+}
+
+impl SyncPlan {
+    /// True when the plan carries no state to transfer at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.entries.is_empty()
+    }
+}
+
+/// How many writes the log accepts between checkpoint snapshots.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 1024;
 
 /// Append-only log of all writes accepted by the clustered database.
 #[derive(Debug, Clone)]
 pub struct RecoveryLog {
     schema: Arc<Schema>,
     entries: Vec<LogEntry>,
+    /// Checkpoint snapshots at ascending log positions (a snapshot at
+    /// position `p` covers entries `< p`).
+    snapshots: Vec<(u64, Snapshot)>,
+    snapshot_interval: u64,
 }
 
 impl RecoveryLog {
@@ -40,23 +100,35 @@ impl RecoveryLog {
         RecoveryLog {
             schema,
             entries: Vec::new(),
+            snapshots: Vec::new(),
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
 
-    /// Appends a write, returning its index. Panics on non-write
-    /// statements — reads must never reach the log.
+    /// Appends a write without a captured delta (statement-replay mode),
+    /// returning its index. Panics on non-write statements — reads must
+    /// never reach the log.
     pub fn append(&mut self, statement: Arc<Statement>) -> u64 {
+        self.push_entry(statement, None)
+    }
+
+    /// Appends a write together with the physical delta its primary
+    /// captured, returning its index.
+    pub fn append_captured(&mut self, statement: Arc<Statement>, delta: Arc<WriteDelta>) -> u64 {
+        self.push_entry(statement, Some(delta))
+    }
+
+    fn push_entry(&mut self, statement: Arc<Statement>, delta: Option<Arc<WriteDelta>>) -> u64 {
         assert!(
             statement.is_write(),
             "only write requests are logged (got {})",
             statement.render(&self.schema)
         );
         let index = self.entries.len() as u64;
-        let rendered = statement.render(&self.schema);
         self.entries.push(LogEntry {
             index,
             statement,
-            rendered,
+            delta,
         });
         index
     }
@@ -78,9 +150,73 @@ impl RecoveryLog {
         self.head().saturating_sub(from)
     }
 
-    /// All rendered statements (diagnostics / persistence emulation).
-    pub fn rendered(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|e| e.rendered.as_str())
+    /// All rendered statements (diagnostics / persistence emulation),
+    /// produced lazily — nothing is rendered until the iterator is
+    /// consumed.
+    pub fn rendered(&self) -> impl Iterator<Item = String> + '_ {
+        self.entries.iter().map(|e| e.render(&self.schema))
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint snapshots
+    // ------------------------------------------------------------------
+
+    /// Writes between checkpoint snapshots.
+    pub fn snapshot_interval(&self) -> u64 {
+        self.snapshot_interval
+    }
+
+    /// Reconfigures the checkpoint cadence (tests and benches).
+    pub fn set_snapshot_interval(&mut self, every: u64) {
+        self.snapshot_interval = every.max(1);
+    }
+
+    /// True when enough writes accumulated since the last checkpoint that
+    /// the caller should capture and [`RecoveryLog::install_snapshot`] a
+    /// fresh one (the log itself holds no database state).
+    pub fn snapshot_due(&self) -> bool {
+        let last = self.snapshots.last().map(|(p, _)| *p).unwrap_or(0);
+        self.head() >= last + self.snapshot_interval
+    }
+
+    /// Records a checkpoint snapshot of the cluster state at the current
+    /// head (the snapshot must reflect every logged write).
+    pub fn install_snapshot(&mut self, snapshot: Snapshot) {
+        let pos = self.head();
+        debug_assert!(self.snapshots.last().is_none_or(|(p, _)| *p <= pos));
+        self.snapshots.push((pos, snapshot));
+    }
+
+    /// Number of checkpoint snapshots retained.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The most advanced snapshot strictly past `from`, if any (a
+    /// snapshot at or before `from` adds nothing over the backend's own
+    /// retained state).
+    pub fn nearest_snapshot(&self, from: u64) -> Option<&(u64, Snapshot)> {
+        self.snapshots.iter().rev().find(|(p, _)| *p > from)
+    }
+
+    /// Builds the cheapest reconciliation plan for a backend checkpointed
+    /// at `from`: nearest snapshot + delta tail when a snapshot would
+    /// skip work, the plain tail otherwise. `backlog` always reflects the
+    /// full `head - from` (see [`SyncPlan::backlog`]).
+    pub fn sync_plan(&self, from: u64) -> SyncPlan {
+        let backlog = self.backlog(from);
+        match self.nearest_snapshot(from) {
+            Some((pos, snap)) => SyncPlan {
+                snapshot: Some((*pos, snap.clone())),
+                entries: self.entries_from(*pos).to_vec(),
+                backlog,
+            },
+            None => SyncPlan {
+                snapshot: None,
+                entries: self.entries_from(from).to_vec(),
+                backlog,
+            },
+        }
     }
 }
 
@@ -88,6 +224,7 @@ impl RecoveryLog {
 mod tests {
     use super::*;
     use crate::sql::Value;
+    use crate::storage::Database;
 
     fn schema() -> Arc<Schema> {
         Schema::builder().table("t", &["a"]).build()
@@ -127,5 +264,72 @@ mod tests {
         let mut log = log();
         log.append(w(7));
         assert_eq!(log.rendered().next().unwrap(), "INSERT INTO t SET a=7");
+    }
+
+    #[test]
+    fn captured_deltas_ride_along() {
+        let schema = schema();
+        let mut db = Database::new(Arc::clone(&schema));
+        db.execute(&schema.create_table("t")).unwrap();
+        let mut log = RecoveryLog::new(Arc::clone(&schema));
+        let stmt = w(3);
+        let (_, delta) = db.execute_capture(&stmt).unwrap();
+        log.append_captured(Arc::clone(&stmt), Arc::new(delta));
+        log.append(w(4));
+        let entries = log.entries_from(0);
+        assert!(entries[0].delta.is_some());
+        assert!(entries[1].delta.is_none());
+    }
+
+    #[test]
+    fn snapshot_cadence_and_nearest_lookup() {
+        let schema = schema();
+        let mut db = Database::new(Arc::clone(&schema));
+        db.execute(&schema.create_table("t")).unwrap();
+        let mut log = RecoveryLog::new(Arc::clone(&schema));
+        log.set_snapshot_interval(4);
+        assert!(!log.snapshot_due(), "empty log needs no snapshot");
+        for i in 0..10 {
+            log.append(w(i));
+            let _ = db.execute(&schema.insert("t", &[("a", Value::Int(i))]));
+            if log.snapshot_due() {
+                log.install_snapshot(db.snapshot());
+            }
+        }
+        // Snapshots landed at positions 4 and 8.
+        assert_eq!(log.snapshot_count(), 2);
+        assert_eq!(log.nearest_snapshot(0).map(|(p, _)| *p), Some(8));
+        assert_eq!(log.nearest_snapshot(7).map(|(p, _)| *p), Some(8));
+        assert_eq!(log.nearest_snapshot(8).map(|(p, _)| *p), None);
+        assert_eq!(log.nearest_snapshot(99).map(|(p, _)| *p), None);
+    }
+
+    #[test]
+    fn sync_plan_prefers_snapshot_but_reports_full_backlog() {
+        let schema = schema();
+        let mut db = Database::new(Arc::clone(&schema));
+        db.execute(&schema.create_table("t")).unwrap();
+        let mut log = RecoveryLog::new(Arc::clone(&schema));
+        log.set_snapshot_interval(4);
+        for i in 0..6 {
+            log.append(w(i));
+            let _ = db.execute(&schema.insert("t", &[("a", Value::Int(i))]));
+            if log.snapshot_due() {
+                log.install_snapshot(db.snapshot());
+            }
+        }
+        // Fresh joiner (checkpoint 0): snapshot at 4 + tail of 2, but the
+        // latency model still sees all 6 entries.
+        let plan = log.sync_plan(0);
+        assert_eq!(plan.snapshot.as_ref().map(|(p, _)| *p), Some(4));
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.backlog, 6);
+        // A backend checkpointed past the snapshot gets the plain tail.
+        let plan = log.sync_plan(5);
+        assert!(plan.snapshot.is_none());
+        assert_eq!(plan.entries.len(), 1);
+        assert_eq!(plan.backlog, 1);
+        // Fully current: empty plan.
+        assert!(log.sync_plan(6).is_empty());
     }
 }

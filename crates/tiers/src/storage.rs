@@ -26,6 +26,16 @@
 //! byte for byte (tables in name order, columns in name order, `Null`s
 //! skipped), which is what lets `tests/storage_prop.rs` prove digest
 //! parity against `jade_bench::NaiveDatabase`.
+//!
+//! Replication support (RAIDb-1 execute-once): a write executed through
+//! [`Database::execute_capture`] additionally emits a [`WriteDelta`] — the
+//! physical effect of the statement with its row image `Arc`-shared — and
+//! [`Database::apply_delta`] replays that effect on a mirrored replica
+//! without re-evaluating the statement, so the whole cluster performs one
+//! row allocation per write. Tables are themselves `Arc`'d copy-on-write:
+//! [`Database::snapshot`] is an O(#tables) checkpoint and
+//! [`Database::from_snapshot`] an O(#tables) restore; a restored replica
+//! deep-copies a table only when a later write actually touches it.
 
 use crate::sql::{
     ColId, ExecSummary, QueryResult, Schema, SharedRow, SqlError, Statement, TableId, Value,
@@ -40,16 +50,85 @@ use std::sync::Arc;
 /// O(1) push; only update/delete need a binary-searched removal). Uses
 /// the workspace-wide deterministic fx hasher ([`jade_sim::det`]) — no
 /// per-process random state, a few ns per value instead of SipHash's
-/// tens.
-type Index = DetHashMap<Value, Vec<u64>>;
+/// tens. Posting lists are `Arc`'d so a copy-on-write table unshare
+/// (first write after [`Database::snapshot`]) clones the map skeleton
+/// but shares every posting allocation; only postings actually mutated
+/// afterwards are copied.
+type Index = DetHashMap<Value, Arc<Vec<u64>>>;
+
+/// Rows per [`RowStore`] chunk. Small enough that unsharing one chunk
+/// after a snapshot is cheap, large enough that the per-chunk `Arc`
+/// overhead stays invisible next to the row allocations themselves.
+const ROW_CHUNK: usize = 256;
+
+/// Dense primary-key row storage in fixed-size `Arc`'d chunks.
+///
+/// Slot `k` holds the row with key `k`; deleted rows leave a hole (keys
+/// are never reused, so the total slot count is the next key). Chunking
+/// makes the store copy-on-write at chunk granularity: cloning it (the
+/// first write to a table after [`Database::snapshot`]) copies
+/// O(#chunks) pointers, and only chunks actually written afterwards are
+/// deep-copied. A replica catching up from a checkpoint therefore does
+/// work proportional to the delta tail it applies, not to table size.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RowStore {
+    chunks: Vec<Arc<Vec<Option<SharedRow>>>>,
+    /// Total slots across all chunks (== the next key).
+    slots: usize,
+}
+
+impl RowStore {
+    /// Appends a row at the next key.
+    fn push(&mut self, row: SharedRow) {
+        if self.slots.is_multiple_of(ROW_CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(ROW_CHUNK)));
+        }
+        let chunk = self.chunks.last_mut().expect("chunk just ensured");
+        Arc::make_mut(chunk).push(Some(row));
+        self.slots += 1;
+    }
+
+    /// The row at `key`, if present.
+    fn get(&self, key: u64) -> Option<&SharedRow> {
+        let k = key as usize;
+        if k >= self.slots {
+            return None;
+        }
+        self.chunks[k / ROW_CHUNK][k % ROW_CHUNK].as_ref()
+    }
+
+    /// Removes and returns the row at `key`. Checks occupancy through a
+    /// shared reference first so a miss never unshares the chunk.
+    fn take(&mut self, key: u64) -> Option<SharedRow> {
+        let k = key as usize;
+        if k >= self.slots || self.chunks[k / ROW_CHUNK][k % ROW_CHUNK].is_none() {
+            return None;
+        }
+        Arc::make_mut(&mut self.chunks[k / ROW_CHUNK])[k % ROW_CHUNK].take()
+    }
+
+    /// Stores `row` at `key` (slot must already exist).
+    fn set(&mut self, key: u64, row: SharedRow) {
+        let k = key as usize;
+        Arc::make_mut(&mut self.chunks[k / ROW_CHUNK])[k % ROW_CHUNK] = Some(row);
+    }
+
+    /// Iterates `(key, row)` pairs in key order.
+    fn iter(&self) -> impl Iterator<Item = (u64, &SharedRow)> {
+        self.chunks.iter().enumerate().flat_map(|(c, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, r)| r.as_ref().map(|r| ((c * ROW_CHUNK + i) as u64, r)))
+        })
+    }
+}
 
 /// One table: dense rows indexed directly by primary key.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table {
     created: bool,
-    /// Slot `k` holds the row with key `k`; deleted rows leave a hole
-    /// (keys are never reused, `rows.len()` is the next key).
-    rows: Vec<Option<SharedRow>>,
+    rows: RowStore,
     live: usize,
     /// Parallel to the schema's column list; `Some` for indexed columns.
     indexes: Vec<Option<Index>>,
@@ -68,14 +147,11 @@ impl Table {
 
     /// Iterates `(key, row)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &SharedRow)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(k, r)| r.as_ref().map(|r| (k as u64, r)))
+        self.rows.iter()
     }
 
     fn next_key(&self) -> u64 {
-        self.rows.len() as u64
+        self.rows.slots as u64
     }
 
     fn index_insert(&mut self, col: ColId, value: &Value, key: u64) {
@@ -83,7 +159,7 @@ impl Table {
             return;
         }
         if let Some(Some(idx)) = self.indexes.get_mut(col.0 as usize) {
-            let posting = idx.entry(value.clone()).or_default();
+            let posting = Arc::make_mut(idx.entry(value.clone()).or_default());
             debug_assert!(posting.last().is_none_or(|&last| last < key));
             posting.push(key);
         }
@@ -96,7 +172,7 @@ impl Table {
             return;
         }
         if let Some(Some(idx)) = self.indexes.get_mut(col.0 as usize) {
-            let posting = idx.entry(value.clone()).or_default();
+            let posting = Arc::make_mut(idx.entry(value.clone()).or_default());
             if let Err(pos) = posting.binary_search(&key) {
                 posting.insert(pos, key);
             }
@@ -109,6 +185,7 @@ impl Table {
         }
         if let Some(Some(idx)) = self.indexes.get_mut(col.0 as usize) {
             if let Some(posting) = idx.get_mut(value) {
+                let posting = Arc::make_mut(posting);
                 if let Ok(pos) = posting.binary_search(&key) {
                     posting.remove(pos);
                 }
@@ -120,20 +197,97 @@ impl Table {
     }
 }
 
+/// The physical effect of one write statement, captured by the replica
+/// that executed it ([`Database::execute_capture`]) and applied verbatim
+/// everywhere else ([`Database::apply_delta`]). Row images are
+/// [`SharedRow`]s: broadcasting a delta to N mirrored replicas shares one
+/// allocation cluster-wide instead of re-constructing the row N times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteDelta {
+    /// `CREATE TABLE` (idempotent, like the statement).
+    CreateTable {
+        /// Table created.
+        table: TableId,
+    },
+    /// A row was inserted at `key` (always the table's next dense key).
+    Insert {
+        /// Table inserted into.
+        table: TableId,
+        /// Key the primary assigned (deterministic per-table counter).
+        key: u64,
+        /// The inserted row image, shared with the primary's slot.
+        row: SharedRow,
+    },
+    /// The row at `key` was replaced by `row`; `changed` lists the
+    /// columns whose value actually changed (the index entries to move —
+    /// old values are read from the applying replica's identical row).
+    Update {
+        /// Table updated.
+        table: TableId,
+        /// Key of the updated row.
+        key: u64,
+        /// The full post-update row image, shared with the primary.
+        row: SharedRow,
+        /// Columns whose value changed (no-op column sets are skipped).
+        changed: Vec<ColId>,
+    },
+    /// The row at `key` was removed.
+    Delete {
+        /// Table deleted from.
+        table: TableId,
+        /// Key of the removed row.
+        key: u64,
+    },
+    /// The write affected nothing (update/delete of a missing key).
+    Noop,
+}
+
+/// A copy-on-write checkpoint of a database's full contents: cloning,
+/// taking and restoring are all O(#tables) reference bumps. A restored
+/// replica shares every table with the snapshot until a write touches it
+/// (`Arc::make_mut` then deep-copies just that table).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    schema: Arc<Schema>,
+    tables: Vec<Arc<Table>>,
+}
+
 /// An in-memory relational database over an interned [`Schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Database {
     schema: Arc<Schema>,
-    /// Parallel to `schema`'s table list.
-    tables: Vec<Table>,
+    /// Parallel to `schema`'s table list. Each table is `Arc`'d so
+    /// snapshots and base-image restores share structure; the write path
+    /// pays one pointer check (`Arc::make_mut`) per statement and a deep
+    /// copy only on the first write after a snapshot was taken.
+    tables: Vec<Arc<Table>>,
 }
 
 impl Database {
     /// Creates an empty database over `schema` (tables exist in the
     /// catalog but are not *created* until a `CREATE TABLE` executes).
     pub fn new(schema: Arc<Schema>) -> Self {
-        let tables = (0..schema.len()).map(|_| Table::default()).collect();
+        let tables = (0..schema.len())
+            .map(|_| Arc::new(Table::default()))
+            .collect();
         Database { schema, tables }
+    }
+
+    /// Takes a copy-on-write checkpoint of the current contents.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema: Arc::clone(&self.schema),
+            tables: self.tables.clone(),
+        }
+    }
+
+    /// Materializes a database from a checkpoint (O(#tables); table
+    /// contents stay shared with the snapshot until written).
+    pub fn from_snapshot(snap: &Snapshot) -> Database {
+        Database {
+            schema: Arc::clone(&snap.schema),
+            tables: snap.tables.clone(),
+        }
     }
 
     /// The schema this database executes against.
@@ -150,6 +304,12 @@ impl Database {
             Some(t) if t.created => Ok(t),
             _ => Err(self.no_such_table(id)),
         }
+    }
+
+    /// Mutable access to a created table (copy-on-write: deep-copies the
+    /// table only when a snapshot or base image still shares it).
+    fn table_mut(&mut self, id: TableId) -> &mut Table {
+        Arc::make_mut(&mut self.tables[id.0 as usize])
     }
 
     /// Executes a statement, materializing a [`QueryResult`] (row contents
@@ -186,18 +346,7 @@ impl Database {
         out.clear();
         match stmt {
             Statement::CreateTable { table } => {
-                let t = self
-                    .tables
-                    .get_mut(table.0 as usize)
-                    .ok_or(SqlError::NoSuchTable("?".to_owned()))?;
-                if !t.created {
-                    t.created = true;
-                    let def = self.schema.table(*table).expect("table in catalog");
-                    t.indexes = vec![None; def.width()];
-                    for &col in def.indexed() {
-                        t.indexes[col.0 as usize] = Some(Index::default());
-                    }
-                }
+                self.create_table(*table)?;
                 Ok(ExecSummary::Ack {
                     inserted_key: None,
                     affected: 0,
@@ -205,7 +354,7 @@ impl Database {
             }
             Statement::Insert { table, row } => {
                 self.table_ref(*table)?;
-                let t = &mut self.tables[table.0 as usize];
+                let t = self.table_mut(*table);
                 debug_assert_eq!(
                     row.len(),
                     t.indexes.len(),
@@ -215,7 +364,7 @@ impl Database {
                 for (ci, v) in row.iter().enumerate() {
                     t.index_insert(ColId(id_u16(ci)), v, key);
                 }
-                t.rows.push(Some(Arc::new(row.clone())));
+                t.rows.push(Arc::new(row.clone()));
                 t.live += 1;
                 Ok(ExecSummary::Ack {
                     inserted_key: Some(key),
@@ -224,11 +373,11 @@ impl Database {
             }
             Statement::Update { table, key, set } => {
                 self.table_ref(*table)?;
-                let t = &mut self.tables[table.0 as usize];
+                let t = self.table_mut(*table);
                 // Take the row out of its slot so the table's reference
                 // doesn't count against copy-on-write: `make_mut` clones
                 // contents only when a query result still shares the row.
-                let affected = match t.rows.get_mut(*key as usize).and_then(Option::take) {
+                let affected = match t.rows.take(*key) {
                     Some(mut shared) => {
                         for (col, v) in set {
                             let old = &shared[col.0 as usize];
@@ -240,7 +389,7 @@ impl Database {
                             t.index_insert_sorted(*col, v, *key);
                             Arc::make_mut(&mut shared)[col.0 as usize] = v.clone();
                         }
-                        t.rows[*key as usize] = Some(shared);
+                        t.rows.set(*key, shared);
                         1
                     }
                     None => 0,
@@ -252,8 +401,8 @@ impl Database {
             }
             Statement::Delete { table, key } => {
                 self.table_ref(*table)?;
-                let t = &mut self.tables[table.0 as usize];
-                let removed = t.rows.get_mut(*key as usize).and_then(Option::take);
+                let t = self.table_mut(*table);
+                let removed = t.rows.take(*key);
                 let affected = match removed {
                     Some(row) => {
                         t.live -= 1;
@@ -271,7 +420,7 @@ impl Database {
             }
             Statement::SelectByKey { table, key } => {
                 let t = self.table_ref(*table)?;
-                if let Some(Some(row)) = t.rows.get(*key as usize) {
+                if let Some(row) = t.rows.get(*key) {
                     out.push((*key, Arc::clone(row)));
                 }
                 Ok(ExecSummary::Rows(out.len()))
@@ -293,7 +442,7 @@ impl Database {
                     Some(Some(idx)) => {
                         if let Some(posting) = idx.get(value) {
                             for &key in posting.iter().take(*limit) {
-                                let row = t.rows[key as usize].as_ref().expect("indexed row");
+                                let row = t.rows.get(key).expect("indexed row");
                                 out.push((key, Arc::clone(row)));
                             }
                         }
@@ -319,6 +468,204 @@ impl Database {
         }
     }
 
+    /// Marks a catalog table created, building its secondary indexes
+    /// (idempotent — shared by the statement and delta paths).
+    fn create_table(&mut self, table: TableId) -> Result<(), SqlError> {
+        let t = self
+            .tables
+            .get_mut(table.0 as usize)
+            .ok_or(SqlError::NoSuchTable("?".to_owned()))?;
+        let t = Arc::make_mut(t);
+        if !t.created {
+            t.created = true;
+            let def = self.schema.table(table).expect("table in catalog");
+            t.indexes = vec![None; def.width()];
+            for &col in def.indexed() {
+                t.indexes[col.0 as usize] = Some(Index::default());
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a *write* statement once, additionally capturing its
+    /// physical effect as a [`WriteDelta`] for broadcast: the RAIDb-1
+    /// primary runs this, every other replica runs
+    /// [`Database::apply_delta`] on the result. The row image inside the
+    /// delta is the same `Arc` installed in this database's slot.
+    pub fn execute_capture(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<(ExecSummary, WriteDelta), SqlError> {
+        debug_assert!(stmt.is_write(), "execute_capture is for writes only");
+        match stmt {
+            Statement::CreateTable { table } => {
+                self.create_table(*table)?;
+                Ok((
+                    ExecSummary::Ack {
+                        inserted_key: None,
+                        affected: 0,
+                    },
+                    WriteDelta::CreateTable { table: *table },
+                ))
+            }
+            Statement::Insert { table, row } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                debug_assert_eq!(
+                    row.len(),
+                    t.indexes.len(),
+                    "insert row width must match the table layout"
+                );
+                let key = t.next_key();
+                for (ci, v) in row.iter().enumerate() {
+                    t.index_insert(ColId(id_u16(ci)), v, key);
+                }
+                let shared: SharedRow = Arc::new(row.clone());
+                t.rows.push(Arc::clone(&shared));
+                t.live += 1;
+                Ok((
+                    ExecSummary::Ack {
+                        inserted_key: Some(key),
+                        affected: 1,
+                    },
+                    WriteDelta::Insert {
+                        table: *table,
+                        key,
+                        row: shared,
+                    },
+                ))
+            }
+            Statement::Update { table, key, set } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                match t.rows.take(*key) {
+                    Some(mut shared) => {
+                        let mut changed = Vec::with_capacity(set.len());
+                        for (col, v) in set {
+                            let old = &shared[col.0 as usize];
+                            if *old == *v {
+                                continue;
+                            }
+                            let old = old.clone();
+                            t.index_remove(*col, &old, *key);
+                            t.index_insert_sorted(*col, v, *key);
+                            Arc::make_mut(&mut shared)[col.0 as usize] = v.clone();
+                            changed.push(*col);
+                        }
+                        let image = Arc::clone(&shared);
+                        t.rows.set(*key, shared);
+                        Ok((
+                            ExecSummary::Ack {
+                                inserted_key: None,
+                                affected: 1,
+                            },
+                            WriteDelta::Update {
+                                table: *table,
+                                key: *key,
+                                row: image,
+                                changed,
+                            },
+                        ))
+                    }
+                    None => Ok((
+                        ExecSummary::Ack {
+                            inserted_key: None,
+                            affected: 0,
+                        },
+                        WriteDelta::Noop,
+                    )),
+                }
+            }
+            Statement::Delete { table, key } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                match t.rows.take(*key) {
+                    Some(row) => {
+                        t.live -= 1;
+                        for (ci, v) in row.iter().enumerate() {
+                            t.index_remove(ColId(id_u16(ci)), v, *key);
+                        }
+                        Ok((
+                            ExecSummary::Ack {
+                                inserted_key: None,
+                                affected: 1,
+                            },
+                            WriteDelta::Delete {
+                                table: *table,
+                                key: *key,
+                            },
+                        ))
+                    }
+                    None => Ok((
+                        ExecSummary::Ack {
+                            inserted_key: None,
+                            affected: 0,
+                        },
+                        WriteDelta::Noop,
+                    )),
+                }
+            }
+            _ => unreachable!("execute_capture is for writes only"),
+        }
+    }
+
+    /// Applies a captured [`WriteDelta`] to this replica without
+    /// re-evaluating the originating statement. Deltas must be applied in
+    /// log order onto a replica whose state matches the primary's at
+    /// capture time (the RAIDb-1 full-mirroring invariant); row images are
+    /// installed by reference, so the whole cluster shares one allocation
+    /// per row.
+    pub fn apply_delta(&mut self, delta: &WriteDelta) -> Result<(), SqlError> {
+        match delta {
+            WriteDelta::CreateTable { table } => self.create_table(*table),
+            WriteDelta::Insert { table, key, row } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                debug_assert_eq!(*key, t.next_key(), "deltas apply in log order");
+                for (ci, v) in row.iter().enumerate() {
+                    t.index_insert(ColId(id_u16(ci)), v, *key);
+                }
+                t.rows.push(Arc::clone(row));
+                t.live += 1;
+                Ok(())
+            }
+            WriteDelta::Update {
+                table,
+                key,
+                row,
+                changed,
+            } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                match t.rows.take(*key) {
+                    Some(old) => {
+                        // The replica's pre-image equals the primary's, so
+                        // the old index entries are read from it directly.
+                        for &col in changed {
+                            t.index_remove(col, &old[col.0 as usize], *key);
+                            t.index_insert_sorted(col, &row[col.0 as usize], *key);
+                        }
+                        t.rows.set(*key, Arc::clone(row));
+                        Ok(())
+                    }
+                    None => Ok(()),
+                }
+            }
+            WriteDelta::Delete { table, key } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                if let Some(row) = t.rows.take(*key) {
+                    t.live -= 1;
+                    for (ci, v) in row.iter().enumerate() {
+                        t.index_remove(ColId(id_u16(ci)), v, *key);
+                    }
+                }
+                Ok(())
+            }
+            WriteDelta::Noop => Ok(()),
+        }
+    }
+
     /// Created-table names, sorted.
     pub fn table_names(&self) -> Vec<&str> {
         self.schema
@@ -338,7 +685,7 @@ impl Database {
 
     /// Total number of live rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
+        self.tables.iter().map(|t| t.len()).sum()
     }
 
     /// Content digest: equal digests ⇔ equal contents (up to hash
@@ -580,6 +927,125 @@ mod tests {
                 .unwrap();
             assert_eq!(r.cardinality(), 0, "NULL filter on {col}");
         }
+    }
+
+    /// Runs `stmts` through a primary with `execute_capture`, mirroring
+    /// each delta onto `replica`; returns the primary.
+    fn mirror(stmts: &[Statement], replica: &mut Database) -> Database {
+        let mut primary = db();
+        for s in stmts {
+            match primary.execute_capture(s) {
+                Ok((_, delta)) => replica.apply_delta(&delta).unwrap(),
+                Err(e) => {
+                    // The replica re-derives the same error.
+                    assert_eq!(replica.execute(s).unwrap_err(), e);
+                }
+            }
+        }
+        primary
+    }
+
+    #[test]
+    fn delta_applied_replica_matches_reexecution() {
+        let schema = schema();
+        let stmts = vec![
+            schema.create_table("t"),
+            schema.insert("t", &[("a", Value::Int(1)), ("b", "x".into())]),
+            schema.insert("t", &[("a", Value::Int(2))]),
+            schema.update("t", 0, &[("a", Value::Int(2)), ("b", Value::Null)]),
+            // No-op column set: the delta must not move index entries.
+            schema.update("t", 1, &[("a", Value::Int(2))]),
+            schema.delete("t", 0),
+            // Missing-key update/delete capture as Noop.
+            schema.update("t", 99, &[("a", Value::Int(5))]),
+            schema.delete("t", 42),
+            schema.insert("t", &[("a", Value::Int(3))]),
+        ];
+        let mut via_delta = db();
+        let primary = mirror(&stmts, &mut via_delta);
+        let mut reexecuted = db();
+        for s in &stmts {
+            let _ = reexecuted.execute(s);
+        }
+        assert_eq!(primary.digest(), reexecuted.digest());
+        assert_eq!(via_delta.digest(), reexecuted.digest());
+        assert_eq!(via_delta, reexecuted);
+        // Index maintenance carried over: the indexed lookup agrees.
+        let q = schema.select_where("t", "a", Value::Int(2), 10);
+        assert_eq!(via_delta.execute(&q), reexecuted.execute(&q));
+    }
+
+    #[test]
+    fn capture_shares_one_row_allocation_with_replicas() {
+        let schema = schema();
+        let mut primary = db();
+        let mut r1 = db();
+        let mut r2 = db();
+        let (_, delta) = primary.execute_capture(&schema.create_table("t")).unwrap();
+        r1.apply_delta(&delta).unwrap();
+        r2.apply_delta(&delta).unwrap();
+        let (_, delta) = primary
+            .execute_capture(&schema.insert("t", &[("a", Value::Int(7))]))
+            .unwrap();
+        let row = match &delta {
+            WriteDelta::Insert { row, .. } => Arc::clone(row),
+            other => panic!("unexpected {other:?}"),
+        };
+        r1.apply_delta(&delta).unwrap();
+        r2.apply_delta(&delta).unwrap();
+        drop(delta);
+        // primary + r1 + r2 + our probe hold the single allocation.
+        assert_eq!(Arc::strong_count(&row), 4);
+    }
+
+    #[test]
+    fn snapshot_restore_and_tail_converges() {
+        let schema = schema();
+        let mut primary = db();
+        primary.execute(&schema.create_table("t")).unwrap();
+        for i in 0..50i64 {
+            primary
+                .execute(&schema.insert("t", &[("a", Value::Int(i % 5))]))
+                .unwrap();
+        }
+        let snap = primary.snapshot();
+        // Writes after the checkpoint, captured as deltas.
+        let mut tail = Vec::new();
+        for i in 0..10i64 {
+            let (_, d) = primary
+                .execute_capture(&schema.insert("t", &[("a", Value::Int(100 + i))]))
+                .unwrap();
+            tail.push(d);
+        }
+        let (_, d) = primary.execute_capture(&schema.delete("t", 3)).unwrap();
+        tail.push(d);
+        // Joiner: restore + tail.
+        let mut joiner = Database::from_snapshot(&snap);
+        for d in &tail {
+            joiner.apply_delta(d).unwrap();
+        }
+        assert_eq!(joiner.digest(), primary.digest());
+        // The snapshot itself is unperturbed by both the primary's and
+        // the joiner's post-checkpoint writes (copy-on-write).
+        let frozen = Database::from_snapshot(&snap);
+        assert_eq!(frozen.total_rows(), 50);
+    }
+
+    #[test]
+    fn snapshot_is_cheap_and_isolated_from_later_writes() {
+        let schema = schema();
+        let mut a = db();
+        a.execute(&schema.create_table("t")).unwrap();
+        a.execute(&schema.insert("t", &[("a", Value::Int(1))]))
+            .unwrap();
+        let snap = a.snapshot();
+        let before = Database::from_snapshot(&snap).digest();
+        a.execute(&schema.update("t", 0, &[("a", Value::Int(9))]))
+            .unwrap();
+        a.execute(&schema.insert("t", &[("a", Value::Int(2))]))
+            .unwrap();
+        assert_eq!(Database::from_snapshot(&snap).digest(), before);
+        assert_ne!(a.digest(), before);
     }
 
     #[test]

@@ -88,8 +88,19 @@ impl Model {
         }
         let mut batch = self.ctrl.begin_enable(id).unwrap();
         loop {
-            for entry in &batch {
-                let _ = self.dbs.get_mut(&id).unwrap().execute(&entry.statement);
+            let db = self.dbs.get_mut(&id).unwrap();
+            if let Some((_, snapshot)) = &batch.snapshot {
+                *db = Database::from_snapshot(snapshot);
+            }
+            for entry in &batch.entries {
+                match &entry.delta {
+                    Some(delta) => {
+                        let _ = db.apply_delta(delta);
+                    }
+                    None => {
+                        let _ = db.execute(&entry.statement);
+                    }
+                }
             }
             match self.ctrl.finish_replay(id).unwrap() {
                 Some(next) => batch = next,

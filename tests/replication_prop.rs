@@ -1,0 +1,374 @@
+//! Differential property tests of the execute-once delta replication
+//! path (paper §4.1, RAIDb-1 full mirroring).
+//!
+//! The first property drives random write streams through
+//! `Database::execute_capture` and checks after *every* write that a
+//! replica applying the captured `WriteDelta` is byte-identical (content
+//! digest) to a replica re-executing the statement — and that the whole
+//! stream lands on the same digest as the pre-delta
+//! `jade_bench::NaiveReplication` stack.
+//!
+//! The second property adds backend membership churn through the
+//! `CjdbcController`, with syncs deliberately left half-finished so
+//! replay batches race new writes: joins go through `SyncPlan` (nearest
+//! checkpoint snapshot + delta tail, at an aggressively small snapshot
+//! interval so the snapshot path is actually taken), and at the end every
+//! replica must match a from-scratch full-statement-log replay.
+//!
+//! Reproduce a failure with `PROPCHECK_SEED` / `PROPCHECK_CASES` as
+//! printed by the harness.
+
+use jade_bench::NaiveReplication;
+use jade_propcheck::{run, Gen};
+use jade_tiers::cjdbc::{BackendStatus, CjdbcController, ReadPolicy};
+use jade_tiers::recovery::SyncPlan;
+use jade_tiers::sql::{ColId, Schema, Statement, TableId, Value};
+use jade_tiers::storage::Database;
+use jade_tiers::ServerId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const TABLE_NAMES: &[&str] = &["t0", "t1", "t2"];
+const COL_NAMES: &[&str] = &["c0", "c1", "c2", "c3"];
+const MAX_KEY: u64 = 32;
+
+/// A random schema: 1–3 tables, 1–4 columns each, roughly half of the
+/// columns carrying a secondary index (so delta application exercises
+/// index maintenance too).
+fn gen_schema(g: &mut Gen) -> Arc<Schema> {
+    let tables = g.usize(1..4);
+    let mut b = Schema::builder();
+    let mut indexed = Vec::new();
+    for t in TABLE_NAMES.iter().take(tables) {
+        let cols = g.usize(1..5);
+        b = b.table(t, &COL_NAMES[..cols]);
+        for c in COL_NAMES.iter().take(cols) {
+            if g.bool() {
+                indexed.push((*t, *c));
+            }
+        }
+    }
+    for (t, c) in indexed {
+        b = b.index(t, c);
+    }
+    b.build()
+}
+
+fn gen_value(g: &mut Gen) -> Value {
+    match g.weighted(&[2, 5, 2]) {
+        0 => Value::Null,
+        // A small value domain so no-op column sets and index moves hit.
+        1 => Value::Int(g.u64(0..6) as i64),
+        _ => Value::Text(g.choose(&["x", "y", "zz"]).to_string()),
+    }
+}
+
+/// One random *write* against `schema`, including creates of existing
+/// tables (idempotent) and updates/deletes of missing keys (error or
+/// no-op paths — both must capture faithfully).
+fn gen_write(g: &mut Gen, schema: &Schema) -> Statement {
+    let table = TableId(g.u64(0..schema.len() as u64) as u16);
+    let def = schema.table(table).expect("in range");
+    let width = def.width();
+    match g.weighted(&[2, 6, 4, 2]) {
+        0 => Statement::CreateTable { table },
+        1 => {
+            let row = (0..width).map(|_| gen_value(g)).collect();
+            Statement::Insert { table, row }
+        }
+        2 => {
+            let set = (0..g.usize(1..width + 1))
+                .map(|_| (ColId(g.u64(0..width as u64) as u16), gen_value(g)))
+                .collect();
+            Statement::Update {
+                table,
+                key: g.u64(0..MAX_KEY),
+                set,
+            }
+        }
+        _ => Statement::Delete {
+            table,
+            key: g.u64(0..MAX_KEY),
+        },
+    }
+}
+
+/// A delta-applied replica is byte-identical to a re-executed one after
+/// every single write, and the stream converges to the same digest as
+/// the pre-delta re-execute-everywhere stack.
+#[test]
+fn delta_apply_matches_reexecution() {
+    run("delta_apply_matches_reexecution", 256, |g| {
+        let schema = gen_schema(g);
+        let writes: Vec<Arc<Statement>> = g
+            .vec(1..80, |g| gen_write(g, &schema))
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let base = Database::new(Arc::clone(&schema));
+        let mut primary = base.clone();
+        let mut by_delta = base.clone();
+        let mut by_statement = base.clone();
+        let mut naive = NaiveReplication::new(Arc::clone(&schema), &base, 2);
+        for (step, stmt) in writes.iter().enumerate() {
+            match primary.execute_capture(stmt) {
+                Ok((_, delta)) => {
+                    by_delta.apply_delta(&delta).expect("delta applies");
+                    let _ = by_statement.execute(stmt);
+                }
+                // The write failed on the primary: every replica
+                // re-executes it and fails identically (there is no
+                // delta to share).
+                Err(_) => {
+                    let _ = by_delta.execute(stmt);
+                    let _ = by_statement.execute(stmt);
+                }
+            }
+            naive.execute_write(stmt);
+            let d = primary.digest();
+            assert_eq!(d, by_delta.digest(), "delta replica diverged at {step}");
+            assert_eq!(
+                d,
+                by_statement.digest(),
+                "re-executing replica diverged at {step}"
+            );
+        }
+        assert_eq!(
+            primary.digest(),
+            naive.digest(),
+            "pre-delta stack disagrees with the capture path"
+        );
+    });
+}
+
+/// Abstract operations for the churn property.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Broadcast a write through the delta path.
+    Write,
+    /// Disable backend `i % backends` if active (and not the last one).
+    Disable(u8),
+    /// Fully (re-)enable backend `i % backends` via its `SyncPlan`.
+    Enable(u8),
+    /// Begin enabling, applying only the first batch — leaves the sync
+    /// open so later writes race the replay.
+    EnableStart(u8),
+    /// Acknowledge the open batch; may yield (and apply) a second tail.
+    EnableStep(u8),
+    /// Crash-fail backend `i % backends`: checkpoint resets to zero and
+    /// any in-flight sync session is discarded (the stale-session
+    /// guard).
+    Fail(u8),
+}
+
+fn gen_op(g: &mut Gen) -> Op {
+    match g.weighted(&[8, 2, 2, 2, 3, 1]) {
+        0 => Op::Write,
+        1 => Op::Disable(g.u8()),
+        2 => Op::Enable(g.u8()),
+        3 => Op::EnableStart(g.u8()),
+        4 => Op::EnableStep(g.u8()),
+        _ => Op::Fail(g.u8()),
+    }
+}
+
+/// A model cluster wired exactly like the legacy layer's delta path:
+/// deterministic primary executes-and-captures, replicas apply deltas,
+/// checkpoint snapshots install on cadence, and joins apply `SyncPlan`s
+/// (with in-flight plans stashed, like `pending_replays`).
+struct Model {
+    ctrl: CjdbcController,
+    dbs: BTreeMap<ServerId, Database>,
+    pending: BTreeMap<ServerId, SyncPlan>,
+    schema: Arc<Schema>,
+}
+
+impl Model {
+    fn new(schema: Arc<Schema>, backends: u32, snapshot_every: u64) -> Self {
+        let mut ctrl = CjdbcController::new(ReadPolicy::RoundRobin, Arc::clone(&schema));
+        ctrl.set_snapshot_interval(snapshot_every);
+        let mut dbs = BTreeMap::new();
+        for i in 0..backends {
+            let id = ServerId(i);
+            ctrl.register_backend(id);
+            assert!(ctrl.begin_enable(id).unwrap().is_empty());
+            assert!(ctrl.finish_replay(id).unwrap().is_none());
+            dbs.insert(id, Database::new(Arc::clone(&schema)));
+        }
+        Model {
+            ctrl,
+            dbs,
+            pending: BTreeMap::new(),
+            schema,
+        }
+    }
+
+    fn write(&mut self, stmt: Statement) {
+        let stmt = Arc::new(stmt);
+        let Some(primary) = self.ctrl.write_primary() else {
+            return;
+        };
+        let delta = match self.dbs.get_mut(&primary).unwrap().execute_capture(&stmt) {
+            Ok((_, delta)) => Some(Arc::new(delta)),
+            Err(_) => None,
+        };
+        let mut targets = Vec::new();
+        self.ctrl
+            .route_write_into(Arc::clone(&stmt), delta.clone(), &mut targets)
+            .expect("primary exists, so actives exist");
+        assert_eq!(targets[0], primary);
+        for &b in &targets[1..] {
+            let db = self.dbs.get_mut(&b).unwrap();
+            match &delta {
+                Some(delta) => {
+                    let _ = db.apply_delta(delta);
+                }
+                None => {
+                    let _ = db.execute(&stmt);
+                }
+            }
+            self.ctrl.note_complete(b);
+        }
+        self.ctrl.note_complete(primary);
+        if self.ctrl.snapshot_due() {
+            let snapshot = self.dbs[&primary].snapshot();
+            self.ctrl.install_snapshot(snapshot);
+        }
+    }
+
+    fn apply_plan(&mut self, id: ServerId, plan: &SyncPlan) {
+        let db = self.dbs.get_mut(&id).unwrap();
+        if let Some((_, snapshot)) = &plan.snapshot {
+            *db = Database::from_snapshot(snapshot);
+        }
+        for entry in &plan.entries {
+            match &entry.delta {
+                Some(delta) => {
+                    let _ = db.apply_delta(delta);
+                }
+                None => {
+                    let _ = db.execute(&entry.statement);
+                }
+            }
+        }
+    }
+
+    /// Applies the open batch and acknowledges it; returns true when the
+    /// backend went Active.
+    fn step_sync(&mut self, id: ServerId) -> bool {
+        let Some(plan) = self.pending.remove(&id) else {
+            return false;
+        };
+        self.apply_plan(id, &plan);
+        match self.ctrl.finish_replay(id).unwrap() {
+            Some(next) => {
+                self.pending.insert(id, next);
+                false
+            }
+            None => true,
+        }
+    }
+
+    fn enable_fully(&mut self, id: ServerId) {
+        if self.ctrl.status(id) == Ok(BackendStatus::Disabled) {
+            let plan = self.ctrl.begin_enable(id).unwrap();
+            self.pending.insert(id, plan);
+        }
+        if self.ctrl.status(id) == Ok(BackendStatus::Syncing) {
+            while !self.step_sync(id) {}
+        }
+    }
+
+    fn backend(&self, i: u8) -> ServerId {
+        let ids: Vec<ServerId> = self.dbs.keys().copied().collect();
+        ids[i as usize % ids.len()]
+    }
+
+    fn apply(&mut self, g: &mut Gen, op: &Op) {
+        match op {
+            Op::Write => {
+                let stmt = gen_write(g, &Arc::clone(&self.schema));
+                self.write(stmt);
+            }
+            Op::Disable(i) => {
+                let id = self.backend(*i);
+                if self.ctrl.active_count() > 1 {
+                    let _ = self.ctrl.disable_backend(id);
+                }
+            }
+            Op::Enable(i) => self.enable_fully(self.backend(*i)),
+            Op::EnableStart(i) => {
+                let id = self.backend(*i);
+                if self.ctrl.status(id) == Ok(BackendStatus::Disabled) {
+                    let plan = self.ctrl.begin_enable(id).unwrap();
+                    self.pending.insert(id, plan);
+                }
+            }
+            Op::EnableStep(i) => {
+                let id = self.backend(*i);
+                if self.ctrl.status(id) == Ok(BackendStatus::Syncing) {
+                    self.step_sync(id);
+                }
+            }
+            Op::Fail(i) => {
+                let id = self.backend(*i);
+                if self.ctrl.active_count() > 1 || self.ctrl.status(id) != Ok(BackendStatus::Active)
+                {
+                    let _ = self.ctrl.fail_backend(id);
+                    // The in-flight sync session (if any) is stale now —
+                    // the legacy layer drops its batch instead of
+                    // applying it.
+                    self.pending.remove(&id);
+                    // A crashed replica's disk is not trusted: it is
+                    // re-initialized before re-enabling.
+                    self.dbs.insert(id, Database::new(Arc::clone(&self.schema)));
+                }
+            }
+        }
+    }
+}
+
+/// Under arbitrary membership churn — including syncs left open across
+/// racing writes — snapshot+tail joins converge every replica to the
+/// digest of a from-scratch full-statement-log replay.
+#[test]
+fn churned_replicas_match_full_log_replay() {
+    run("churned_replicas_match_full_log_replay", 192, |g| {
+        let schema = gen_schema(g);
+        let backends = g.u32(2..5);
+        // Aggressively small snapshot cadence so joins actually take the
+        // snapshot path (interval 1 snapshots after every write).
+        let snapshot_every = g.u64(1..6);
+        let mut m = Model::new(Arc::clone(&schema), backends, snapshot_every);
+        // Seed the schema's tables so most writes land.
+        for t in 0..schema.len() {
+            m.write(Statement::CreateTable {
+                table: TableId(t as u16),
+            });
+        }
+        let ops = g.vec(1..100, gen_op);
+        for op in &ops {
+            m.apply(g, op);
+        }
+        // Bring everyone back in (finishing half-open syncs first).
+        let ids: Vec<ServerId> = m.dbs.keys().copied().collect();
+        for id in ids {
+            m.enable_fully(id);
+        }
+        // Oracle: replay the whole statement log from scratch, ignoring
+        // snapshots and deltas entirely.
+        let mut oracle = Database::new(Arc::clone(&schema));
+        for entry in m.ctrl.recovery_log().entries_from(0) {
+            let _ = oracle.execute(&entry.statement);
+        }
+        let expect = oracle.digest();
+        for (id, db) in &m.dbs {
+            assert_eq!(
+                db.digest(),
+                expect,
+                "replica {id:?} diverged from full-log replay \
+                 (snapshot_every={snapshot_every})"
+            );
+        }
+    });
+}

@@ -214,7 +214,7 @@ fn recovery_replay_converges_on_both_engines() {
         let mut late_naive = NaiveDatabase::new();
         let mut batch = ctrl.begin_enable(joiner).unwrap();
         loop {
-            for entry in &batch {
+            for entry in &batch.entries {
                 let _ = late_interned.execute(&entry.statement);
                 let _ = late_naive.execute(&schema, &entry.statement);
             }
