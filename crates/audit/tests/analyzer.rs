@@ -120,6 +120,39 @@ fn disable_switches_rules_off() {
 }
 
 #[test]
+fn plan_module_is_inside_the_digest_scope() {
+    use jade_audit::rules::{rule_in_scope, ScopeMode};
+    // The compiled-plan layer feeds outcome digests exactly like the
+    // statement engine it shadows: workspace scoping must hold the plan
+    // module (and the storage/emission files it plugs into) to the
+    // hasher, iteration-order, and packing-cast rules.
+    for path in [
+        "crates/tiers/src/plan.rs",
+        "crates/tiers/src/storage.rs",
+        "crates/rubis/src/interactions.rs",
+    ] {
+        for rule in [Rule::NondetHasher, Rule::UnorderedIter, Rule::PackingCast] {
+            assert!(
+                rule_in_scope(rule, path, ScopeMode::Workspace),
+                "{path} must be covered by {} in workspace scope",
+                rule.id()
+            );
+        }
+    }
+    // request.rs is a hand-audited packing module: the cast exemption is
+    // surgical — it must not leak onto the digest rules there, nor onto
+    // the plan module at all.
+    let req = "crates/tiers/src/request.rs";
+    assert!(!rule_in_scope(Rule::PackingCast, req, ScopeMode::Workspace));
+    assert!(rule_in_scope(Rule::NondetHasher, req, ScopeMode::Workspace));
+    assert!(rule_in_scope(
+        Rule::UnorderedIter,
+        req,
+        ScopeMode::Workspace
+    ));
+}
+
+#[test]
 fn every_rule_id_round_trips() {
     for r in jade_audit::rules::ALL_RULES {
         assert_eq!(Rule::parse(r.id()), Some(r));

@@ -11,13 +11,15 @@ use jade::config::SystemConfig;
 use jade::experiment::run_experiment;
 use jade_bench::microbench::{black_box, Runner};
 use jade_bench::{NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveReplication};
+use jade_rubis::interactions::generate_plan_into;
 use jade_rubis::{
-    dataset_statements, generate_plan, rubis_schema, sample_interaction, DatasetSpec, KeySpace,
-    WorkloadRamp,
+    dataset_statements, generate_plan, generate_plan_compiled_into, rubis_schema,
+    sample_interaction, DatasetSpec, InteractionMix, KeySpace, WorkloadRamp, INTERACTIONS,
 };
 use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu, SimRng};
 use jade_sim::{SimDuration, SimTime};
 use jade_tiers::recovery::RecoveryLog;
+use jade_tiers::request::{SqlOp, SqlProgram};
 use jade_tiers::sql::{Schema, SharedRow, Statement, Value};
 use jade_tiers::storage::Database;
 use std::cmp::Reverse;
@@ -426,7 +428,7 @@ fn bench_db(r: &mut Runner) {
         for _ in 0..DB_MIX_INTERACTIONS {
             let t = sample_interaction(&mut rng);
             let plan = generate_plan(t, &mut ks, &mut rng);
-            ops.extend(plan.sql.into_iter().map(|op| op.statement));
+            ops.extend(plan.sql.into_ops().into_iter().map(|op| op.statement));
         }
         ops
     };
@@ -468,6 +470,92 @@ fn bench_db(r: &mut Runner) {
 }
 
 // ---------------------------------------------------------------------
+// Compiled interaction plans: pre-resolved opcode programs vs the
+// interpreted prepared-statement engine.
+// ---------------------------------------------------------------------
+
+/// Interactions per iteration of the compiled-vs-interpreted mix bench.
+const DB_COMPILED_INTERACTIONS: usize = 2_000;
+
+/// The per-request hot path, generation through execution, for a
+/// stationary bidding-mix interaction stream: the interpreted side builds
+/// `Statement` trees into a recycled `Vec<SqlOp>` and drives the engine's
+/// `match` dispatch per statement; the compiled side fills recycled
+/// parameter/demand buffers and runs each interaction's pre-resolved
+/// program in one fused `execute_plan` call. Both sides replay the
+/// identical pre-sampled stream under the same seeds against a pristine
+/// copy-on-write clone of the same dataset each iteration, so every
+/// sample compares like for like.
+fn bench_db_compiled(r: &mut Runner) {
+    let rubis = rubis_schema();
+    let spec = DatasetSpec::small();
+    let mut rng = SimRng::seed_from_u64(0x2B1D);
+    let dump = dataset_statements(spec, &mut rng);
+    // Pre-sampled stationary stream: neither side pays mix sampling
+    // inside the timed region.
+    let stream: Vec<usize> = {
+        let mix = InteractionMix::bidding();
+        let mut rng = SimRng::seed_from_u64(0x51EAD);
+        (0..DB_COMPILED_INTERACTIONS)
+            .map(|_| mix.sample_index(&mut rng))
+            .collect()
+    };
+    {
+        let pristine = loaded_interned(&rubis, &dump);
+        let stream = stream.clone();
+        r.bench(
+            &format!("db/compiled/gen_exec_mix_{DB_COMPILED_INTERACTIONS}"),
+            move || {
+                let mut db = pristine.clone();
+                let mut ks: KeySpace = spec.into();
+                let mut rng = SimRng::seed_from_u64(0xF00D);
+                let mut scratch: Vec<(u64, SharedRow)> = Vec::new();
+                let (mut params, mut demands) = (Vec::new(), Vec::new());
+                let mut acc = 0u64;
+                for &i in &stream {
+                    let plan = generate_plan_compiled_into(i, &mut ks, &mut rng, params, demands);
+                    let SqlProgram::Compiled(run) = plan.sql else {
+                        unreachable!("compiled generator emits compiled runs")
+                    };
+                    acc = acc.wrapping_add(db.execute_plan(run.plan, &run.params, &mut scratch));
+                    params = run.params;
+                    demands = run.demands;
+                }
+                acc
+            },
+        );
+    }
+    {
+        let pristine = loaded_interned(&rubis, &dump);
+        let stream = stream.clone();
+        r.bench(
+            &format!("db/interpreted/gen_exec_mix_{DB_COMPILED_INTERACTIONS}"),
+            move || {
+                let mut db = pristine.clone();
+                let mut ks: KeySpace = spec.into();
+                let mut rng = SimRng::seed_from_u64(0xF00D);
+                let mut scratch: Vec<(u64, SharedRow)> = Vec::new();
+                let mut buf: Vec<SqlOp> = Vec::new();
+                let mut acc = 0u64;
+                for &i in &stream {
+                    let plan = generate_plan_into(&INTERACTIONS[i], &mut ks, &mut rng, buf);
+                    let SqlProgram::Ops(ops) = plan.sql else {
+                        unreachable!("interpreted generator emits statement lists")
+                    };
+                    for op in &ops {
+                        if let Ok(s) = db.execute_into(&op.statement, &mut scratch) {
+                            acc = acc.wrapping_add(s.cardinality());
+                        }
+                    }
+                    buf = ops;
+                }
+                acc
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Replication: execute-once delta broadcast vs re-execute-everywhere.
 // ---------------------------------------------------------------------
 
@@ -491,6 +579,7 @@ fn rubis_write_mix(n: usize, seed: u64) -> Vec<Arc<Statement>> {
         let plan = generate_plan(t, &mut ks, &mut rng);
         out.extend(
             plan.sql
+                .into_ops()
                 .into_iter()
                 .filter(|op| op.statement.is_write())
                 .map(|op| op.statement),
@@ -729,6 +818,7 @@ fn main() {
     bench_queues(&mut r);
     bench_ps_cpu(&mut r);
     bench_db(&mut r);
+    bench_db_compiled(&mut r);
     bench_replication(&mut r);
     bench_e2e(&mut r);
     bench_engine(&mut r);
@@ -766,6 +856,10 @@ fn main() {
         &format!("db/rubis_mix_{DB_MIX_INTERACTIONS}"),
         &format!("db/naive/rubis_mix_{DB_MIX_INTERACTIONS}"),
     );
+    let db_compiled = ratio(
+        &format!("db/compiled/gen_exec_mix_{DB_COMPILED_INTERACTIONS}"),
+        &format!("db/interpreted/gen_exec_mix_{DB_COMPILED_INTERACTIONS}"),
+    );
     let repl_bcast = ratio(
         &format!("replication/delta/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
         &format!("replication/naive/broadcast_write_{REPL_MIX_WRITES}x{REPL_REPLICAS}"),
@@ -790,6 +884,8 @@ fn main() {
     println!("  select_by_key_hot  {db_hot:.2}x");
     println!("  select_where       {db_where:.2}x");
     println!("  rubis_mix          {db_mix:.2}x");
+    println!("compiled plans vs interpreted prepared statements:");
+    println!("  gen_exec_mix       {db_compiled:.2}x");
     println!("execute-once delta broadcast vs re-execute-everywhere mirror:");
     println!("  broadcast_write ({REPL_REPLICAS} replicas)  {repl_bcast:.2}x");
     println!("  replica_sync (late joiner)   {repl_sync:.2}x");
@@ -812,6 +908,7 @@ fn main() {
             ("speedup_db_select_hot", db_hot),
             ("speedup_db_select_where", db_where),
             ("speedup_db_rubis_mix", db_mix),
+            ("speedup_db_compiled_mix", db_compiled),
             ("speedup_db_broadcast_write", repl_bcast),
             ("speedup_db_replica_sync", repl_sync),
             ("speedup_e2e_fig5", e2e_fig5),

@@ -715,8 +715,9 @@ impl NaiveLifecycle {
             );
             return;
         }
-        // The historical per-dispatch clone of the whole SqlOp.
-        let op = state.plan.sql[state.sql_idx].clone();
+        // The historical per-dispatch clone of the whole SqlOp (the naive
+        // lifecycle predates compiled plans, so its SQL is always `Ops`).
+        let op = state.plan.sql.as_ops()[state.sql_idx].clone();
         self.submit_job(LC_CJDBC, LifecycleOwner::Routing, LC_CJDBC_ROUTING);
         if op.is_write() {
             if let Some(st) = self.inflight.get_mut(&req) {

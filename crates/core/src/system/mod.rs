@@ -122,6 +122,11 @@ pub struct J2eeApp {
     /// Recycled `plan.sql` allocations of retired requests, reused by the
     /// workload generator for new plans.
     pub(crate) sql_recycle: Vec<Vec<SqlOp>>,
+    /// Recycled compiled-run buffers (parameter values + per-step
+    /// demands) of retired requests — the compiled generator's
+    /// counterpart of `sql_recycle`, giving the hot path zero
+    /// steady-state allocation.
+    pub(crate) param_recycle: Vec<(Vec<jade_tiers::sql::Value>, Vec<jade_sim::SimDuration>)>,
     /// Recycled broadcast-target buffer for the DB write path: each write
     /// fills it via `cjdbc_execute_write_into` instead of allocating a
     /// fresh targets `Vec` (zero steady-state allocation).
@@ -299,6 +304,7 @@ impl J2eeApp {
             cpu_timers: Vec::new(),
             completion_scratch: Vec::new(),
             sql_recycle: Vec::new(),
+            param_recycle: Vec::new(),
             db_write_targets: Vec::new(),
             jobs_recycle: Vec::new(),
             inhibition,
@@ -355,11 +361,22 @@ impl J2eeApp {
         self.jobs_recycle.push(jobs);
     }
 
-    /// Returns a dropped plan's SQL buffer to the recycling pool.
+    /// Returns a dropped plan's buffers to the recycling pools (the
+    /// statement list of an interpreted plan, or the parameter/demand
+    /// buffers of a compiled run).
     pub(crate) fn recycle_plan(&mut self, plan: jade_tiers::InteractionPlan) {
-        let mut sql = plan.sql;
-        sql.clear();
-        self.sql_recycle.push(sql);
+        match plan.sql {
+            jade_tiers::SqlProgram::Ops(mut sql) => {
+                sql.clear();
+                self.sql_recycle.push(sql);
+            }
+            jade_tiers::SqlProgram::Compiled(run) => {
+                let (mut params, mut demands) = (run.params, run.demands);
+                params.clear();
+                demands.clear();
+                self.param_recycle.push((params, demands));
+            }
+        }
     }
 
     /// The accept queue of `server`, growing the dense table on demand.

@@ -100,20 +100,24 @@ impl J2eeApp {
     }
 
     pub(crate) fn on_client_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
-        // Reuse a retired request's SQL buffer for the new plan.
-        let sql_buf = self.sql_recycle.pop().unwrap_or_default();
+        // Reuse a retired request's compiled-run buffers for the new plan.
+        let (params, demands) = self.param_recycle.pop().unwrap_or_default();
         let slot = &mut self.clients[client as usize];
         if !slot.active {
             slot.busy = false;
-            self.sql_recycle.push(sql_buf);
+            self.param_recycle.push((params, demands));
             return;
         }
         let plan = if self.cfg.markov_navigation {
-            slot.client
-                .next_interaction_markov_into(&self.transitions, &mut self.ks, sql_buf)
+            slot.client.next_interaction_markov_into(
+                &self.transitions,
+                &mut self.ks,
+                params,
+                demands,
+            )
         } else {
             slot.client
-                .next_interaction_in_mix_into(&self.mix, &mut self.ks, sql_buf)
+                .next_interaction_in_mix_into(&self.mix, &mut self.ks, params, demands)
         };
         self.dispatch_interaction(ctx, client, plan);
     }
@@ -183,12 +187,13 @@ impl J2eeApp {
         bucket: u32,
         interaction: u32,
     ) {
-        let sql_buf = self.sql_recycle.pop().unwrap_or_default();
-        let plan = jade_rubis::interactions::generate_plan_into(
-            &jade_rubis::INTERACTIONS[interaction as usize],
+        let (params, demands) = self.param_recycle.pop().unwrap_or_default();
+        let plan = jade_rubis::interactions::generate_plan_compiled_into(
+            interaction as usize,
             &mut self.ks,
             ctx.rng(),
-            sql_buf,
+            params,
+            demands,
         );
         self.dispatch_interaction(ctx, bucket, plan);
     }
@@ -494,7 +499,7 @@ impl J2eeApp {
             return;
         }
         // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
-        let is_write = state.plan.sql[state.sql_idx].is_write();
+        let is_write = state.plan.sql.is_write_at(state.sql_idx);
         let Some((cjdbc, _)) = self.cjdbc else {
             self.fail_request(ctx, req);
             return;
@@ -510,8 +515,10 @@ impl J2eeApp {
             let (cj_node, demand) = (process.node, *routing_demand);
             self.submit_job(ctx, cj_node, JobOwner::Routing, demand);
         }
-        // The op is executed by reference straight out of the slab slot;
-        // `inflight` and `legacy` are disjoint fields, so no clone.
+        // The query is executed by reference straight out of the slab slot
+        // (a compiled step borrows its shared program and the request's
+        // parameter buffer); `inflight` and `legacy` are disjoint fields,
+        // so no clone.
         if is_write {
             // Recycled broadcast buffer: the primary executes once, the
             // replicas apply its delta, and no targets `Vec` is allocated
@@ -524,11 +531,11 @@ impl J2eeApp {
                     // jade-audit: allow(hot-panic): request(req) returned Some at function entry
                     .expect("request checked live above");
                 // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
-                let op = &state.plan.sql[state.sql_idx];
+                let query = state.plan.sql.query_at(state.sql_idx);
                 (
                     self.legacy
-                        .cjdbc_execute_write_into(cjdbc, op, &mut targets),
-                    op.demand,
+                        .cjdbc_execute_write_into(cjdbc, query, &mut targets),
+                    query.demand(),
                 )
             };
             match executed {
@@ -566,9 +573,9 @@ impl J2eeApp {
                     // jade-audit: allow(hot-panic): request(req) returned Some at function entry
                     .expect("request checked live above");
                 // jade-audit: allow(hot-panic): sql_idx < plan.sql.len() checked by the early-return above
-                let op = &state.plan.sql[state.sql_idx];
+                let query = state.plan.sql.query_at(state.sql_idx);
                 let rng = ctx.rng();
-                self.legacy.cjdbc_execute_read(cjdbc, op, rng)
+                self.legacy.cjdbc_execute_read(cjdbc, query, rng)
             };
             match routed {
                 Ok((backend, demand)) => {

@@ -5,12 +5,12 @@
 //! style), issue one interaction, wait for the response. The think-time
 //! mean is calibrated so 80 clients produce the ~12 req/s of Table 1.
 
-use crate::interactions::{generate_plan, generate_plan_into, sample_interaction};
+use crate::interactions::{generate_plan, generate_plan_compiled_into, sample_interaction};
 use crate::schema::KeySpace;
 use crate::transitions::{StateId, TransitionMatrix};
 use jade_sim::{SimDuration, SimRng};
 use jade_tiers::request::InteractionPlan;
-use jade_tiers::request::SqlOp;
+use jade_tiers::sql::Value;
 
 /// Mean think time between a response and the next request.
 pub const DEFAULT_THINK_TIME: SimDuration = SimDuration::from_millis(6_500);
@@ -62,22 +62,25 @@ impl EmulatedClient {
         mix: &crate::interactions::InteractionMix,
         ks: &mut KeySpace,
     ) -> InteractionPlan {
-        self.next_interaction_in_mix_into(mix, ks, Vec::new())
+        self.next_interaction_in_mix_into(mix, ks, Vec::new(), Vec::new())
     }
 
-    /// [`next_interaction_in_mix`] with a recycled SQL buffer (see
-    /// [`generate_plan_into`]).
+    /// [`next_interaction_in_mix`] with recycled parameter/demand buffers:
+    /// the plan instantiates the interaction's compiled program (see
+    /// [`generate_plan_compiled_into`]), so steady-state generation writes
+    /// two small recycled buffers instead of building statement trees.
     ///
     /// [`next_interaction_in_mix`]: EmulatedClient::next_interaction_in_mix
     pub fn next_interaction_in_mix_into(
         &mut self,
         mix: &crate::interactions::InteractionMix,
         ks: &mut KeySpace,
-        sql_buf: Vec<SqlOp>,
+        params: Vec<Value>,
+        demands: Vec<SimDuration>,
     ) -> InteractionPlan {
         self.issued += 1;
-        let t = mix.sample(&mut self.rng);
-        generate_plan_into(t, ks, &mut self.rng, sql_buf)
+        let t = mix.sample_index(&mut self.rng);
+        generate_plan_compiled_into(t, ks, &mut self.rng, params, demands)
     }
 
     /// Generates the next interaction by navigating the transition-table
@@ -88,18 +91,20 @@ impl EmulatedClient {
         matrix: &TransitionMatrix,
         ks: &mut KeySpace,
     ) -> InteractionPlan {
-        self.next_interaction_markov_into(matrix, ks, Vec::new())
+        self.next_interaction_markov_into(matrix, ks, Vec::new(), Vec::new())
     }
 
-    /// [`next_interaction_markov`] with a recycled SQL buffer (see
-    /// [`generate_plan_into`]).
+    /// [`next_interaction_markov`] with recycled parameter/demand buffers
+    /// (see [`generate_plan_compiled_into`]; a [`StateId`] is the
+    /// interaction's index into `INTERACTIONS`).
     ///
     /// [`next_interaction_markov`]: EmulatedClient::next_interaction_markov
     pub fn next_interaction_markov_into(
         &mut self,
         matrix: &TransitionMatrix,
         ks: &mut KeySpace,
-        sql_buf: Vec<SqlOp>,
+        params: Vec<Value>,
+        demands: Vec<SimDuration>,
     ) -> InteractionPlan {
         self.issued += 1;
         let s = match self.nav_state {
@@ -107,7 +112,7 @@ impl EmulatedClient {
             None => matrix.home(),
         };
         self.nav_state = Some(s);
-        generate_plan_into(matrix.interaction(s), ks, &mut self.rng, sql_buf)
+        generate_plan_compiled_into(s, ks, &mut self.rng, params, demands)
     }
 
     /// Records a completed response.

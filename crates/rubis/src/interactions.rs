@@ -11,7 +11,8 @@
 
 use crate::schema::{rubis_ids, KeySpace};
 use jade_sim::{SimDuration, SimRng};
-use jade_tiers::request::{InteractionPlan, SqlOp};
+use jade_tiers::plan::{CompiledPlan, Operand, PlanStep, StepOp};
+use jade_tiers::request::{CompiledRun, InteractionPlan, SqlOp, SqlProgram};
 use jade_tiers::sql::{ColId, Statement, TableId, Value};
 use std::sync::{Arc, OnceLock};
 
@@ -131,18 +132,86 @@ fn count_regions(demand_ms: f64) -> SqlOp {
     SqlOp::shared(Arc::clone(stmt), ms(demand_ms))
 }
 
-fn insert(table: TableId, row: Vec<Value>, demand_ms: f64) -> SqlOp {
-    SqlOp::new(Statement::Insert { table, row }, ms(demand_ms))
+/// Row/set vectors salvaged from a completed request's insert and update
+/// statements, recycled into the next request's constructors — the
+/// statement-path counterpart of the compiled path's recycled parameter
+/// buffers, so steady-state generation allocates no per-call `Vec`s.
+#[derive(Debug, Default)]
+struct RowScratch {
+    rows: Vec<Vec<Value>>,
+    sets: Vec<Vec<(ColId, Value)>>,
 }
 
-fn update(table: TableId, key: u64, set: Vec<(ColId, Value)>, demand_ms: f64) -> SqlOp {
-    SqlOp::new(Statement::Update { table, key, set }, ms(demand_ms))
+impl RowScratch {
+    /// Reclaims the row/set allocation of `op`'s statement, when this was
+    /// its last reference (shared statements — the prepared `COUNT(*)`s —
+    /// just drop their handle).
+    fn salvage(&mut self, op: SqlOp) {
+        if let Ok(stmt) = Arc::try_unwrap(op.statement) {
+            match stmt {
+                Statement::Insert { mut row, .. } => {
+                    row.clear();
+                    self.rows.push(row);
+                }
+                Statement::Update { mut set, .. } => {
+                    set.clear();
+                    self.sets.push(set);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn row(&mut self) -> Vec<Value> {
+        self.rows.pop().unwrap_or_default()
+    }
+
+    fn set(&mut self) -> Vec<(ColId, Value)> {
+        self.sets.pop().unwrap_or_default()
+    }
+}
+
+fn insert<const N: usize>(
+    scratch: &mut RowScratch,
+    table: TableId,
+    row: [Value; N],
+    demand_ms: f64,
+) -> SqlOp {
+    let mut buf = scratch.row();
+    buf.extend(row);
+    SqlOp::new(Statement::Insert { table, row: buf }, ms(demand_ms))
+}
+
+fn update<const N: usize>(
+    scratch: &mut RowScratch,
+    table: TableId,
+    key: u64,
+    set: [(ColId, Value); N],
+    demand_ms: f64,
+) -> SqlOp {
+    let mut buf = scratch.set();
+    buf.extend(set);
+    SqlOp::new(
+        Statement::Update {
+            table,
+            key,
+            set: buf,
+        },
+        ms(demand_ms),
+    )
 }
 
 /// Instantiates the SQL work of an interaction against the current key
 /// space, appending the ops to `out` (a recycled buffer on the request
-/// hot path). Mutates the key space when the interaction inserts rows.
-fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &mut Vec<SqlOp>) {
+/// hot path) and drawing insert/update row vectors from `scratch`.
+/// Mutates the key space when the interaction inserts rows.
+fn sql_for_into(
+    t: &InteractionType,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+    out: &mut Vec<SqlOp>,
+    scratch: &mut RowScratch,
+) {
     let ids = rubis_ids();
     match t.name {
         "RegisterUser" => {
@@ -150,8 +219,9 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
             ks.users += 1;
             // Layout: [nickname, region, rating].
             out.push(insert(
+                scratch,
                 ids.users,
-                vec![
+                [
                     Value::Text(format!("newuser{}", ks.users)),
                     Value::Int(region as i64),
                     Value::Int(0),
@@ -213,20 +283,21 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
         "StoreBuyNow" => {
             let item = ks.item(rng);
             let buyer = ks.user(rng);
-            out.extend([
-                // Layout: [item, buyer].
-                insert(
-                    ids.buy_now,
-                    vec![Value::Int(item as i64), Value::Int(buyer as i64)],
-                    10.0,
-                ),
-                update(
-                    ids.items,
-                    item,
-                    vec![(ids.item_quantity, Value::Int(0))],
-                    8.0,
-                ),
-            ])
+            // Layout: [item, buyer].
+            let buy = insert(
+                scratch,
+                ids.buy_now,
+                [Value::Int(item as i64), Value::Int(buyer as i64)],
+                10.0,
+            );
+            let sold = update(
+                scratch,
+                ids.items,
+                item,
+                [(ids.item_quantity, Value::Int(0))],
+                8.0,
+            );
+            out.extend([buy, sold])
         }
         "PutBid" => {
             let item = ks.item(rng);
@@ -239,19 +310,18 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
             let item = ks.item(rng);
             let bidder = ks.user(rng);
             ks.bids += 1;
-            out.extend([
-                // Layout: [item, bidder, amount].
-                insert(
-                    ids.bids,
-                    vec![
-                        Value::Int(item as i64),
-                        Value::Int(bidder as i64),
-                        Value::Int(rng.range_u64(1, 2000) as i64),
-                    ],
-                    10.0,
-                ),
-                read_key(ids.items, item, 6.0),
-            ])
+            // Layout: [item, bidder, amount].
+            let bid = insert(
+                scratch,
+                ids.bids,
+                [
+                    Value::Int(item as i64),
+                    Value::Int(bidder as i64),
+                    Value::Int(rng.range_u64(1, 2000) as i64),
+                ],
+                10.0,
+            );
+            out.extend([bid, read_key(ids.items, item, 6.0)])
         }
         "PutComment" => out.extend([
             read_key(ids.users, ks.user(rng), 6.0),
@@ -260,24 +330,25 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
         "StoreComment" => {
             let author = ks.user(rng);
             ks.comments += 1;
-            out.extend([
-                // Layout: [item, author, text].
-                insert(
-                    ids.comments,
-                    vec![
-                        Value::Int(ks.item(rng) as i64),
-                        Value::Int(author as i64),
-                        Value::Text("great seller".into()),
-                    ],
-                    10.0,
-                ),
-                update(
-                    ids.users,
-                    author,
-                    vec![(ids.user_rating, Value::Int(1))],
-                    6.0,
-                ),
-            ])
+            // Layout: [item, author, text].
+            let comment = insert(
+                scratch,
+                ids.comments,
+                [
+                    Value::Int(ks.item(rng) as i64),
+                    Value::Int(author as i64),
+                    Value::Text("great seller".into()),
+                ],
+                10.0,
+            );
+            let rating = update(
+                scratch,
+                ids.users,
+                author,
+                [(ids.user_rating, Value::Int(1))],
+                6.0,
+            );
+            out.extend([comment, rating])
         }
         "SelectCategoryToSellItem" => out.push(count_categories(8.0)),
         "RegisterItem" => {
@@ -286,8 +357,9 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
             ks.items += 1;
             // Layout: [name, seller, category, price, quantity].
             out.push(insert(
+                scratch,
                 ids.items,
-                vec![
+                [
                     Value::Text(format!("newitem{}", ks.items)),
                     Value::Int(seller as i64),
                     Value::Int(cat as i64),
@@ -327,7 +399,7 @@ fn sql_for_into(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng, out: &
 /// [`sql_for_into`] for the allocation-reusing variant).
 fn sql_for(t: &InteractionType, ks: &mut KeySpace, rng: &mut SimRng) -> Vec<SqlOp> {
     let mut out = Vec::new();
-    sql_for_into(t, ks, rng, &mut out);
+    sql_for_into(t, ks, rng, &mut out, &mut RowScratch::default());
     out
 }
 
@@ -409,8 +481,13 @@ pub fn generate_plan_into(
     // CPU demands jitter ±20% around the calibrated mean, modelling data-
     // dependent servlet work.
     let jitter = |mean_ms: f64, rng: &mut SimRng| ms(mean_ms * (0.8 + 0.4 * rng.f64()));
-    sql_buf.clear();
-    sql_for_into(t, ks, rng, &mut sql_buf);
+    // Salvage the previous request's insert/update row vectors out of the
+    // recycled buffer instead of dropping them with `clear()`.
+    let mut scratch = RowScratch::default();
+    for op in sql_buf.drain(..) {
+        scratch.salvage(op);
+    }
+    sql_for_into(t, ks, rng, &mut sql_buf, &mut scratch);
     for op in &mut sql_buf {
         let d = op.demand.as_secs_f64() * 1e3;
         op.demand = jitter(d, rng);
@@ -418,7 +495,413 @@ pub fn generate_plan_into(
     InteractionPlan {
         name: t.name,
         pre_demand: jitter(t.pre_ms, rng),
-        sql: sql_buf,
+        sql: SqlProgram::Ops(sql_buf),
+        post_demand: jitter(t.post_ms, rng),
+        response_bytes: t.response_bytes,
+    }
+}
+
+// --- Compiled plans -----------------------------------------------------
+//
+// Each interaction's statement template above is compiled once into a
+// flat [`CompiledPlan`]; the per-request path then fills a small typed
+// parameter buffer (one slot per RNG draw, in draw order) instead of
+// constructing `Statement` trees. `fill_params_into` mirrors
+// `sql_for_into`'s draws and key-space mutations *exactly* — same RNG
+// calls in the same order — so switching a workload between the two
+// representations leaves every downstream draw, and therefore every
+// committed outcome digest, byte-identical. `tests/plan_prop.rs` holds
+// the differential proof.
+
+fn step(op: StepOp, demand_ms: f64) -> PlanStep {
+    PlanStep {
+        op,
+        demand: ms(demand_ms),
+    }
+}
+
+fn p(slot: u16) -> Operand {
+    Operand::Param(slot)
+}
+
+fn compile_interaction(t: &InteractionType) -> CompiledPlan {
+    let ids = rubis_ids();
+    let (steps, params) = match t.name {
+        // Slots: 0 = region, 1 = nickname. Layout: [nickname, region, rating].
+        "RegisterUser" => (
+            vec![step(
+                StepOp::Insert {
+                    table: ids.users,
+                    row: vec![p(1), p(0), Operand::Const(Value::Int(0))],
+                },
+                8.0,
+            )],
+            2,
+        ),
+        "BrowseCategories" | "BrowseCategoriesInRegion" | "SelectCategoryToSellItem" => (
+            vec![step(
+                StepOp::Count {
+                    table: ids.categories,
+                },
+                8.0,
+            )],
+            0,
+        ),
+        "SearchItemsInCategory" => (
+            vec![step(
+                StepOp::Scan {
+                    table: ids.items,
+                    column: ids.item_category,
+                    value: p(0),
+                    limit: 25,
+                },
+                58.0,
+            )],
+            1,
+        ),
+        "BrowseRegions" => (vec![step(StepOp::Count { table: ids.regions }, 6.0)], 0),
+        "SearchItemsInRegion" => (
+            vec![step(
+                StepOp::Scan {
+                    table: ids.users,
+                    column: ids.user_region,
+                    value: p(0),
+                    limit: 25,
+                },
+                52.0,
+            )],
+            1,
+        ),
+        "ViewItem" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.items,
+                        key: p(0),
+                    },
+                    10.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.bids,
+                        column: ids.bid_item,
+                        value: p(0),
+                        limit: 20,
+                    },
+                    22.0,
+                ),
+            ],
+            1,
+        ),
+        "ViewUserInfo" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.users,
+                        key: p(0),
+                    },
+                    8.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.comments,
+                        column: ids.comment_author,
+                        value: p(0),
+                        limit: 20,
+                    },
+                    14.0,
+                ),
+            ],
+            1,
+        ),
+        "ViewBidHistory" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.items,
+                        key: p(0),
+                    },
+                    8.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.bids,
+                        column: ids.bid_item,
+                        value: p(0),
+                        limit: 30,
+                    },
+                    20.0,
+                ),
+            ],
+            1,
+        ),
+        "BuyNow" => (
+            vec![step(
+                StepOp::ReadKey {
+                    table: ids.items,
+                    key: p(0),
+                },
+                10.0,
+            )],
+            1,
+        ),
+        // Slots: 0 = item, 1 = buyer. Layout: [item, buyer].
+        "StoreBuyNow" => (
+            vec![
+                step(
+                    StepOp::Insert {
+                        table: ids.buy_now,
+                        row: vec![p(0), p(1)],
+                    },
+                    10.0,
+                ),
+                step(
+                    StepOp::Update {
+                        table: ids.items,
+                        key: p(0),
+                        set: vec![(ids.item_quantity, Operand::Const(Value::Int(0)))],
+                    },
+                    8.0,
+                ),
+            ],
+            2,
+        ),
+        "PutBid" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.items,
+                        key: p(0),
+                    },
+                    10.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.bids,
+                        column: ids.bid_item,
+                        value: p(0),
+                        limit: 10,
+                    },
+                    14.0,
+                ),
+            ],
+            1,
+        ),
+        // Slots: 0 = item, 1 = bidder, 2 = amount. Layout: [item, bidder, amount].
+        "StoreBid" => (
+            vec![
+                step(
+                    StepOp::Insert {
+                        table: ids.bids,
+                        row: vec![p(0), p(1), p(2)],
+                    },
+                    10.0,
+                ),
+                step(
+                    StepOp::ReadKey {
+                        table: ids.items,
+                        key: p(0),
+                    },
+                    6.0,
+                ),
+            ],
+            3,
+        ),
+        // Slots: 0 = user, 1 = item.
+        "PutComment" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.users,
+                        key: p(0),
+                    },
+                    6.0,
+                ),
+                step(
+                    StepOp::ReadKey {
+                        table: ids.items,
+                        key: p(1),
+                    },
+                    6.0,
+                ),
+            ],
+            2,
+        ),
+        // Slots: 0 = author, 1 = item. Layout: [item, author, text].
+        "StoreComment" => (
+            vec![
+                step(
+                    StepOp::Insert {
+                        table: ids.comments,
+                        row: vec![
+                            p(1),
+                            p(0),
+                            Operand::Const(Value::Text("great seller".into())),
+                        ],
+                    },
+                    10.0,
+                ),
+                step(
+                    StepOp::Update {
+                        table: ids.users,
+                        key: p(0),
+                        set: vec![(ids.user_rating, Operand::Const(Value::Int(1)))],
+                    },
+                    6.0,
+                ),
+            ],
+            2,
+        ),
+        // Slots: 0 = seller, 1 = category, 2 = name, 3 = price.
+        // Layout: [name, seller, category, price, quantity].
+        "RegisterItem" => (
+            vec![step(
+                StepOp::Insert {
+                    table: ids.items,
+                    row: vec![p(2), p(0), p(1), p(3), Operand::Const(Value::Int(1))],
+                },
+                12.0,
+            )],
+            4,
+        ),
+        "AboutMe" => (
+            vec![
+                step(
+                    StepOp::ReadKey {
+                        table: ids.users,
+                        key: p(0),
+                    },
+                    8.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.bids,
+                        column: ids.bid_bidder,
+                        value: p(0),
+                        limit: 20,
+                    },
+                    16.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.items,
+                        column: ids.item_seller,
+                        value: p(0),
+                        limit: 20,
+                    },
+                    16.0,
+                ),
+                step(
+                    StepOp::Scan {
+                        table: ids.comments,
+                        column: ids.comment_author,
+                        value: p(0),
+                        limit: 10,
+                    },
+                    10.0,
+                ),
+            ],
+            1,
+        ),
+        // Static / form pages compile to the empty program.
+        _ => (Vec::new(), 0),
+    };
+    CompiledPlan::new(t.name, steps, params)
+}
+
+/// The 26 compiled programs, indexed like [`INTERACTIONS`] — built once
+/// per process and shared by reference across every request.
+pub fn compiled_plans() -> &'static [CompiledPlan] {
+    static PLANS: OnceLock<Vec<CompiledPlan>> = OnceLock::new();
+    PLANS.get_or_init(|| INTERACTIONS.iter().map(compile_interaction).collect())
+}
+
+/// Fills one request's parameter buffer, performing exactly the RNG draws
+/// and key-space mutations [`sql_for_into`] performs, in the same order
+/// (pinned by the draw-order regression tests and `tests/plan_prop.rs`).
+fn fill_params_into(
+    t: &InteractionType,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+    out: &mut Vec<Value>,
+) {
+    match t.name {
+        "RegisterUser" => {
+            let region = ks.region(rng);
+            ks.users += 1;
+            out.push(Value::Int(region as i64));
+            out.push(Value::Text(format!("newuser{}", ks.users)));
+        }
+        "SearchItemsInCategory" => out.push(Value::Int(ks.category(rng) as i64)),
+        "SearchItemsInRegion" => out.push(Value::Int(ks.region(rng) as i64)),
+        "ViewItem" | "ViewBidHistory" | "BuyNow" | "PutBid" => {
+            out.push(Value::Int(ks.item(rng) as i64))
+        }
+        "ViewUserInfo" | "AboutMe" => out.push(Value::Int(ks.user(rng) as i64)),
+        "StoreBuyNow" => {
+            out.push(Value::Int(ks.item(rng) as i64));
+            out.push(Value::Int(ks.user(rng) as i64));
+        }
+        "StoreBid" => {
+            out.push(Value::Int(ks.item(rng) as i64));
+            out.push(Value::Int(ks.user(rng) as i64));
+            ks.bids += 1;
+            out.push(Value::Int(rng.range_u64(1, 2000) as i64));
+        }
+        "PutComment" => {
+            out.push(Value::Int(ks.user(rng) as i64));
+            out.push(Value::Int(ks.item(rng) as i64));
+        }
+        "StoreComment" => {
+            let author = ks.user(rng);
+            ks.comments += 1;
+            out.push(Value::Int(author as i64));
+            out.push(Value::Int(ks.item(rng) as i64));
+        }
+        "RegisterItem" => {
+            out.push(Value::Int(ks.user(rng) as i64));
+            out.push(Value::Int(ks.category(rng) as i64));
+            ks.items += 1;
+            out.push(Value::Text(format!("newitem{}", ks.items)));
+            out.push(Value::Int(rng.range_u64(1, 1000) as i64));
+        }
+        // Count-only and static pages draw nothing.
+        _ => {}
+    }
+}
+
+/// Compiled counterpart of [`generate_plan_into`]: builds the plan of one
+/// client request as a [`CompiledRun`] over the interaction's shared
+/// program, reusing `params`/`demands` (recycled buffers salvaged from a
+/// completed request) so steady-state generation allocates nothing. The
+/// RNG draw sequence is identical to the interpreted generator's — the
+/// jitter means round-trip through [`SimDuration`] the same way — so the
+/// two representations are digest-interchangeable.
+pub fn generate_plan_compiled_into(
+    interaction: usize,
+    ks: &mut KeySpace,
+    rng: &mut SimRng,
+    mut params: Vec<Value>,
+    mut demands: Vec<SimDuration>,
+) -> InteractionPlan {
+    let t = &INTERACTIONS[interaction];
+    let plan = &compiled_plans()[interaction];
+    let jitter = |mean_ms: f64, rng: &mut SimRng| ms(mean_ms * (0.8 + 0.4 * rng.f64()));
+    params.clear();
+    demands.clear();
+    fill_params_into(t, ks, rng, &mut params);
+    debug_assert_eq!(params.len(), plan.params as usize, "{} slot count", t.name);
+    for step in &plan.steps {
+        demands.push(jitter(step.demand.as_secs_f64() * 1e3, rng));
+    }
+    InteractionPlan {
+        name: t.name,
+        pre_demand: jitter(t.pre_ms, rng),
+        sql: SqlProgram::Compiled(CompiledRun {
+            plan,
+            params,
+            demands,
+        }),
         post_demand: jitter(t.post_ms, rng),
         response_bytes: t.response_bytes,
     }
@@ -530,6 +1013,68 @@ mod tests {
         }
         assert_eq!(mix.name(), "browsing");
         assert_eq!(InteractionMix::bidding().name(), "bidding");
+    }
+
+    #[test]
+    fn compiled_templates_materialize_to_the_interpreted_statements() {
+        let plans = compiled_plans();
+        assert_eq!(plans.len(), INTERACTIONS.len());
+        for (i, t) in INTERACTIONS.iter().enumerate() {
+            let seed = 0xC0FFEE + i as u64;
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+            let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+            let ops = sql_for(t, &mut ks_a, &mut rng_a);
+            let mut params = Vec::new();
+            fill_params_into(t, &mut ks_b, &mut rng_b, &mut params);
+            let plan = &plans[i];
+            assert_eq!(plan.params as usize, params.len(), "{} slots", t.name);
+            assert_eq!(plan.len(), ops.len(), "{} steps", t.name);
+            assert_eq!(plan.writes, ops.iter().any(SqlOp::is_write), "{}", t.name);
+            for (step, op) in plan.steps.iter().zip(&ops) {
+                assert_eq!(step.statement(&params), *op.statement, "{}", t.name);
+                assert_eq!(step.demand, op.demand, "{} demand", t.name);
+                assert_eq!(step.is_write(), op.is_write(), "{}", t.name);
+            }
+            // Identical draw streams and key-space mutations: both sides
+            // leave RNG and key space in the same state.
+            assert_eq!(rng_a.f64(), rng_b.f64(), "{} rng state", t.name);
+            assert_eq!(
+                (ks_a.users, ks_a.items, ks_a.bids, ks_a.comments),
+                (ks_b.users, ks_b.items, ks_b.bids, ks_b.comments),
+                "{} key space",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_generation_matches_interpreted_demands_and_shape() {
+        for (i, t) in INTERACTIONS.iter().enumerate() {
+            let seed = 0xBEEF + i as u64;
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+            let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            assert_eq!(compiled.name, interp.name);
+            assert_eq!(compiled.pre_demand, interp.pre_demand, "{}", t.name);
+            assert_eq!(compiled.post_demand, interp.post_demand, "{}", t.name);
+            assert_eq!(compiled.response_bytes, interp.response_bytes);
+            assert_eq!(compiled.sql.len(), interp.sql.len(), "{}", t.name);
+            assert_eq!(compiled.has_write(), interp.has_write(), "{}", t.name);
+            assert_eq!(compiled.db_demand(), interp.db_demand(), "{}", t.name);
+            let interp_ops = interp.sql.into_ops();
+            let compiled_ops = compiled.sql.into_ops();
+            for (c, o) in compiled_ops.iter().zip(&interp_ops) {
+                assert_eq!(c.statement, o.statement, "{}", t.name);
+                assert_eq!(c.demand, o.demand, "{} jittered demand", t.name);
+            }
+            assert_eq!(rng_a.f64(), rng_b.f64(), "{} rng state", t.name);
+        }
     }
 
     #[test]

@@ -253,8 +253,9 @@ impl LegacyLayer {
         dump: &[crate::sql::Statement],
     ) {
         let mut db = crate::storage::Database::new(Arc::clone(&schema));
+        let mut scratch = Vec::new();
         for stmt in dump {
-            let _ = db.execute(stmt);
+            let _ = db.execute_into(stmt, &mut scratch);
         }
         self.schema = schema;
         self.mysql_base = db;
@@ -700,22 +701,31 @@ impl LegacyLayer {
     }
 
     /// Routes a read to one active backend and executes it there,
-    /// returning the backend and the CPU demand to charge.
+    /// returning the backend and the CPU demand to charge. A compiled
+    /// step executes opcode-directly — no `Statement` is materialized on
+    /// the read path.
     pub fn cjdbc_execute_read(
         &mut self,
         cjdbc: ServerId,
-        op: &crate::request::SqlOp,
+        query: crate::request::DbQuery<'_>,
         rng: &mut SimRng,
     ) -> Result<(ServerId, SimDuration), LegacyError> {
-        debug_assert!(!op.is_write());
+        debug_assert!(!query.is_write());
         let state = self.server(cjdbc)?.process().state;
         if !state.is_running() {
             return Err(LegacyError::BadState(cjdbc, state));
         }
         let backend = self.cjdbc_mut(cjdbc)?.route_read(rng)?;
         let m = self.mysql_mut(backend)?;
-        let _ = m.execute(&op.statement);
-        Ok((backend, op.demand))
+        match query {
+            crate::request::DbQuery::Stmt(op) => {
+                let _ = m.execute(&op.statement);
+            }
+            crate::request::DbQuery::Step { step, params, .. } => {
+                let _ = m.execute_step(step, params);
+            }
+        }
+        Ok((backend, query.demand()))
     }
 
     /// Broadcasts a write to all active backends, appending it to the
@@ -726,25 +736,29 @@ impl LegacyLayer {
         op: &crate::request::SqlOp,
     ) -> Result<Vec<(ServerId, SimDuration)>, LegacyError> {
         let mut targets = Vec::new();
-        self.cjdbc_execute_write_into(cjdbc, op, &mut targets)?;
+        self.cjdbc_execute_write_into(cjdbc, crate::request::DbQuery::Stmt(op), &mut targets)?;
         Ok(targets.into_iter().map(|b| (b, op.demand)).collect())
     }
 
     /// Scratch-buffer variant of
     /// [`LegacyLayer::cjdbc_execute_write`]: fills `out` with the
-    /// broadcast set (every backend is charged `op.demand`) with zero
-    /// steady-state allocation. The deterministic primary (`out[0]`)
-    /// executes the statement once and captures a physical
+    /// broadcast set (every backend is charged the query's demand) with
+    /// zero steady-state allocation. The deterministic primary (`out[0]`)
+    /// executes the write once and captures a physical
     /// [`crate::storage::WriteDelta`]; the remaining replicas apply the
     /// delta — sharing the primary's row allocations — instead of
-    /// re-evaluating the statement.
+    /// re-evaluating the statement. A compiled step executes
+    /// opcode-directly on the primary and materializes its prepared
+    /// statement only for the recovery log (whose entries are statements,
+    /// paper §4.1) — the same one allocation the interpreted generator
+    /// made up front.
     pub fn cjdbc_execute_write_into(
         &mut self,
         cjdbc: ServerId,
-        op: &crate::request::SqlOp,
+        query: crate::request::DbQuery<'_>,
         out: &mut Vec<ServerId>,
     ) -> Result<(), LegacyError> {
-        debug_assert!(op.is_write());
+        debug_assert!(query.is_write());
         let state = self.server(cjdbc)?.process().state;
         if !state.is_running() {
             return Err(LegacyError::BadState(cjdbc, state));
@@ -753,16 +767,28 @@ impl LegacyLayer {
             .cjdbc(cjdbc)?
             .write_primary()
             .ok_or(CjdbcError::NoActiveBackend)?;
-        let delta = match self.mysql_mut(primary)?.execute_capture(&op.statement) {
-            Ok((_, delta)) => Some(Arc::new(delta)),
-            // The statement failed on the primary. It is still logged and
-            // broadcast (the cluster-wide outcome of a failed write is
-            // deterministic too) — without a delta, so every replica
-            // re-executes it and fails identically.
-            Err(_) => None,
+        // On capture failure the write is still logged and broadcast (the
+        // cluster-wide outcome of a failed write is deterministic too) —
+        // without a delta, so every replica re-executes it and fails
+        // identically.
+        let (stmt, delta) = match query {
+            crate::request::DbQuery::Stmt(op) => {
+                let delta = match self.mysql_mut(primary)?.execute_capture(&op.statement) {
+                    Ok((_, delta)) => Some(Arc::new(delta)),
+                    Err(_) => None,
+                };
+                (Arc::clone(&op.statement), delta)
+            }
+            crate::request::DbQuery::Step { step, params, .. } => {
+                let delta = match self.mysql_mut(primary)?.execute_step_capture(step, params) {
+                    Ok((_, delta)) => Some(Arc::new(delta)),
+                    Err(_) => None,
+                };
+                (Arc::new(step.statement(params)), delta)
+            }
         };
         self.cjdbc_mut(cjdbc)?
-            .route_write_into(Arc::clone(&op.statement), delta.clone(), out)?;
+            .route_write_into(Arc::clone(&stmt), delta.clone(), out)?;
         debug_assert_eq!(out.first(), Some(&primary), "primary broadcasts first");
         for &b in &out[1..] {
             let m = self.mysql_mut(b)?;
@@ -771,7 +797,7 @@ impl LegacyLayer {
                     let _ = m.db.apply_delta(delta);
                 }
                 None => {
-                    let _ = m.execute(&op.statement);
+                    let _ = m.execute(&stmt);
                 }
             }
         }
@@ -1077,9 +1103,14 @@ mod tests {
         let (cj, _) = db_cluster(&mut l, 2);
         l.cjdbc_execute_write(cj, &write_op(1)).unwrap();
         let mut rng = SimRng::seed_from_u64(1);
-        let (b1, d) = l.cjdbc_execute_read(cj, &read_op(), &mut rng).unwrap();
+        let read = read_op();
+        let (b1, d) = l
+            .cjdbc_execute_read(cj, crate::request::DbQuery::Stmt(&read), &mut rng)
+            .unwrap();
         assert_eq!(d, SimDuration::from_millis(2));
-        let (b2, _) = l.cjdbc_execute_read(cj, &read_op(), &mut rng).unwrap();
+        let (b2, _) = l
+            .cjdbc_execute_read(cj, crate::request::DbQuery::Stmt(&read), &mut rng)
+            .unwrap();
         // Least-pending: two successive reads go to different backends.
         assert_ne!(b1, b2);
     }

@@ -26,6 +26,7 @@ pub mod cjdbc;
 pub mod config;
 pub mod legacy;
 pub mod mysql;
+pub mod plan;
 pub mod recovery;
 pub mod request;
 pub mod server;
@@ -39,8 +40,9 @@ pub use balancer::{BalancePolicy, BalancerError, HttpBalancer};
 pub use cjdbc::{BackendStatus, CjdbcController, CjdbcError, ReadPolicy};
 pub use legacy::{LegacyError, LegacyEvent, LegacyLayer, LegacyServer};
 pub use mysql::MysqlServer;
+pub use plan::{CompiledPlan, Operand, PlanStep, StepOp};
 pub use recovery::{LogEntry, RecoveryLog};
-pub use request::{InteractionPlan, RequestId, SqlOp};
+pub use request::{CompiledRun, DbQuery, InteractionPlan, RequestId, SqlOp, SqlProgram};
 pub use server::{ServerId, ServerProcess, ServerState, Tier};
 pub use sql::{
     ColId, ExecSummary, QueryResult, Schema, SchemaBuilder, SharedRow, SqlError, Statement,

@@ -1,7 +1,8 @@
 //! The MySQL database server (database tier).
 
+use crate::plan::PlanStep;
 use crate::server::{ServerId, ServerProcess, Tier};
-use crate::sql::{ExecSummary, Schema, SharedRow, SqlError, Statement};
+use crate::sql::{ExecSummary, Schema, SharedRow, SqlError, Statement, Value};
 use crate::storage::{Database, WriteDelta};
 use jade_cluster::NodeId;
 
@@ -46,6 +47,33 @@ impl MysqlServer {
         stmt: &Statement,
     ) -> Result<(ExecSummary, WriteDelta), SqlError> {
         self.db.execute_capture(stmt)
+    }
+
+    /// Executes one compiled-plan step against this replica: reads run as
+    /// count-only probes (the compiled program proves row bodies are
+    /// dead), writes go through the opcode write path with the reused
+    /// scratch buffer — no per-query statement or result allocation
+    /// either way.
+    pub fn execute_step(
+        &mut self,
+        step: &PlanStep,
+        params: &[Value],
+    ) -> Result<ExecSummary, SqlError> {
+        if step.is_write() {
+            self.db.execute_step_into(step, params, &mut self.scratch)
+        } else {
+            self.db.read_step_summary(step, params)
+        }
+    }
+
+    /// Executes one compiled write step, capturing the physical delta for
+    /// the other mirrors to apply.
+    pub fn execute_step_capture(
+        &mut self,
+        step: &PlanStep,
+        params: &[Value],
+    ) -> Result<(ExecSummary, WriteDelta), SqlError> {
+        self.db.execute_step_capture(step, params)
     }
 
     /// Rows produced by the last `execute` (valid until the next call).

@@ -1,7 +1,8 @@
 //! Request-level types flowing through the multi-tier architecture
 //! (paper §2, Figure 1: client → web/app server → database).
 
-use crate::sql::Statement;
+use crate::plan::{CompiledPlan, PlanStep};
+use crate::sql::{Statement, Value};
 use jade_sim::SimDuration;
 use std::sync::Arc;
 
@@ -44,6 +45,150 @@ impl SqlOp {
     }
 }
 
+/// One request's instantiation of a [`CompiledPlan`]: the shared program
+/// plus the small per-request buffers — RNG-drawn parameter values and
+/// jittered per-step demands. Both buffers recycle through the system's
+/// pools, so the steady-state compiled path allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRun {
+    /// The interaction's compiled program (shared, compiled once).
+    pub plan: &'static CompiledPlan,
+    /// The request's parameter buffer, one slot per RNG draw.
+    pub params: Vec<Value>,
+    /// Jittered CPU demand per step, in step order.
+    pub demands: Vec<SimDuration>,
+}
+
+/// The SQL body of an interaction plan: either the interpreted statement
+/// list (the fallback and differential oracle) or a compiled program run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlProgram {
+    /// Interpreted prepared statements, executed one `Statement` at a time.
+    Ops(Vec<SqlOp>),
+    /// A compiled-plan instantiation, executed opcode-by-opcode.
+    Compiled(CompiledRun),
+}
+
+/// A borrowed view of one query at dispatch time, uniform across the
+/// interpreted and compiled representations — what the C-JDBC dispatch
+/// path consumes.
+#[derive(Debug, Clone, Copy)]
+pub enum DbQuery<'a> {
+    /// An interpreted prepared statement.
+    Stmt(&'a SqlOp),
+    /// One step of a compiled program plus the run's parameter buffer.
+    Step {
+        /// The opcode to execute.
+        step: &'a PlanStep,
+        /// The request's parameter buffer.
+        params: &'a [Value],
+        /// Jittered CPU demand for this step.
+        demand: SimDuration,
+    },
+}
+
+impl DbQuery<'_> {
+    /// True when the query modifies the database.
+    pub fn is_write(&self) -> bool {
+        match self {
+            DbQuery::Stmt(op) => op.is_write(),
+            DbQuery::Step { step, .. } => step.is_write(),
+        }
+    }
+
+    /// CPU demand on the executing MySQL node.
+    pub fn demand(&self) -> SimDuration {
+        match self {
+            DbQuery::Stmt(op) => op.demand,
+            DbQuery::Step { demand, .. } => *demand,
+        }
+    }
+}
+
+impl SqlProgram {
+    /// Number of queries in the program.
+    pub fn len(&self) -> usize {
+        match self {
+            SqlProgram::Ops(ops) => ops.len(),
+            SqlProgram::Compiled(run) => run.plan.steps.len(),
+        }
+    }
+
+    /// True for a query-free (static page) program.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows query `idx` in dispatch form.
+    pub fn query_at(&self, idx: usize) -> DbQuery<'_> {
+        match self {
+            SqlProgram::Ops(ops) => DbQuery::Stmt(&ops[idx]),
+            SqlProgram::Compiled(run) => DbQuery::Step {
+                step: &run.plan.steps[idx],
+                params: &run.params,
+                demand: run.demands[idx],
+            },
+        }
+    }
+
+    /// True when query `idx` modifies the database.
+    pub fn is_write_at(&self, idx: usize) -> bool {
+        match self {
+            SqlProgram::Ops(ops) => ops[idx].is_write(),
+            SqlProgram::Compiled(run) => run.plan.steps[idx].is_write(),
+        }
+    }
+
+    /// Total database-tier CPU demand (one replica's worth).
+    pub fn db_demand(&self) -> SimDuration {
+        match self {
+            SqlProgram::Ops(ops) => ops
+                .iter()
+                .fold(SimDuration::ZERO, |acc, op| acc + op.demand),
+            SqlProgram::Compiled(run) => run
+                .demands
+                .iter()
+                .fold(SimDuration::ZERO, |acc, d| acc + *d),
+        }
+    }
+
+    /// True when at least one query writes.
+    pub fn has_write(&self) -> bool {
+        match self {
+            SqlProgram::Ops(ops) => ops.iter().any(SqlOp::is_write),
+            SqlProgram::Compiled(run) => run.plan.writes,
+        }
+    }
+
+    /// Borrows the interpreted statement list. Panics on a compiled run —
+    /// callers that need statements must go through [`SqlProgram::query_at`]
+    /// or materialize via [`PlanStep::statement`].
+    pub fn as_ops(&self) -> &[SqlOp] {
+        match self {
+            SqlProgram::Ops(ops) => ops,
+            SqlProgram::Compiled(run) => {
+                panic!("as_ops on a compiled run of {:?}", run.plan.name)
+            }
+        }
+    }
+
+    /// Consumes the program into an interpreted statement list,
+    /// materializing statements from a compiled run (test/bench helper —
+    /// the hot path never converts).
+    pub fn into_ops(self) -> Vec<SqlOp> {
+        match self {
+            SqlProgram::Ops(ops) => ops,
+            SqlProgram::Compiled(run) => run
+                .plan
+                .steps
+                .iter()
+                .zip(run.demands.iter())
+                .map(|(step, demand)| SqlOp::new(step.statement(&run.params), *demand))
+                .collect(),
+        }
+    }
+}
+
 /// The fully resolved work plan of one dynamic web interaction: servlet
 /// CPU, then a sequence of SQL queries, then response generation CPU.
 ///
@@ -56,7 +201,7 @@ pub struct InteractionPlan {
     /// Servlet CPU demand before the first query.
     pub pre_demand: SimDuration,
     /// Database queries, executed sequentially.
-    pub sql: Vec<SqlOp>,
+    pub sql: SqlProgram,
     /// Servlet CPU demand after the last query (page generation).
     pub post_demand: SimDuration,
     /// Response size (network serialization).
@@ -69,7 +214,7 @@ impl InteractionPlan {
         InteractionPlan {
             name,
             pre_demand: demand,
-            sql: Vec::new(),
+            sql: SqlProgram::Ops(Vec::new()),
             post_demand: SimDuration::ZERO,
             response_bytes: bytes,
         }
@@ -82,21 +227,20 @@ impl InteractionPlan {
 
     /// Total database-tier CPU demand (one replica's worth).
     pub fn db_demand(&self) -> SimDuration {
-        self.sql
-            .iter()
-            .fold(SimDuration::ZERO, |acc, op| acc + op.demand)
+        self.sql.db_demand()
     }
 
     /// True when at least one query writes.
     pub fn has_write(&self) -> bool {
-        self.sql.iter().any(SqlOp::is_write)
+        self.sql.has_write()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{Schema, Value};
+    use crate::plan::{Operand, StepOp};
+    use crate::sql::Schema;
 
     #[test]
     fn demand_accounting() {
@@ -107,7 +251,7 @@ mod tests {
         let plan = InteractionPlan {
             name: "ViewItem",
             pre_demand: SimDuration::from_millis(3),
-            sql: vec![
+            sql: SqlProgram::Ops(vec![
                 SqlOp::new(
                     schema.select_by_key("items", 1),
                     SimDuration::from_millis(10),
@@ -116,7 +260,7 @@ mod tests {
                     schema.insert("bids", &[("bid", Value::Int(5))]),
                     SimDuration::from_millis(8),
                 ),
-            ],
+            ]),
             post_demand: SimDuration::from_millis(4),
             response_bytes: 4000,
         };
@@ -131,5 +275,52 @@ mod tests {
         assert!(p.sql.is_empty());
         assert!(!p.has_write());
         assert_eq!(p.db_demand(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compiled_runs_answer_the_same_questions_as_ops() {
+        let schema = Schema::builder().table("items", &["name"]).build();
+        let t = schema.must_table("items");
+        let plan: &'static CompiledPlan = Box::leak(Box::new(CompiledPlan::new(
+            "ViewItem",
+            vec![
+                PlanStep {
+                    op: StepOp::ReadKey {
+                        table: t,
+                        key: Operand::Param(0),
+                    },
+                    demand: SimDuration::from_millis(10),
+                },
+                PlanStep {
+                    op: StepOp::Insert {
+                        table: t,
+                        row: vec![Operand::Const(Value::Null)],
+                    },
+                    demand: SimDuration::from_millis(8),
+                },
+            ],
+            1,
+        )));
+        let sql = SqlProgram::Compiled(CompiledRun {
+            plan,
+            params: vec![Value::Int(7)],
+            demands: vec![SimDuration::from_millis(11), SimDuration::from_millis(9)],
+        });
+        assert_eq!(sql.len(), 2);
+        assert!(!sql.is_empty());
+        assert!(!sql.is_write_at(0));
+        assert!(sql.is_write_at(1));
+        assert!(sql.has_write());
+        assert_eq!(sql.db_demand(), SimDuration::from_millis(20));
+        let q = sql.query_at(0);
+        assert!(!q.is_write());
+        assert_eq!(q.demand(), SimDuration::from_millis(11));
+        // The materialized fallback carries the jittered demands and the
+        // resolved statements.
+        let ops = sql.into_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(*ops[0].statement, schema.select_by_key("items", 7));
+        assert_eq!(ops[0].demand, SimDuration::from_millis(11));
+        assert!(ops[1].is_write());
     }
 }

@@ -42,6 +42,18 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
+
+    /// Interprets the value as a primary key — the compiled-plan path
+    /// ([`crate::plan`]) stores key parameters as `Int` slots. Values no
+    /// key can hold (`Null`, `Text`, negatives) map to a key that misses
+    /// every row, so a malformed slot behaves like a stale bookmark
+    /// rather than a panic.
+    pub fn as_key(&self) -> u64 {
+        match self {
+            Value::Int(i) if *i >= 0 => *i as u64,
+            _ => u64::MAX,
+        }
+    }
 }
 
 impl fmt::Display for Value {

@@ -37,6 +37,7 @@
 //! [`Database::from_snapshot`] an O(#tables) restore; a restored replica
 //! deep-copies a table only when a later write actually touches it.
 
+use crate::plan::{CompiledPlan, PlanStep, StepOp};
 use crate::sql::{
     ColId, ExecSummary, QueryResult, Schema, SharedRow, SqlError, Statement, TableId, Value,
 };
@@ -466,6 +467,291 @@ impl Database {
                 Ok(ExecSummary::Count(self.table_ref(*table)?.live as u64))
             }
         }
+    }
+
+    /// Executes one compiled-plan step into a caller-owned row buffer
+    /// (cleared first) — the opcode counterpart of
+    /// [`Database::execute_into`], with identical semantics per operation
+    /// (the differential property suite proves result-for-result,
+    /// error-for-error and digest-for-digest parity). The step's operands
+    /// resolve against `params`, the request's typed parameter buffer.
+    pub fn execute_step_into(
+        &mut self,
+        step: &PlanStep,
+        params: &[Value],
+        out: &mut Vec<(u64, SharedRow)>,
+    ) -> Result<ExecSummary, SqlError> {
+        out.clear();
+        match &step.op {
+            StepOp::ReadKey { table, key } => {
+                let t = self.table_ref(*table)?;
+                let k = key.resolve(params).as_key();
+                if let Some(row) = t.rows.get(k) {
+                    out.push((k, Arc::clone(row)));
+                }
+                Ok(ExecSummary::Rows(out.len()))
+            }
+            StepOp::Scan {
+                table,
+                column,
+                value,
+                limit,
+            } => {
+                let t = self.table_ref(*table)?;
+                let value = value.resolve(params);
+                // A NULL filter matches nothing (same rule as the
+                // interpreted `SelectWhere`).
+                if value.is_null() {
+                    return Ok(ExecSummary::Rows(0));
+                }
+                match t.indexes.get(column.0 as usize) {
+                    Some(Some(idx)) => {
+                        if let Some(posting) = idx.get(value) {
+                            for &key in posting.iter().take(*limit) {
+                                let row = t.rows.get(key).expect("indexed row");
+                                out.push((key, Arc::clone(row)));
+                            }
+                        }
+                    }
+                    _ => {
+                        for (key, row) in t.iter() {
+                            if out.len() >= *limit {
+                                break;
+                            }
+                            if row[column.0 as usize] == *value {
+                                out.push((key, Arc::clone(row)));
+                            }
+                        }
+                    }
+                }
+                Ok(ExecSummary::Rows(out.len()))
+            }
+            StepOp::Count { table } => Ok(ExecSummary::Count(self.table_ref(*table)?.live as u64)),
+            StepOp::Insert { table, row } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                debug_assert_eq!(
+                    row.len(),
+                    t.indexes.len(),
+                    "insert row template width must match the table layout"
+                );
+                // The row materializes straight from template + params —
+                // one allocation, no intermediate statement row.
+                let shared: SharedRow =
+                    Arc::new(row.iter().map(|o| o.resolve(params).clone()).collect());
+                let key = t.next_key();
+                for (ci, v) in shared.iter().enumerate() {
+                    t.index_insert(ColId(id_u16(ci)), v, key);
+                }
+                t.rows.push(shared);
+                t.live += 1;
+                Ok(ExecSummary::Ack {
+                    inserted_key: Some(key),
+                    affected: 1,
+                })
+            }
+            StepOp::Update { table, key, set } => {
+                self.table_ref(*table)?;
+                let k = key.resolve(params).as_key();
+                let t = self.table_mut(*table);
+                let affected = match t.rows.take(k) {
+                    Some(mut shared) => {
+                        for (col, operand) in set {
+                            let v = operand.resolve(params);
+                            let old = &shared[col.0 as usize];
+                            if *old == *v {
+                                continue;
+                            }
+                            let old = old.clone();
+                            t.index_remove(*col, &old, k);
+                            t.index_insert_sorted(*col, v, k);
+                            Arc::make_mut(&mut shared)[col.0 as usize] = v.clone();
+                        }
+                        t.rows.set(k, shared);
+                        1
+                    }
+                    None => 0,
+                };
+                Ok(ExecSummary::Ack {
+                    inserted_key: None,
+                    affected,
+                })
+            }
+        }
+    }
+
+    /// Executes a compiled *write* step once, capturing its physical
+    /// effect as a [`WriteDelta`] — the opcode counterpart of
+    /// [`Database::execute_capture`], feeding the same execute-once
+    /// broadcast path (primary captures, replicas apply).
+    pub fn execute_step_capture(
+        &mut self,
+        step: &PlanStep,
+        params: &[Value],
+    ) -> Result<(ExecSummary, WriteDelta), SqlError> {
+        debug_assert!(step.is_write(), "execute_step_capture is for writes only");
+        match &step.op {
+            StepOp::Insert { table, row } => {
+                self.table_ref(*table)?;
+                let t = self.table_mut(*table);
+                debug_assert_eq!(
+                    row.len(),
+                    t.indexes.len(),
+                    "insert row template width must match the table layout"
+                );
+                let shared: SharedRow =
+                    Arc::new(row.iter().map(|o| o.resolve(params).clone()).collect());
+                let key = t.next_key();
+                for (ci, v) in shared.iter().enumerate() {
+                    t.index_insert(ColId(id_u16(ci)), v, key);
+                }
+                t.rows.push(Arc::clone(&shared));
+                t.live += 1;
+                Ok((
+                    ExecSummary::Ack {
+                        inserted_key: Some(key),
+                        affected: 1,
+                    },
+                    WriteDelta::Insert {
+                        table: *table,
+                        key,
+                        row: shared,
+                    },
+                ))
+            }
+            StepOp::Update { table, key, set } => {
+                self.table_ref(*table)?;
+                let k = key.resolve(params).as_key();
+                let t = self.table_mut(*table);
+                match t.rows.take(k) {
+                    Some(mut shared) => {
+                        let mut changed = Vec::with_capacity(set.len());
+                        for (col, operand) in set {
+                            let v = operand.resolve(params);
+                            let old = &shared[col.0 as usize];
+                            if *old == *v {
+                                continue;
+                            }
+                            let old = old.clone();
+                            t.index_remove(*col, &old, k);
+                            t.index_insert_sorted(*col, v, k);
+                            Arc::make_mut(&mut shared)[col.0 as usize] = v.clone();
+                            changed.push(*col);
+                        }
+                        let image = Arc::clone(&shared);
+                        t.rows.set(k, shared);
+                        Ok((
+                            ExecSummary::Ack {
+                                inserted_key: None,
+                                affected: 1,
+                            },
+                            WriteDelta::Update {
+                                table: *table,
+                                key: k,
+                                row: image,
+                                changed,
+                            },
+                        ))
+                    }
+                    None => Ok((
+                        ExecSummary::Ack {
+                            inserted_key: None,
+                            affected: 0,
+                        },
+                        WriteDelta::Noop,
+                    )),
+                }
+            }
+            _ => unreachable!("execute_step_capture is for writes only"),
+        }
+    }
+
+    /// Executes a *read* step as a pure count probe, without materializing
+    /// any rows. Plan compilation proves the consumer discards row bodies
+    /// (the RUBiS workload only ever observes the [`ExecSummary`] — demand
+    /// accounting and outcome digests are summary-derived), so key reads
+    /// reduce to a presence check and indexed scans to a posting-length
+    /// probe: every posting entry maps to a live row (the materializing
+    /// path `expect`s exactly that), hence the cardinality is
+    /// `min(posting.len(), limit)`. The interpreter cannot perform this
+    /// dead-value elimination on opaque `Statement` trees because its row
+    /// buffer is part of the statement-level API contract. Summary parity
+    /// with [`Database::execute_step_into`] is enforced by the
+    /// differential property suite.
+    pub fn read_step_summary(
+        &self,
+        step: &PlanStep,
+        params: &[Value],
+    ) -> Result<ExecSummary, SqlError> {
+        match &step.op {
+            StepOp::ReadKey { table, key } => {
+                let t = self.table_ref(*table)?;
+                let k = key.resolve(params).as_key();
+                Ok(ExecSummary::Rows(usize::from(t.rows.get(k).is_some())))
+            }
+            StepOp::Scan {
+                table,
+                column,
+                value,
+                limit,
+            } => {
+                let t = self.table_ref(*table)?;
+                let value = value.resolve(params);
+                if value.is_null() {
+                    return Ok(ExecSummary::Rows(0));
+                }
+                let n = match t.indexes.get(column.0 as usize) {
+                    Some(Some(idx)) => idx
+                        .get(value)
+                        .map_or(0, |posting| posting.len().min(*limit)),
+                    _ => {
+                        let mut n = 0usize;
+                        for (_, row) in t.iter() {
+                            if n >= *limit {
+                                break;
+                            }
+                            if row[column.0 as usize] == *value {
+                                n += 1;
+                            }
+                        }
+                        n
+                    }
+                };
+                Ok(ExecSummary::Rows(n))
+            }
+            StepOp::Count { table } => Ok(ExecSummary::Count(self.table_ref(*table)?.live as u64)),
+            StepOp::Insert { .. } | StepOp::Update { .. } => {
+                unreachable!("read_step_summary is for reads only")
+            }
+        }
+    }
+
+    /// Runs a whole compiled program in one call against this replica:
+    /// write steps execute through the opcode write path, read steps run
+    /// as count-only probes ([`Database::read_step_summary`]) since the
+    /// program's consumers never observe row bodies; returns the
+    /// accumulated result cardinality (a cheap checksum for benches and
+    /// tests). Individual step errors are tolerated exactly like the
+    /// dispatch path tolerates statement errors — the failed step
+    /// contributes nothing.
+    pub fn execute_plan(
+        &mut self,
+        plan: &CompiledPlan,
+        params: &[Value],
+        scratch: &mut Vec<(u64, SharedRow)>,
+    ) -> u64 {
+        let mut acc = 0u64;
+        for step in &plan.steps {
+            let summary = if step.is_write() {
+                self.execute_step_into(step, params, scratch)
+            } else {
+                self.read_step_summary(step, params)
+            };
+            if let Ok(summary) = summary {
+                acc += summary.cardinality();
+            }
+        }
+        acc
     }
 
     /// Marks a catalog table created, building its secondary indexes

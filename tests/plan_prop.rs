@@ -1,0 +1,327 @@
+//! Differential property tests of the compiled interaction plans
+//! (`jade_tiers::plan`) against the interpreted prepared-statement
+//! oracle.
+//!
+//! For every interaction template and seeded parameter stream, compiled
+//! execution must match interpreted execution **result-for-result** (the
+//! same `ExecSummary` and the same scratch rows per query),
+//! **error-for-error** (including against a database whose schema lacks
+//! the tables), and **digest-for-digest** (the two engines' contents stay
+//! byte-identical after every interaction) — and the generators must
+//! consume the identical RNG draw stream, which is what keeps every
+//! committed `results/*.json` outcome digest byte-identical when the hot
+//! path switches representation.
+//!
+//! The second property proves delta-capture parity under the replication
+//! path: a primary capturing a compiled write step emits a `WriteDelta`
+//! whose application converges replicas to the same digest as the
+//! interpreted capture, write for write.
+//!
+//! Reproduce a failure with `PROPCHECK_SEED` / `PROPCHECK_CASES` as
+//! printed by the harness.
+
+use jade_propcheck::run;
+use jade_rubis::interactions::{generate_plan, generate_plan_compiled_into, INTERACTIONS};
+use jade_rubis::{dataset_statements, rubis_schema, DatasetSpec, InteractionMix, KeySpace};
+use jade_sim::SimRng;
+use jade_tiers::request::{DbQuery, SqlProgram};
+use jade_tiers::sql::{Schema, SharedRow};
+use jade_tiers::storage::Database;
+
+/// The RUBiS database both engines start from (tiny spec keeps the
+/// per-case cost down; the dataset seed is fixed so scan postings are
+/// non-trivial but reproducible).
+fn loaded_db(seed: u64) -> Database {
+    let schema = rubis_schema();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let dump = dataset_statements(DatasetSpec::tiny(), &mut rng);
+    let mut db = Database::new(schema);
+    let mut scratch = Vec::new();
+    for stmt in &dump {
+        let _ = db.execute_into(stmt, &mut scratch);
+    }
+    db
+}
+
+/// Executes one interpreted/compiled plan pair, checking result, rows,
+/// materialized statement, and digest parity after every query. The two
+/// plans must stem from twin RNG/key-space states.
+fn check_plan_pair(
+    name: &str,
+    interp: &jade_tiers::InteractionPlan,
+    compiled: &jade_tiers::InteractionPlan,
+    db_interp: &mut Database,
+    db_compiled: &mut Database,
+    scratch_a: &mut Vec<(u64, SharedRow)>,
+    scratch_b: &mut Vec<(u64, SharedRow)>,
+) {
+    assert_eq!(compiled.name, interp.name, "{name}");
+    assert_eq!(compiled.pre_demand, interp.pre_demand, "{name} pre jitter");
+    assert_eq!(
+        compiled.post_demand, interp.post_demand,
+        "{name} post jitter"
+    );
+    assert_eq!(compiled.sql.len(), interp.sql.len(), "{name} query count");
+    assert_eq!(compiled.has_write(), interp.has_write(), "{name} writes");
+    let ops = interp.sql.as_ops();
+    let SqlProgram::Compiled(run) = &compiled.sql else {
+        panic!("{name}: compiled generator must emit a compiled run");
+    };
+    for (idx, op) in ops.iter().enumerate() {
+        let step = &run.plan.steps[idx];
+        assert_eq!(
+            step.statement(&run.params),
+            *op.statement,
+            "{name} step {idx} materialization"
+        );
+        assert_eq!(
+            run.demands[idx], op.demand,
+            "{name} step {idx} jittered demand"
+        );
+        let a = db_interp.execute_into(&op.statement, scratch_a);
+        let b = db_compiled.execute_step_into(step, &run.params, scratch_b);
+        assert_eq!(a, b, "{name} step {idx} summary");
+        assert_eq!(scratch_a, scratch_b, "{name} step {idx} result rows");
+        if !step.is_write() {
+            // The count-only read probe (what the fused/dispatch path
+            // runs) agrees with the materializing oracle's summary.
+            assert_eq!(
+                db_compiled.read_step_summary(step, &run.params),
+                b,
+                "{name} step {idx} count probe"
+            );
+        }
+        assert_eq!(
+            db_interp.digest(),
+            db_compiled.digest(),
+            "{name} step {idx} digest"
+        );
+        // The dispatch-path view agrees on classification and demand.
+        let q = compiled.sql.query_at(idx);
+        assert_eq!(q.is_write(), op.is_write(), "{name} step {idx} class");
+        assert_eq!(q.demand(), op.demand, "{name} step {idx} view demand");
+        assert!(matches!(q, DbQuery::Step { .. }), "{name} borrowed form");
+    }
+}
+
+/// Every interaction template, under random seeds: compiled execution is
+/// result-, row-, and digest-identical to interpreted execution, and the
+/// two generators consume the same RNG stream and key-space mutations.
+#[test]
+fn compiled_matches_interpreted_per_interaction() {
+    run("compiled_matches_interpreted_per_interaction", 24, |g| {
+        let seed = g.u64(0..u64::MAX);
+        let mut db_interp = loaded_db(0xD0D0);
+        let mut db_compiled = db_interp.clone();
+        let mut rng_a = SimRng::seed_from_u64(seed);
+        let mut rng_b = SimRng::seed_from_u64(seed);
+        let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+        let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+        let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
+        for (i, t) in INTERACTIONS.iter().enumerate() {
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            check_plan_pair(
+                t.name,
+                &interp,
+                &compiled,
+                &mut db_interp,
+                &mut db_compiled,
+                &mut scratch_a,
+                &mut scratch_b,
+            );
+            assert_eq!(rng_a.f64(), rng_b.f64(), "{} rng stream", t.name);
+            assert_eq!(
+                (ks_a.users, ks_a.items, ks_a.bids, ks_a.comments),
+                (ks_b.users, ks_b.items, ks_b.bids, ks_b.comments),
+                "{} key space",
+                t.name
+            );
+        }
+    });
+}
+
+/// A long stationary bidding-mix stream: the per-request differential
+/// holds across accumulated state (inserted keys, grown postings, updated
+/// rows), not just against the pristine dataset.
+#[test]
+fn compiled_matches_interpreted_over_a_mix_stream() {
+    run("compiled_matches_interpreted_over_a_mix_stream", 12, |g| {
+        let seed = g.u64(0..u64::MAX);
+        let n = g.usize(20..120);
+        let mix = InteractionMix::bidding();
+        let mut db_interp = loaded_db(0xD0D0);
+        let mut db_compiled = db_interp.clone();
+        let mut rng_a = SimRng::seed_from_u64(seed);
+        let mut rng_b = SimRng::seed_from_u64(seed);
+        let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+        let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+        let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let i = mix.sample_index(&mut rng_a);
+            assert_eq!(i, mix.sample_index(&mut rng_b), "mix draw");
+            let t = &INTERACTIONS[i];
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            check_plan_pair(
+                t.name,
+                &interp,
+                &compiled,
+                &mut db_interp,
+                &mut db_compiled,
+                &mut scratch_a,
+                &mut scratch_b,
+            );
+        }
+        assert_eq!(db_interp.digest(), db_compiled.digest(), "final digest");
+    });
+}
+
+/// Error-for-error parity: against a database whose schema lacks every
+/// RUBiS table, each compiled step fails with exactly the error its
+/// interpreted statement fails with (and neither mutates the database).
+#[test]
+fn compiled_errors_match_interpreted_errors() {
+    run("compiled_errors_match_interpreted_errors", 12, |g| {
+        let seed = g.u64(0..u64::MAX);
+        let mut empty_a = Database::new(Schema::empty());
+        let mut empty_b = Database::new(Schema::empty());
+        let mut rng_a = SimRng::seed_from_u64(seed);
+        let mut rng_b = SimRng::seed_from_u64(seed);
+        let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+        let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+        let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
+        for (i, t) in INTERACTIONS.iter().enumerate() {
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            let ops = interp.sql.as_ops();
+            let SqlProgram::Compiled(run) = &compiled.sql else {
+                panic!("compiled run expected");
+            };
+            for (idx, op) in ops.iter().enumerate() {
+                let step = &run.plan.steps[idx];
+                let a = empty_a.execute_into(&op.statement, &mut scratch_a);
+                let b = empty_b.execute_step_into(step, &run.params, &mut scratch_b);
+                assert!(a.is_err(), "{} step {idx} must miss the table", t.name);
+                assert_eq!(a, b, "{} step {idx} error", t.name);
+                if !step.is_write() {
+                    assert_eq!(
+                        empty_b.read_step_summary(step, &run.params),
+                        b,
+                        "{} step {idx} probe error",
+                        t.name
+                    );
+                }
+            }
+            assert_eq!(empty_a.digest(), empty_b.digest());
+        }
+    });
+}
+
+/// Delta-capture parity under the replication path: captured compiled
+/// writes converge delta-applying replicas to the same digests as
+/// captured interpreted writes, write for write — including failed
+/// captures, where both sides fall back to re-execution.
+#[test]
+fn compiled_delta_capture_matches_interpreted() {
+    run("compiled_delta_capture_matches_interpreted", 12, |g| {
+        let seed = g.u64(0..u64::MAX);
+        let n = g.usize(20..100);
+        let mix = InteractionMix::bidding();
+        let mut primary_a = loaded_db(0xD0D0);
+        let mut primary_b = primary_a.clone();
+        let mut replica_a = primary_a.clone();
+        let mut replica_b = primary_a.clone();
+        let mut rng_a = SimRng::seed_from_u64(seed);
+        let mut rng_b = SimRng::seed_from_u64(seed);
+        let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+        let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+        let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let i = mix.sample_index(&mut rng_a);
+            assert_eq!(i, mix.sample_index(&mut rng_b));
+            let t = &INTERACTIONS[i];
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            let ops = interp.sql.as_ops();
+            let SqlProgram::Compiled(run) = &compiled.sql else {
+                panic!("compiled run expected");
+            };
+            for (idx, op) in ops.iter().enumerate() {
+                let step = &run.plan.steps[idx];
+                if !op.is_write() {
+                    // Reads execute on the primaries only (the cluster
+                    // routes them to one backend).
+                    let a = primary_a.execute_into(&op.statement, &mut scratch_a);
+                    let b = primary_b.execute_step_into(step, &run.params, &mut scratch_b);
+                    assert_eq!(a, b, "{} read {idx}", t.name);
+                    continue;
+                }
+                let a = primary_a.execute_capture(&op.statement);
+                let b = primary_b.execute_step_capture(step, &run.params);
+                match (a, b) {
+                    (Ok((sa, da)), Ok((sb, db))) => {
+                        assert_eq!(sa, sb, "{} write {idx} summary", t.name);
+                        replica_a.apply_delta(&da).expect("interpreted delta");
+                        replica_b.apply_delta(&db).expect("compiled delta");
+                    }
+                    (Err(ea), Err(eb)) => {
+                        assert_eq!(ea, eb, "{} write {idx} error", t.name);
+                        let _ = replica_a.execute_into(&op.statement, &mut scratch_a);
+                        let _ = replica_b.execute_step_into(step, &run.params, &mut scratch_b);
+                    }
+                    (a, b) => panic!(
+                        "{} write {idx}: capture outcomes differ: {a:?} vs {b:?}",
+                        t.name
+                    ),
+                }
+                let d = primary_a.digest();
+                assert_eq!(d, primary_b.digest(), "{} write {idx} primary", t.name);
+                assert_eq!(d, replica_a.digest(), "{} write {idx} replica A", t.name);
+                assert_eq!(d, replica_b.digest(), "{} write {idx} replica B", t.name);
+            }
+        }
+    });
+}
+
+/// The fused `execute_plan` entry point lands on the same database state
+/// and result cardinality as per-statement interpreted execution.
+#[test]
+fn fused_execute_plan_matches_statement_loop() {
+    run("fused_execute_plan_matches_statement_loop", 12, |g| {
+        let seed = g.u64(0..u64::MAX);
+        let n = g.usize(10..60);
+        let mix = InteractionMix::bidding();
+        let mut db_interp = loaded_db(0xD0D0);
+        let mut db_compiled = db_interp.clone();
+        let mut rng_a = SimRng::seed_from_u64(seed);
+        let mut rng_b = SimRng::seed_from_u64(seed);
+        let mut ks_a: KeySpace = DatasetSpec::tiny().into();
+        let mut ks_b: KeySpace = DatasetSpec::tiny().into();
+        let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let i = mix.sample_index(&mut rng_a);
+            assert_eq!(i, mix.sample_index(&mut rng_b));
+            let t = &INTERACTIONS[i];
+            let interp = generate_plan(t, &mut ks_a, &mut rng_a);
+            let compiled =
+                generate_plan_compiled_into(i, &mut ks_b, &mut rng_b, Vec::new(), Vec::new());
+            let mut acc_a = 0u64;
+            for op in interp.sql.as_ops() {
+                if let Ok(s) = db_interp.execute_into(&op.statement, &mut scratch_a) {
+                    acc_a += s.cardinality();
+                }
+            }
+            let SqlProgram::Compiled(run) = &compiled.sql else {
+                panic!("compiled run expected");
+            };
+            let acc_b = db_compiled.execute_plan(run.plan, &run.params, &mut scratch_b);
+            assert_eq!(acc_a, acc_b, "{} fused cardinality", t.name);
+            assert_eq!(db_interp.digest(), db_compiled.digest(), "{}", t.name);
+        }
+    });
+}
