@@ -126,10 +126,15 @@ fn plan_module_is_inside_the_digest_scope() {
     // statement engine it shadows: workspace scoping must hold the plan
     // module (and the storage/emission files it plugs into) to the
     // hasher, iteration-order, and packing-cast rules.
+    // The streamed observation plane (ring sensors, cursor-cached
+    // series, dense probe tick) feeds the same digests: its modules stay
+    // in scope too.
     for path in [
         "crates/tiers/src/plan.rs",
         "crates/tiers/src/storage.rs",
         "crates/rubis/src/interactions.rs",
+        "crates/sim/src/metrics.rs",
+        "crates/core/src/system/manage.rs",
     ] {
         for rule in [Rule::NondetHasher, Rule::UnorderedIter, Rule::PackingCast] {
             assert!(

@@ -10,14 +10,18 @@
 use jade::config::SystemConfig;
 use jade::experiment::run_experiment;
 use jade_bench::microbench::{black_box, Runner};
-use jade_bench::{NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveReplication};
+use jade_bench::{
+    naive_time_weighted_mean, NaiveDatabase, NaiveLifecycle, NaiveObservation, NaivePsCpu,
+    NaiveReplication,
+};
+use jade_cluster::{ClusterManager, NodeId, NodeSpec};
 use jade_rubis::interactions::generate_plan_into;
 use jade_rubis::{
     dataset_statements, generate_plan, generate_plan_compiled_into, rubis_schema,
     sample_interaction, DatasetSpec, InteractionMix, KeySpace, WorkloadRamp, INTERACTIONS,
 };
 use jade_sim::{Addr, App, Ctx, EfficiencyCurve, Engine, EventQueue, JobId, PsCpu, SimRng};
-use jade_sim::{SimDuration, SimTime};
+use jade_sim::{MovingAverage, Retention, SeriesCursor, SimDuration, SimTime, TimeSeries};
 use jade_tiers::recovery::RecoveryLog;
 use jade_tiers::request::{SqlOp, SqlProgram};
 use jade_tiers::sql::{Schema, SharedRow, Statement, Value};
@@ -718,6 +722,127 @@ fn bench_replication(r: &mut Runner) {
 }
 
 // ---------------------------------------------------------------------
+// Observation plane: the streamed probe tick vs the map-based baseline.
+// ---------------------------------------------------------------------
+
+/// Wide-deployment probe: half the pool in each managed tier.
+const SENSOR_NODES: usize = 256;
+/// Probe ticks per bench iteration.
+const SENSOR_TICKS: u64 = 64;
+const SENSOR_PERIOD: SimDuration = SimDuration::from_secs(1);
+const SENSOR_APP_WINDOW: SimDuration = SimDuration::from_secs(60);
+const SENSOR_DB_WINDOW: SimDuration = SimDuration::from_secs(90);
+
+/// Dense spatial average: direct indexing into the per-node sample array.
+fn dense_avg(nodes: &[NodeId], samples: &[f64]) -> f64 {
+    if nodes.is_empty() {
+        0.0
+    } else {
+        nodes.iter().map(|&n| samples[n.0 as usize]).sum::<f64>() / nodes.len() as f64
+    }
+}
+
+/// One observation tick over a 256-node pool, streamed vs naive. Each
+/// tick samples every node's CPU, refreshes both tier node lists,
+/// computes the three spatial averages, feeds the two moving-average
+/// sensors, appends to the all-nodes series, reads a 60 s window mean
+/// back from it, and stamps every node's heartbeat.
+///
+/// The streamed side runs the shapes the probe path now uses: a recycled
+/// dense sample array indexed by node id, pre-sized sensor rings, a
+/// ring-retained series with a cursor-cached window reader, and a dense
+/// heartbeat table. The naive side runs the shapes it replaced: fresh
+/// node-id `Vec`s and a fresh `BTreeMap` of samples per tick, `VecDeque`
+/// moving averages, a keep-all series scanned from scratch for every
+/// window read, and a `BTreeMap` heartbeat store.
+fn bench_sensor(r: &mut Runner) {
+    {
+        let mut cm = ClusterManager::homogeneous(SENSOR_NODES, NodeSpec::default(), 64);
+        let mut samples: Vec<f64> = Vec::new();
+        let mut app_nodes: Vec<NodeId> = Vec::new();
+        let mut db_nodes: Vec<NodeId> = Vec::new();
+        let mut ma_app = MovingAverage::with_period(SENSOR_APP_WINDOW, SENSOR_PERIOD);
+        let mut ma_db = MovingAverage::with_period(SENSOR_DB_WINDOW, SENSOR_PERIOD);
+        let mut ts_all = TimeSeries::with_retention(Retention::Ring(256));
+        let mut cursor = SeriesCursor::new();
+        let mut heartbeat: Vec<Option<SimTime>> = vec![None; SENSOR_NODES];
+        let mut now = SimTime::ZERO;
+        r.bench(
+            &format!("sensor/probe_tick_{SENSOR_NODES}_nodes"),
+            move || {
+                let mut acc = 0.0f64;
+                for _ in 0..SENSOR_TICKS {
+                    now += SENSOR_PERIOD;
+                    cm.sample_cpus_into(now, &mut samples);
+                    app_nodes.clear();
+                    app_nodes.extend((0..SENSOR_NODES as u32 / 2).map(NodeId));
+                    db_nodes.clear();
+                    db_nodes.extend((SENSOR_NODES as u32 / 2..SENSOR_NODES as u32).map(NodeId));
+                    let app_avg = dense_avg(&app_nodes, &samples);
+                    let db_avg = dense_avg(&db_nodes, &samples);
+                    let all_avg = samples.iter().sum::<f64>() / samples.len() as f64;
+                    ma_app.record(now, app_avg.clamp(0.0, 1.0));
+                    ma_db.record(now, db_avg.clamp(0.0, 1.0));
+                    ts_all.record(now, all_avg);
+                    for hb in heartbeat.iter_mut() {
+                        *hb = Some(now);
+                    }
+                    let from = SimTime::from_micros(
+                        now.as_micros()
+                            .saturating_sub(SENSOR_APP_WINDOW.as_micros()),
+                    );
+                    acc += ts_all
+                        .time_weighted_mean_cached(&mut cursor, from, now)
+                        .unwrap_or(0.0);
+                    acc += ma_app.value().unwrap_or(0.0) + ma_db.value().unwrap_or(0.0);
+                }
+                black_box(heartbeat.last().copied());
+                acc.to_bits()
+            },
+        );
+    }
+    {
+        let mut cpus: Vec<NaivePsCpu> = (0..SENSOR_NODES)
+            .map(|_| NaivePsCpu::new(1.0, EfficiencyCurve::Ideal))
+            .collect();
+        let mut obs = NaiveObservation::new(SENSOR_APP_WINDOW, SENSOR_DB_WINDOW);
+        let mut now = SimTime::ZERO;
+        r.bench(
+            &format!("sensor/naive/probe_tick_{SENSOR_NODES}_nodes"),
+            move || {
+                let mut acc = 0.0f64;
+                for _ in 0..SENSOR_TICKS {
+                    now += SENSOR_PERIOD;
+                    let app_nodes: Vec<usize> = (0..SENSOR_NODES / 2).collect();
+                    let db_nodes: Vec<usize> = (SENSOR_NODES / 2..SENSOR_NODES).collect();
+                    let all_nodes: Vec<usize> = (0..SENSOR_NODES).collect();
+                    let mut samples = std::collections::BTreeMap::new();
+                    for &n in &all_nodes {
+                        samples.insert(n, cpus[n].sample_utilization(now));
+                    }
+                    let app_avg = NaiveObservation::spatial_avg(&samples, &app_nodes);
+                    let db_avg = NaiveObservation::spatial_avg(&samples, &db_nodes);
+                    let all_avg = NaiveObservation::spatial_avg(&samples, &all_nodes);
+                    obs.observe(now, app_avg, db_avg, all_avg);
+                    for &n in &all_nodes {
+                        obs.heartbeat.insert(n, now);
+                    }
+                    let from = SimTime::from_micros(
+                        now.as_micros()
+                            .saturating_sub(SENSOR_APP_WINDOW.as_micros()),
+                    );
+                    acc += naive_time_weighted_mean(&obs.cpu_all, from, now).unwrap_or(0.0);
+                    acc += obs.app_sensor.value().unwrap_or(0.0)
+                        + obs.db_sensor.value().unwrap_or(0.0);
+                }
+                black_box(obs.heartbeat.len());
+                acc.to_bits()
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: the slab-backed request lifecycle vs the naive stack.
 // ---------------------------------------------------------------------
 
@@ -730,6 +855,8 @@ const E2E_5K_HORIZON: SimDuration = SimDuration::from_secs(10);
 /// The `fig5_1m` scenario's peak, pinned constant for the bench.
 const E2E_1M_CLIENTS: u32 = 1_000_000;
 const E2E_1M_HORIZON: SimDuration = SimDuration::from_secs(5);
+/// Probe-heavy scenario: 4x the paper's probe rate.
+const E2E_PROBE_PERIOD: SimDuration = SimDuration::from_millis(250);
 
 fn e2e_cfg(clients: u32) -> SystemConfig {
     let mut cfg = SystemConfig::paper_managed();
@@ -742,6 +869,23 @@ fn e2e_cfg(clients: u32) -> SystemConfig {
 /// think time with the ramp pinned at a constant million clients on the
 /// peak deployment (four replicas per managed tier), so every benchmark
 /// second runs at full aggregate-pool pressure.
+/// Observation-dominated variant of the Fig. 5 scenario: the paper's
+/// managed system at its peak deployment (four replicas per managed
+/// tier, twelve nodes so the probe sweeps unallocated machines too)
+/// with the probe period cut from 1 s to 250 ms, so measure ticks —
+/// spatial CPU averaging, sensor updates, series appends, heartbeats —
+/// dominate the event mix.
+fn e2e_probe_heavy_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_managed();
+    cfg.ramp = WorkloadRamp::constant(E2E_FIG5_CLIENTS);
+    cfg.jade.probe_period = E2E_PROBE_PERIOD;
+    cfg.description.application.replicas = 4;
+    cfg.description.database.replicas = 4;
+    cfg.nodes = 12;
+    cfg.seed = 0xE2E;
+    cfg
+}
+
 fn e2e_1m_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::million_clients();
     cfg.ramp = WorkloadRamp::constant(E2E_1M_CLIENTS);
@@ -767,6 +911,24 @@ fn bench_e2e(r: &mut Runner) {
         });
         r.bench(&format!("e2e/naive/{tag}"), move || {
             NaiveLifecycle::new(clients, 0xE2E).run(horizon)
+        });
+    }
+
+    // Probe-heavy: same client population as fig5, but with the probe
+    // period cut to 250 ms on a wide (4+4 replica, 12 node) deployment.
+    // The naive side replays the same probe cadence through the
+    // `NaiveObservation` stack (fresh node lists and a `BTreeMap` of
+    // samples per tick, `VecDeque` sensors, from-scratch window scans).
+    {
+        let cfg = e2e_probe_heavy_cfg();
+        let think = cfg.think_time;
+        r.bench("e2e/system/probe_heavy", move || {
+            let out = run_experiment(e2e_probe_heavy_cfg(), E2E_FIG5_HORIZON);
+            (out.events, out.metrics.counter("requests.completed"))
+        });
+        r.bench("e2e/naive/probe_heavy", move || {
+            NaiveLifecycle::at_scale(E2E_FIG5_CLIENTS, 0xE2E, think, 1.0, 4, 4)
+                .run_with_probes(E2E_FIG5_HORIZON, E2E_PROBE_PERIOD)
         });
     }
 
@@ -820,6 +982,7 @@ fn main() {
     bench_db(&mut r);
     bench_db_compiled(&mut r);
     bench_replication(&mut r);
+    bench_sensor(&mut r);
     bench_e2e(&mut r);
     bench_engine(&mut r);
 
@@ -868,9 +1031,14 @@ fn main() {
         &format!("replication/delta/replica_sync_{REPL_SYNC_WRITES}"),
         &format!("replication/naive/replica_sync_{REPL_SYNC_WRITES}"),
     );
+    let sensor_probe = ratio(
+        &format!("sensor/probe_tick_{SENSOR_NODES}_nodes"),
+        &format!("sensor/naive/probe_tick_{SENSOR_NODES}_nodes"),
+    );
     let e2e_fig5 = ratio("e2e/system/fig5_500_clients", "e2e/naive/fig5_500_clients");
     let e2e_5k = ratio("e2e/system/5k_clients", "e2e/naive/5k_clients");
     let e2e_1m = ratio("e2e/system/fig5_1m", "e2e/naive/fig5_1m");
+    let e2e_probe = ratio("e2e/system/probe_heavy", "e2e/naive/probe_heavy");
     println!("\nslab vs naive BinaryHeap+HashSet queue:");
     println!("  push_pop      {push_pop:.2}x");
     println!("  cancel_heavy  {cancel:.2}x");
@@ -889,9 +1057,12 @@ fn main() {
     println!("execute-once delta broadcast vs re-execute-everywhere mirror:");
     println!("  broadcast_write ({REPL_REPLICAS} replicas)  {repl_bcast:.2}x");
     println!("  replica_sync (late joiner)   {repl_sync:.2}x");
+    println!("streamed vs map-based observation plane:");
+    println!("  probe_tick_{SENSOR_NODES}_nodes {sensor_probe:.2}x");
     println!("slab lifecycle vs naive end-to-end stack (same scenario):");
     println!("  fig5_500_clients   {e2e_fig5:.2}x");
     println!("  5k_clients         {e2e_5k:.2}x");
+    println!("  probe_heavy (250ms probes) {e2e_probe:.2}x");
     println!("aggregate pool + timer wheel vs per-client NaiveTimers stack:");
     println!("  fig5_1m (1M clients) {e2e_1m:.2}x");
     r.write_json_with(
@@ -914,6 +1085,8 @@ fn main() {
             ("speedup_e2e_fig5", e2e_fig5),
             ("speedup_e2e_5k_clients", e2e_5k),
             ("speedup_e2e_1m_clients", e2e_1m),
+            ("speedup_sensor_probe", sensor_probe),
+            ("speedup_e2e_probe_heavy", e2e_probe),
         ],
     );
 }

@@ -31,8 +31,8 @@ pub mod reference;
 
 pub use harness::{Harness, RunRecord, RunResult, RunSpec, HARNESS_USAGE};
 pub use reference::{
-    NaiveDatabase, NaiveLifecycle, NaivePsCpu, NaiveQueryResult, NaiveReplication, NaiveRow,
-    NaiveTimers,
+    naive_time_weighted_mean, naive_value_at, NaiveDatabase, NaiveLifecycle, NaiveMovingAverage,
+    NaiveObservation, NaivePsCpu, NaiveQueryResult, NaiveReplication, NaiveRow, NaiveTimers,
 };
 
 use jade::experiment::ExperimentOutput;

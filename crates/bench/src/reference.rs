@@ -387,10 +387,22 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum LifecycleMsg {
     Think(u32),
-    TomcatAccept { req: u64 },
-    DbDispatch { req: u64 },
-    CpuComplete { node: usize },
-    Response { req: u64 },
+    TomcatAccept {
+        req: u64,
+    },
+    DbDispatch {
+        req: u64,
+    },
+    CpuComplete {
+        node: usize,
+    },
+    Response {
+        req: u64,
+    },
+    /// Periodic observation tick (only scheduled by
+    /// [`NaiveLifecycle::run_with_probes`]; plain [`NaiveLifecycle::run`]
+    /// never emits it, so historical runs are unchanged).
+    Probe,
 }
 
 /// The pre-wheel timer store: a `BinaryHeap` with payloads inline plus a
@@ -486,6 +498,13 @@ const LC_CLIENT_DELAY: SimDuration = SimDuration::from_millis(1);
 const LC_HOP: SimDuration = SimDuration::from_micros(120);
 const LC_PLB_ROUTING: SimDuration = SimDuration::from_micros(100);
 const LC_CJDBC_ROUTING: SimDuration = SimDuration::from_micros(300);
+/// Management-daemon CPU intrusivity per probed node per tick (mirrors
+/// the managed system's `daemon_demand`).
+const LC_DAEMON_DEMAND: SimDuration = SimDuration::from_millis(2);
+/// Smoothing windows of the naive probe plane's two sensors (the paper's
+/// 60 s application / 90 s database temporal averages).
+const LC_APP_WINDOW: SimDuration = SimDuration::from_secs(60);
+const LC_DB_WINDOW: SimDuration = SimDuration::from_secs(90);
 
 /// The pre-optimization request lifecycle, end to end: a closed-loop
 /// multi-tier simulation (clients → PLB → Tomcat workers → C-JDBC →
@@ -610,6 +629,57 @@ impl NaiveLifecycle {
         (self.completed, self.events)
     }
 
+    /// [`NaiveLifecycle::run`] with the pre-streaming observation plane
+    /// bolted on: every `period` a probe tick runs the historical
+    /// measurement path ([`NaiveObservation`]) over every node — fresh
+    /// node-id `Vec`s, a fresh `BTreeMap` of CPU samples, `VecDeque`
+    /// moving averages, keep-all series vectors, a `BTreeMap` heartbeat
+    /// store, and one daemon job per node. The `e2e/naive/probe_heavy`
+    /// bench case measures this against the real streamed probe at the
+    /// same probe rate.
+    pub fn run_with_probes(mut self, horizon: SimDuration, period: SimDuration) -> (u64, u64) {
+        let mut obs = NaiveObservation::new(LC_APP_WINDOW, LC_DB_WINDOW);
+        let end = SimTime::ZERO + horizon;
+        self.queue.push(SimTime::ZERO + period, LifecycleMsg::Probe);
+        while let Some((t, msg)) = self.queue.pop() {
+            if t > end {
+                break;
+            }
+            self.now = t;
+            self.events += 1;
+            if let LifecycleMsg::Probe = msg {
+                self.on_probe(&mut obs, period);
+            } else {
+                self.dispatch(msg);
+            }
+        }
+        (self.completed, self.events.wrapping_add(obs.ticks))
+    }
+
+    /// One naive probe tick: the exact allocation profile of the
+    /// pre-streaming `on_measure_tick`.
+    fn on_probe(&mut self, obs: &mut NaiveObservation, period: SimDuration) {
+        let now = self.now;
+        // Fresh node lists and a fresh ordered sample map, every tick.
+        let app_nodes: Vec<usize> = (LC_TOMCAT0..self.backend0).collect();
+        let db_nodes: Vec<usize> = (self.backend0..self.backend0 + self.backends).collect();
+        let all_nodes: Vec<usize> = (0..self.cpus.len()).collect();
+        let mut samples: BTreeMap<usize, f64> = BTreeMap::new();
+        for &n in &all_nodes {
+            samples.insert(n, self.cpus[n].sample_utilization(now));
+        }
+        let app_avg = NaiveObservation::spatial_avg(&samples, &app_nodes);
+        let db_avg = NaiveObservation::spatial_avg(&samples, &db_nodes);
+        let all_avg = NaiveObservation::spatial_avg(&samples, &all_nodes);
+        obs.observe(now, app_avg, db_avg, all_avg);
+        // Heartbeats plus daemon intrusivity on every node.
+        for &n in &all_nodes {
+            obs.heartbeat.insert(n, now);
+            self.submit_job(n, LifecycleOwner::Routing, LC_DAEMON_DEMAND);
+        }
+        self.queue.push(now + period, LifecycleMsg::Probe);
+    }
+
     fn dispatch(&mut self, msg: LifecycleMsg) {
         match msg {
             LifecycleMsg::Think(c) => self.on_think(c),
@@ -617,6 +687,9 @@ impl NaiveLifecycle {
             LifecycleMsg::DbDispatch { req } => self.on_db_dispatch(req),
             LifecycleMsg::CpuComplete { node } => self.on_cpu_complete(node),
             LifecycleMsg::Response { req } => self.on_response(req),
+            // Only `run_with_probes` schedules probes; it intercepts them
+            // before dispatch, so the plain lifecycle never sees one.
+            LifecycleMsg::Probe => {}
         }
     }
 
@@ -873,6 +946,183 @@ impl NaiveReplication {
     }
 }
 
+// ---------------------------------------------------------------------
+// The pre-streaming observation plane
+// ---------------------------------------------------------------------
+
+/// The `VecDeque`-backed moving average the fixed-capacity ring in
+/// `jade_sim::MovingAverage` replaced, kept verbatim: push-back plus
+/// running sum, then front-to-back eviction of samples older than the
+/// window. The running-sum arithmetic is the reference the ring must
+/// reproduce bit for bit (`tests/observation_prop.rs`), and the baseline
+/// the `sensor/naive/*` bench cases measure.
+#[derive(Debug, Clone)]
+pub struct NaiveMovingAverage {
+    window: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+}
+
+impl NaiveMovingAverage {
+    /// Creates a moving average with the given time window.
+    pub fn new(window: SimDuration) -> Self {
+        NaiveMovingAverage {
+            window,
+            samples: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// Records a sample at time `t` and evicts samples older than the
+    /// window.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        self.samples.push_back((t, v));
+        self.sum += v;
+        let horizon = if t.as_micros() >= self.window.as_micros() {
+            SimTime::from_micros(t.as_micros() - self.window.as_micros())
+        } else {
+            SimTime::ZERO
+        };
+        while let Some(&(st, sv)) = self.samples.front() {
+            if st < horizon {
+                self.samples.pop_front();
+                self.sum -= sv;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current smoothed value, or `None` when no sample is in the window.
+    pub fn value(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Number of samples currently inside the window.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// From-scratch step-function window mean over raw `(time, value)` points:
+/// the linear scan `TimeSeries::time_weighted_mean_cached` must agree with
+/// bit for bit, as an implementation independent of both the
+/// `partition_point` and the cursor seek.
+pub fn naive_time_weighted_mean(
+    points: &[(SimTime, f64)],
+    from: SimTime,
+    to: SimTime,
+) -> Option<f64> {
+    if to <= from {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut covered = 0.0;
+    let mut cursor = from;
+    let mut current = None;
+    for &(pt, v) in points {
+        if pt <= from {
+            current = Some(v);
+            continue;
+        }
+        if pt >= to {
+            break;
+        }
+        if let Some(cv) = current {
+            let span = (pt - cursor).as_secs_f64();
+            acc += cv * span;
+            covered += span;
+        }
+        cursor = pt;
+        current = Some(v);
+    }
+    if let Some(cv) = current {
+        let span = (to - cursor).as_secs_f64();
+        acc += cv * span;
+        covered += span;
+    }
+    if covered > 0.0 {
+        Some(acc / covered)
+    } else {
+        None
+    }
+}
+
+/// From-scratch step interpolation: value of the last point at or before
+/// `t`, or `default`. The linear-scan oracle for
+/// `TimeSeries::value_at_cached`.
+pub fn naive_value_at(points: &[(SimTime, f64)], t: SimTime, default: f64) -> f64 {
+    points
+        .iter()
+        .rev()
+        .find(|&&(pt, _)| pt <= t)
+        .map_or(default, |&(_, v)| v)
+}
+
+/// The map-based observation plane the streaming probe tick replaced:
+/// CPU samples in a fresh `BTreeMap` keyed by node id, spatial averages
+/// summed through map lookups, `VecDeque` moving-average sensors,
+/// keep-all series vectors, and a `BTreeMap` heartbeat store. Kept as
+/// the oracle `tests/observation_prop.rs` checks the dense-array probe
+/// against, and the per-tick workload of
+/// [`NaiveLifecycle::run_with_probes`].
+pub struct NaiveObservation {
+    /// Application-tier CPU sensor (60 s window).
+    pub app_sensor: NaiveMovingAverage,
+    /// Database-tier CPU sensor (90 s window).
+    pub db_sensor: NaiveMovingAverage,
+    /// Keep-all spatial-average series, one point per tick.
+    pub cpu_app: Vec<(SimTime, f64)>,
+    /// Database-tier series.
+    pub cpu_db: Vec<(SimTime, f64)>,
+    /// All-nodes series.
+    pub cpu_all: Vec<(SimTime, f64)>,
+    /// Last heartbeat per node, in an ordered map.
+    pub heartbeat: BTreeMap<usize, SimTime>,
+    /// Probe ticks observed.
+    pub ticks: u64,
+}
+
+impl NaiveObservation {
+    /// An empty observation plane with the given sensor windows.
+    pub fn new(app_window: SimDuration, db_window: SimDuration) -> Self {
+        NaiveObservation {
+            app_sensor: NaiveMovingAverage::new(app_window),
+            db_sensor: NaiveMovingAverage::new(db_window),
+            cpu_app: Vec::new(),
+            cpu_db: Vec::new(),
+            cpu_all: Vec::new(),
+            heartbeat: BTreeMap::new(),
+            ticks: 0,
+        }
+    }
+
+    /// The historical spatial average: map lookups in node-list order,
+    /// summed, over the listed population — the float-operation sequence
+    /// the dense-array probe must reproduce exactly.
+    pub fn spatial_avg<K: Ord>(samples: &BTreeMap<K, f64>, nodes: &[K]) -> f64 {
+        if nodes.is_empty() {
+            0.0
+        } else {
+            nodes.iter().filter_map(|n| samples.get(n)).sum::<f64>() / nodes.len() as f64
+        }
+    }
+
+    /// Feeds one tick's spatial averages into the sensors and series.
+    pub fn observe(&mut self, now: SimTime, app_avg: f64, db_avg: f64, all_avg: f64) {
+        self.app_sensor.record(now, app_avg.clamp(0.0, 1.0));
+        self.db_sensor.record(now, db_avg.clamp(0.0, 1.0));
+        self.cpu_app.push((now, app_avg));
+        self.cpu_db.push((now, db_avg));
+        self.cpu_all.push((now, all_avg));
+        self.ticks += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +1142,46 @@ mod tests {
         // Deterministic for a fixed seed.
         let again = NaiveLifecycle::new(40, 7).run(SimDuration::from_secs(30));
         assert_eq!((completed, events), again);
+    }
+
+    #[test]
+    fn naive_probe_plane_runs_deterministically() {
+        let run = || {
+            NaiveLifecycle::new(40, 7)
+                .run_with_probes(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        };
+        let (completed, events) = run();
+        assert!(completed > 50, "completed {completed}");
+        // 30 probe ticks fired on top of the request lifecycle.
+        let (plain_completed, plain_events) =
+            NaiveLifecycle::new(40, 7).run(SimDuration::from_secs(30));
+        assert!(events > plain_events, "probes add events");
+        assert!(completed <= plain_completed + 50, "probes barely perturb");
+        assert_eq!((completed, events), run());
+    }
+
+    #[test]
+    fn naive_observation_averages_and_windows() {
+        let mut samples = BTreeMap::new();
+        for (i, v) in [0.5, 0.25, 1.0].into_iter().enumerate() {
+            samples.insert(i, v);
+        }
+        assert_eq!(NaiveObservation::spatial_avg(&samples, &[0, 2]), 0.75);
+        assert_eq!(NaiveObservation::spatial_avg::<usize>(&samples, &[]), 0.0);
+
+        let points = [(t(0), 0.0), (t(10_000), 1.0)];
+        let m = naive_time_weighted_mean(&points, t(0), t(20_000)).unwrap();
+        assert!((m - 0.5).abs() < 1e-9);
+        assert!(naive_time_weighted_mean(&points, t(5), t(5)).is_none());
+        assert_eq!(naive_value_at(&points, t(9_999), -1.0), 0.0);
+        assert_eq!(naive_value_at(&points, t(10_000), -1.0), 1.0);
+
+        let mut ma = NaiveMovingAverage::new(SimDuration::from_secs(10));
+        ma.record(SimTime::from_secs(0), 100.0);
+        ma.record(SimTime::from_secs(5), 0.0);
+        assert_eq!(ma.value(), Some(50.0));
+        ma.record(SimTime::from_secs(20), 0.0);
+        assert_eq!(ma.sample_count(), 1);
     }
 
     #[test]

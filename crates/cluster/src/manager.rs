@@ -110,9 +110,30 @@ impl ClusterManager {
         self.nodes.iter().map(Node::id).collect()
     }
 
+    /// Samples every node's CPU once into a dense array: `out[i]` is the
+    /// utilization of `NodeId(i)`. Node ids are sequential positions in
+    /// the pool, so this visits the exact nodes — in the exact id order —
+    /// that sampling each entry of [`ClusterManager::node_ids`] through
+    /// [`ClusterManager::node_mut`] would, without allocating.
+    pub fn sample_cpus_into(&mut self, now: jade_sim::SimTime, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.nodes.len());
+        for n in &mut self.nodes {
+            out.push(n.sample_cpu(now));
+        }
+    }
+
     /// Currently allocated nodes, in id order.
     pub fn allocated(&self) -> Vec<NodeId> {
         self.allocated.iter().copied().collect()
+    }
+
+    /// Fills `out` with the currently allocated nodes in id order — the
+    /// same sequence as [`ClusterManager::allocated`] — reusing the
+    /// caller's buffer.
+    pub fn fill_allocated(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.allocated.iter().copied());
     }
 
     /// Currently free nodes, in id order.

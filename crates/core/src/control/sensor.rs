@@ -34,6 +34,14 @@ impl CpuAvgSensor {
         }
     }
 
+    /// Like [`CpuAvgSensor::new`], but sized for samples arriving every
+    /// `period` so the backing ring never grows in steady state.
+    pub fn with_period(window: SimDuration, period: SimDuration) -> Self {
+        CpuAvgSensor {
+            ma: MovingAverage::with_period(window, period),
+        }
+    }
+
     /// The smoothing window.
     pub fn window(&self) -> SimDuration {
         self.ma.window()
@@ -69,6 +77,16 @@ impl LatencySensor {
         assert!(saturation_ms > 0.0);
         LatencySensor {
             ma: MovingAverage::new(window),
+            saturation_ms,
+        }
+    }
+
+    /// Like [`LatencySensor::new`], but sized for samples arriving every
+    /// `period` so the backing ring never grows in steady state.
+    pub fn with_period(window: SimDuration, saturation_ms: f64, period: SimDuration) -> Self {
+        assert!(saturation_ms > 0.0);
+        LatencySensor {
+            ma: MovingAverage::with_period(window, period),
             saturation_ms,
         }
     }

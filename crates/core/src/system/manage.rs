@@ -65,28 +65,34 @@ impl J2eeApp {
 
     pub(crate) fn on_measure_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
-        // Sample every node once; aggregate per managed tier.
-        let app_nodes = self.legacy.nodes_of_tier(Tier::Application);
-        let db_nodes = self.legacy.nodes_of_tier(Tier::Database);
-        let all_nodes = self.legacy.cluster.node_ids();
-        let mut samples: std::collections::BTreeMap<NodeId, f64> = Default::default();
-        for &node in &all_nodes {
-            if let Ok(n) = self.legacy.cluster.node_mut(node) {
-                samples.insert(node, n.sample_cpu(now));
-            }
-        }
+        // Sample every node once into a dense per-node array
+        // (`samples[i]` = utilization of `NodeId(i)`); aggregate per
+        // managed tier. All buffers are recycled fields, swapped out for
+        // the duration of the tick (the heartbeat loop below needs
+        // `&mut self`), so the steady-state tick allocates nothing. Tier
+        // node lists stay sorted by id, so every spatial sum visits the
+        // same samples in the same order as the map-based probe did.
+        let mut samples = std::mem::take(&mut self.probe_samples);
+        let mut app_nodes = std::mem::take(&mut self.probe_app_nodes);
+        let mut db_nodes = std::mem::take(&mut self.probe_db_nodes);
+        let mut allocated = std::mem::take(&mut self.probe_allocated);
+        self.legacy
+            .nodes_of_tier_into(Tier::Application, &mut app_nodes);
+        self.legacy
+            .nodes_of_tier_into(Tier::Database, &mut db_nodes);
+        self.legacy.cluster.sample_cpus_into(now, &mut samples);
         let avg = |nodes: &[NodeId]| -> f64 {
             if nodes.is_empty() {
                 0.0
             } else {
-                nodes.iter().filter_map(|n| samples.get(n)).sum::<f64>() / nodes.len() as f64
+                nodes.iter().map(|&n| samples[n.0 as usize]).sum::<f64>() / nodes.len() as f64
             }
         };
         self.latest_app_cpu = avg(&app_nodes);
         self.latest_db_cpu = avg(&db_nodes);
 
         // Memory and node-allocation series (Table 1, Figure 5 context).
-        let allocated = self.legacy.cluster.allocated();
+        self.legacy.cluster.fill_allocated(&mut allocated);
         let mem_avg = if allocated.is_empty() {
             0.0
         } else {
@@ -100,7 +106,11 @@ impl J2eeApp {
         let cpu_all_avg = if allocated.is_empty() {
             0.0
         } else {
-            allocated.iter().filter_map(|n| samples.get(n)).sum::<f64>() / allocated.len() as f64
+            allocated
+                .iter()
+                .map(|&n| samples[n.0 as usize])
+                .sum::<f64>()
+                / allocated.len() as f64
         };
         // One batched append per probe tick: every sample shares `now`.
         let ids = self.hot_ids(ctx);
@@ -121,7 +131,7 @@ impl J2eeApp {
         // report doubles as the node's heartbeat for failure detection.
         if self.cfg.jade.managed {
             let demand = self.cfg.jade.daemon_demand;
-            for node in allocated {
+            for &node in &allocated {
                 let up = self
                     .legacy
                     .cluster
@@ -129,11 +139,16 @@ impl J2eeApp {
                     .map(|n| n.is_up())
                     .unwrap_or(false);
                 if up {
-                    self.last_heartbeat.insert(node, now);
+                    self.record_heartbeat(node, now);
                     self.submit_job(ctx, node, JobOwner::Daemon, demand);
                 }
             }
         }
+        // Return the scratch buffers for the next tick.
+        self.probe_samples = samples;
+        self.probe_app_nodes = app_nodes;
+        self.probe_db_nodes = db_nodes;
+        self.probe_allocated = allocated;
         // Arbitration pump: execute at most one queued reconfiguration
         // when the system is quiescent.
         self.pump_arbitrator(ctx);
@@ -648,8 +663,10 @@ impl J2eeApp {
                 } else {
                     // Dead node: suspect only after the heartbeat gap.
                     self.last_heartbeat
-                        .get(&node)
-                        .map(|&hb| now.since(hb) >= timeout)
+                        .get(node.0 as usize)
+                        .copied()
+                        .flatten()
+                        .map(|hb| now.since(hb) >= timeout)
                         .unwrap_or(true)
                 }
             })

@@ -143,8 +143,19 @@ pub struct J2eeApp {
     pub(crate) pending_undeploys: BTreeMap<ServerId, ManagedTier>,
     pub(crate) latest_app_cpu: f64,
     pub(crate) latest_db_cpu: f64,
-    /// Last heartbeat received from each node's management daemon.
-    pub(crate) last_heartbeat: BTreeMap<NodeId, jade_sim::SimTime>,
+    /// Last heartbeat received from each node's management daemon,
+    /// indexed densely by `NodeId.0` (the node pool is fixed at
+    /// configuration time; `None` = never heard from).
+    pub(crate) last_heartbeat: Vec<Option<jade_sim::SimTime>>,
+    /// Recycled dense per-node CPU sample array of the probe tick:
+    /// `probe_samples[i]` is the utilization of `NodeId(i)`.
+    pub(crate) probe_samples: Vec<f64>,
+    /// Recycled node-id list of the application tier (probe tick).
+    pub(crate) probe_app_nodes: Vec<NodeId>,
+    /// Recycled node-id list of the database tier (probe tick).
+    pub(crate) probe_db_nodes: Vec<NodeId>,
+    /// Recycled allocated-node list (probe tick).
+    pub(crate) probe_allocated: Vec<NodeId>,
     /// A rolling restart in progress, if any.
     pub(crate) rolling: Option<RollingRestart>,
     /// Interned metric handles for the hot recording paths (lazy).
@@ -256,7 +267,7 @@ impl J2eeApp {
             );
             managers.push(TierManager {
                 tier,
-                sensor: CpuAvgSensor::new(loop_cfg.window),
+                sensor: CpuAvgSensor::with_period(loop_cfg.window, cfg.jade.probe_period),
                 reactor,
                 adaptive: cfg.jade.adaptive.then(|| AdaptiveThresholds::new(reactor)),
                 comp: mgr_comp,
@@ -315,7 +326,11 @@ impl J2eeApp {
             pending_undeploys: BTreeMap::new(),
             latest_app_cpu: 0.0,
             latest_db_cpu: 0.0,
-            last_heartbeat: BTreeMap::new(),
+            last_heartbeat: Vec::new(),
+            probe_samples: Vec::new(),
+            probe_app_nodes: Vec::new(),
+            probe_db_nodes: Vec::new(),
+            probe_allocated: Vec::new(),
             rolling: None,
             hot_ids: None,
         }
@@ -393,6 +408,17 @@ impl J2eeApp {
         if let Some(q) = self.accept_queues.get_mut(server.0 as usize) {
             q.clear();
         }
+    }
+
+    /// Records a daemon heartbeat from `node`, growing the dense table on
+    /// demand (node ids are fixed at configuration time, so the table
+    /// reaches pool size once and never reallocates again).
+    pub(crate) fn record_heartbeat(&mut self, node: NodeId, now: SimTime) {
+        let slot = node.0 as usize;
+        if slot >= self.last_heartbeat.len() {
+            self.last_heartbeat.resize(slot + 1, None);
+        }
+        self.last_heartbeat[slot] = Some(now);
     }
 
     /// Cancels and clears the pending CPU timer of `node`, if any.
@@ -787,7 +813,7 @@ impl J2eeApp {
 
     /// Number of running replicas of a managed tier.
     pub fn running_replicas(&self, tier: ManagedTier) -> usize {
-        self.legacy.running_servers_of(tier.tier()).len()
+        self.legacy.running_count_of(tier.tier())
     }
 
     /// Total nodes currently allocated.

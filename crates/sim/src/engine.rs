@@ -226,24 +226,37 @@ impl<A: App> Engine<A> {
 
     /// Runs until the horizon `until` (inclusive), the queue drains, or a
     /// handler requests a stop.
+    ///
+    /// Each event costs a single queue traversal: the horizon check rides
+    /// inside [`EventQueue::pop_at_or_before`] instead of a separate
+    /// peek-then-pop pair walking the heap/wheel twice.
     #[jade_hot]
     pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
         loop {
             if self.stop_requested {
                 return RunOutcome::Stopped;
             }
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > until => {
-                    // Advance the clock to the horizon so utilization
-                    // windows measured after the run are well defined.
-                    self.time = until;
-                    return RunOutcome::HorizonReached;
+            let Some((t, (dst, msg))) = self.queue.pop_at_or_before(until) else {
+                if self.queue.is_empty() {
+                    return RunOutcome::Drained;
                 }
-                Some(_) => {
-                    self.step();
-                }
-            }
+                // Advance the clock to the horizon so utilization
+                // windows measured after the run are well defined.
+                self.time = until;
+                return RunOutcome::HorizonReached;
+            };
+            debug_assert!(t >= self.time, "time must be monotone");
+            self.time = t;
+            self.events_processed += 1;
+            let mut ctx = Ctx {
+                now: self.time,
+                queue: &mut self.queue,
+                metrics: &mut self.metrics,
+                rng: &mut self.rng,
+                tracer: &mut self.tracer,
+                stop_requested: &mut self.stop_requested,
+            };
+            self.app.handle(&mut ctx, dst, msg);
         }
     }
 

@@ -4,18 +4,63 @@
 
 use crate::det::DetHashMap;
 use crate::time::{SimDuration, SimTime};
-use std::collections::VecDeque;
+
+/// Storage policy of a [`TimeSeries`].
+///
+/// `KeepAll` (the default) retains every sample — what the figure
+/// binaries need to render full trajectories. The bounded modes cap the
+/// resident sample count so long soak runs and million-client horizons
+/// stop growing RSS linearly with virtual time; they change what a later
+/// reader *sees*, never the values that were recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Retain every sample (default).
+    #[default]
+    KeepAll,
+    /// Retain (roughly) the most recent `cap` samples; memory is bounded
+    /// by `2 * cap` points (front drops are amortized O(1)).
+    Ring(usize),
+    /// Retain at most `cap` samples across the whole run by doubling the
+    /// record stride each time the buffer fills: full temporal coverage
+    /// at geometrically decreasing resolution.
+    Decimate(usize),
+}
 
 /// A recorded `(time, value)` series, e.g. "number of database backends".
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
+    retention: Retention,
+    /// Decimation state: record every `stride`-th offered sample.
+    stride: u64,
+    seen: u64,
 }
 
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty series with a storage policy.
+    pub fn with_retention(retention: Retention) -> Self {
+        let mut ts = Self::default();
+        ts.set_retention(retention);
+        ts
+    }
+
+    /// Sets the storage policy. Applies to future appends; already-stored
+    /// samples are trimmed lazily as new ones arrive.
+    pub fn set_retention(&mut self, retention: Retention) {
+        self.retention = retention;
+        if self.stride == 0 {
+            self.stride = 1;
+        }
+    }
+
+    /// The storage policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
     }
 
     /// Appends a sample. Samples must be recorded in non-decreasing time
@@ -25,7 +70,33 @@ impl TimeSeries {
             self.points.last().is_none_or(|&(pt, _)| pt <= t),
             "time series samples must be time-ordered"
         );
-        self.points.push((t, v));
+        match self.retention {
+            Retention::KeepAll => self.points.push((t, v)),
+            Retention::Ring(cap) => {
+                let cap = cap.max(1);
+                self.points.push((t, v));
+                if self.points.len() >= cap * 2 {
+                    self.points.drain(..self.points.len() - cap);
+                }
+            }
+            Retention::Decimate(cap) => {
+                let cap = cap.max(2);
+                if self.seen.is_multiple_of(self.stride) {
+                    self.points.push((t, v));
+                    if self.points.len() >= cap {
+                        // Halve the resolution: keep every other sample
+                        // and double the stride for future appends.
+                        let mut keep = false;
+                        self.points.retain(|_| {
+                            keep = !keep;
+                            keep
+                        });
+                        self.stride = self.stride.saturating_mul(2);
+                    }
+                }
+                self.seen = self.seen.wrapping_add(1);
+            }
+        }
     }
 
     /// All recorded points.
@@ -53,13 +124,29 @@ impl TimeSeries {
 
     /// Largest sample value, or 0 for an empty series.
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+        // Folding from the first sample (not 0.0) keeps all-negative
+        // series honest.
+        let mut values = self.points.iter().map(|&(_, v)| v);
+        match values.next() {
+            None => 0.0,
+            Some(first) => values.fold(first, f64::max),
+        }
     }
 
     /// Value of the last sample at or before `t` (step interpolation),
     /// or `default` when no such sample exists.
     pub fn value_at(&self, t: SimTime, default: f64) -> f64 {
         match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => default,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// [`TimeSeries::value_at`] through a [`SeriesCursor`]: amortized
+    /// O(points passed since the previous call) for the monotone reads a
+    /// periodic sensor performs, instead of O(log n) from scratch.
+    pub fn value_at_cached(&self, cursor: &mut SeriesCursor, t: SimTime, default: f64) -> f64 {
+        match cursor.seek(&self.points, t) {
             0 => default,
             i => self.points[i - 1].1,
         }
@@ -72,10 +159,34 @@ impl TimeSeries {
         if to <= from {
             return None;
         }
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        self.windowed_mean_from(start, from, to)
+    }
+
+    /// [`TimeSeries::time_weighted_mean`] through a [`SeriesCursor`]. The
+    /// window scan itself is shared with the from-scratch path, so the
+    /// floating-point operation sequence — and hence the result — is
+    /// bit-identical; only the `partition_point` is replaced by the
+    /// cursor's amortized-O(new points) seek.
+    pub fn time_weighted_mean_cached(
+        &self,
+        cursor: &mut SeriesCursor,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<f64> {
+        let start = cursor.seek(&self.points, from);
+        if to <= from {
+            return None;
+        }
+        self.windowed_mean_from(start, from, to)
+    }
+
+    /// The shared window scan: `start` must equal
+    /// `points.partition_point(|&(pt, _)| pt <= from)`.
+    fn windowed_mean_from(&self, start: usize, from: SimTime, to: SimTime) -> Option<f64> {
         let mut acc = 0.0;
         let mut covered = 0.0;
         let mut cursor = from;
-        let start = self.points.partition_point(|&(pt, _)| pt <= from);
         let mut current = match start {
             0 => None,
             i => Some(self.points[i - 1].1),
@@ -105,25 +216,97 @@ impl TimeSeries {
     }
 }
 
+/// Cached window position into a [`TimeSeries`], making repeated
+/// [`TimeSeries::value_at_cached`] / [`TimeSeries::time_weighted_mean_cached`]
+/// reads over a sliding window O(new points) amortized instead of
+/// O(log n + window) from scratch each time.
+///
+/// The cursor is only a starting hint: every seek re-validates against
+/// the actual points (rewinding or advancing as needed), so an
+/// out-of-order read — or a series trimmed by a bounded
+/// [`Retention`] mode — degrades to a linear correction, never to a
+/// wrong answer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeriesCursor {
+    start: usize,
+}
+
+impl SeriesCursor {
+    /// A cursor positioned at the start of the series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `points.partition_point(|&(pt, _)| pt <= from)`, walking
+    /// from the cached previous position.
+    fn seek(&mut self, points: &[(SimTime, f64)], from: SimTime) -> usize {
+        let mut i = self.start.min(points.len());
+        while i > 0 && points[i - 1].0 > from {
+            i -= 1;
+        }
+        while i < points.len() && points[i].0 <= from {
+            i += 1;
+        }
+        self.start = i;
+        i
+    }
+}
+
 /// Moving average over a sliding window of virtual time.
 ///
 /// This is the paper's temporal smoothing of CPU usage: "the CPU usage is
 /// smoothed by a temporal average (moving average)" computed "over the last
 /// 60 seconds for the application servers and over the last 90 seconds for
 /// the database servers" (§5.2).
+///
+/// Samples live in a fixed-capacity ring buffer: once the buffer matches
+/// the in-window population high-water mark (which
+/// [`MovingAverage::with_period`] preallocates exactly for a periodic
+/// probe), recording is allocation-free. The running-sum arithmetic —
+/// `sum += v` on push, then front-to-back `sum -= old` evictions — is the
+/// exact floating-point operation sequence of the original
+/// `VecDeque`-backed implementation, so smoothed sensor values are
+/// bit-identical.
 #[derive(Debug, Clone)]
 pub struct MovingAverage {
     window: SimDuration,
-    samples: VecDeque<(SimTime, f64)>,
+    /// Ring storage; `buf.len()` is the capacity, always ≥ 1 once any
+    /// sample has been recorded.
+    buf: Vec<(SimTime, f64)>,
+    head: usize,
+    len: usize,
     sum: f64,
 }
 
 impl MovingAverage {
-    /// Creates a moving average with the given time window.
+    /// Creates a moving average with the given time window. The ring
+    /// grows geometrically toward the in-window high-water mark; when the
+    /// sampling period is known, [`MovingAverage::with_period`] sizes it
+    /// up front.
     pub fn new(window: SimDuration) -> Self {
         MovingAverage {
             window,
-            samples: VecDeque::new(),
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Creates a moving average whose ring is pre-sized for one sample
+    /// every `period`: `window / period + 2` slots, so steady-state
+    /// recording never allocates.
+    pub fn with_period(window: SimDuration, period: SimDuration) -> Self {
+        let cap = if period.is_zero() {
+            8
+        } else {
+            (window.as_micros() / period.as_micros()).saturating_add(2) as usize
+        };
+        MovingAverage {
+            window,
+            buf: vec![(SimTime::ZERO, 0.0); cap.max(1)],
+            head: 0,
+            len: 0,
             sum: 0.0,
         }
     }
@@ -133,19 +316,40 @@ impl MovingAverage {
         self.window
     }
 
+    /// Doubles the ring capacity, re-linearizing the live samples.
+    #[cold]
+    fn grow(&mut self) {
+        let old_cap = self.buf.len();
+        let new_cap = (old_cap * 2).max(8);
+        let mut buf = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            buf.push(self.buf[(self.head + i) % old_cap.max(1)]);
+        }
+        buf.resize(new_cap, (SimTime::ZERO, 0.0));
+        self.buf = buf;
+        self.head = 0;
+    }
+
     /// Records a sample at time `t` and evicts samples older than the
     /// window.
     pub fn record(&mut self, t: SimTime, v: f64) {
-        self.samples.push_back((t, v));
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let cap = self.buf.len();
+        self.buf[(self.head + self.len) % cap] = (t, v);
+        self.len += 1;
         self.sum += v;
         let horizon = if t.as_micros() >= self.window.as_micros() {
             SimTime::from_micros(t.as_micros() - self.window.as_micros())
         } else {
             SimTime::ZERO
         };
-        while let Some(&(st, sv)) = self.samples.front() {
+        while self.len > 0 {
+            let (st, sv) = self.buf[self.head];
             if st < horizon {
-                self.samples.pop_front();
+                self.head = (self.head + 1) % cap;
+                self.len -= 1;
                 self.sum -= sv;
             } else {
                 break;
@@ -156,16 +360,22 @@ impl MovingAverage {
     /// Current smoothed value (mean of in-window samples), or `None` when
     /// no sample is in the window.
     pub fn value(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.len == 0 {
             None
         } else {
-            Some(self.sum / self.samples.len() as f64)
+            Some(self.sum / self.len as f64)
         }
     }
 
     /// Number of samples currently inside the window.
     pub fn sample_count(&self) -> usize {
-        self.samples.len()
+        self.len
+    }
+
+    /// Ring capacity in samples (diagnostic: steady-state recording must
+    /// not grow it past the in-window high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
     }
 }
 
@@ -405,6 +615,14 @@ impl MetricsHub {
         CounterId(i)
     }
 
+    /// Sets the storage policy of the named series (created empty if
+    /// needed). Keep-all is the default; bounded modes are for soak runs
+    /// whose figures are not rendered from the full trajectory.
+    pub fn set_series_retention(&mut self, name: &str, retention: Retention) {
+        let id = self.series_id(name);
+        self.series[id.0 as usize].1.set_retention(retention);
+    }
+
     /// Appends to the named time series.
     pub fn record_series(&mut self, name: &str, t: SimTime, v: f64) {
         let id = self.series_id(name);
@@ -527,6 +745,68 @@ mod tests {
     }
 
     #[test]
+    fn series_max_handles_all_negative_values() {
+        let mut ts = TimeSeries::new();
+        ts.record(t(1), -5.0);
+        ts.record(t(2), -2.0);
+        ts.record(t(3), -9.0);
+        assert_eq!(ts.max(), -2.0);
+        assert_eq!(TimeSeries::new().max(), 0.0);
+    }
+
+    #[test]
+    fn series_cursor_matches_from_scratch_reads() {
+        let mut ts = TimeSeries::new();
+        for i in 0..200u64 {
+            ts.record(t(i), (i as f64).sin());
+        }
+        let mut cur = SeriesCursor::new();
+        // Forward walk, then a rewind, then a jump past the end.
+        for &from in &[0u64, 3, 10, 50, 49, 120, 5, 199, 400] {
+            let to = t(from + 17);
+            let naive = ts.time_weighted_mean(t(from), to);
+            let cached = ts.time_weighted_mean_cached(&mut cur, t(from), to);
+            assert_eq!(
+                naive.map(f64::to_bits),
+                cached.map(f64::to_bits),
+                "window [{from}, {from}+17]"
+            );
+            assert_eq!(
+                ts.value_at(t(from), -1.0).to_bits(),
+                ts.value_at_cached(&mut cur, t(from), -1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_retention_bounds_memory_and_keeps_the_tail() {
+        let mut ts = TimeSeries::with_retention(Retention::Ring(10));
+        for i in 0..1000u64 {
+            ts.record(t(i), i as f64);
+        }
+        assert!(ts.len() < 20, "ring must stay bounded, got {}", ts.len());
+        // The most recent samples survive verbatim.
+        let pts = ts.points();
+        assert_eq!(pts.last(), Some(&(t(999), 999.0)));
+        assert!(pts.len() >= 10);
+        assert_eq!(ts.value_at(t(999), -1.0), 999.0);
+    }
+
+    #[test]
+    fn decimate_retention_bounds_memory_across_the_run() {
+        let mut ts = TimeSeries::with_retention(Retention::Decimate(16));
+        for i in 0..10_000u64 {
+            ts.record(t(i), i as f64);
+        }
+        assert!(ts.len() <= 16, "decimation must cap storage: {}", ts.len());
+        // Coverage spans the whole run: first retained point is early,
+        // last is recent.
+        let pts = ts.points();
+        assert!(pts.first().unwrap().0 <= t(1024));
+        assert!(pts.last().unwrap().0 >= t(8192));
+    }
+
+    #[test]
     fn moving_average_evicts_old_samples() {
         let mut ma = MovingAverage::new(SimDuration::from_secs(10));
         ma.record(t(0), 100.0);
@@ -544,6 +824,31 @@ mod tests {
         ma.record(t(10), 2.0); // t=0 is exactly at the horizon: kept
         assert_eq!(ma.sample_count(), 2);
         assert_eq!(ma.value(), Some(3.0));
+    }
+
+    #[test]
+    fn moving_average_ring_never_grows_in_steady_state() {
+        // One sample per second into a 60 s window, pre-sized.
+        let mut ma =
+            MovingAverage::with_period(SimDuration::from_secs(60), SimDuration::from_secs(1));
+        let cap = ma.capacity();
+        for i in 0..10_000u64 {
+            ma.record(t(i), (i % 7) as f64);
+        }
+        assert_eq!(ma.capacity(), cap, "steady-state recording must not grow");
+        assert_eq!(ma.sample_count(), 61);
+    }
+
+    #[test]
+    fn moving_average_ring_wraps_across_eviction_boundaries() {
+        let mut ma = MovingAverage::new(SimDuration::from_secs(5));
+        for i in 0..100u64 {
+            ma.record(t(i), i as f64);
+            // In-window mean of {i-5..=i} clipped at 0.
+            let lo = i.saturating_sub(5);
+            let expect = (lo..=i).map(|x| x as f64).sum::<f64>() / (i - lo + 1) as f64;
+            assert!((ma.value().unwrap() - expect).abs() < 1e-9, "at t={i}");
+        }
     }
 
     #[test]

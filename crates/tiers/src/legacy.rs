@@ -405,15 +405,33 @@ impl LegacyLayer {
     /// Nodes hosting running servers of a tier (the node set a CPU sensor
     /// aggregates over).
     pub fn nodes_of_tier(&self, tier: Tier) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .servers
+        let mut nodes = Vec::new();
+        self.nodes_of_tier_into(tier, &mut nodes);
+        nodes
+    }
+
+    /// [`LegacyLayer::nodes_of_tier`] into a caller-owned buffer, so a
+    /// periodic probe can reuse its scratch instead of allocating. The
+    /// resulting order (sorted, deduped) is identical.
+    pub fn nodes_of_tier_into(&self, tier: Tier, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.servers
+                .values()
+                .filter(|s| s.process().tier == tier && s.process().state.is_running())
+                .map(|s| s.process().node),
+        );
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Number of running servers of a tier, without materializing the id
+    /// list.
+    pub fn running_count_of(&self, tier: Tier) -> usize {
+        self.servers
             .values()
             .filter(|s| s.process().tier == tier && s.process().state.is_running())
-            .map(|s| s.process().node)
-            .collect();
-        nodes.sort_unstable();
-        nodes.dedup();
-        nodes
+            .count()
     }
 
     /// Typed accessor: Tomcat.

@@ -1,0 +1,238 @@
+//! Differential property tests of the streaming observation plane
+//! against the retained naive implementations in `jade_bench`.
+//!
+//! The streamed structures — the ring-buffer [`MovingAverage`], the
+//! cursor-cached [`TimeSeries`] window reads, the dense probe-tick
+//! spatial averages, and the dense heartbeat table — all replaced
+//! allocation-heavy equivalents (`VecDeque` windows, from-scratch
+//! window scans, `BTreeMap`-keyed samples and heartbeats). These
+//! properties pin the replacements to the originals **bit-for-bit**
+//! (`to_bits()`, not approximate equality): the optimization must not
+//! perturb a single float, or every committed experiment digest drifts.
+
+use jade_bench::{naive_time_weighted_mean, naive_value_at, NaiveMovingAverage, NaiveObservation};
+use jade_cluster::{ClusterManager, NodeId, NodeSpec};
+use jade_propcheck::run;
+use jade_sim::{JobId, MovingAverage, Retention, SeriesCursor, SimDuration, SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// The ring-backed moving average is bit-identical to the `VecDeque`
+/// baseline across random sample cadences — including cadences much
+/// faster than the sizing period, which force the ring through its
+/// `grow()` path, and gaps much longer than the window, which evict
+/// everything at once.
+#[test]
+fn ring_moving_average_matches_vecdeque() {
+    run("ring_moving_average_matches_vecdeque", 256, |g| {
+        let window = SimDuration::from_micros(g.u64(1..120_000_000));
+        let period = SimDuration::from_micros(g.u64(0..10_000_000));
+        let mut ring = if g.bool() {
+            MovingAverage::with_period(window, period)
+        } else {
+            MovingAverage::new(window)
+        };
+        let mut naive = NaiveMovingAverage::new(window);
+        let mut t = SimTime::ZERO;
+        let steps = g.usize(1..400);
+        for _ in 0..steps {
+            // Mostly short steps (dense sampling, eviction at the window
+            // boundary), occasionally a jump past the whole window.
+            let dt = if g.u8() < 16 {
+                g.u64(0..4 * window.as_micros().max(1))
+            } else {
+                g.u64(0..2_000_000)
+            };
+            t += SimDuration::from_micros(dt);
+            let v = g.f64(-1.0..2.0);
+            ring.record(t, v);
+            naive.record(t, v);
+            assert_eq!(ring.sample_count(), naive.sample_count());
+            match (ring.value(), naive.value()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "ring {a} != naive {b} at t={t:?}")
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    });
+}
+
+/// Cursor-cached window reads over a `TimeSeries` equal both the
+/// from-scratch `time_weighted_mean` and the naive linear-scan
+/// reference, under a random walk of the window — forward sweeps
+/// (the hot path) and arbitrary rewinds (which invalidate the cursor).
+#[test]
+fn cached_window_reads_match_scratch() {
+    run("cached_window_reads_match_scratch", 256, |g| {
+        let mut ts = TimeSeries::new();
+        let mut t = 0u64;
+        let n = g.usize(1..300);
+        for _ in 0..n {
+            t += g.u64(0..3_000_000);
+            ts.record(SimTime::from_micros(t), g.f64(-10.0..10.0));
+        }
+        let mut mean_cursor = SeriesCursor::new();
+        let mut at_cursor = SeriesCursor::new();
+        let span = t + 4_000_000;
+        let mut from = 0u64;
+        let reads = g.usize(1..60);
+        for _ in 0..reads {
+            // Mostly advance, sometimes rewind to a random earlier point.
+            from = if g.u8() < 48 {
+                g.u64(0..span)
+            } else {
+                (from + g.u64(0..span / 8 + 1)).min(span)
+            };
+            let to = from + g.u64(0..span / 4 + 1);
+            let (f, to) = (SimTime::from_micros(from), SimTime::from_micros(to));
+            let cached = ts.time_weighted_mean_cached(&mut mean_cursor, f, to);
+            let scratch = ts.time_weighted_mean(f, to);
+            let naive = naive_time_weighted_mean(ts.points(), f, to);
+            assert_eq!(cached.map(f64::to_bits), scratch.map(f64::to_bits));
+            assert_eq!(cached.map(f64::to_bits), naive.map(f64::to_bits));
+
+            let at = ts.value_at_cached(&mut at_cursor, f, -1.0);
+            assert_eq!(at.to_bits(), naive_value_at(ts.points(), f, -1.0).to_bits());
+            assert_eq!(at.to_bits(), ts.value_at(f, -1.0).to_bits());
+        }
+    });
+}
+
+/// Ring retention keeps a suffix of the full series: every retained
+/// point appears in the keep-all twin at the same position from the
+/// end, and windowed reads over the retained span agree bit-for-bit.
+#[test]
+fn ring_retention_is_a_suffix() {
+    run("ring_retention_is_a_suffix", 128, |g| {
+        let cap = g.usize(1..64);
+        let mut ring = TimeSeries::with_retention(Retention::Ring(cap));
+        let mut full = TimeSeries::new();
+        let mut t = 0u64;
+        for _ in 0..g.usize(1..400) {
+            t += g.u64(1..2_000_000);
+            let v = g.f64(-5.0..5.0);
+            let at = SimTime::from_micros(t);
+            ring.record(at, v);
+            full.record(at, v);
+        }
+        assert!(
+            ring.len() <= 2 * cap,
+            "ring kept {} of cap {cap}",
+            ring.len()
+        );
+        let suffix = &full.points()[full.len() - ring.len()..];
+        assert_eq!(ring.points(), suffix);
+        // A window inside the retained span reads identically.
+        if let Some(&(first, _)) = ring.points().first() {
+            let to = SimTime::from_micros(t + 1);
+            let a = ring.time_weighted_mean(first, to);
+            let b = full.time_weighted_mean(first, to);
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    });
+}
+
+/// The probe tick's dense spatial averages — samples in a flat array
+/// indexed by node id, summed over sorted tier node lists — are
+/// byte-identical to the `BTreeMap` path they replaced. Two identical
+/// clusters receive the same random job load; one is sampled through
+/// `sample_cpus_into` + dense indexing, the other node-by-node into a
+/// `BTreeMap` consumed by `NaiveObservation::spatial_avg`.
+#[test]
+fn probe_tick_spatial_avg_matches_btreemap() {
+    run("probe_tick_spatial_avg_matches_btreemap", 128, |g| {
+        let nodes = g.usize(2..40);
+        let spec = NodeSpec::default();
+        let mut dense_cm = ClusterManager::homogeneous(nodes, spec, 64);
+        let mut map_cm = ClusterManager::homogeneous(nodes, spec, 64);
+        let mut samples: Vec<f64> = Vec::new();
+        let mut job = 0u64;
+        let mut t = 0u64;
+        for _ in 0..g.usize(1..20) {
+            // Load both clusters identically (sampling resets each
+            // node's utilization window, so the twins must see the same
+            // submissions *and* the same sample times).
+            for _ in 0..g.usize(0..30) {
+                let n = NodeId(g.u32(0..nodes as u32));
+                let demand = SimDuration::from_micros(g.u64(1..5_000_000));
+                let at = SimTime::from_micros(t);
+                job += 1;
+                for cm in [&mut dense_cm, &mut map_cm] {
+                    cm.node_mut(n).unwrap().cpu.submit(at, JobId(job), demand);
+                }
+            }
+            t += g.u64(1..3_000_000);
+            let now = SimTime::from_micros(t);
+
+            // Random tier partition, sorted like the legacy registry's
+            // `nodes_of_tier_into` output.
+            let mut tier: Vec<NodeId> =
+                (0..nodes as u32).filter(|_| g.bool()).map(NodeId).collect();
+            tier.sort_unstable();
+
+            dense_cm.sample_cpus_into(now, &mut samples);
+            let dense = if tier.is_empty() {
+                0.0
+            } else {
+                tier.iter().map(|&n| samples[n.0 as usize]).sum::<f64>() / tier.len() as f64
+            };
+            let dense_all = samples.iter().sum::<f64>() / samples.len() as f64;
+
+            let mut map: BTreeMap<NodeId, f64> = BTreeMap::new();
+            for i in 0..nodes as u32 {
+                let n = NodeId(i);
+                map.insert(n, map_cm.node_mut(n).unwrap().sample_cpu(now));
+            }
+            let naive = NaiveObservation::spatial_avg(&map, &tier);
+            let all: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+            let naive_all = NaiveObservation::spatial_avg(&map, &all);
+
+            assert_eq!(dense.to_bits(), naive.to_bits());
+            assert_eq!(dense_all.to_bits(), naive_all.to_bits());
+        }
+    });
+}
+
+/// The dense heartbeat table (a `Vec<Option<SimTime>>` grown on demand,
+/// as `ManagedSystem::record_heartbeat` maintains it) answers staleness
+/// queries exactly like the `BTreeMap` store it replaced, under random
+/// node churn — including nodes never heard from, which must read as
+/// stale.
+#[test]
+fn heartbeat_dense_matches_map() {
+    run("heartbeat_dense_matches_map", 256, |g| {
+        let universe = g.u32(1..64);
+        let timeout = SimDuration::from_micros(g.u64(1..10_000_000));
+        let mut dense: Vec<Option<SimTime>> = Vec::new();
+        let mut map: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut t = 0u64;
+        for _ in 0..g.usize(1..200) {
+            t += g.u64(0..2_000_000);
+            let now = SimTime::from_micros(t);
+            let node = g.u32(0..universe);
+            if g.u8() < 192 {
+                // Heartbeat, exactly as `record_heartbeat` does it.
+                let slot = node as usize;
+                if slot >= dense.len() {
+                    dense.resize(slot + 1, None);
+                }
+                dense[slot] = Some(now);
+                map.insert(node, now);
+            } else {
+                // Failure-detector read on a random node.
+                let probe = g.u32(0..universe);
+                let dense_stale = dense
+                    .get(probe as usize)
+                    .copied()
+                    .flatten()
+                    .map(|hb| now.since(hb) >= timeout)
+                    .unwrap_or(true);
+                let map_stale = map
+                    .get(&probe)
+                    .map(|&hb| now.since(hb) >= timeout)
+                    .unwrap_or(true);
+                assert_eq!(dense_stale, map_stale, "node {probe} at t={t}");
+            }
+        }
+    });
+}
