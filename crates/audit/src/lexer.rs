@@ -30,7 +30,13 @@ pub enum Tok {
     /// Char literal.
     Char,
     /// Numeric literal (digits plus any glued suffix characters).
-    Num,
+    /// `float` is true for literals with a decimal point, an exponent or
+    /// an `f32`/`f64` suffix — the `float-fold` rule needs to recognize
+    /// floating-point accumulation seeds like `0.0`.
+    Num {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
     /// Lifetime (`'a`), label included.
     Lifetime,
 }
@@ -234,6 +240,7 @@ pub fn lex(src: &str) -> Lexed {
         // Numbers (suffixes glued on; `1..2` stops before the dots).
         if c.is_ascii_digit() {
             let start_line = line;
+            let start = i;
             i += 1;
             while i < b.len() {
                 let d = b[i];
@@ -247,8 +254,18 @@ pub fn lex(src: &str) -> Lexed {
                     break;
                 }
             }
+            let text = &src[start..i];
+            // Hex/octal/binary literals never float; `0x1E` is not an
+            // exponent and `0b1.` cannot lex.
+            let float =
+                !(text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b"))
+                    && (text.contains('.')
+                        || text.contains('e')
+                        || text.contains('E')
+                        || text.ends_with("f32")
+                        || text.ends_with("f64"));
             out.tokens.push(Token {
-                tok: Tok::Num,
+                tok: Tok::Num { float },
                 line: start_line,
             });
             continue;
@@ -275,6 +292,12 @@ fn skip_string_body(b: &[u8], _src: &str, i: &mut usize, line: &mut u32, hashes:
             continue;
         }
         if !raw && c == b'\\' {
+            // A line-continuation escape (`\` before a newline) still
+            // advances the line counter — without this, every token after
+            // such a string reported a line one short.
+            if b.get(*i + 1) == Some(&b'\n') {
+                *line += 1;
+            }
             *i += 2;
             continue;
         }
@@ -354,6 +377,87 @@ mod tests {
         let lexed = lex("/* outer /* inner */ still */ fin");
         assert_eq!(lexed.comments.len(), 1);
         assert_eq!(idents("/* a /* b */ c */ fin"), vec!["fin".to_owned()]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_matching_delimiter() {
+        // `"#` inside an `r##"…"##` body must not close the literal.
+        let src = "let a = r##\"quote\"# still inside\"##; next";
+        let lexed = lex(src);
+        assert_eq!(idents(src), vec!["let", "a", "next"]);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count(), 1);
+        // byte-raw and C-raw prefixes take the same path.
+        assert_eq!(idents("let b = br#\"x\"#; done"), vec!["let", "b", "done"]);
+        assert_eq!(idents("let c = cr#\"x\"#; done"), vec!["let", "c", "done"]);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let src = "let a = r#\"line\nline\nline\"#;\nfin";
+        let lexed = lex(src);
+        let fin = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("fin".into()))
+            .expect("fin token");
+        assert_eq!(fin.line, 4);
+    }
+
+    #[test]
+    fn line_continuation_escapes_count_lines() {
+        // `\` before a newline is an escape *of the newline*: the next
+        // token is still on a later physical line.
+        let src = "let a = \"one\\\ntwo\";\nfin";
+        let lexed = lex(src);
+        let fin = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("fin".into()))
+            .expect("fin token");
+        assert_eq!(fin.line, 3, "escaped newline must advance the line counter");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_in_tricky_positions() {
+        // quote-char literal, escaped-quote literal, lifetime after `<`,
+        // label, and a char comparison after `<`.
+        let src = "fn f<'a>(x: &'a str) { 'l: loop { if c < 'z' { break 'l; } } let q = '\\''; let d = '\"'; }";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(chars, 3, "'z', '\\'' and '\"' are char literals");
+        assert_eq!(lifetimes, 4, "'a twice, 'l twice");
+        // Nothing was mistaken for a string opener.
+        assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count(), 0);
+    }
+
+    #[test]
+    fn float_classification() {
+        let float_of = |src: &str| -> Vec<bool> {
+            lex(src)
+                .tokens
+                .iter()
+                .filter_map(|t| match t.tok {
+                    Tok::Num { float } => Some(float),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(
+            float_of("1 2.5 0.0 1e3 7f64 3f32"),
+            vec![false, true, true, true, true, true]
+        );
+        // Hex digits that look like exponents or suffixes stay integral.
+        assert_eq!(
+            float_of("0x1E 0xf64 0b101 0o17"),
+            vec![false, false, false, false]
+        );
+        // Range expressions stay split and integral.
+        assert_eq!(float_of("0..10"), vec![false, false]);
     }
 
     #[test]

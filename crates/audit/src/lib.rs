@@ -6,8 +6,10 @@
 //! default-hashed `HashMap` iterated into a digest, one `as u16` that
 //! silently wraps at 65 536 requests, and the committed `results/*.json`
 //! stop being reproducible evidence. `jade-audit` turns the contract into
-//! a CI gate: it lexes every source file (see [`lexer`]) and pattern-
-//! matches the token stream against the rules in [`rules`].
+//! a CI gate: it lexes every source file (see [`lexer`]), parses the
+//! item structure (see [`parse`]), links a workspace call graph (see
+//! [`callgraph`]) to propagate `#[jade_hot]` transitively, and checks
+//! the rules in [`rules`].
 //!
 //! Run it as `cargo run -p jade-audit -- check` (exit 0 = clean), or
 //! `fix-list` for machine-readable JSON. Per-site escapes use
@@ -16,10 +18,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-use rules::{analyze_source, Config, Diagnostic, Rule, ScopeMode};
+use callgraph::CallGraph;
+use lexer::Lexed;
+use parse::FnItem;
+use rules::{Config, Diagnostic, Rule, ScopeMode};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -70,30 +77,88 @@ fn rel_path(root: &Path, path: &Path) -> Option<String> {
     Some(s)
 }
 
-/// Runs the analyzer over the whole workspace (workspace scoping).
-pub fn check_workspace(root: &Path, cfg: &Config) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
+/// One loaded, lexed and item-parsed source file.
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Raw source (kept for line counting in the inventory).
+    pub src: String,
+    /// Token stream + comments.
+    pub lexed: Lexed,
+    /// Parsed fn items (hot markers already attached).
+    pub items: Vec<FnItem>,
+}
+
+/// Lexes and parses one source file.
+fn load_source(rel: String, src: String) -> SourceFile {
+    let lexed = lexer::lex(&src);
+    let markers = rules::hot_marker_lines(&lexed);
+    let items = parse::parse_items(&lexed, &markers);
+    SourceFile {
+        rel,
+        src,
+        lexed,
+        items,
+    }
+}
+
+/// Loads every workspace source file.
+pub fn load_workspace(root: &Path) -> Vec<SourceFile> {
+    let mut files = Vec::new();
     for rel in workspace_rs_files(root) {
         if let Ok(src) = fs::read_to_string(root.join(&rel)) {
-            diags.extend(analyze_source(&rel, &src, cfg));
+            files.push(load_source(rel, src));
         }
+    }
+    files
+}
+
+fn file_views(files: &[SourceFile]) -> Vec<(&[lexer::Token], &[FnItem])> {
+    files
+        .iter()
+        .map(|f| (f.lexed.tokens.as_slice(), f.items.as_slice()))
+        .collect()
+}
+
+/// Runs the rule passes over a set of loaded files that form one
+/// analysis unit: the call graph (and therefore hot-reachability) links
+/// across all of them.
+fn analyze_loaded(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let views = file_views(files);
+    let cg = CallGraph::build(&views);
+    let hot = cg.hot_reachability(&views);
+    let mut diags = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let regions = rules::hot_regions_for_file(&cg, &hot, fi, &views);
+        diags.extend(rules::analyze_file(
+            &f.rel, &f.lexed, &f.items, &regions, cfg,
+        ));
     }
     diags.sort();
     diags
 }
 
+/// Runs the analyzer over the whole workspace (workspace scoping,
+/// cross-file hot propagation).
+pub fn check_workspace(root: &Path, cfg: &Config) -> Vec<Diagnostic> {
+    analyze_loaded(&load_workspace(root), cfg)
+}
+
 /// Runs the analyzer over explicit files (all-files scoping: every
-/// enabled rule applies regardless of path).
+/// enabled rule applies regardless of path). The named files form their
+/// own mini-workspace, so hotness propagates among them but not from the
+/// real workspace.
 pub fn check_files(paths: &[PathBuf], cfg: &Config) -> Vec<Diagnostic> {
     let cfg = Config {
         disabled: cfg.disabled.clone(),
         scope: ScopeMode::AllFiles,
     };
+    let mut files = Vec::new();
     let mut diags = Vec::new();
     for p in paths {
         let rel = p.to_string_lossy().replace('\\', "/");
         match fs::read_to_string(p) {
-            Ok(src) => diags.extend(analyze_source(&rel, &src, &cfg)),
+            Ok(src) => files.push(load_source(rel, src)),
             Err(e) => diags.push(Diagnostic {
                 file: rel,
                 line: 0,
@@ -102,6 +167,7 @@ pub fn check_files(paths: &[PathBuf], cfg: &Config) -> Vec<Diagnostic> {
             }),
         }
     }
+    diags.extend(analyze_loaded(&files, &cfg));
     diags.sort();
     diags
 }
@@ -141,6 +207,14 @@ pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Unit ("crates/<name>" or "root") a workspace-relative path belongs to.
+fn unit_of(rel: &str) -> String {
+    match rel.split('/').collect::<Vec<_>>().as_slice() {
+        ["crates", name, ..] => format!("crates/{name}"),
+        _ => "root".to_owned(),
+    }
+}
+
 /// Per-crate safety inventory (the `inventory` subcommand): proves which
 /// units carry `#![forbid(unsafe_code)]` and counts audit surface.
 #[derive(Debug, Default)]
@@ -157,31 +231,117 @@ pub struct UnitInventory {
     pub forbids_unsafe: bool,
     /// `#[jade_hot]` / `jade-audit: hot` marked functions.
     pub hot_fns: usize,
+    /// Functions hot-*reachable* through the workspace call graph
+    /// (always ≥ the textually marked count for units with roots).
+    pub hot_reachable: usize,
     /// `jade-audit: allow(...)` suppression comments.
     pub suppressions: usize,
 }
 
+/// A `#[jade_hot]` root as reported by [`hot_report`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HotRoot {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line of the `fn` signature.
+    pub line: u32,
+    /// Qualified name (`Type::name` or `name`).
+    pub name: String,
+}
+
+/// The interprocedural hot-path report (the `inventory` extension).
+#[derive(Debug, Default)]
+pub struct HotReport {
+    /// Textually marked roots, sorted by (file, line).
+    pub roots: Vec<HotRoot>,
+    /// Unit → number of hot-reachable functions, sorted by unit.
+    pub reachable_by_unit: Vec<(String, usize)>,
+    /// Total hot-reachable functions workspace-wide (roots included).
+    pub total_reachable: usize,
+}
+
+/// Computes the hot roots and per-unit hot-reachable counts over already
+/// loaded workspace files.
+pub fn hot_report(files: &[SourceFile]) -> HotReport {
+    let views = file_views(files);
+    let cg = CallGraph::build(&views);
+    let hot = cg.hot_reachability(&views);
+    let mut report = HotReport::default();
+    let mut by_unit: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for &id in hot.hot.keys() {
+        let sym = &cg.fns[id];
+        let f = &files[sym.file];
+        let it = &f.items[sym.item];
+        *by_unit.entry(unit_of(&f.rel)).or_insert(0) += 1;
+        report.total_reachable += 1;
+        if it.hot_marked {
+            report.roots.push(HotRoot {
+                file: f.rel.clone(),
+                line: it.sig_line,
+                name: it.qualified_name(),
+            });
+        }
+    }
+    report.roots.sort();
+    report.reachable_by_unit = by_unit.into_iter().collect();
+    report
+}
+
+/// Renders the hot report as deterministic JSON (consumed by the CI
+/// hot-root snapshot diff; `crates/audit/hot_roots.json` pins `roots`).
+pub fn hot_report_json(report: &HotReport) -> String {
+    let mut out = String::from("{\n  \"roots\": [\n");
+    for (i, r) in report.roots.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"name\": \"{}\"}}{}\n",
+            json_escape(&r.file),
+            r.line,
+            json_escape(&r.name),
+            if i + 1 < report.roots.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"hot_reachable\": {\n");
+    for (i, (unit, n)) in report.reachable_by_unit.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(unit),
+            n,
+            if i + 1 < report.reachable_by_unit.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"total_hot_reachable\": {}\n}}",
+        report.total_reachable
+    ));
+    out
+}
+
 /// Builds the unsafe/hot/suppression inventory for the workspace.
 pub fn inventory(root: &Path) -> Vec<UnitInventory> {
+    let files = load_workspace(root);
+    inventory_of(&files)
+}
+
+/// Inventory over already loaded files (so `inventory` and [`hot_report`]
+/// can share one parse).
+pub fn inventory_of(files: &[SourceFile]) -> Vec<UnitInventory> {
     use lexer::Tok;
     let mut units: std::collections::BTreeMap<String, UnitInventory> =
         std::collections::BTreeMap::new();
-    for rel in workspace_rs_files(root) {
-        let unit = match rel.split('/').collect::<Vec<_>>().as_slice() {
-            ["crates", name, ..] => format!("crates/{name}"),
-            _ => "root".to_owned(),
-        };
-        let Ok(src) = fs::read_to_string(root.join(&rel)) else {
-            continue;
-        };
-        let inv = units.entry(unit.clone()).or_insert_with(|| UnitInventory {
-            unit,
-            ..UnitInventory::default()
-        });
+    for f in files {
+        let inv = units
+            .entry(unit_of(&f.rel))
+            .or_insert_with(|| UnitInventory {
+                unit: unit_of(&f.rel),
+                ..UnitInventory::default()
+            });
         inv.files += 1;
-        inv.lines += src.lines().count();
-        let lexed = lexer::lex(&src);
-        let toks = &lexed.tokens;
+        inv.lines += f.src.lines().count();
+        let toks = &f.lexed.tokens;
         for (i, t) in toks.iter().enumerate() {
             match &t.tok {
                 Tok::Ident(s) if s == "unsafe" => inv.unsafe_tokens += 1,
@@ -205,7 +365,7 @@ pub fn inventory(root: &Path) -> Vec<UnitInventory> {
                 _ => {}
             }
         }
-        for c in &lexed.comments {
+        for c in &f.lexed.comments {
             let t = c
                 .text
                 .trim_start_matches(|c: char| c == '!' || c == '/' || c.is_whitespace());
@@ -216,6 +376,12 @@ pub fn inventory(root: &Path) -> Vec<UnitInventory> {
                     inv.hot_fns += 1;
                 }
             }
+        }
+    }
+    let report = hot_report(files);
+    for (unit, n) in &report.reachable_by_unit {
+        if let Some(inv) = units.get_mut(unit) {
+            inv.hot_reachable = *n;
         }
     }
     units.into_values().collect()
@@ -257,5 +423,20 @@ mod tests {
         let j = diagnostics_json(&diags);
         assert!(j.contains("\"rule\": \"nondet-time\""));
         assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn hot_report_json_shape() {
+        let files = vec![load_source(
+            "crates/x/src/lib.rs".into(),
+            "#[jade_hot]\nfn root() { helper(); }\nfn helper() {}\n".into(),
+        )];
+        let rep = hot_report(&files);
+        assert_eq!(rep.roots.len(), 1);
+        assert_eq!(rep.roots[0].name, "root");
+        assert_eq!(rep.total_reachable, 2);
+        let j = hot_report_json(&rep);
+        assert!(j.contains("\"total_hot_reachable\": 2"));
+        assert!(j.contains("\"crates/x\": 2"));
     }
 }

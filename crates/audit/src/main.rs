@@ -3,7 +3,7 @@
 //! ```text
 //! jade-audit check [PATHS...] [--root DIR] [--disable RULE]... [--format text|json]
 //! jade-audit fix-list [--root DIR] [--disable RULE]...
-//! jade-audit inventory [--root DIR]
+//! jade-audit inventory [--root DIR] [--format text|json]
 //! jade-audit list-rules
 //! ```
 //!
@@ -11,12 +11,17 @@
 //! scoping and exits nonzero if any diagnostic fires; with explicit PATHS
 //! every enabled rule applies to every named file (used by the fixture
 //! tests). `fix-list` always exits 0 and prints the JSON diagnostic
-//! array. `inventory` prints the per-crate unsafe/hot/suppression table.
+//! array. `inventory` prints the per-crate unsafe/hot/suppression table
+//! plus the interprocedural hot-reachability report; `--format json`
+//! emits the hot-root list CI diffs against `crates/audit/hot_roots.json`.
 
 #![forbid(unsafe_code)]
 
 use jade_audit::rules::{Config, Rule, ScopeMode, ALL_RULES};
-use jade_audit::{check_files, check_workspace, diagnostics_json, find_workspace_root, inventory};
+use jade_audit::{
+    check_files, check_workspace, diagnostics_json, find_workspace_root, hot_report,
+    hot_report_json, inventory_of, load_workspace,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -79,7 +84,7 @@ fn usage() -> &'static str {
      usage:\n\
        jade-audit check [PATHS...] [--root DIR] [--disable RULE]... [--format text|json]\n\
        jade-audit fix-list [--root DIR] [--disable RULE]...\n\
-       jade-audit inventory [--root DIR]\n\
+       jade-audit inventory [--root DIR] [--format text|json]\n\
        jade-audit list-rules\n\
      \n\
      `check` exits 1 when violations are found. Suppress per site with\n\
@@ -138,20 +143,34 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            let files = load_workspace(&root);
+            let report = hot_report(&files);
+            if args.format == "json" {
+                println!("{}", hot_report_json(&report));
+                return ExitCode::SUCCESS;
+            }
             println!(
-                "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>12}",
-                "unit", "files", "lines", "unsafe", "forbid(unsafe)", "hot-fns", "suppressions"
+                "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>9} {:>12}",
+                "unit",
+                "files",
+                "lines",
+                "unsafe",
+                "forbid(unsafe)",
+                "hot-fns",
+                "hot-reach",
+                "suppressions"
             );
             let mut missing_forbid = Vec::new();
-            for u in inventory(&root) {
+            for u in inventory_of(&files) {
                 println!(
-                    "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>12}",
+                    "{:<18} {:>5} {:>7} {:>7} {:>14} {:>8} {:>9} {:>12}",
                     u.unit,
                     u.files,
                     u.lines,
                     u.unsafe_tokens,
                     if u.forbids_unsafe { "yes" } else { "NO" },
                     u.hot_fns,
+                    u.hot_reachable,
                     u.suppressions
                 );
                 if !u.forbids_unsafe && u.unsafe_tokens == 0 {
@@ -163,6 +182,14 @@ fn main() -> ExitCode {
                     "note: unsafe-free units without #![forbid(unsafe_code)]: {}",
                     missing_forbid.join(", ")
                 );
+            }
+            println!(
+                "hot roots: {} (fns hot-reachable: {})",
+                report.roots.len(),
+                report.total_reachable
+            );
+            for r in &report.roots {
+                println!("  {}:{} {}", r.file, r.line, r.name);
             }
             ExitCode::SUCCESS
         }

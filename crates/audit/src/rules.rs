@@ -1,31 +1,53 @@
 //! The determinism/simulation-safety rule set.
 //!
 //! Every rule is a token-pattern match over [`crate::lexer`]'s output,
-//! scoped by workspace path (see [`rule_in_scope`]). The rules encode the
-//! contract that every committed `results/*.json` digest depends on:
+//! scoped by workspace path (see [`rule_in_scope`]) and — for the hot
+//! rules — by the interprocedural hot-reachable set computed in
+//! [`crate::callgraph`]. The rules encode the contract that every
+//! committed `results/*.json` digest depends on:
 //!
 //! | rule | what it catches |
 //! |------|-----------------|
-//! | `nondet-time`     | `Instant::now` / `SystemTime::now` outside the bench crate |
-//! | `nondet-rand`     | `thread_rng` / `from_entropy` (OS-seeded randomness) |
-//! | `nondet-env`      | `std::env::var*` outside `crates/bench/src/cli.rs` |
-//! | `nondet-hasher`   | `HashMap`/`HashSet` with the default `RandomState` in digest crates |
-//! | `unordered-iter`  | iterating a hash map/set without an ordered sink |
-//! | `packing-cast`    | truncating `as` casts on id-like integers outside the packing modules |
-//! | `hot-panic`       | `unwrap`/`expect`/indexing inside `#[jade_hot]` functions |
-//! | `bad-suppression` | malformed or reason-less `jade-audit:` directives |
+//! | `nondet-time`      | `Instant::now` / `SystemTime::now` outside the bench crate |
+//! | `nondet-rand`      | `thread_rng` / `from_entropy` (OS-seeded randomness) |
+//! | `nondet-env`       | `std::env::var*` outside `crates/bench/src/cli.rs` |
+//! | `nondet-hasher`    | `HashMap`/`HashSet` with the default `RandomState` in digest crates |
+//! | `unordered-iter`   | iterating a hash map/set without an ordered sink |
+//! | `packing-cast`     | truncating `as` casts on id-like integers outside the packing modules |
+//! | `hot-panic`        | `unwrap`/`expect`/indexing in hot-reachable functions |
+//! | `hot-alloc`        | container/string construction in hot-reachable functions |
+//! | `float-fold`       | f64 `sum`/`fold` over iteration whose order is not pinned |
+//! | `unbounded-growth` | hot-path push/insert into a field with no shrink anywhere |
+//! | `bad-suppression`  | malformed or reason-less `jade-audit:` directives |
 //!
-//! Suppression grammar (same line or the line directly above the code):
+//! "Hot-reachable" means reachable in the workspace call graph from a
+//! `#[jade_hot]` root (engine `step`/`run_until`, `System::handle`,
+//! `on_db_dispatch`), with `#[cold]` functions acting as propagation
+//! barriers — not merely textually annotated.
+//!
+//! Suppression grammar (same line, the line directly above the code, or
+//! directly above an item's attributes/signature to cover the whole
+//! item):
 //!
 //! ```text
 //! // jade-audit: allow(hot-panic, packing-cast): reason the invariant holds
+//! ```
+//!
+//! Hand-audited low-level modules (slab/heap internals, where raw
+//! indexing under a structural invariant is the whole point) may instead
+//! declare a file-scope escape once, near the top of the file:
+//!
+//! ```text
+//! // jade-audit: allow-file(hot-panic): heap indices maintained by sift invariants
 //! ```
 //!
 //! The reason string is mandatory: a suppression records *why* the code
 //! is safe, not just that someone wanted the diagnostic gone. A
 //! suppression without a reason is itself a `bad-suppression` violation.
 
-use crate::lexer::{lex, Comment, Tok, Token};
+use crate::callgraph::HotCause;
+use crate::lexer::{Comment, Lexed, Tok, Token};
+use crate::parse::FnItem;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -44,14 +66,20 @@ pub enum Rule {
     UnorderedIter,
     /// Truncating `as` casts on id-like integers outside packing modules.
     PackingCast,
-    /// `unwrap`/`expect`/indexing inside `#[jade_hot]` functions.
+    /// `unwrap`/`expect`/indexing in hot-reachable functions.
     HotPanic,
+    /// Container/string construction in hot-reachable functions.
+    HotAlloc,
+    /// f64 accumulation over iteration whose order is not pinned.
+    FloatFold,
+    /// Hot-path growth of long-lived fields with no retention bound.
+    UnboundedGrowth,
     /// Malformed `jade-audit:` suppression directives.
     BadSuppression,
 }
 
 /// All rules, in diagnostic-sort order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::NondetTime,
     Rule::NondetRand,
     Rule::NondetEnv,
@@ -59,6 +87,9 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::UnorderedIter,
     Rule::PackingCast,
     Rule::HotPanic,
+    Rule::HotAlloc,
+    Rule::FloatFold,
+    Rule::UnboundedGrowth,
     Rule::BadSuppression,
 ];
 
@@ -73,6 +104,9 @@ impl Rule {
             Rule::UnorderedIter => "unordered-iter",
             Rule::PackingCast => "packing-cast",
             Rule::HotPanic => "hot-panic",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::FloatFold => "float-fold",
+            Rule::UnboundedGrowth => "unbounded-growth",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -90,7 +124,19 @@ impl Rule {
             Rule::PackingCast => {
                 "truncating `as` cast on an id-like integer outside the audited packing modules"
             }
-            Rule::HotPanic => "unwrap/expect/indexing inside a #[jade_hot] function",
+            Rule::HotPanic => "unwrap/expect/indexing in a function hot-reachable from #[jade_hot]",
+            Rule::HotAlloc => {
+                "Vec/Box/String/format!/collect construction in hot-reachable code; recycle \
+                 through a pool or suppress with the pooling invariant"
+            }
+            Rule::FloatFold => {
+                "f64 sum/fold over hash-order iteration; float addition is order-sensitive, \
+                 pin the iteration order"
+            }
+            Rule::UnboundedGrowth => {
+                "hot-path push/insert into a long-lived field with no shrink anywhere in the \
+                 file; bound retention"
+            }
             Rule::BadSuppression => "malformed or reason-less jade-audit suppression",
         }
     }
@@ -157,7 +203,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             disabled: BTreeSet::new(),
-            scope: ScopeMode::Workspace,
+            scope: ScopeMode::AllFiles,
         }
     }
 }
@@ -198,15 +244,24 @@ pub fn rule_in_scope(rule: Rule, path: &str, mode: ScopeMode) -> bool {
         Rule::NondetRand => true,
         // All environment knobs funnel through the bench CLI module.
         Rule::NondetEnv => path != "crates/bench/src/cli.rs",
-        Rule::NondetHasher | Rule::UnorderedIter => in_digest_scope(path),
+        Rule::NondetHasher | Rule::UnorderedIter | Rule::FloatFold => in_digest_scope(path),
         Rule::PackingCast => in_digest_scope(path) && !PACKING_MODULES.contains(&path),
-        Rule::HotPanic | Rule::BadSuppression => true,
+        // The hot contract is a property of the simulation substrate;
+        // test harnesses and the bench driver are off the event path
+        // even when name resolution drags them into the call graph.
+        Rule::HotPanic | Rule::HotAlloc | Rule::UnboundedGrowth => in_digest_scope(path),
+        Rule::BadSuppression => true,
     }
 }
 
 /// Parsed `jade-audit:` directive.
 enum Directive {
     Allow(Vec<Rule>),
+    /// `allow-file(...)`: suppresses the listed rules for the whole file.
+    /// Reserved for hand-audited low-level modules (slab/heap internals)
+    /// where the flagged idiom *is* the design and a per-site comment
+    /// would repeat the same structural invariant dozens of times.
+    AllowFile(Vec<Rule>),
     Hot,
 }
 
@@ -223,7 +278,8 @@ fn parse_directive(text: &str) -> Option<Result<Directive, String>> {
         return Some(Ok(Directive::Hot));
     }
     if let Some(args) = rest.strip_prefix("allow") {
-        let args = args.trim_start();
+        let file_scope = args.starts_with("-file");
+        let args = args.strip_prefix("-file").unwrap_or(args).trim_start();
         let Some(inner) = args.strip_prefix('(') else {
             return Some(Err(
                 "malformed allow; expected allow(<rule>): <reason>".into()
@@ -251,9 +307,26 @@ fn parse_directive(text: &str) -> Option<Result<Directive, String>> {
                 "suppression must carry a reason string: allow(<rule>): <why>".into(),
             ));
         }
-        return Some(Ok(Directive::Allow(rules)));
+        return Some(Ok(if file_scope {
+            Directive::AllowFile(rules)
+        } else {
+            Directive::Allow(rules)
+        }));
     }
     Some(Err(format!("unrecognized jade-audit directive '{rest}'")))
+}
+
+/// Lines of `// jade-audit: hot` markers (the comment form of
+/// `#[jade_hot]`) in a lexed file, for the item parser.
+pub fn hot_marker_lines(lexed: &Lexed) -> Vec<u32> {
+    lexed
+        .comments
+        .iter()
+        .filter_map(|c| match parse_directive(&c.text) {
+            Some(Ok(Directive::Hot)) => Some(c.line),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Identifiers (or snake_case segments) that mark an integer as id-like
@@ -294,6 +367,8 @@ const HASHY_TYPES: [&str; 6] = [
 
 /// Iterator sinks whose result is independent of visit order, accepted as
 /// escapes for `unordered-iter` (plus explicit sorts / ordered collects).
+/// `sum`/`min`/`max` are only order-insensitive for *integers* — the
+/// `float-fold` rule closes the floating-point gap.
 const ORDER_INSENSITIVE: [&str; 16] = [
     "sort",
     "sort_unstable",
@@ -315,10 +390,118 @@ const ORDER_INSENSITIVE: [&str; 16] = [
 
 const ITER_METHODS: [&str; 6] = ["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
 
-/// Analyzes one file's source. `path` must be workspace-relative with
-/// forward slashes; it is copied into each diagnostic.
+/// Container constructors whose call allocates (for `hot-alloc`).
+const ALLOC_TYPES: [&str; 8] = [
+    "Vec", "VecDeque", "String", "Box", "Rc", "Arc", "BTreeMap", "BTreeSet",
+];
+const ALLOC_CTORS: [&str; 5] = ["new", "with_capacity", "from", "from_iter", "default"];
+/// Method calls that allocate their result (for `hot-alloc`).
+const ALLOC_METHODS: [&str; 5] = ["collect", "to_vec", "to_owned", "to_string", "into_owned"];
+/// Allocating macros (for `hot-alloc`).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Methods that grow a collection (for `unbounded-growth`).
+const GROW_METHODS: [&str; 5] = ["push", "insert", "push_back", "push_front", "extend"];
+/// Methods that shrink/recycle a collection — evidence of a retention
+/// bound (for `unbounded-growth`).
+const SHRINK_METHODS: [&str; 14] = [
+    "pop",
+    "pop_front",
+    "pop_back",
+    "remove",
+    "swap_remove",
+    "clear",
+    "truncate",
+    "drain",
+    "retain",
+    "retain_mut",
+    "split_off",
+    "take",
+    "replace",
+    "dedup",
+];
+
+/// One hot-reachable function's body inside a specific file, as computed
+/// by [`crate::callgraph`]. Token indices refer to that file's lexed
+/// token stream.
+#[derive(Debug, Clone)]
+pub struct HotRegion {
+    /// Inclusive token-index range of the body (`{` … `}`).
+    pub tok_range: (usize, usize),
+    /// Qualified function name (`Type::name` or `name`).
+    pub name: String,
+    /// Root or transitive, with provenance.
+    pub cause: HotCause,
+}
+
+impl HotRegion {
+    /// How the hot contract applies here, for diagnostics.
+    fn describe(&self) -> String {
+        match &self.cause {
+            HotCause::Root => format!("#[jade_hot] fn `{}`", self.name),
+            HotCause::Via(parent) => {
+                format!(
+                    "hot-reachable fn `{}` (called from `{}`)",
+                    self.name, parent
+                )
+            }
+        }
+    }
+}
+
+/// Analyzes one file's source in isolation: a single-file workspace is
+/// built, so `#[jade_hot]` still propagates to functions the roots call
+/// *within the file*, but no cross-file edges exist. `path` must be
+/// workspace-relative with forward slashes; it is copied into each
+/// diagnostic.
 pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
-    let lexed = lex(src);
+    let lexed = crate::lexer::lex(src);
+    let markers = hot_marker_lines(&lexed);
+    let items = crate::parse::parse_items(&lexed, &markers);
+    let files = vec![(lexed.tokens.as_slice(), items.as_slice())];
+    let cg = crate::callgraph::CallGraph::build(&files);
+    let hot = cg.hot_reachability(&files);
+    let regions = hot_regions_for_file(&cg, &hot, 0, &files);
+    analyze_file(path, &lexed, &items, &regions, cfg)
+}
+
+/// Extracts the [`HotRegion`]s of one file from a workspace hot set.
+pub fn hot_regions_for_file(
+    cg: &crate::callgraph::CallGraph,
+    hot: &crate::callgraph::HotSet,
+    file_idx: usize,
+    files: &[(&[Token], &[FnItem])],
+) -> Vec<HotRegion> {
+    let mut out = Vec::new();
+    for (&id, cause) in &hot.hot {
+        let sym = &cg.fns[id];
+        if sym.file != file_idx {
+            continue;
+        }
+        let it = &files[sym.file].1[sym.item];
+        if let Some(body) = it.body {
+            out.push(HotRegion {
+                tok_range: body,
+                name: it.qualified_name(),
+                cause: cause.clone(),
+            });
+        }
+    }
+    // Sort by body start so nested (inner) regions override outer ones in
+    // the per-token map.
+    out.sort_by_key(|r| r.tok_range.0);
+    out
+}
+
+/// The full per-file rule pass. `items` are the file's parsed fn items
+/// (for item-bound suppressions); `hot_regions` the hot-reachable bodies.
+pub fn analyze_file(
+    path: &str,
+    lexed: &Lexed,
+    items: &[FnItem],
+    hot_regions: &[HotRegion],
+    cfg: &Config,
+) -> Vec<Diagnostic> {
     let toks = &lexed.tokens;
     let mut raw: Vec<Diagnostic> = Vec::new();
     let enabled = |r: Rule| !cfg.disabled.contains(&r) && rule_in_scope(r, path, cfg.scope);
@@ -330,21 +513,45 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     };
 
     // ------------------------------------------------------------------
-    // Comments: suppressions, hot markers, bad directives.
+    // Comments: suppressions and bad directives (hot markers were already
+    // consumed by the parser).
     // ------------------------------------------------------------------
     let mut suppressions: Vec<(u32, Vec<Rule>)> = Vec::new();
-    let mut hot_marker_lines: Vec<u32> = Vec::new();
+    let mut file_allows: BTreeSet<Rule> = BTreeSet::new();
     for Comment { line, text } in &lexed.comments {
         match parse_directive(text) {
-            None => {}
+            None | Some(Ok(Directive::Hot)) => {}
             Some(Ok(Directive::Allow(rules))) => suppressions.push((*line, rules)),
-            Some(Ok(Directive::Hot)) => hot_marker_lines.push(*line),
+            Some(Ok(Directive::AllowFile(rules))) => file_allows.extend(rules),
             Some(Err(msg)) if enabled(Rule::BadSuppression) => {
                 raw.push(diag(*line, Rule::BadSuppression, msg));
             }
             Some(Err(_)) => {}
         }
     }
+
+    // ------------------------------------------------------------------
+    // Per-token hot-region map (inner regions win on overlap, so nested
+    // fns report the innermost name).
+    // ------------------------------------------------------------------
+    let mut hot_at: Vec<Option<u32>> = vec![None; toks.len()];
+    for (ri, r) in hot_regions.iter().enumerate() {
+        let (a, b) = r.tok_range;
+        for slot in hot_at
+            .iter_mut()
+            .take(b.min(toks.len().saturating_sub(1)) + 1)
+            .skip(a)
+        {
+            *slot = Some(ri as u32);
+        }
+    }
+    let hot_region = |i: usize| -> Option<&HotRegion> {
+        hot_at
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|ri| &hot_regions[ri as usize])
+    };
 
     // ------------------------------------------------------------------
     // Pass A: hash-typed names (aliases, fields, lets) for unordered-iter.
@@ -434,64 +641,58 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     }
 
     // ------------------------------------------------------------------
+    // Pass A2 (unbounded-growth): fields with shrink/recycle evidence
+    // anywhere in the file.
+    // ------------------------------------------------------------------
+    let mut shrunk_fields: BTreeSet<&str> = BTreeSet::new();
+    if enabled(Rule::UnboundedGrowth) {
+        for i in 0..toks.len() {
+            if let Some(w) = ident(i) {
+                // `<field>.shrink_method(`
+                if SHRINK_METHODS.contains(&w) && punct(i + 1, '(') && punct(i.wrapping_sub(1), '.')
+                {
+                    if let Some(f) = ident(i.wrapping_sub(2)) {
+                        shrunk_fields.insert(f);
+                    }
+                }
+                // `mem::take(&mut self.field)` / `mem::replace(&mut self.field, …)`
+                if (w == "take" || w == "replace") && punct(i + 1, '(') {
+                    let mut j = i + 2;
+                    let mut last = None;
+                    while j < toks.len() && j < i + 10 && !punct(j, ')') && !punct(j, ',') {
+                        if let Some(s) = ident(j) {
+                            last = Some(s);
+                        }
+                        j += 1;
+                    }
+                    if let Some(f) = last {
+                        shrunk_fields.insert(f);
+                    }
+                }
+                // `self.field = …` reassignment (not `==`).
+                if w == "self" && punct(i + 1, '.') {
+                    if let Some(f) = ident(i + 2) {
+                        if punct(i + 3, '=') && !punct(i + 4, '=') {
+                            shrunk_fields.insert(f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Pass B: the main token scan.
     // ------------------------------------------------------------------
-    let mut brace_depth: i32 = 0;
     let mut in_use = false;
-    let mut pending_hot = false;
-    let mut awaiting_hot_body = false;
-    let mut awaiting_paren_depth: i32 = 0;
-    let mut hot_depths: Vec<i32> = Vec::new();
-    let mut marker_idx = 0usize;
-    hot_marker_lines.sort_unstable();
-
     for i in 0..toks.len() {
         let line = toks[i].line;
-        // Comment-style hot markers apply to the next function seen.
-        while marker_idx < hot_marker_lines.len() && hot_marker_lines[marker_idx] < line {
-            pending_hot = true;
-            marker_idx += 1;
-        }
         match &toks[i].tok {
-            Tok::Punct('{') => {
-                brace_depth += 1;
-                if awaiting_hot_body && awaiting_paren_depth == 0 {
-                    awaiting_hot_body = false;
-                    hot_depths.push(brace_depth);
-                }
-            }
-            Tok::Punct('}') => {
-                if hot_depths.last() == Some(&brace_depth) {
-                    hot_depths.pop();
-                }
-                brace_depth -= 1;
-            }
-            Tok::Punct('(') if awaiting_hot_body => awaiting_paren_depth += 1,
-            Tok::Punct(')') if awaiting_hot_body => awaiting_paren_depth -= 1,
             Tok::Punct(';') => in_use = false,
-            Tok::Punct('#') if punct(i + 1, '[') => {
-                // Attribute: look for jade_hot inside the bracket group.
-                let mut j = i + 2;
-                let mut depth = 1;
-                while j < toks.len() && depth > 0 {
-                    match &toks[j].tok {
-                        Tok::Punct('[') => depth += 1,
-                        Tok::Punct(']') => depth -= 1,
-                        Tok::Ident(s) if s == "jade_hot" && depth == 1 => pending_hot = true,
-                        _ => {}
-                    }
-                    j += 1;
-                }
-            }
             Tok::Ident(w) => {
-                let in_hot = !hot_depths.is_empty();
+                let hot = hot_region(i);
                 match w.as_str() {
                     "use" => in_use = true,
-                    "fn" if pending_hot => {
-                        pending_hot = false;
-                        awaiting_hot_body = true;
-                        awaiting_paren_depth = 0;
-                    }
                     "Instant" | "SystemTime"
                         if enabled(Rule::NondetTime)
                             && punct(i + 1, ':')
@@ -547,23 +748,73 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
                         }
                     }
                     "unwrap" | "expect"
-                        if in_hot && enabled(Rule::HotPanic) && punct(i.wrapping_sub(1), '.') =>
+                        if hot.is_some()
+                            && enabled(Rule::HotPanic)
+                            && punct(i.wrapping_sub(1), '.') =>
                     {
+                        let r = hot.expect("checked");
                         raw.push(diag(
                             line,
                             Rule::HotPanic,
                             format!(
-                                ".{w}() inside a #[jade_hot] function can panic per delivered \
-                                 event; handle the None/Err arm or suppress with the invariant \
-                                 as reason"
+                                ".{w}() in {} can panic per delivered event; handle the \
+                                 None/Err arm or suppress with the invariant as reason",
+                                r.describe()
                             ),
                         ));
                     }
-                    m if in_hot && enabled(Rule::UnorderedIter) && ITER_METHODS.contains(&m) => {
-                        // handled by the generic iter check below (kept
-                        // here so hot functions get the same treatment)
-                    }
                     _ => {}
+                }
+                // hot-alloc: container construction in hot-reachable code.
+                if let Some(r) = hot {
+                    if enabled(Rule::HotAlloc) && !in_use {
+                        if let Some(what) = check_hot_alloc(toks, i, w) {
+                            raw.push(diag(
+                                line,
+                                Rule::HotAlloc,
+                                format!(
+                                    "{what} allocates per event in {}; recycle through a \
+                                     pooled/scratch buffer or suppress with the amortization \
+                                     invariant as reason",
+                                    r.describe()
+                                ),
+                            ));
+                        }
+                    }
+                    // unbounded-growth: `self.<field>.push/insert(...)`
+                    // with no shrink evidence for that field in the file.
+                    if enabled(Rule::UnboundedGrowth)
+                        && GROW_METHODS.contains(&w.as_str())
+                        && punct(i + 1, '(')
+                        && punct(i.wrapping_sub(1), '.')
+                    {
+                        if let Some(field) = self_field_receiver(toks, i) {
+                            if !shrunk_fields.contains(field) {
+                                let field = field.to_owned();
+                                raw.push(diag(
+                                    line,
+                                    Rule::UnboundedGrowth,
+                                    format!(
+                                        "`self.{field}.{w}(…)` in {} grows a long-lived field \
+                                         with no shrink (pop/remove/clear/truncate/drain/retain/\
+                                         take) anywhere in this file; bound its retention or \
+                                         suppress with the bound as reason",
+                                        r.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // float-fold: f64 accumulation over hash-order iteration.
+                if enabled(Rule::FloatFold)
+                    && matches!(w.as_str(), "sum" | "product" | "fold")
+                    && punct(i.wrapping_sub(1), '.')
+                    && (punct(i + 1, '(') || (punct(i + 1, ':') && punct(i + 2, ':')))
+                {
+                    if let Some(d) = check_float_fold(toks, i, w, path, &hashy_vars) {
+                        raw.push(d);
+                    }
                 }
                 // unordered-iter: `<hashy>.iter()` (and friends).
                 if enabled(Rule::UnorderedIter)
@@ -607,19 +858,29 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
                 }
             }
             Tok::Punct('[')
-                if !hot_depths.is_empty()
-                    && enabled(Rule::HotPanic)
+                if enabled(Rule::HotPanic)
+                    && hot_region(i).is_some()
                     && matches!(
                         toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
                         Some(Tok::Ident(_)) | Some(Tok::Punct(')')) | Some(Tok::Punct(']'))
-                    ) =>
+                    )
+                    // `x[0]` — a lone integer-literal index addresses a
+                    // fixed slot (typically a compile-time-sized array);
+                    // flagging it is noise next to data-dependent indexes.
+                    && !(matches!(
+                        toks.get(i + 1).map(|t| &t.tok),
+                        Some(Tok::Num { float: false })
+                    ) && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(']')))) =>
             {
+                let r = hot_region(i).expect("checked");
                 raw.push(diag(
                     line,
                     Rule::HotPanic,
-                    "indexing inside a #[jade_hot] function panics on out-of-bounds; use \
-                     get()/get_mut() or suppress with the bounds invariant as reason"
-                        .to_owned(),
+                    format!(
+                        "indexing in {} panics on out-of-bounds; use get()/get_mut() or \
+                         suppress with the bounds invariant as reason",
+                        r.describe()
+                    ),
                 ));
             }
             _ => {}
@@ -627,8 +888,12 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     }
 
     // ------------------------------------------------------------------
-    // Apply suppressions: same line, or first token line after the
-    // comment line (i.e. the suppression sits directly above the code).
+    // Apply suppressions. Three attachment forms:
+    //   * same line as the violation;
+    //   * the line directly above the violating code;
+    //   * directly above an item's first attribute or signature — binds
+    //     to the whole item (attributes are transparent: a suppression
+    //     above `#[jade_hot]` covers the function, not the attr line).
     // ------------------------------------------------------------------
     let next_code_line =
         |after: u32| -> Option<u32> { toks.iter().map(|t| t.line).find(|&l| l > after) };
@@ -636,12 +901,180 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         if d.rule == Rule::BadSuppression {
             return true;
         }
+        if file_allows.contains(&d.rule) {
+            return false;
+        }
         !suppressions.iter().any(|(sline, rules)| {
-            rules.contains(&d.rule) && (d.line == *sline || Some(d.line) == next_code_line(*sline))
+            if !rules.contains(&d.rule) {
+                return false;
+            }
+            if d.line == *sline {
+                return true;
+            }
+            let ncl = next_code_line(*sline);
+            if Some(d.line) == ncl {
+                return true;
+            }
+            // Item binding: the next code line is an item's attribute or
+            // signature line → the suppression covers the whole item.
+            if let Some(ncl) = ncl {
+                return items.iter().any(|it| {
+                    (it.attr_line == ncl || it.sig_line == ncl)
+                        && d.line >= it.attr_line
+                        && d.line <= it.end_line
+                });
+            }
+            false
         })
     });
     raw.sort();
+    // Two `[` on one line (e.g. `m[a][b]`) would otherwise report twice.
+    raw.dedup();
     raw
+}
+
+/// `self.a.b.<grow>(…)` receiver detection: returns the grown field (the
+/// final segment before the grow method) when the chain is rooted at
+/// `self`, i.e. the target is a long-lived struct field rather than a
+/// local.
+fn self_field_receiver(toks: &[Token], grow_idx: usize) -> Option<&str> {
+    let ident = |k: usize| -> Option<&str> {
+        toks.get(k).and_then(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+    };
+    let punct = |k: usize, c: char| matches!(toks.get(k), Some(Token { tok: Tok::Punct(p), .. }) if *p == c);
+    // grow_idx-1 is the `.`; the field must be a plain ident (indexing or
+    // call results in the chain end the field attribution).
+    let field = ident(grow_idx.wrapping_sub(2))?;
+    let mut k = grow_idx.wrapping_sub(2);
+    loop {
+        if !punct(k.wrapping_sub(1), '.') {
+            return None;
+        }
+        let prev = ident(k.wrapping_sub(2))?;
+        if prev == "self" && !punct(k.wrapping_sub(3), '.') {
+            return Some(field);
+        }
+        k = k.wrapping_sub(2);
+    }
+}
+
+/// `hot-alloc` detection at identifier token `i`. Returns a short
+/// description of the allocating construct.
+fn check_hot_alloc(toks: &[Token], i: usize, w: &str) -> Option<String> {
+    let ident = |k: usize| -> Option<&str> {
+        toks.get(k).and_then(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+    };
+    let punct = |k: usize, c: char| matches!(toks.get(k), Some(Token { tok: Tok::Punct(p), .. }) if *p == c);
+    // `vec![…]` / `format!(…)`.
+    if ALLOC_MACROS.contains(&w) && punct(i + 1, '!') {
+        return Some(format!("`{w}!`"));
+    }
+    // `.collect()` / `.to_vec()` / `.to_owned()` / `.to_string()`.
+    if ALLOC_METHODS.contains(&w) && punct(i + 1, '(') && punct(i.wrapping_sub(1), '.') {
+        return Some(format!("`.{w}()`"));
+    }
+    // `Vec::new()` / `Box::new(…)` / `String::from(…)` /
+    // `Vec::<T>::with_capacity(…)`.
+    if ALLOC_TYPES.contains(&w) && punct(i + 1, ':') && punct(i + 2, ':') {
+        let mut j = i + 3;
+        if punct(j, '<') {
+            // Skip the turbofish.
+            let mut depth = 1i32;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !(punct(j, ':') && punct(j + 1, ':')) {
+                return None;
+            }
+            j += 2;
+        }
+        if let Some(ctor) = ident(j) {
+            if ALLOC_CTORS.contains(&ctor) && punct(j + 1, '(') {
+                return Some(format!("`{w}::{ctor}(…)`"));
+            }
+        }
+    }
+    None
+}
+
+/// `float-fold` detection at the `.sum`/`.fold`/`.product` token `i`:
+/// fires when the surrounding statement shows both floating-point
+/// accumulation (an `f64`/`f32` mention or a float literal) and iteration
+/// over a hash collection (whose order `sum`'s escape in
+/// `unordered-iter` wrongly blesses for floats).
+fn check_float_fold(
+    toks: &[Token],
+    i: usize,
+    w: &str,
+    path: &str,
+    hashy_vars: &BTreeSet<String>,
+) -> Option<Diagnostic> {
+    let window = statement_window(toks, i, 64);
+    let mut is_float = false;
+    let mut hashy: Option<&str> = None;
+    let mut iterates = false;
+    for k in window.clone() {
+        match &toks[k].tok {
+            Tok::Num { float: true } => is_float = true,
+            Tok::Ident(s) if s == "f64" || s == "f32" => is_float = true,
+            Tok::Ident(s) if hashy_vars.contains(s) => hashy = hashy.or(Some(s)),
+            Tok::Ident(s) if k < i && ITER_METHODS.contains(&s.as_str()) => iterates = true,
+            _ => {}
+        }
+    }
+    if is_float && iterates {
+        if let Some(h) = hashy {
+            return Some(Diagnostic {
+                file: path.to_owned(),
+                line: toks[i].line,
+                rule: Rule::FloatFold,
+                message: format!(
+                    ".{w}() accumulates floats over iteration of hash collection `{h}`; \
+                     float addition is order-sensitive, so bucket order leaks into the \
+                     result — iterate in a pinned (dense-index/sorted) order instead"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// The token-index window of the statement containing token `i`
+/// (bounded scan both ways, stopping at `;`/`{`/`}`).
+fn statement_window(toks: &[Token], i: usize, max: usize) -> std::ops::Range<usize> {
+    let mut start = i;
+    let mut steps = 0;
+    while start > 0 && steps < max {
+        match &toks[start - 1].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            _ => {}
+        }
+        start -= 1;
+        steps += 1;
+    }
+    let mut end = i;
+    let mut steps = 0;
+    while end + 1 < toks.len() && steps < max {
+        match &toks[end + 1].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            _ => {}
+        }
+        end += 1;
+        steps += 1;
+    }
+    start..end + 1
 }
 
 /// `HashMap`/`HashSet` default-hasher detection at token `i`.
@@ -754,7 +1187,7 @@ fn check_packing_cast(toks: &[Token], i: usize, path: &str) -> Option<Diagnostic
                 idents.push(s);
                 j -= 1;
             }
-            Tok::Num | Tok::Str | Tok::Char | Tok::Lifetime => j -= 1,
+            Tok::Num { .. } | Tok::Str | Tok::Char | Tok::Lifetime => j -= 1,
             Tok::Punct('.') => j -= 1,
             Tok::Punct(')') | Tok::Punct(']') => {
                 // Skip the balanced group, still collecting identifiers.

@@ -95,6 +95,37 @@ fn hot_panic_fixtures() {
 }
 
 #[test]
+fn hot_alloc_fixtures() {
+    assert_eq!(
+        diags("bad_hot_alloc.rs"),
+        vec![
+            (9, Rule::HotAlloc),
+            (11, Rule::HotAlloc),
+            (18, Rule::HotAlloc)
+        ]
+    );
+    assert_eq!(diags("good_hot_alloc.rs"), vec![]);
+}
+
+#[test]
+fn float_fold_fixtures() {
+    assert_eq!(
+        diags("bad_float_fold.rs"),
+        vec![(10, Rule::FloatFold), (14, Rule::FloatFold)]
+    );
+    assert_eq!(diags("good_float_fold.rs"), vec![]);
+}
+
+#[test]
+fn unbounded_growth_fixtures() {
+    assert_eq!(
+        diags("bad_unbounded_growth.rs"),
+        vec![(10, Rule::UnboundedGrowth), (11, Rule::UnboundedGrowth)]
+    );
+    assert_eq!(diags("good_unbounded_growth.rs"), vec![]);
+}
+
+#[test]
 fn suppression_fixtures() {
     // Reason-less, unknown-rule and unrecognized directives are each a
     // bad-suppression violation at the directive's own line.
@@ -109,6 +140,26 @@ fn suppression_fixtures() {
     // Reasoned suppressions (preceding-line and same-line forms) silence
     // real violations entirely.
     assert_eq!(diags("good_suppression.rs"), vec![]);
+}
+
+#[test]
+fn suppression_binds_to_the_item_through_attributes() {
+    // A suppression directly above `#[jade_hot]` (or above the signature,
+    // below a `hot` marker) covers the item's whole body, not just the
+    // next line.
+    assert_eq!(diags("good_suppression_item.rs"), vec![]);
+}
+
+#[test]
+fn file_scope_allow_covers_the_whole_file() {
+    assert_eq!(diags("good_suppression_file.rs"), vec![]);
+}
+
+#[test]
+fn lexer_corners_produce_no_false_positives() {
+    // Raw strings, nested block comments and lifetime ticks carry text
+    // that would trip nondet-time/nondet-rand if it leaked into tokens.
+    assert_eq!(diags("good_lexer_corners.rs"), vec![]);
 }
 
 #[test]
@@ -165,7 +216,7 @@ fn every_rule_id_round_trips() {
     assert_eq!(Rule::parse("no-such-rule"), None);
 }
 
-const BAD_FIXTURES: [&str; 8] = [
+const BAD_FIXTURES: [&str; 11] = [
     "bad_nondet_time.rs",
     "bad_nondet_rand.rs",
     "bad_nondet_env.rs",
@@ -173,10 +224,13 @@ const BAD_FIXTURES: [&str; 8] = [
     "bad_unordered_iter.rs",
     "bad_packing_cast.rs",
     "bad_hot_panic.rs",
+    "bad_hot_alloc.rs",
+    "bad_float_fold.rs",
+    "bad_unbounded_growth.rs",
     "bad_suppression.rs",
 ];
 
-const GOOD_FIXTURES: [&str; 8] = [
+const GOOD_FIXTURES: [&str; 12] = [
     "good_nondet_time.rs",
     "good_nondet_rand.rs",
     "good_nondet_env.rs",
@@ -184,7 +238,11 @@ const GOOD_FIXTURES: [&str; 8] = [
     "good_unordered_iter.rs",
     "good_packing_cast.rs",
     "good_hot_panic.rs",
+    "good_hot_alloc.rs",
+    "good_float_fold.rs",
+    "good_unbounded_growth.rs",
     "good_suppression.rs",
+    "good_suppression_item.rs",
 ];
 
 #[test]
@@ -226,6 +284,89 @@ fn fix_list_exits_zero_and_emits_json() {
     assert!(stdout.trim_start().starts_with('['));
     assert!(stdout.contains("\"rule\": \"nondet-time\""));
     assert!(stdout.contains("\"line\": 5"));
+}
+
+#[test]
+fn list_rules_covers_the_interprocedural_rules() {
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    let out = Command::new(exe)
+        .arg("list-rules")
+        .output()
+        .expect("spawn jade-audit");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["hot-alloc", "float-fold", "unbounded-growth", "hot-panic"] {
+        assert!(stdout.contains(id), "list-rules must mention {id}");
+    }
+}
+
+/// Property: interprocedural hotness is a *strict* superset of textual
+/// marking on the real workspace. Every `#[jade_hot]` root is in the
+/// reachable set, and the closure extends well beyond the annotated
+/// bodies — if this ever collapses to equality, call-graph propagation
+/// has silently stopped resolving calls.
+#[test]
+fn hot_reachability_strictly_extends_textual_marking() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = jade_audit::load_workspace(&root);
+    let report = jade_audit::hot_report(&files);
+    assert!(
+        !report.roots.is_empty(),
+        "the workspace must declare hot roots"
+    );
+    assert!(
+        report.total_reachable > report.roots.len(),
+        "hot closure ({}) must strictly exceed the textual roots ({})",
+        report.total_reachable,
+        report.roots.len()
+    );
+    // The roots live in sim (engine step/run_until) and core (handle,
+    // on_db_dispatch); propagation must cross crate boundaries into the
+    // tiers they drive.
+    for unit in ["crates/sim", "crates/core", "crates/tiers"] {
+        let n = report
+            .reachable_by_unit
+            .iter()
+            .find(|(u, _)| u == unit)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(n > 0, "{unit} must contain hot-reachable functions");
+    }
+}
+
+/// The committed hot-root snapshot (`crates/audit/hot_roots.json`, which
+/// CI diffs against a fresh `inventory --format json`) must match the
+/// live workspace — a drifted snapshot means a hot entry point was added
+/// or moved without updating the audit contract.
+#[test]
+fn hot_roots_snapshot_is_current() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let exe = env!("CARGO_BIN_EXE_jade-audit");
+    let out = Command::new(exe)
+        .arg("inventory")
+        .arg("--root")
+        .arg(&root)
+        .arg("--format")
+        .arg("json")
+        .output()
+        .expect("spawn jade-audit");
+    assert!(out.status.success());
+    let live = String::from_utf8(out.stdout).expect("utf8");
+    let committed =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("hot_roots.json"))
+            .expect("crates/audit/hot_roots.json must be committed");
+    assert_eq!(
+        live.trim(),
+        committed.trim(),
+        "hot_roots.json is stale: regenerate with \
+         `jade-audit inventory --format json > crates/audit/hot_roots.json`"
+    );
 }
 
 #[test]

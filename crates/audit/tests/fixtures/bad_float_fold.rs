@@ -1,0 +1,17 @@
+// Fixture: float accumulation over hash-order iteration must be flagged.
+use jade_sim::DetHashMap;
+
+pub struct Loads {
+    weights: DetHashMap<u32, f64>,
+}
+
+impl Loads {
+    pub fn total(&self) -> f64 {
+        self.weights.values().sum::<f64>()
+    }
+
+    pub fn sum_typed(&self) -> f64 {
+        let sum: f64 = self.weights.values().sum();
+        sum
+    }
+}

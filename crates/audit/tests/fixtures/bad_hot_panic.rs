@@ -5,8 +5,8 @@ pub struct Q {
 
 impl Q {
     #[jade_hot]
-    pub fn first(&self) -> u64 {
-        self.items[0]
+    pub fn first(&self, i: usize) -> u64 {
+        self.items[i]
     }
 
     // jade-audit: hot

@@ -1,0 +1,13 @@
+// Fixture: unshrunk growth of long-lived state in hot code must be flagged.
+pub struct Log {
+    entries: Vec<u64>,
+    index: Vec<usize>,
+}
+
+impl Log {
+    #[jade_hot]
+    pub fn append(&mut self, v: u64) {
+        self.index.push(self.entries.len());
+        self.entries.push(v);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: integer folds over hash iteration, and float folds over dense
+// slices, stay quiet.
+use jade_sim::DetHashMap;
+
+pub struct Loads {
+    counts: DetHashMap<u32, u64>,
+    dense: Vec<f64>,
+}
+
+impl Loads {
+    pub fn total_count(&self) -> u64 {
+        self.counts.values().sum::<u64>()
+    }
+
+    pub fn total_load(&self) -> f64 {
+        self.dense.iter().sum::<f64>()
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: allocation off the hot path, and recycled buffers on it, stay
+// quiet.
+pub struct Q {
+    items: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Q {
+    pub fn rebuild(&mut self) {
+        self.scratch = Vec::with_capacity(self.items.len());
+    }
+
+    #[jade_hot]
+    pub fn tick(&mut self) -> usize {
+        self.scratch.clear();
+        self.items.len()
+    }
+}

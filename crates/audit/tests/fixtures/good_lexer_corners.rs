@@ -1,0 +1,11 @@
+// Fixture: raw strings, nested block comments and lifetimes must not
+// leak rule triggers into the token stream.
+/* outer /* Instant::now() inside a nested comment */ still commented */
+pub fn describe() -> &'static str {
+    r#"HashMap::new() and Instant::now() and thread_rng()"#
+}
+
+pub fn newline<'a>(x: &'a str) -> char {
+    let _alias: &'a str = x;
+    '\n'
+}

@@ -1,0 +1,13 @@
+// Fixture: a file-scope allow silences the named rule everywhere in the
+// file, without touching other rules.
+// jade-audit: allow-file(hot-panic): fixture — hand-audited slab.
+pub struct Q {
+    items: Vec<u64>,
+}
+
+impl Q {
+    #[jade_hot]
+    pub fn first(&self, i: usize) -> u64 {
+        self.items[i]
+    }
+}

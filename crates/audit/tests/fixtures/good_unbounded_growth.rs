@@ -1,0 +1,17 @@
+// Fixture: growth paired with shrink evidence in the same file stays
+// quiet — the field is a pool, not a leak.
+pub struct Pool {
+    free: Vec<u32>,
+}
+
+impl Pool {
+    #[jade_hot]
+    pub fn put(&mut self, id: u32) {
+        self.free.push(id);
+    }
+
+    #[jade_hot]
+    pub fn get(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+}

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 impl J2eeApp {
     /// Begins a rolling restart of a tier. Ignored when one is already in
     /// progress or the tier has a reconfiguration running.
+    #[cold]
     pub(crate) fn start_rolling_restart(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
         if self.rolling.is_some() {
             self.log_reconfig(
@@ -49,6 +50,7 @@ impl J2eeApp {
     }
 
     /// Takes the next replica out of rotation.
+    #[cold]
     pub(crate) fn on_rolling_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let Some(rolling) = self.rolling.as_mut() else {
             return;
@@ -99,6 +101,7 @@ impl J2eeApp {
     }
 
     /// Drain grace elapsed: bounce the replica (stop + start).
+    #[cold]
     pub(crate) fn on_rolling_stop(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         if self.rolling.as_ref().and_then(|r| r.current) != Some(server) {
             return; // operation cancelled (e.g. the replica failed meanwhile)
@@ -160,6 +163,7 @@ impl J2eeApp {
     }
 
     /// The bounced replica is serving again: proceed to the next one.
+    #[cold]
     pub(crate) fn finish_rolling_step(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         let Some(rolling) = self.rolling.as_mut() else {
             return;

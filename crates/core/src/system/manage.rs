@@ -63,6 +63,9 @@ impl J2eeApp {
     // figures and Jade's sensors read.
     // ------------------------------------------------------------------
 
+    // jade-audit: allow(hot-panic): samples[] is a dense per-node array
+    // resized to the cluster's node count at the top of the tick, and
+    // tier node lists only hold NodeIds minted by the same cluster.
     pub(crate) fn on_measure_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         // Sample every node once into a dense per-node array
@@ -198,6 +201,9 @@ impl J2eeApp {
     // Control loops (SensorTick)
     // ------------------------------------------------------------------
 
+    // jade-audit: allow(hot-panic): idx is carried by the SensorTick
+    // message that this manager armed for itself at deploy time, so it
+    // always names a live slot of the fixed two-entry managers array.
     pub(crate) fn on_sensor_tick(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize) {
         let now = ctx.now();
         let period = self.cfg.jade.probe_period;
@@ -266,6 +272,7 @@ impl J2eeApp {
     /// Starts deploying one more replica: allocate a free node, install
     /// the required software, then (after the installation latency) start
     /// the server and wire it into the load balancer.
+    #[cold]
     pub(crate) fn scale_up(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
         // Guard against stale (e.g. arbitrated) requests.
         if let Some(mgr) = self.managers.iter().find(|m| m.tier == tier) {
@@ -319,6 +326,7 @@ impl J2eeApp {
     }
 
     /// Installation finished: start the replica (boot latency follows).
+    #[cold]
     pub(crate) fn on_deploy_step(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         let Some(pending) = self.pending_deploys.get_mut(&server) else {
             return;
@@ -337,6 +345,7 @@ impl J2eeApp {
     /// Removes the most recently added replica of a tier: unbind it from
     /// the load balancer, let in-flight work drain, then stop it and
     /// release the node.
+    #[cold]
     pub(crate) fn scale_down(&mut self, ctx: &mut Ctx<'_, Msg>, tier: ManagedTier) {
         let mut running = self.legacy.running_servers_of(tier.tier());
         running.sort_unstable();
@@ -394,6 +403,7 @@ impl J2eeApp {
 
     /// Drain grace elapsed: stop the retired replica, destroy its
     /// component and release its node.
+    #[cold]
     pub(crate) fn on_undeploy_stop(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         let Some(tier) = self.pending_undeploys.remove(&server) else {
             return;
@@ -460,6 +470,7 @@ impl J2eeApp {
         }
     }
 
+    #[cold]
     pub(crate) fn on_legacy_event(&mut self, ctx: &mut Ctx<'_, Msg>, e: LegacyEvent) {
         ctx.trace(jade_sim::TraceLevel::Debug, "legacy", || format!("{e:?}"));
         match e {
@@ -566,6 +577,7 @@ impl J2eeApp {
 
     /// Fails every in-flight request processed by `server` (queued,
     /// executing, or mid-SQL).
+    #[cold]
     pub(crate) fn fail_requests_on_server(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         // Slab iteration is slot order; sort by the creation-order stamp
         // so victims fail oldest-first like the old ordered-map scan.
@@ -584,6 +596,7 @@ impl J2eeApp {
 
     /// Aborts all CPU jobs on a node, failing the requests they belonged
     /// to.
+    #[cold]
     pub(crate) fn abort_node_jobs(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
         let aborted = match self.legacy.cluster.node_mut(node) {
             Ok(n) => n.cpu.abort_all(ctx.now()),
@@ -609,6 +622,7 @@ impl J2eeApp {
     // ------------------------------------------------------------------
 
     /// Crashes a node: every hosted server fails, every job aborts.
+    #[cold]
     pub(crate) fn on_crash_node(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
         let aborted = self.legacy.crash_node(node, ctx.now());
         self.cancel_cpu_timer(ctx, node);
@@ -637,6 +651,10 @@ impl J2eeApp {
     /// on a live node is reported by the node's local daemon within one
     /// probe period, but a *node* failure is only suspected once the
     /// node's heartbeat has been missing for `failure_timeout`.
+    // jade-audit: allow(hot-alloc): the failed-server snapshot is
+    // collected once per detector period (seconds of simulated time) and
+    // is usually empty; it decouples detection from the repairs that
+    // mutate the server set while iterating.
     pub(crate) fn on_detector_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         let timeout = self.cfg.jade.failure_timeout;
@@ -690,6 +708,7 @@ impl J2eeApp {
 
     /// Repairs one failed replica: detach it from its balancer, destroy
     /// it, release its (crashed) node and deploy a replacement.
+    #[cold]
     fn repair_server(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         let Some(&comp) = self.comp_of_server.get(&server) else {
             return; // not a managed replica (or already repaired)
@@ -774,6 +793,7 @@ impl J2eeApp {
     ///   died (write broadcast is atomic w.r.t. membership), so the new
     ///   empty log is a valid checkpoint of the current state; each
     ///   replica activates after an (empty) replay.
+    #[cold]
     fn repair_balancer(&mut self, ctx: &mut Ctx<'_, Msg>, server: ServerId) {
         let Some(&comp) = self.comp_of_server.get(&server) else {
             return;

@@ -369,6 +369,10 @@ impl J2eeApp {
     }
 
     /// Returns a retired request's buffers to the recycling pools.
+    // jade-audit: allow(unbounded-growth): recycling pool — drained by
+    // on_client_think/new_request, which pop a retired buffer before
+    // allocating a fresh one; residency is bounded by the number of
+    // concurrently live requests.
     pub(crate) fn recycle_request(&mut self, state: RequestState) {
         let RequestState { plan, mut jobs, .. } = state;
         self.recycle_plan(plan);
@@ -379,6 +383,10 @@ impl J2eeApp {
     /// Returns a dropped plan's buffers to the recycling pools (the
     /// statement list of an interpreted plan, or the parameter/demand
     /// buffers of a compiled run).
+    // jade-audit: allow(unbounded-growth): recycling pools — drained by
+    // the plan-generation path (generate_plan*/on_client_think pop from
+    // sql_recycle/param_recycle); residency is bounded by concurrently
+    // live requests.
     pub(crate) fn recycle_plan(&mut self, plan: jade_tiers::InteractionPlan) {
         match plan.sql {
             jade_tiers::SqlProgram::Ops(mut sql) => {
@@ -395,6 +403,8 @@ impl J2eeApp {
     }
 
     /// The accept queue of `server`, growing the dense table on demand.
+    // jade-audit: allow(hot-panic): the resize_with on the preceding
+    // line guarantees idx < accept_queues.len().
     pub(crate) fn accept_queue_mut(&mut self, server: ServerId) -> &mut VecDeque<RequestId> {
         let idx = server.0 as usize;
         if idx >= self.accept_queues.len() {
@@ -413,6 +423,8 @@ impl J2eeApp {
     /// Records a daemon heartbeat from `node`, growing the dense table on
     /// demand (node ids are fixed at configuration time, so the table
     /// reaches pool size once and never reallocates again).
+    // jade-audit: allow(hot-panic): the resize on the preceding line
+    // guarantees slot < last_heartbeat.len().
     pub(crate) fn record_heartbeat(&mut self, node: NodeId, now: SimTime) {
         let slot = node.0 as usize;
         if slot >= self.last_heartbeat.len() {
@@ -436,6 +448,10 @@ impl J2eeApp {
     // CPU job plumbing
     // ------------------------------------------------------------------
 
+    // jade-audit: allow(unbounded-growth): job_owner is a slab keyed by
+    // JobId; on_cpu_complete and abort_node_jobs remove the entry when
+    // the job finishes or its node dies, so residency equals in-flight
+    // CPU jobs.
     pub(crate) fn submit_job(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -455,6 +471,8 @@ impl J2eeApp {
         self.rearm_cpu(ctx, node);
     }
 
+    // jade-audit: allow(hot-panic): the resize on the preceding line
+    // guarantees slot < cpu_timers.len().
     pub(crate) fn rearm_cpu(&mut self, ctx: &mut Ctx<'_, Msg>, node: NodeId) {
         let slot = node.0 as usize;
         if slot >= self.cpu_timers.len() {
@@ -482,6 +500,7 @@ impl J2eeApp {
     /// Synchronously processes the legacy outbox until it is empty —
     /// used during bootstrap, where boot and sync delays are folded into
     /// time zero (the paper's runs start with the system already up).
+    #[cold]
     fn bootstrap_drain(&mut self) {
         for _ in 0..1000 {
             let events = self.legacy.drain_outbox();
@@ -505,6 +524,7 @@ impl J2eeApp {
         panic!("bootstrap did not converge");
     }
 
+    #[cold]
     fn allocate_and_install(&mut self, packages: &[&str]) -> (NodeId, SimDuration) {
         let node = self
             .legacy
@@ -522,6 +542,7 @@ impl J2eeApp {
         (node, latency)
     }
 
+    #[cold]
     fn daemon_packages(&self) -> Vec<&'static str> {
         if self.cfg.jade.managed {
             vec!["jade-daemon"]
@@ -532,6 +553,7 @@ impl J2eeApp {
 
     /// Creates a Tomcat replica (legacy process + management component)
     /// on `node`. The component is not started.
+    #[cold]
     pub(crate) fn create_tomcat_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
         self.tomcat_seq += 1;
         let name = format!("Tomcat{}", self.tomcat_seq);
@@ -567,6 +589,7 @@ impl J2eeApp {
     /// Creates an Apache replica on `node` (web tier, not started). Its
     /// mod_jk `ajp-itf` is a collection interface: one Apache may balance
     /// over several Tomcats (paper Figure 2).
+    #[cold]
     pub(crate) fn create_apache_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
         self.apache_seq += 1;
         let name = format!("Apache{}", self.apache_seq);
@@ -593,6 +616,7 @@ impl J2eeApp {
     }
 
     /// Creates a MySQL replica on `node` (dump restored, not started).
+    #[cold]
     pub(crate) fn create_mysql_replica(&mut self, node: NodeId) -> (ServerId, ComponentId) {
         self.mysql_seq += 1;
         let name = format!("MySQL{}", self.mysql_seq);
@@ -616,6 +640,7 @@ impl J2eeApp {
     }
 
     /// Deploys the initial architecture synchronously (bootstrap).
+    #[cold]
     pub(crate) fn deploy_initial(&mut self) {
         // The base dump every MySQL replica restores.
         let mut dump_rng = jade_sim::SimRng::seed_from_u64(self.cfg.seed ^ 0xDA7A);
@@ -780,6 +805,7 @@ impl J2eeApp {
         self.bootstrap_drain();
     }
 
+    #[cold]
     fn bootstrap(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.deploy_initial();
         ctx.send_now(jade_sim::Addr::ROOT, Msg::RampTick);

@@ -18,6 +18,10 @@ impl J2eeApp {
     // Client pool
     // ------------------------------------------------------------------
 
+    // jade-audit: allow(hot-panic, unbounded-growth): the client slab
+    // grows monotonically to the configured ramp target and is indexed
+    // by dense ids minted at push time; retired clients are deactivated
+    // in place, never removed.
     pub(crate) fn on_ramp_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // Aggregate mode: the population is a set of counts; ramping is
         // pure bookkeeping on the pool (growth adds fresh sessions,
@@ -88,6 +92,9 @@ impl J2eeApp {
     /// Schedules the client's next think-cycle. Think timers are the
     /// bulk of the pending set — one per idle client — so they ride the
     /// timer wheel, not the min-heap.
+    // jade-audit: allow(hot-panic): client ids are minted by
+    // on_ramp_tick as dense indexes into the clients slab and never
+    // escape the valid range.
     pub(crate) fn schedule_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
         let slot = &mut self.clients[client as usize];
         if !slot.active {
@@ -99,6 +106,8 @@ impl J2eeApp {
         ctx.send_after_coarse(think, Addr::ROOT, Msg::ClientThink(client));
     }
 
+    // jade-audit: allow(hot-panic): client ids are dense slab indexes
+    // minted by on_ramp_tick (see schedule_think).
     pub(crate) fn on_client_think(&mut self, ctx: &mut Ctx<'_, Msg>, client: u32) {
         // Reuse a retired request's compiled-run buffers for the new plan.
         let (params, demands) = self.param_recycle.pop().unwrap_or_default();
@@ -128,6 +137,9 @@ impl J2eeApp {
     /// offset within the tick and its navigation transition (in the
     /// pool's documented bucket order), and the materialization is
     /// deferred to [`Msg::PoolDispatch`].
+    // jade-audit: allow(hot-panic): the expect encodes the mode
+    // invariant tested by the let-else on the preceding lines — the
+    // aggregate pool exists exactly when client_mode is Aggregate.
     pub(crate) fn on_pool_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let crate::config::ClientMode::Aggregate { tick } = self.cfg.client_mode else {
             return;
@@ -283,6 +295,9 @@ impl J2eeApp {
         ctx.send_after(delay, Addr::ROOT, Msg::TomcatAccept { req, tomcat });
     }
 
+    // jade-audit: allow(unbounded-growth): inflight is a slab keyed by
+    // RequestId; on_response/fail_request remove the entry when the
+    // request completes, so residency equals concurrently open requests.
     fn new_request(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -359,6 +374,8 @@ impl J2eeApp {
     }
 
     /// The Apache job finished: respond (static) or forward (dynamic).
+    // jade-audit: allow(hot-panic): a request in ApachePre phase always
+    // carries the apache that accepted it (set by dispatch).
     pub(crate) fn on_apache_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let Some(state) = self.request_mut(req) else {
             return;
@@ -400,6 +417,9 @@ impl J2eeApp {
     // Application tier
     // ------------------------------------------------------------------
 
+    // jade-audit: allow(hot-panic): the tomcat id was resolved by the
+    // routing step one message earlier and server slots are only retired
+    // by repair paths, which first fail the requests bound to them.
     pub(crate) fn on_tomcat_accept(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -437,6 +457,9 @@ impl J2eeApp {
     }
 
     /// Allocates a worker thread and starts the pre-query servlet work.
+    // jade-audit: allow(hot-panic): callers (serve_accept_queue /
+    // on_tomcat_accept) have already verified the request exists and is
+    // bound to a live tomcat; the expects restate those checks.
     fn start_servlet(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let (tomcat, demand) = {
             let state = self.request_mut(req).expect("checked in caller");
@@ -634,6 +657,8 @@ impl J2eeApp {
 
     /// The post-query servlet work finished: free the worker thread and
     /// ship the response.
+    // jade-audit: allow(hot-panic): a request in Servlet phase always
+    // carries its tomcat binding (set by start_servlet).
     pub(crate) fn on_servlet_done(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let Some(state) = self.request_mut(req) else {
             return;
@@ -654,6 +679,8 @@ impl J2eeApp {
         ctx.send_after(delay, Addr::ROOT, Msg::ResponseDelivered { req });
     }
 
+    // jade-audit: allow(hot-panic): the responding request's client id
+    // is a dense index into the clients slab (see schedule_think).
     pub(crate) fn on_response(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let Some(state) = self.remove_request(req) else {
             return;
@@ -680,6 +707,9 @@ impl J2eeApp {
 
     /// Fails a request: aborts its CPU jobs, releases its worker thread,
     /// notifies statistics and sends the client back to thinking.
+    // jade-audit: allow(hot-alloc): the format! sits inside a lazy
+    // ctx.trace closure, rendered only when Warn-level tracing is
+    // enabled — never on the measurement path.
     pub(crate) fn fail_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: RequestId) {
         let Some(mut state) = self.remove_request(req) else {
             return;

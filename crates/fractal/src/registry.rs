@@ -143,6 +143,7 @@ impl<E> Registry<E> {
     }
 
     /// Creates a primitive component around `wrapper`.
+    #[cold]
     pub fn new_primitive(
         &mut self,
         name: &str,
@@ -162,6 +163,7 @@ impl<E> Registry<E> {
     }
 
     /// Creates a composite component.
+    #[cold]
     pub fn new_composite(&mut self, name: &str, interfaces: Vec<InterfaceDecl>) -> ComponentId {
         let name = self.intern(name);
         self.insert(Component {
@@ -177,6 +179,7 @@ impl<E> Registry<E> {
 
     /// Destroys a stopped, fully unbound component. Fails when other
     /// components still hold bindings toward it.
+    #[cold]
     pub fn remove(&mut self, id: ComponentId) -> Result<()> {
         let c = self.comp(id)?;
         if c.state == LifecycleState::Started {
@@ -210,6 +213,7 @@ impl<E> Registry<E> {
     // ------------------------------------------------------------------
 
     /// Adds `child` to composite `parent`.
+    #[cold]
     pub fn add_child(&mut self, parent: ComponentId, child: ComponentId) -> Result<()> {
         // Validate both ends first.
         self.comp(child)?;
@@ -238,6 +242,7 @@ impl<E> Registry<E> {
     }
 
     /// Removes `child` from composite `parent`.
+    #[cold]
     pub fn remove_child(&mut self, parent: ComponentId, child: ComponentId) -> Result<()> {
         match &mut self.comp_mut(parent)?.kind {
             Kind::Composite(kids) => {
@@ -272,6 +277,7 @@ impl<E> Registry<E> {
     // ------------------------------------------------------------------
 
     /// Writes an attribute, then reflects it through the wrapper.
+    #[cold]
     pub fn set_attr(
         &mut self,
         env: &mut E,
@@ -322,6 +328,7 @@ impl<E> Registry<E> {
     /// Validates: both interfaces exist, roles are client/server, the
     /// signatures match, and single-cardinality interfaces are not already
     /// bound.
+    #[cold]
     pub fn bind(
         &mut self,
         env: &mut E,
@@ -398,6 +405,7 @@ impl<E> Registry<E> {
     /// `None` target, removes the single existing binding (convenience for
     /// single-cardinality interfaces, as in the paper's
     /// `Apache1.unbind("ajp-itf")`).
+    #[cold]
     pub fn unbind(
         &mut self,
         env: &mut E,
@@ -472,6 +480,7 @@ impl<E> Registry<E> {
 
     /// Starts a component. For composites, starts all children first (in
     /// containment order). Mandatory client interfaces must be bound.
+    #[cold]
     pub fn start(&mut self, env: &mut E, id: ComponentId) -> Result<()> {
         let state = self.comp(id)?.state;
         match state {
@@ -512,6 +521,7 @@ impl<E> Registry<E> {
     /// Stops a component. For composites, stops children afterwards in
     /// reverse containment order. Stopping a `Failed` component is allowed
     /// (cleanup path used by the repair manager).
+    #[cold]
     pub fn stop(&mut self, env: &mut E, id: ComponentId) -> Result<()> {
         let state = self.comp(id)?.state;
         if state == LifecycleState::Stopped {
@@ -532,6 +542,7 @@ impl<E> Registry<E> {
     }
 
     /// Marks a component failed (called by failure detectors).
+    #[cold]
     pub fn mark_failed(&mut self, id: ComponentId) -> Result<()> {
         self.comp_mut(id)?.state = LifecycleState::Failed;
         self.journal.push(JournalOp::Fail(id));
@@ -540,6 +551,7 @@ impl<E> Registry<E> {
 
     /// Returns a failed component to `Stopped` so it can be restarted
     /// (repair path of the self-recovery manager).
+    #[cold]
     pub fn repair(&mut self, id: ComponentId) -> Result<()> {
         let state = self.comp(id)?.state;
         if state != LifecycleState::Failed {

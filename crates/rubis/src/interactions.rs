@@ -811,6 +811,8 @@ fn compile_interaction(t: &InteractionType) -> CompiledPlan {
 
 /// The 26 compiled programs, indexed like [`INTERACTIONS`] — built once
 /// per process and shared by reference across every request.
+// jade-audit: allow(hot-alloc): built once per process behind a
+// OnceLock — every later call returns the cached slice by reference.
 pub fn compiled_plans() -> &'static [CompiledPlan] {
     static PLANS: OnceLock<Vec<CompiledPlan>> = OnceLock::new();
     PLANS.get_or_init(|| INTERACTIONS.iter().map(compile_interaction).collect())
@@ -819,6 +821,9 @@ pub fn compiled_plans() -> &'static [CompiledPlan] {
 /// Fills one request's parameter buffer, performing exactly the RNG draws
 /// and key-space mutations [`sql_for_into`] performs, in the same order
 /// (pinned by the draw-order regression tests and `tests/plan_prop.rs`).
+// jade-audit: allow(hot-alloc): the format!ed Text values are the
+// request's SQL parameters and become row data owned by the database;
+// only the two Register* interactions take these arms.
 fn fill_params_into(
     t: &InteractionType,
     ks: &mut KeySpace,
@@ -877,6 +882,9 @@ fn fill_params_into(
 /// RNG draw sequence is identical to the interpreted generator's — the
 /// jitter means round-trip through [`SimDuration`] the same way — so the
 /// two representations are digest-interchangeable.
+// jade-audit: allow(hot-panic): the interaction index is sampled from
+// the transition matrix, whose dimension equals INTERACTIONS.len() ==
+// compiled_plans().len().
 pub fn generate_plan_compiled_into(
     interaction: usize,
     ks: &mut KeySpace,

@@ -92,6 +92,9 @@ impl ClientPool {
     /// remainder as retirement debt settled when in-flight requests
     /// complete (a per-client slot likewise parks only at the end of its
     /// current cycle).
+    // jade-audit: allow(hot-panic): idle[] has a fixed layout of
+    // INTERACTIONS.len() + 1 buckets; bucket indexes come from iterating
+    // exactly that range.
     pub fn set_target(&mut self, target: u64) {
         let total = self.total();
         if target >= total {
@@ -122,6 +125,8 @@ impl ClientPool {
     /// called — in the documented bucket order — and the session moves
     /// to the busy set; the callback performs the caller's per-issuer
     /// draws (offset, transition) and schedules the actual dispatch.
+    // jade-audit: allow(hot-panic): bucket indexes iterate the fixed
+    // idle[] layout (see set_target).
     pub fn tick(&mut self, p: f64, rng: &mut SimRng, mut issue: impl FnMut(&mut SimRng, usize)) {
         if p <= 0.0 {
             return;

@@ -229,6 +229,7 @@ pub fn schema_statements() -> Vec<Statement> {
 /// Statements that populate the initial dataset. Deterministic given the
 /// RNG seed, so every database replica and every run sees the same data.
 /// Rows are built in each table's fixed column layout — no name lookups.
+#[cold]
 pub fn dataset_statements(spec: DatasetSpec, rng: &mut SimRng) -> Vec<Statement> {
     let ids = rubis_ids();
     let mut out = schema_statements();

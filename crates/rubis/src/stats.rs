@@ -82,6 +82,8 @@ impl StatsCollector {
         }
     }
 
+    // jade-audit: allow(hot-panic): the resize on the preceding line
+    // guarantees idx < windows.len().
     fn window_mut(&mut self, t: SimTime) -> &mut WindowStats {
         let idx = (t.as_micros() / self.window.as_micros()) as usize;
         if idx >= self.windows.len() {

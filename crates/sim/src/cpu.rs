@@ -64,6 +64,10 @@
 //! engine, and on the timer calls [`PsCpu::collect_completions`]. Re-arming
 //! uses the event queue's lazy cancellation.
 
+// jade-audit: allow-file(hot-panic): hand-audited slab/heap core — every
+// index is a heap position < heap.len() maintained by sift_down/min_child,
+// or a job-slot id minted by the slab's free list; the expect() unpacks a
+// heap head tested non-empty on the previous line.
 use crate::det::DetHashMap;
 use crate::metrics::UtilizationTracker;
 use crate::time::{SimDuration, SimTime};

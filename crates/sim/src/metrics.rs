@@ -469,6 +469,8 @@ impl Default for Histogram {
 
 impl Histogram {
     /// Creates an empty histogram.
+    // jade-audit: allow(hot-alloc): runs once per distinct metric name
+    // when the name is first interned, never per recorded sample.
     pub fn new() -> Self {
         Histogram {
             buckets: vec![0; HIST_BUCKETS],
@@ -583,6 +585,10 @@ impl MetricsHub {
     }
 
     /// Interns a series name, creating the (empty) series if needed.
+    // jade-audit: allow(hot-alloc, unbounded-growth): intern table —
+    // allocates and grows once per distinct static metric name (the
+    // early-return hits on every subsequent call), bounded by the set of
+    // names in the source, not by run length.
     pub fn series_id(&mut self, name: &str) -> SeriesId {
         if let Some(&i) = self.series_index.get(name) {
             return SeriesId(i);
@@ -594,6 +600,8 @@ impl MetricsHub {
     }
 
     /// Interns a histogram name, creating the (empty) histogram if needed.
+    // jade-audit: allow(hot-alloc, unbounded-growth): intern table — see
+    // series_id; one allocation per distinct static metric name.
     pub fn histogram_id(&mut self, name: &str) -> HistogramId {
         if let Some(&i) = self.histogram_index.get(name) {
             return HistogramId(i);
@@ -605,6 +613,8 @@ impl MetricsHub {
     }
 
     /// Interns a counter name, creating it at zero if needed.
+    // jade-audit: allow(hot-alloc, unbounded-growth): intern table — see
+    // series_id; one allocation per distinct static metric name.
     pub fn counter_id(&mut self, name: &str) -> CounterId {
         if let Some(&i) = self.counter_index.get(name) {
             return CounterId(i);
@@ -630,6 +640,8 @@ impl MetricsHub {
     }
 
     /// Appends to an interned series (hot path: no hashing).
+    // jade-audit: allow(hot-panic): SeriesId is only minted by series_id,
+    // which returns dense indexes into this same vector.
     #[inline]
     pub fn record_series_id(&mut self, id: SeriesId, t: SimTime, v: f64) {
         self.series[id.0 as usize].1.record(t, v);
@@ -650,6 +662,8 @@ impl MetricsHub {
     }
 
     /// Records a latency in an interned histogram (hot path).
+    // jade-audit: allow(hot-panic): HistogramId is only minted by
+    // histogram_id, which returns dense indexes into this same vector.
     #[inline]
     pub fn record_latency_id(&mut self, id: HistogramId, d: SimDuration) {
         self.histograms[id.0 as usize].1.record(d);
@@ -662,6 +676,8 @@ impl MetricsHub {
     }
 
     /// Increments an interned counter (hot path).
+    // jade-audit: allow(hot-panic): CounterId is only minted by
+    // counter_id, which returns dense indexes into this same vector.
     #[inline]
     pub fn incr_id(&mut self, id: CounterId, by: u64) {
         self.counters[id.0 as usize].1 += by;

@@ -44,6 +44,11 @@
 //! Which structure held a timer is unobservable to the simulation; only
 //! the constant factors differ.
 
+// jade-audit: allow-file(hot-panic): hand-audited slab/heap core — every
+// index is a heap position < heap.len() maintained by the sift loops, a
+// slot id minted by alloc_slot, or a wheel node id owned by the free list;
+// the expect()s assert the heap-nonempty invariant established by the
+// caller on the preceding line.
 use crate::time::SimTime;
 use crate::wheel::TimerWheel;
 use std::collections::VecDeque;
@@ -176,6 +181,10 @@ impl<T> EventQueue<T> {
         }
     }
 
+    // jade-audit: allow(unbounded-growth): the slot slab grows to the
+    // run's high-water mark of concurrently pending events and is then
+    // recycled through the free list (free_slot pushes retired ids onto
+    // free_head; the Vacant arm above pops them).
     fn alloc_slot(&mut self, payload: T) -> u32 {
         if self.free_head != NO_FREE {
             let slot = self.free_head;
@@ -228,6 +237,10 @@ impl<T> EventQueue<T> {
     /// (think times, patience timers, periodic ticks) that dominate the
     /// pending set at scale; keep precise, short-lived completions on
     /// the heap.
+    // jade-audit: allow(unbounded-growth): wheel nodes are recycled
+    // through the wheel's own free list when a timer fires or is
+    // cancelled (TimerWheel::free); residency is bounded by the number
+    // of concurrently armed timers, not by run length.
     pub fn push_coarse(&mut self, time: SimTime, payload: T) -> EventToken {
         if time.as_micros() < self.wheel.cursor() {
             // The wheel cannot hold entries behind its cursor (possible
@@ -254,6 +267,8 @@ impl<T> EventQueue<T> {
     /// schedules. The remap is monotone in the old global key, so
     /// relative order — and hence determinism — is untouched, and the
     /// heap property is preserved in place.
+    // jade-audit: allow(hot-alloc): runs once per 2^32 scheduled events
+    // (sequence-counter wrap), amortized to nothing per event.
     fn renumber(&mut self) {
         enum Src {
             Heap(u32),

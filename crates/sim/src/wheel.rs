@@ -44,6 +44,11 @@
 //! three orders of magnitude of needing it, but the path keeps the
 //! structure total.
 
+// jade-audit: allow-file(hot-panic): hand-audited intrusive-list slab —
+// every index is a node id minted by alloc and owned by exactly one
+// bucket list or the free list, or a bucket index masked to LEVEL_BITS;
+// the expect()s unpack list heads tested non-NONE on the previous line.
+
 /// Number of levels; level `L` buckets are `64^L` µs wide.
 pub(crate) const LEVELS: usize = 7;
 /// Buckets per level.
@@ -127,6 +132,9 @@ impl TimerWheel {
         self.cursor
     }
 
+    // jade-audit: allow(unbounded-growth): the node slab grows to the
+    // high-water mark of concurrently armed timers; release() returns
+    // retired nodes to free_head and the branch above reuses them.
     fn alloc(&mut self, time: u64, packed: u64, next: u32) -> u32 {
         if self.free_head != NONE {
             let at = self.free_head;

@@ -34,6 +34,8 @@ impl ApacheServer {
     }
 
     /// Next Tomcat in the mod_jk rotation, or `None` when unbound.
+    // jade-audit: allow(hot-panic): cursor is taken modulo workers.len(),
+    // which the guard above ensures is nonzero.
     pub fn next_worker(&mut self) -> Option<ServerId> {
         if self.workers.is_empty() {
             return None;

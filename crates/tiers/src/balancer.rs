@@ -104,6 +104,8 @@ impl HttpBalancer {
     }
 
     /// Picks a worker for the next request.
+    // jade-audit: allow(hot-panic): both arms index modulo/below
+    // workers.len(), which the guard above ensures is nonzero.
     pub fn route(&mut self, rng: &mut SimRng) -> Result<ServerId, BalancerError> {
         if self.workers.is_empty() {
             return Err(BalancerError::NoWorker);

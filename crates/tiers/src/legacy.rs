@@ -389,6 +389,9 @@ impl LegacyLayer {
     }
 
     /// All server ids, in creation order.
+    // jade-audit: allow(hot-alloc): snapshot taken once per detector
+    // period (seconds of simulated time) so repairs can mutate the server
+    // map while the detector iterates; length is the server count.
     pub fn server_ids(&self) -> Vec<ServerId> {
         self.servers.keys().copied().collect()
     }
@@ -567,6 +570,7 @@ impl LegacyLayer {
 
     /// Crashes a node: fails every server hosted on it and aborts all its
     /// CPU jobs, returning the aborted job ids.
+    #[cold]
     pub fn crash_node(&mut self, node: NodeId, now: SimTime) -> Vec<jade_sim::JobId> {
         let victims: Vec<ServerId> = self
             .servers
@@ -770,6 +774,11 @@ impl LegacyLayer {
     /// statement only for the recovery log (whose entries are statements,
     /// paper §4.1) — the same one allocation the interpreted generator
     /// made up front.
+    // jade-audit: allow(hot-alloc, hot-panic): the Arcs are the one
+    // materialization of the write's statement and delta, shared by
+    // reference across every replica and the recovery log; out[1..] is
+    // safe because route_write_into guarantees a non-empty broadcast list
+    // (primary first).
     pub fn cjdbc_execute_write_into(
         &mut self,
         cjdbc: ServerId,

@@ -32,6 +32,9 @@ pub enum Operand {
 
 impl Operand {
     /// Resolves the operand against a request's parameter buffer.
+    // jade-audit: allow(hot-panic): Param slots are assigned by the plan
+    // compiler against the same parameter layout the generator fills, so
+    // slot < params.len() by construction.
     #[inline]
     pub fn resolve<'a>(&'a self, params: &'a [Value]) -> &'a Value {
         match self {
@@ -115,6 +118,9 @@ impl PlanStep {
     /// strings", paper §4.1), and a replica without a captured delta
     /// re-executes the statement, so the write path materializes one per
     /// logged write; reads never call this.
+    // jade-audit: allow(hot-alloc): materializes a statement tree only on
+    // the write path, where the statement becomes the recovery-log entry
+    // shared by every replica; reads never take this path.
     pub fn statement(&self, params: &[Value]) -> Statement {
         match &self.op {
             StepOp::ReadKey { table, key } => Statement::SelectByKey {

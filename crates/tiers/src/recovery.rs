@@ -118,6 +118,10 @@ impl RecoveryLog {
         self.push_entry(statement, Some(delta))
     }
 
+    // jade-audit: allow(unbounded-growth): the recovery log intentionally
+    // retains every write of the run — it is the replay source that
+    // brings checkpointed replicas back in sync (paper's RAIDb-1
+    // recovery); truncating it would break resync.
     fn push_entry(&mut self, statement: Arc<Statement>, delta: Option<Arc<WriteDelta>>) -> u64 {
         assert!(
             statement.is_write(),

@@ -120,6 +120,9 @@ impl SqlProgram {
     }
 
     /// Borrows query `idx` in dispatch form.
+    // jade-audit: allow(hot-panic): idx is the dispatcher's program
+    // counter, bounded by this program's len() (the dispatch loop stops
+    // there).
     pub fn query_at(&self, idx: usize) -> DbQuery<'_> {
         match self {
             SqlProgram::Ops(ops) => DbQuery::Stmt(&ops[idx]),
@@ -132,6 +135,8 @@ impl SqlProgram {
     }
 
     /// True when query `idx` modifies the database.
+    // jade-audit: allow(hot-panic): idx is the dispatcher's program
+    // counter, bounded by this program's len().
     pub fn is_write_at(&self, idx: usize) -> bool {
         match self {
             SqlProgram::Ops(ops) => ops[idx].is_write(),
